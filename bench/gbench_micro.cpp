@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the hot substrate primitives:
+// these are the operations every simulated experiment leans on, so
+// regressions here inflate every figure's wall-clock cost.
+#include <benchmark/benchmark.h>
+
+#include "carat/native_guards.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "hwsim/event_queue.hpp"
+#include "mem/buddy_allocator.hpp"
+#include "mem/tlb.hpp"
+#include "pipeline/branch_predictor.hpp"
+
+using namespace iw;
+
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngHeavyTail(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.heavy_tail(50.0, 1.2, 5000.0));
+  }
+}
+BENCHMARK(BM_RngHeavyTail);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  hwsim::EventQueue q;
+  Rng rng(7);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    hwsim::Event ev;
+    ev.time = rng.uniform(0, 1'000'000);
+    ev.seq = seq++;
+    q.push(std::move(ev));
+    if (q.size() > 64) benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  mem::BuddyAllocator buddy(0, 1 << 24, 64);
+  Rng rng(3);
+  std::vector<Addr> live;
+  for (auto _ : state) {
+    if (live.size() < 256 && rng.chance(0.6)) {
+      if (auto a = buddy.alloc(rng.uniform(64, 4096))) live.push_back(*a);
+    } else if (!live.empty()) {
+      buddy.free(live.back());
+      live.pop_back();
+    }
+  }
+  for (Addr a : live) buddy.free(a);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void BM_TlbAccess(benchmark::State& state) {
+  mem::Tlb tlb(mem::TlbConfig{64, 4096, 0, 130});
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.access(rng.uniform(0, (1 << 28) - 1)));
+  }
+}
+BENCHMARK(BM_TlbAccess);
+
+void BM_GuardCheckFull(benchmark::State& state) {
+  carat::FullGuard g;
+  std::vector<double> buf(4096);
+  g.on_alloc(buf.data(), buf.size() * 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    g.check(&buf[i++ & 4095], 8);
+  }
+}
+BENCHMARK(BM_GuardCheckFull);
+
+void BM_GuardCheckCached(benchmark::State& state) {
+  carat::CachedGuard g;
+  std::vector<double> buf(4096);
+  g.on_alloc(buf.data(), buf.size() * 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    g.check(&buf[i++ & 4095], 8);
+  }
+}
+BENCHMARK(BM_GuardCheckCached);
+
+void BM_GsharePredict(benchmark::State& state) {
+  pipeline::GsharePredictor p;
+  std::uint64_t pc = 0x1000;
+  bool taken = false;
+  for (auto _ : state) {
+    taken = !taken;
+    benchmark::DoNotOptimize(p.resolve(pc += 4, taken));
+  }
+}
+BENCHMARK(BM_GsharePredict);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(5);
+  for (auto _ : state) {
+    h.add(rng.uniform(1, 1'000'000));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

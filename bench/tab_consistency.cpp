@@ -1,0 +1,36 @@
+// §V-B consistency table: selective fence relaxation. The paper: "A
+// fence orders writes that produce data before setting the done flag,
+// but it also orders all other writes the thread issued, even if they
+// are unrelated to the intended use of the fence." With language-level
+// knowledge of which stores the release actually publishes, the fence
+// waits only for those.
+#include <cstdio>
+
+#include "coherence/consistency.hpp"
+
+using namespace iw;
+using namespace iw::coherence;
+
+int main() {
+  std::printf("== selective fence relaxation (store-buffer model) ==\n");
+  std::printf("(producer: tagged data stores + untagged bookkeeping burst, "
+              "then publish)\n\n");
+  std::printf("%6s %10s %16s %16s %10s\n", "data", "unrelated",
+              "TSO_stall/round", "selective/round", "saved");
+  for (unsigned data : {2u, 4u, 8u}) {
+    for (unsigned unrelated : {0u, 8u, 24u, 48u}) {
+      const auto r = run_fence_experiment(data, unrelated, 400);
+      const double saved =
+          r.full_fence_stall > 0
+              ? 100.0 * (1.0 - r.selective_stall / r.full_fence_stall)
+              : 0.0;
+      std::printf("%6u %10u %16.1f %16.1f %9.1f%%\n", data, unrelated,
+                  r.full_fence_stall, r.selective_stall, saved);
+    }
+  }
+  std::printf(
+      "\nshape: the TSO publication stall grows with unrelated traffic;\n"
+      "the selective release's does not — ordering only what the\n"
+      "language says needs ordering removes the stall almost entirely.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Blended far memory example (paper §V-C): a key-value working set
+// spills to remote memory. Compare transparent page swapping against
+// compiler-blended object-granularity evacuation as local memory
+// shrinks.
+//
+//   $ ./blended_farmem [local_kib]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "blending/farmem.hpp"
+#include "common/rng.hpp"
+
+using namespace iw;
+using namespace iw::blending;
+
+int main(int argc, char** argv) {
+  const std::uint64_t local_kib =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoi(argv[1])) : 256;
+
+  FarMemConfig cfg;
+  cfg.local_bytes = local_kib * 1024;
+  std::printf("local memory: %llu KiB; remote link: rtt=%llu cyc, "
+              "%.0f B/cyc\n\n",
+              static_cast<unsigned long long>(local_kib),
+              static_cast<unsigned long long>(cfg.network_rtt),
+              cfg.bytes_per_cycle);
+
+  // A KV store: 8192 values of 96 B each (~768 KiB), zipf-ish access.
+  ObjectFarMem ofm(cfg);
+  PageSwapFarMem pfm(cfg);
+  const int kValues = 8'192;
+  std::vector<Addr> values;
+  values.reserve(kValues);
+  for (int i = 0; i < kValues; ++i) values.push_back(ofm.alloc(96));
+
+  Rng rng(99);
+  std::vector<int> hot;
+  for (int i = 0; i < kValues / 8; ++i) {
+    hot.push_back(static_cast<int>(rng.uniform(0, kValues - 1)));
+  }
+
+  Cycles oc = 0, pc = 0;
+  const int kOps = 80'000;
+  for (int i = 0; i < kOps; ++i) {
+    const int idx = rng.chance(0.85)
+                        ? hot[rng.uniform(0, hot.size() - 1)]
+                        : static_cast<int>(rng.uniform(0, kValues - 1));
+    const bool put = rng.chance(0.25);
+    oc += ofm.access(values[idx] + 8 * rng.uniform(0, 11), 8, put);
+    pc += pfm.access(static_cast<Addr>(idx) * 96 + 8 * rng.uniform(0, 11),
+                     8, put);
+  }
+
+  const auto& os = ofm.stats();
+  const auto& ps = pfm.stats();
+  std::printf("%-28s %14s %14s\n", "metric", "page-swap",
+              "object-blended");
+  std::printf("%-28s %14.0f %14.0f\n", "avg GET/PUT latency (cyc)",
+              static_cast<double>(pc) / kOps,
+              static_cast<double>(oc) / kOps);
+  std::printf("%-28s %14llu %14llu\n", "remote fetches",
+              static_cast<unsigned long long>(ps.misses),
+              static_cast<unsigned long long>(os.misses));
+  std::printf("%-28s %14.1f %14.1f\n", "MiB moved from remote",
+              static_cast<double>(ps.bytes_fetched) / (1 << 20),
+              static_cast<double>(os.bytes_fetched) / (1 << 20));
+  std::printf("%-28s %14.1f %14.1f\n", "fetch amplification",
+              ps.fetch_amplification(), os.fetch_amplification());
+  std::printf("\nspeedup from object-granularity blending: %.2fx\n",
+              static_cast<double>(pc) / static_cast<double>(oc));
+  std::printf("(the compiler knew the object boundaries — no page-sized "
+              "collateral, no fault traps)\n");
+  return 0;
+}

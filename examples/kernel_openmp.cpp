@@ -1,0 +1,62 @@
+// Kernel OpenMP example: run a NAS-style mini-app under any of the four
+// iwomp execution modes (paper §V-A).
+//
+//   $ ./kernel_openmp [bt|sp|cg] [threads] [linux|rtk|pik|cck]
+//   $ ./kernel_openmp bt 16 rtk
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "omp/runtime.hpp"
+
+using namespace iw;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "bt";
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 16;
+  const std::string mode_str = argc > 3 ? argv[3] : "";
+
+  workloads::MiniApp app = which == "sp"   ? workloads::sp_mini(32, 3)
+                           : which == "cg" ? workloads::cg_mini(60'000, 6)
+                                           : workloads::bt_mini(32, 3);
+
+  std::printf("%s: %llu iterations over %zu phases x %u timesteps, "
+              "footprint %.1f MiB\n\n",
+              app.name.c_str(),
+              static_cast<unsigned long long>(app.total_iterations()),
+              app.phases.size(), app.timesteps,
+              static_cast<double>(app.footprint_bytes) / (1 << 20));
+
+  auto run_mode = [&](omp::OmpMode mode) {
+    omp::OmpConfig cfg;
+    cfg.mode = mode;
+    cfg.num_threads = threads;
+    const auto res = omp::run_miniapp(app, cfg);
+    std::printf("%-6s P=%-3u makespan %10.2f Mcycles  barriers %4llu  "
+                "tasks %5llu  tlb-miss %.2f%%\n",
+                omp::mode_name(mode), threads,
+                static_cast<double>(res.makespan) / 1e6,
+                static_cast<unsigned long long>(res.barriers_passed),
+                static_cast<unsigned long long>(res.tasks_executed),
+                100 * res.tlb_miss_rate);
+    return res.makespan;
+  };
+
+  if (!mode_str.empty()) {
+    omp::OmpMode mode = omp::OmpMode::kRTK;
+    if (mode_str == "linux") mode = omp::OmpMode::kLinux;
+    if (mode_str == "pik") mode = omp::OmpMode::kPIK;
+    if (mode_str == "cck") mode = omp::OmpMode::kCCK;
+    run_mode(mode);
+    return 0;
+  }
+
+  const auto linux = run_mode(omp::OmpMode::kLinux);
+  const auto rtk = run_mode(omp::OmpMode::kRTK);
+  run_mode(omp::OmpMode::kPIK);
+  run_mode(omp::OmpMode::kCCK);
+  std::printf("\nRTK speedup over Linux at P=%u: %.2fx\n", threads,
+              static_cast<double>(linux) / static_cast<double>(rtk));
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "blending/farmem.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::blending {
+
+namespace {
+Cycles transfer_cycles(const FarMemConfig& cfg, std::uint64_t bytes) {
+  return cfg.network_rtt +
+         static_cast<Cycles>(static_cast<double>(bytes) /
+                             cfg.bytes_per_cycle);
+}
+}  // namespace
+
+// ------------------------------------------------------------- PageSwap
+
+PageSwapFarMem::PageSwapFarMem(FarMemConfig cfg) : cfg_(cfg) {
+  IW_ASSERT(cfg.local_bytes >= cfg.page_bytes);
+}
+
+void PageSwapFarMem::make_resident(std::uint64_t page, bool is_write) {
+  auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    if (is_write) it->second.dirty = true;
+    return;
+  }
+  ++stats_.misses;
+  stats_.total_cycles += cfg_.fault_trap;  // trap into the kernel
+  // Evict if at capacity.
+  const std::uint64_t capacity_pages = cfg_.local_bytes / cfg_.page_bytes;
+  while (resident_.size() >= capacity_pages) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = resident_.find(victim);
+    if (vit->second.dirty) {
+      ++stats_.writebacks;
+      stats_.bytes_written_back += cfg_.page_bytes;
+      stats_.total_cycles += cfg_.writeback_initiate;  // async writeback
+    }
+    resident_.erase(vit);
+    ++stats_.evictions;
+  }
+  // Fetch the whole page.
+  stats_.bytes_fetched += cfg_.page_bytes;
+  stats_.total_cycles += transfer_cycles(cfg_, cfg_.page_bytes);
+  lru_.push_front(page);
+  resident_[page] = PageState{is_write, lru_.begin()};
+}
+
+Cycles PageSwapFarMem::access(Addr a, unsigned bytes, bool is_write) {
+  const Cycles before = stats_.total_cycles;
+  ++stats_.accesses;
+  stats_.useful_bytes += bytes;
+  const std::uint64_t first = a / cfg_.page_bytes;
+  const std::uint64_t last = (a + bytes - 1) / cfg_.page_bytes;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    make_resident(p, is_write);
+  }
+  stats_.total_cycles += cfg_.local_access;
+  return stats_.total_cycles - before;
+}
+
+// --------------------------------------------------------------- Object
+
+ObjectFarMem::ObjectFarMem(FarMemConfig cfg) : cfg_(cfg) {}
+
+Addr ObjectFarMem::alloc(std::uint64_t bytes) {
+  bytes = std::max<std::uint64_t>(8, (bytes + 7) & ~std::uint64_t{7});
+  const Addr base = next_base_;
+  next_base_ += bytes + 16;  // header slack between objects
+  objects_.add(base, bytes);
+  // Fresh objects start resident (they were just written locally).
+  evict_until_fits(bytes);
+  lru_.push_front(base);
+  resident_[base] = ObjState{bytes, true, lru_.begin()};
+  local_used_ += bytes;
+  return base;
+}
+
+void ObjectFarMem::free(Addr base) {
+  auto it = resident_.find(base);
+  if (it != resident_.end()) {
+    local_used_ -= it->second.size;
+    lru_.erase(it->second.lru_it);
+    resident_.erase(it);
+  }
+  objects_.remove(base);
+}
+
+void ObjectFarMem::evict_until_fits(std::uint64_t need) {
+  while (local_used_ + need > cfg_.local_bytes && !lru_.empty()) {
+    const Addr victim = lru_.back();
+    lru_.pop_back();
+    auto vit = resident_.find(victim);
+    IW_ASSERT(vit != resident_.end());
+    if (vit->second.dirty) {
+      ++stats_.writebacks;
+      stats_.bytes_written_back += vit->second.size;
+      stats_.total_cycles += cfg_.writeback_initiate;  // async writeback
+    }
+    local_used_ -= vit->second.size;
+    resident_.erase(vit);
+    ++stats_.evictions;
+  }
+}
+
+void ObjectFarMem::make_resident(const carat::Allocation& obj,
+                                 bool is_write) {
+  auto it = resident_.find(obj.base);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    if (is_write) it->second.dirty = true;
+    return;
+  }
+  ++stats_.misses;
+  // No trap: the guard already runs inline; only the fetch is paid.
+  evict_until_fits(obj.size);
+  stats_.bytes_fetched += obj.size;
+  stats_.total_cycles += transfer_cycles(cfg_, obj.size);
+  lru_.push_front(obj.base);
+  resident_[obj.base] = ObjState{obj.size, is_write, lru_.begin()};
+  local_used_ += obj.size;
+}
+
+Cycles ObjectFarMem::access(Addr a, unsigned bytes, bool is_write) {
+  const Cycles before = stats_.total_cycles;
+  ++stats_.accesses;
+  stats_.useful_bytes += bytes;
+  stats_.total_cycles += cfg_.guard_check;
+  const carat::Allocation* obj = objects_.find(a);
+  IW_ASSERT_MSG(obj != nullptr, "far-memory access to untracked object");
+  make_resident(*obj, is_write);
+  stats_.total_cycles += cfg_.local_access;
+  return stats_.total_cycles - before;
+}
+
+}  // namespace iw::blending

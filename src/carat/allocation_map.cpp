@@ -1,0 +1,58 @@
+#include "carat/allocation_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace iw::carat {
+
+const Allocation& AllocationMap::add(Addr base, std::uint64_t size) {
+  IW_ASSERT(size > 0);
+  // Overlap check against neighbors.
+  auto next = map_.lower_bound(base);
+  if (next != map_.end()) {
+    IW_ASSERT_MSG(base + size <= next->second.base,
+                  "allocation overlaps successor");
+  }
+  if (next != map_.begin()) {
+    auto prev = std::prev(next);
+    IW_ASSERT_MSG(prev->second.base + prev->second.size <= base,
+                  "allocation overlaps predecessor");
+  }
+  Allocation a;
+  a.base = base;
+  a.size = size;
+  a.id = next_id_++;
+  tracked_ += size;
+  return map_.emplace(base, a).first->second;
+}
+
+void AllocationMap::remove(Addr base) {
+  auto it = map_.find(base);
+  IW_ASSERT_MSG(it != map_.end(), "remove of untracked allocation");
+  tracked_ -= it->second.size;
+  map_.erase(it);
+}
+
+const Allocation* AllocationMap::find(Addr a) const {
+  auto it = map_.upper_bound(a);
+  if (it == map_.begin()) return nullptr;
+  --it;
+  return it->second.contains(a) ? &it->second : nullptr;
+}
+
+const Allocation* AllocationMap::find_base(Addr base) const {
+  auto it = map_.find(base);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void AllocationMap::rebase(Addr old_base, Addr new_base) {
+  auto it = map_.find(old_base);
+  IW_ASSERT(it != map_.end());
+  Allocation a = it->second;
+  map_.erase(it);
+  a.base = new_base;
+  // Overlap invariants re-checked by insertion order of callers (the
+  // mover guarantees the target range is free).
+  map_.emplace(new_base, a);
+}
+
+}  // namespace iw::carat

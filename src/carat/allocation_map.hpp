@@ -1,0 +1,60 @@
+// CARAT allocation map: the runtime's view of every tracked allocation
+// (paper §IV-A). All protection and movement decisions key off this
+// structure; "memory can be managed at arbitrary granularity, instead of
+// being restricted to page sizes" because entries are byte-granular.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace iw::carat {
+
+struct Allocation {
+  Addr base{0};
+  std::uint64_t size{0};
+  /// Monotonic id, stable across moves.
+  std::uint64_t id{0};
+
+  [[nodiscard]] bool contains(Addr a) const {
+    return a >= base && a < base + size;
+  }
+  [[nodiscard]] bool contains_range(Addr a, std::uint64_t len) const {
+    return a >= base && a + len <= base + size;
+  }
+};
+
+class AllocationMap {
+ public:
+  /// Track a new allocation; asserts on overlap with an existing one.
+  const Allocation& add(Addr base, std::uint64_t size);
+
+  /// Stop tracking the allocation starting at `base` (exact match).
+  void remove(Addr base);
+
+  /// The allocation containing `a`, or nullptr.
+  [[nodiscard]] const Allocation* find(Addr a) const;
+
+  /// Exact-base lookup.
+  [[nodiscard]] const Allocation* find_base(Addr base) const;
+
+  /// Re-key an allocation after a move; preserves id and size.
+  void rebase(Addr old_base, Addr new_base);
+
+  [[nodiscard]] std::size_t count() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t tracked_bytes() const { return tracked_; }
+
+  /// Iterate allocations in address order.
+  [[nodiscard]] const std::map<Addr, Allocation>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::map<Addr, Allocation> map_;  // keyed by base
+  std::uint64_t next_id_{1};
+  std::uint64_t tracked_{0};
+};
+
+}  // namespace iw::carat

@@ -1,0 +1,129 @@
+// Native (wall-clock) guard policies for the CARAT overhead table.
+//
+// The paper's headline CARAT number — "<6% (geometric mean)" overhead on
+// NAS/Mantevo/PARSEC-style parallel kernels — is about *real instruction
+// overhead* of compiler-inserted checks, so this half of the CARAT
+// reproduction runs real C++ kernels (workloads/) templated over a guard
+// policy and measures real time with google-benchmark:
+//
+//   NoGuard      — baseline, checks compile to nothing;
+//   FullGuard    — a tracked-interval lookup before every access
+//                  (the naive placement the compiler starts from);
+//   CachedGuard  — FullGuard plus CARAT's one-entry "last allocation"
+//                  cache (what remains on non-hoistable accesses);
+//   HoistedGuard — one whole-allocation check per kernel region (what
+//                  the compiler achieves when the base is invariant).
+//
+// Policies are CRTP-free simple types so the check inlines; NoGuard
+// compiles to zero instructions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace iw::carat {
+
+/// Interval map over *native* pointers for wall-clock benchmarking.
+class NativeAllocationMap {
+ public:
+  void add(const void* base, std::size_t size) {
+    map_[reinterpret_cast<std::uintptr_t>(base)] = size;
+  }
+  void remove(const void* base) {
+    map_.erase(reinterpret_cast<std::uintptr_t>(base));
+  }
+
+  [[nodiscard]] bool contains(const void* p, std::size_t len) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    auto it = map_.upper_bound(a);
+    if (it == map_.begin()) return false;
+    --it;
+    return a >= it->first && a + len <= it->first + it->second;
+  }
+
+  /// Lookup returning the containing interval (for the one-entry cache).
+  [[nodiscard]] bool lookup(const void* p, std::uintptr_t& lo,
+                            std::uintptr_t& hi) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    auto it = map_.upper_bound(a);
+    if (it == map_.begin()) return false;
+    --it;
+    if (a < it->first || a >= it->first + it->second) return false;
+    lo = it->first;
+    hi = it->first + it->second;
+    return true;
+  }
+
+ private:
+  std::map<std::uintptr_t, std::size_t> map_;
+};
+
+struct NoGuard {
+  static constexpr const char* kName = "none";
+  void on_alloc(const void*, std::size_t) {}
+  inline void check(const void*, std::size_t) {}
+  inline void check_region(const void*) {}
+};
+
+class FullGuard {
+ public:
+  static constexpr const char* kName = "full";
+  void on_alloc(const void* p, std::size_t n) { map_.add(p, n); }
+  inline void check(const void* p, std::size_t len) {
+    if (!map_.contains(p, len)) [[unlikely]] {
+      ++violations_;
+    }
+  }
+  inline void check_region(const void* p) { check(p, 1); }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  NativeAllocationMap map_;
+  std::uint64_t violations_{0};
+};
+
+class CachedGuard {
+ public:
+  static constexpr const char* kName = "cached";
+  void on_alloc(const void* p, std::size_t n) { map_.add(p, n); }
+  inline void check(const void* p, std::size_t len) {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    if (a >= cache_lo_ && a + len <= cache_hi_) [[likely]] {
+      return;  // one-compare fast path
+    }
+    if (!map_.lookup(p, cache_lo_, cache_hi_)) [[unlikely]] {
+      ++violations_;
+    }
+  }
+  inline void check_region(const void* p) { check(p, 1); }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  NativeAllocationMap map_;
+  std::uintptr_t cache_lo_{1};
+  std::uintptr_t cache_hi_{0};
+  std::uint64_t violations_{0};
+};
+
+class HoistedGuard {
+ public:
+  static constexpr const char* kName = "hoisted";
+  void on_alloc(const void* p, std::size_t n) { map_.add(p, n); }
+  /// Per-access checks were hoisted away by the compiler.
+  inline void check(const void*, std::size_t) {}
+  /// The hoisted whole-region check, once per kernel region.
+  inline void check_region(const void* p) {
+    if (!map_.contains(p, 1)) [[unlikely]] {
+      ++violations_;
+    }
+  }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  NativeAllocationMap map_;
+  std::uint64_t violations_{0};
+};
+
+}  // namespace iw::carat

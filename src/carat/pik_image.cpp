@@ -1,0 +1,58 @@
+#include "carat/pik_image.hpp"
+
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "passes/guard_hoisting.hpp"
+#include "passes/guard_injection.hpp"
+#include "passes/pass_manager.hpp"
+#include "passes/timing_placement.hpp"
+
+namespace iw::carat {
+
+namespace {
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+PikImage::PikImage(ir::Module& m, PikBuildOptions opts) : m_(m) {
+  passes::PassManager pm;
+  pm.add("carat-guards", [this](ir::Function& f) {
+    guards_before_ += passes::inject_guards(f).guards_inserted;
+  });
+  if (opts.hoist) {
+    pm.add("carat-hoist",
+           [](ir::Function& f) { passes::hoist_guards(f); });
+  }
+  pm.add("compiler-timing", [opts](ir::Function& f) {
+    passes::inject_timing(f, opts.timing_budget);
+  });
+  pm.run_module(m);
+
+  std::string text;
+  for (std::size_t i = 0; i < m.num_functions(); ++i) {
+    const auto& f = m.function(static_cast<ir::FuncId>(i));
+    // Count surviving *per-access* guards: hoisting replaces them with
+    // out-of-loop range guards, which is the win we report.
+    guards_after_ += static_cast<unsigned>(f.count_instrs(
+        [](const ir::Instr& ins) { return ins.op == ir::Op::kGuard; }));
+    text += ir::to_string(f);
+  }
+  hash_ = fnv1a(text);
+}
+
+std::int64_t PikImage::run(ir::FuncId entry,
+                           const std::vector<std::int64_t>& args,
+                           CaratRuntime& rt, Cycles* cycles_out) const {
+  ir::Interp in(m_, rt.interp_hooks());
+  const auto res = in.run(entry, args);
+  if (cycles_out != nullptr) *cycles_out = res.cycles;
+  return res.ret;
+}
+
+}  // namespace iw::carat

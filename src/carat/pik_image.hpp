@@ -1,0 +1,57 @@
+// The PIK (process-in-kernel) model, CARAT edition (paper §IV-A last
+// paragraph): "a Linux user-level program can be compiled, transformed,
+// linked, and cryptographically attested such that it can run as a part
+// of Nautilus, at kernel-level, using physical addresses, in a
+// simulacrum of a process."
+//
+// A PikImage takes a mini-IR module, runs the CARAT transform pipeline
+// (guard injection + hoisting) and compiler-based timing over it,
+// computes an attestation hash of the transformed code, and can then be
+// admitted into a kernel if the hash matches what the toolchain signed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "carat/runtime.hpp"
+#include "ir/function.hpp"
+
+namespace iw::carat {
+
+struct PikBuildOptions {
+  Cycles timing_budget{5'000};
+  bool hoist{true};
+};
+
+class PikImage {
+ public:
+  /// Transform every function of `m` in place and compute the
+  /// attestation hash over the transformed code.
+  PikImage(ir::Module& m, PikBuildOptions opts = {});
+
+  /// FNV-1a hash of the printed transformed module: what the toolchain
+  /// signs and the kernel verifies at admission.
+  [[nodiscard]] std::uint64_t attestation_hash() const { return hash_; }
+
+  /// Kernel-side admission check.
+  [[nodiscard]] bool attest(std::uint64_t expected) const {
+    return expected == hash_;
+  }
+
+  /// Run an entry function under the kernel-side CARAT runtime: guards
+  /// and allocations resolve against `rt`. Returns the program result.
+  std::int64_t run(ir::FuncId entry, const std::vector<std::int64_t>& args,
+                   CaratRuntime& rt, Cycles* cycles_out = nullptr) const;
+
+  [[nodiscard]] unsigned guards_before() const { return guards_before_; }
+  [[nodiscard]] unsigned guards_after() const { return guards_after_; }
+  [[nodiscard]] ir::Module& module() const { return m_; }
+
+ private:
+  ir::Module& m_;
+  std::uint64_t hash_{0};
+  unsigned guards_before_{0};
+  unsigned guards_after_{0};
+};
+
+}  // namespace iw::carat

@@ -1,0 +1,49 @@
+// Protection domains without hardware: per-allocation permissions
+// enforced by compiler-injected guards (paper §IV-A — "achieve both
+// protection and mobility of data without any hardware support").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace iw::carat {
+
+enum class Perm : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr bool allows_read(Perm p) {
+  return (static_cast<std::uint8_t>(p) &
+          static_cast<std::uint8_t>(Perm::kRead)) != 0;
+}
+[[nodiscard]] constexpr bool allows_write(Perm p) {
+  return (static_cast<std::uint8_t>(p) &
+          static_cast<std::uint8_t>(Perm::kWrite)) != 0;
+}
+
+/// Permissions per allocation id; default is read-write (tracking-only
+/// mode). A "process" in the PIK model gets kNone on kernel allocations.
+class ProtectionTable {
+ public:
+  void set(std::uint64_t allocation_id, Perm p) { perms_[allocation_id] = p; }
+
+  [[nodiscard]] Perm get(std::uint64_t allocation_id) const {
+    auto it = perms_.find(allocation_id);
+    return it == perms_.end() ? Perm::kReadWrite : it->second;
+  }
+
+  [[nodiscard]] bool check(std::uint64_t allocation_id, bool is_write) const {
+    const Perm p = get(allocation_id);
+    return is_write ? allows_write(p) : allows_read(p);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Perm> perms_;
+};
+
+}  // namespace iw::carat

@@ -1,0 +1,197 @@
+#include "carat/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::carat {
+
+CaratRuntime::CaratRuntime(CaratConfig cfg) : cfg_(cfg) {}
+
+std::optional<Addr> CaratRuntime::find_free_range(std::uint64_t bytes) const {
+  // First-fit over the gaps between tracked allocations (byte-granular:
+  // no page-size rounding anywhere, per the paper's point).
+  Addr cursor = cfg_.arena_base;
+  for (const auto& [base, a] : map_.entries()) {
+    if (base >= cfg_.arena_base + cfg_.arena_size) break;
+    if (base >= cursor && base - cursor >= bytes) return cursor;
+    cursor = std::max(cursor, a.base + a.size);
+  }
+  if (cfg_.arena_base + cfg_.arena_size - cursor >= bytes) return cursor;
+  return std::nullopt;
+}
+
+std::optional<Addr> CaratRuntime::alloc(std::uint64_t bytes) {
+  if (bytes == 0) bytes = 1;
+  // Keep 8-byte alignment for word addressing.
+  bytes = (bytes + 7) & ~std::uint64_t{7};
+  const auto base = find_free_range(bytes);
+  if (!base) return std::nullopt;
+  map_.add(*base, bytes);
+  return base;
+}
+
+void CaratRuntime::free(Addr base) {
+  const Allocation* a = map_.find_base(base);
+  IW_ASSERT_MSG(a != nullptr, "free of untracked allocation");
+  // Drop contents and any escape slots inside the freed range.
+  for (Addr w = a->base; w < a->base + a->size; w += 8) {
+    mem_.erase(w);
+    escapes_.erase(w);
+  }
+  map_.remove(base);
+}
+
+bool CaratRuntime::check_access(Addr a, std::uint64_t size, bool is_write) {
+  ++stats_.guard_checks;
+  const Allocation* alloc = map_.find(a);
+  const bool ok = alloc != nullptr && alloc->contains_range(a, size) &&
+                  prot_.check(alloc->id, is_write);
+  if (!ok) {
+    ++stats_.violations;
+    IW_ASSERT_MSG(!cfg_.fatal_violations, "CARAT protection violation");
+  }
+  return ok;
+}
+
+bool CaratRuntime::check_range(Addr base) {
+  ++stats_.range_checks;
+  const Allocation* alloc = map_.find(base);
+  const bool ok = alloc != nullptr;
+  if (!ok) {
+    ++stats_.violations;
+    IW_ASSERT_MSG(!cfg_.fatal_violations, "CARAT range-check violation");
+  }
+  return ok;
+}
+
+void CaratRuntime::write(Addr a, std::int64_t v) { mem_[a] = v; }
+
+std::int64_t CaratRuntime::read(Addr a) const {
+  auto it = mem_.find(a);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+void CaratRuntime::register_escape(Addr slot) { escapes_.insert(slot); }
+void CaratRuntime::unregister_escape(Addr slot) { escapes_.erase(slot); }
+
+void CaratRuntime::protect(Addr base, Perm p) {
+  const Allocation* a = map_.find_base(base);
+  IW_ASSERT_MSG(a != nullptr, "protect of untracked allocation");
+  prot_.set(a->id, p);
+}
+
+bool CaratRuntime::move_allocation(Addr base, Addr new_base) {
+  const Allocation* a = map_.find_base(base);
+  IW_ASSERT_MSG(a != nullptr, "move of untracked allocation");
+  if (new_base == base) return true;
+  const std::uint64_t size = a->size;
+  // Target must not overlap any tracked allocation (except the source).
+  for (Addr w = new_base; w < new_base + size; w += 8) {
+    const Allocation* hit = map_.find(w);
+    if (hit != nullptr && hit->base != base) return false;
+  }
+
+  // Copy contents word-by-word (handles overlapping slide-down moves
+  // because we always move toward lower addresses during defrag; for
+  // general moves, copy through a staging buffer).
+  std::vector<std::pair<Addr, std::int64_t>> staged;
+  staged.reserve(size / 8);
+  for (Addr off = 0; off < size; off += 8) {
+    auto it = mem_.find(base + off);
+    if (it != mem_.end()) {
+      staged.emplace_back(off, it->second);
+      mem_.erase(it);
+    }
+  }
+  for (auto& [off, v] : staged) mem_[new_base + off] = v;
+
+  // Escape slots inside the moved allocation move with it.
+  std::vector<Addr> moved_slots;
+  for (auto it = escapes_.lower_bound(base);
+       it != escapes_.end() && *it < base + size;) {
+    moved_slots.push_back(*it - base);
+    it = escapes_.erase(it);
+  }
+  for (Addr off : moved_slots) escapes_.insert(new_base + off);
+
+  map_.rebase(base, new_base);
+
+  // Patch every escape slot whose *value* pointed into the old range.
+  const std::int64_t delta = static_cast<std::int64_t>(new_base) -
+                             static_cast<std::int64_t>(base);
+  for (Addr slot : escapes_) {
+    auto it = mem_.find(slot);
+    if (it == mem_.end()) continue;
+    const auto p = static_cast<Addr>(it->second);
+    if (p >= base && p < base + size) {
+      it->second += delta;
+      ++stats_.pointers_patched;
+    }
+  }
+
+  ++stats_.moves;
+  stats_.bytes_moved += size;
+  return true;
+}
+
+unsigned CaratRuntime::defragment() {
+  unsigned moved = 0;
+  Addr cursor = cfg_.arena_base;
+  // Address-order slide-down: each allocation moves to the lowest free
+  // position. Snapshot bases first; rebasing mutates the map.
+  std::vector<Addr> bases;
+  for (const auto& [base, a] : map_.entries()) {
+    (void)a;
+    bases.push_back(base);
+  }
+  for (Addr base : bases) {
+    const Allocation* a = map_.find_base(base);
+    IW_ASSERT(a != nullptr);
+    const std::uint64_t size = a->size;
+    if (base != cursor) {
+      const bool ok = move_allocation(base, cursor);
+      IW_ASSERT_MSG(ok, "slide-down move cannot fail");
+      ++moved;
+    }
+    cursor += size;
+  }
+  return moved;
+}
+
+std::uint64_t CaratRuntime::largest_free_hole() const {
+  std::uint64_t largest = 0;
+  Addr cursor = cfg_.arena_base;
+  for (const auto& [base, a] : map_.entries()) {
+    if (base > cursor) largest = std::max(largest, base - cursor);
+    cursor = std::max(cursor, a.base + a.size);
+  }
+  const Addr end = cfg_.arena_base + cfg_.arena_size;
+  if (end > cursor) largest = std::max(largest, end - cursor);
+  return largest;
+}
+
+double CaratRuntime::fragmentation() const {
+  const std::uint64_t free_total =
+      cfg_.arena_size - map_.tracked_bytes();
+  if (free_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_hole()) /
+                   static_cast<double>(free_total);
+}
+
+ir::InterpHooks CaratRuntime::interp_hooks() {
+  ir::InterpHooks h;
+  h.on_alloc = [this](std::uint64_t bytes) -> Addr {
+    auto a = alloc(bytes);
+    IW_ASSERT_MSG(a.has_value(), "CARAT arena exhausted");
+    return *a;
+  };
+  h.on_free = [this](Addr base) { free(base); };
+  h.on_guard = [this](Addr a, std::uint64_t size, bool is_write) {
+    check_access(a, size, is_write);
+  };
+  h.on_guard_range = [this](Addr base) { check_range(base); };
+  return h;
+}
+
+}  // namespace iw::carat

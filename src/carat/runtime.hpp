@@ -1,0 +1,92 @@
+// The CARAT runtime: allocation tracking, guard checking, escape
+// (pointer-slot) registration, object motion, and compaction — the
+// "garbage-collector-like" mobility layer of paper §IV-A, all in
+// physical (simulated) addresses with no paging anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "carat/allocation_map.hpp"
+#include "carat/protection.hpp"
+#include "common/types.hpp"
+#include "ir/interp.hpp"
+
+namespace iw::carat {
+
+struct RuntimeStats {
+  std::uint64_t guard_checks{0};
+  std::uint64_t range_checks{0};
+  std::uint64_t violations{0};
+  std::uint64_t moves{0};
+  std::uint64_t bytes_moved{0};
+  std::uint64_t pointers_patched{0};
+};
+
+struct CaratConfig {
+  Addr arena_base{0x1'0000'0000};
+  std::uint64_t arena_size{1ULL << 24};  // 16 MiB of simulated heap
+  /// Abort (assert) on violation instead of counting.
+  bool fatal_violations{false};
+};
+
+class CaratRuntime {
+ public:
+  explicit CaratRuntime(CaratConfig cfg = {});
+
+  // --- allocation (first-fit arena; byte-granular, movable) ---
+  std::optional<Addr> alloc(std::uint64_t bytes);
+  void free(Addr base);
+
+  // --- guarded memory access (8-byte words) ---
+  bool check_access(Addr a, std::uint64_t size, bool is_write);
+  bool check_range(Addr base);  // hoisted whole-allocation check
+  void write(Addr a, std::int64_t v);
+  [[nodiscard]] std::int64_t read(Addr a) const;
+
+  // --- escapes: memory slots known to hold pointers into tracked
+  // allocations. The compiler registers these; the mover patches them.
+  void register_escape(Addr slot);
+  void unregister_escape(Addr slot);
+
+  // --- protection ---
+  void protect(Addr base, Perm p);
+
+  // --- mobility ---
+  /// Move the allocation at `base` to `new_base` (target range must be
+  /// free); patches every registered escape slot and returns true.
+  bool move_allocation(Addr base, Addr new_base);
+
+  /// Slide all allocations down to the arena base, eliminating external
+  /// fragmentation. Returns the number of allocations moved.
+  unsigned defragment();
+
+  /// Fraction of free arena bytes not in the single largest free hole.
+  [[nodiscard]] double fragmentation() const;
+  [[nodiscard]] std::uint64_t largest_free_hole() const;
+
+  [[nodiscard]] const AllocationMap& allocations() const { return map_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const CaratConfig& config() const { return cfg_; }
+
+  /// Hooks wiring this runtime into the IR interpreter: kAlloc/kFree,
+  /// kGuard/kGuardRange, and an access check that counts (but does not
+  /// block) unguarded/untracked access attempts.
+  ir::InterpHooks interp_hooks();
+
+ private:
+  [[nodiscard]] std::optional<Addr> find_free_range(std::uint64_t bytes) const;
+
+  CaratConfig cfg_;
+  AllocationMap map_;
+  ProtectionTable prot_;
+  RuntimeStats stats_;
+  std::unordered_map<Addr, std::int64_t> mem_;  // 8-byte words
+  std::set<Addr> escapes_;
+};
+
+}  // namespace iw::carat

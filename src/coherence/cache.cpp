@@ -1,0 +1,106 @@
+#include "coherence/cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace iw::coherence {
+
+const char* state_name(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+    case LineState::kIncoherent: return "D";  // deactivated
+  }
+  return "?";
+}
+
+PrivateCache::PrivateCache(CacheConfig cfg) : cfg_(cfg) {
+  IW_ASSERT(cfg.line_size >= 8 && std::has_single_bit(cfg.line_size));
+  IW_ASSERT(cfg.associativity >= 1);
+  num_sets_ = static_cast<unsigned>(
+      cfg.size_bytes / (cfg.line_size * cfg.associativity));
+  IW_ASSERT(num_sets_ >= 1 && std::has_single_bit(num_sets_));
+  lines_.assign(static_cast<std::size_t>(num_sets_) * cfg.associativity,
+                CacheLine{});
+}
+
+std::size_t PrivateCache::set_index(Addr line) const {
+  return static_cast<std::size_t>((line / cfg_.line_size) & (num_sets_ - 1));
+}
+
+CacheLine* PrivateCache::find(Addr addr) {
+  const Addr line = line_addr(addr);
+  const std::size_t base = set_index(line) * cfg_.associativity;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    auto& l = lines_[base + w];
+    if (l.state != LineState::kInvalid && l.tag == line) {
+      l.lru = ++tick_;
+      ++hits_;
+      return &l;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+std::optional<CacheLine> PrivateCache::insert(Addr addr, LineState state,
+                                              std::uint32_t region) {
+  const Addr line = line_addr(addr);
+  const std::size_t base = set_index(line) * cfg_.associativity;
+  // Prefer an invalid way; else evict LRU.
+  std::size_t victim = base;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    auto& l = lines_[base + w];
+    if (l.state == LineState::kInvalid) {
+      victim = base + w;
+      break;
+    }
+    if (l.lru < lines_[victim].lru) victim = base + w;
+  }
+  std::optional<CacheLine> evicted;
+  if (lines_[victim].state != LineState::kInvalid) {
+    evicted = lines_[victim];
+  }
+  lines_[victim] = CacheLine{line, state, ++tick_, region};
+  return evicted;
+}
+
+const CacheLine* PrivateCache::probe(Addr addr) const {
+  const Addr line = line_addr(addr);
+  const std::size_t base = set_index(line) * cfg_.associativity;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    const auto& l = lines_[base + w];
+    if (l.state != LineState::kInvalid && l.tag == line) return &l;
+  }
+  return nullptr;
+}
+
+LineState PrivateCache::invalidate(Addr addr) {
+  const Addr line = line_addr(addr);
+  const std::size_t base = set_index(line) * cfg_.associativity;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    auto& l = lines_[base + w];
+    if (l.state != LineState::kInvalid && l.tag == line) {
+      const LineState prior = l.state;
+      l.state = LineState::kInvalid;
+      return prior;
+    }
+  }
+  return LineState::kInvalid;
+}
+
+std::vector<CacheLine> PrivateCache::lines_in_region(
+    std::uint32_t region) const {
+  std::vector<CacheLine> out;
+  for (const auto& l : lines_) {
+    if (l.state != LineState::kInvalid && l.region == region) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace iw::coherence

@@ -1,0 +1,79 @@
+// Set-associative private cache with per-line MESI (+deactivated) state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::coherence {
+
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+  kIncoherent,  // selective-deactivation extension: untracked by the
+                // directory, owned by exactly one task by construction
+};
+
+[[nodiscard]] const char* state_name(LineState s);
+
+struct CacheLine {
+  Addr tag{0};  // line-aligned address
+  LineState state{LineState::kInvalid};
+  std::uint64_t lru{0};
+  std::uint32_t region{0};
+  bool dirty{false};  // meaningful for kIncoherent (M implies dirty)
+};
+
+struct CacheConfig {
+  std::uint64_t size_bytes{256 * 1024};
+  unsigned associativity{8};
+  unsigned line_size{64};
+};
+
+/// One private cache level (models the combined L1+L2 private hierarchy
+/// of a core: hit costs are charged by the simulator's latency table).
+class PrivateCache {
+ public:
+  explicit PrivateCache(CacheConfig cfg);
+
+  [[nodiscard]] Addr line_addr(Addr a) const {
+    return a & ~static_cast<Addr>(cfg_.line_size - 1);
+  }
+
+  /// Look up a line; returns nullptr on miss. Updates LRU on hit.
+  CacheLine* find(Addr addr);
+
+  /// LRU-neutral const lookup (for invariant checkers / debugging).
+  [[nodiscard]] const CacheLine* probe(Addr addr) const;
+
+  /// Insert (possibly evicting). Returns the evicted line if it was
+  /// valid (caller handles writeback/directory notification).
+  std::optional<CacheLine> insert(Addr addr, LineState state,
+                                  std::uint32_t region);
+
+  /// Invalidate the line if present; returns its prior state.
+  LineState invalidate(Addr addr);
+
+  /// Enumerate valid lines belonging to `region` (for handoff flushes).
+  std::vector<CacheLine> lines_in_region(std::uint32_t region) const;
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  [[nodiscard]] std::size_t set_index(Addr line) const;
+
+  CacheConfig cfg_;
+  unsigned num_sets_;
+  std::vector<CacheLine> lines_;  // num_sets x assoc
+  std::uint64_t tick_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace iw::coherence

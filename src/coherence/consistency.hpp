@@ -1,0 +1,86 @@
+// Memory-consistency cost model: selective fence relaxation (§V-B).
+//
+// "Ordering constraints in consistency models serialize all accesses of
+// a particular type, without selectivity. A fence orders writes that
+// produce data before setting the done flag, but it also orders all
+// other writes the thread issued, even if they are unrelated to the
+// intended use of the fence. Individual writes within a producer's data
+// production subroutine could semantically proceed in any order, yet
+// x86-TSO unnecessarily enforces a total order."
+//
+// Model: a per-core FIFO store buffer draining at a fixed rate toward
+// the memory system. Releases come in two flavors:
+//   * full fence   — stalls until the entire buffer has drained (TSO
+//                    publication);
+//   * selective    — the language/compiler tagged exactly the stores
+//                    that must be ordered before the flag; the fence
+//                    waits only for the newest *tagged* entry, letting
+//                    unrelated stores drain in the shadow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace iw::coherence {
+
+struct StoreBufferConfig {
+  unsigned capacity{56};        // pending stores (x86-class SB depth)
+  Cycles drain_per_store{14};   // cycles to retire one store to L1/LLC
+  Cycles issue_cost{1};
+};
+
+struct ConsistencyStats {
+  std::uint64_t stores{0};
+  std::uint64_t fences{0};
+  Cycles fence_stall_cycles{0};
+  Cycles capacity_stall_cycles{0};
+};
+
+/// One core's store buffer on a virtual timeline the caller advances.
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(StoreBufferConfig cfg) : cfg_(cfg) {}
+
+  /// Issue a store at time `now`; `ordered` marks it as part of the
+  /// data the next selective release must publish. Returns the cycles
+  /// the issuing core stalls (0 unless the buffer is full).
+  Cycles store(Cycles now, bool ordered);
+
+  /// Full fence at `now`: stall until every pending store drained.
+  Cycles full_fence(Cycles now);
+
+  /// Selective release at `now`: stall only until the newest *ordered*
+  /// store has drained; unordered entries keep draining in the shadow.
+  Cycles selective_release(Cycles now);
+
+  [[nodiscard]] std::size_t pending(Cycles now) const;
+  [[nodiscard]] const ConsistencyStats& stats() const { return stats_; }
+
+ private:
+  /// Completion time of the k-th oldest pending entry given FIFO drain.
+  void prune(Cycles now);
+
+  StoreBufferConfig cfg_;
+  ConsistencyStats stats_;
+  // Completion times of pending stores (FIFO drain ordering) plus the
+  // ordered flag per entry.
+  std::deque<std::pair<Cycles, bool>> pending_;
+  Cycles drain_free_at_{0};  // when the drain port is next free
+};
+
+/// Producer/consumer experiment (the paper's example): the producer
+/// writes `data_stores` tagged words interleaved with
+/// `unrelated_stores` untagged words, then publishes a flag. Returns
+/// total publication stall per round for both fence flavors.
+struct FenceExperimentResult {
+  double full_fence_stall{0};
+  double selective_stall{0};
+};
+FenceExperimentResult run_fence_experiment(unsigned data_stores,
+                                           unsigned unrelated_stores,
+                                           unsigned rounds,
+                                           StoreBufferConfig cfg = {});
+
+}  // namespace iw::coherence

@@ -1,0 +1,69 @@
+// Trace format for the coherence simulator.
+//
+// Accesses carry *region* annotations: the high-level language runtime
+// (MPL-style disentanglement, paper §V-B) knows which heap regions are
+// task-private, read-only shared, or truly shared, and that information
+// is what drives selective coherence deactivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::coherence {
+
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// Sharing class, as proven by the language implementation.
+enum class RegionClass : std::uint8_t {
+  kShared,       // true sharing possible: must stay coherent
+  kTaskPrivate,  // disentangled: only one task touches it at a time
+  kReadOnly,     // immutable after publication
+};
+
+struct Region {
+  std::uint32_t id{0};
+  Addr base{0};
+  std::uint64_t size{0};
+  RegionClass cls{RegionClass::kShared};
+  /// Compiler-proven dense sequential stores: every written line is
+  /// fully produced before any consumer reads it, so a deactivated
+  /// write miss may allocate the line without fetching (no RFO, no
+  /// read-for-merge). Another instance of higher-stack knowledge
+  /// steering the hardware.
+  bool streaming_writes{false};
+  std::string name;
+};
+
+struct Access {
+  std::uint32_t core{0};
+  AccessType type{AccessType::kRead};
+  Addr addr{0};
+  std::uint32_t region{0};
+};
+
+/// A handoff marks a disentangled region changing owner (task join /
+/// steal): under deactivation the old owner's incoherent lines must be
+/// flushed before the new owner proceeds.
+struct Handoff {
+  std::uint32_t region{0};
+  std::uint32_t from_core{0};
+  std::uint32_t to_core{0};
+  /// Position in the access stream after which the handoff happens.
+  std::size_t after_access{0};
+};
+
+struct Trace {
+  std::string name;
+  std::vector<Region> regions;
+  std::vector<Access> accesses;
+  std::vector<Handoff> handoffs;
+
+  [[nodiscard]] const Region& region_of(std::uint32_t id) const {
+    return regions[id];
+  }
+};
+
+}  // namespace iw::coherence

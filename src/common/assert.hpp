@@ -1,0 +1,32 @@
+// Internal invariant checking. IW_ASSERT is always on (simulation
+// correctness beats the negligible cost), IW_DCHECK compiles out in
+// release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iw::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "interweave: assertion `%s` failed at %s:%d%s%s\n",
+               expr, file, line, msg && *msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace iw::detail
+
+#define IW_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::iw::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define IW_ASSERT_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::iw::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define IW_DCHECK(expr) ((void)0)
+#else
+#define IW_DCHECK(expr) IW_ASSERT(expr)
+#endif

@@ -1,0 +1,106 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace iw {
+
+LatencyHistogram::LatencyHistogram(unsigned sub_buckets) : sub_(sub_buckets) {
+  IW_ASSERT_MSG(sub_buckets >= 1 && std::has_single_bit(sub_buckets),
+                "sub_buckets must be a power of two");
+  sub_shift_ = static_cast<unsigned>(std::countr_zero(sub_buckets));
+  // 64 octaves x sub buckets covers the full uint64 range.
+  counts_.assign(static_cast<std::size_t>(64) * sub_, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) const {
+  if (v < sub_) return static_cast<std::size_t>(v);  // exact small values
+  const unsigned octave = 63 - static_cast<unsigned>(std::countl_zero(v));
+  // Position within the octave, scaled to sub_ subdivisions.
+  const unsigned pos =
+      static_cast<unsigned>((v - (std::uint64_t{1} << octave)) >>
+                            (octave > sub_shift_ ? octave - sub_shift_ : 0)) &
+      (sub_ - 1);
+  std::size_t idx = static_cast<std::size_t>(octave) * sub_ + pos;
+  return std::min(idx, counts_.size() - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t idx) const {
+  const std::size_t octave = idx / sub_;
+  const std::size_t pos = idx % sub_;
+  if (octave == 0) return pos;  // exact
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  const std::uint64_t step =
+      octave > sub_shift_ ? (std::uint64_t{1} << (octave - sub_shift_)) : 1;
+  return base + step * (pos + 1) - 1;
+}
+
+void LatencyHistogram::add(std::uint64_t value, std::uint64_t count) {
+  counts_[bucket_index(value)] += count;
+  total_count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  IW_ASSERT(sub_ == other.sub_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::uint64_t LatencyHistogram::min() const { return total_count_ ? min_ : 0; }
+std::uint64_t LatencyHistogram::max() const { return max_; }
+
+double LatencyHistogram::mean() const {
+  return total_count_ ? sum_ / static_cast<double>(total_count_) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::value_at_percentile(double p) const {
+  if (total_count_ == 0) return 0;
+  IW_ASSERT(p > 0.0 && p <= 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(total_count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) return bucket_upper_bound(i);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::render(unsigned width) const {
+  std::string out;
+  if (total_count_ == 0) return "  (empty)\n";
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  char line[192];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<unsigned>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+    std::snprintf(line, sizeof(line), "  <= %12llu : %-10llu ",
+                  static_cast<unsigned long long>(bucket_upper_bound(i)),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iw

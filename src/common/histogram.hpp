@@ -1,0 +1,46 @@
+// Log-bucketed histogram for latency distributions (cycles or ns).
+// Buckets are powers of two with `sub` linear subdivisions per octave,
+// HdrHistogram-style but minimal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iw {
+
+class LatencyHistogram {
+ public:
+  /// `sub_buckets` linear subdivisions per power-of-two octave.
+  explicit LatencyHistogram(unsigned sub_buckets = 8);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return total_count_; }
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Value at percentile p (0..100]; returns bucket upper bound.
+  [[nodiscard]] std::uint64_t value_at_percentile(double p) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  [[nodiscard]] std::string render(unsigned width = 50) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::uint64_t v) const;
+  [[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t idx) const;
+
+  unsigned sub_;
+  unsigned sub_shift_;  // log2(sub_)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_count_{0};
+  std::uint64_t min_{~std::uint64_t{0}};
+  std::uint64_t max_{0};
+  double sum_{0.0};
+};
+
+}  // namespace iw

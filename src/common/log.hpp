@@ -1,0 +1,22 @@
+// Minimal leveled logging. Defaults to warnings-only so simulations stay
+// quiet in tests and benches; examples raise the level for narration.
+#pragma once
+
+#include <cstdarg>
+
+namespace iw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace iw
+
+#define IW_LOG_DEBUG(...) ::iw::logf(::iw::LogLevel::kDebug, __VA_ARGS__)
+#define IW_LOG_INFO(...) ::iw::logf(::iw::LogLevel::kInfo, __VA_ARGS__)
+#define IW_LOG_WARN(...) ::iw::logf(::iw::LogLevel::kWarn, __VA_ARGS__)
+#define IW_LOG_ERROR(...) ::iw::logf(::iw::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,59 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic element of the simulation (scheduler jitter, signal
+// latency tails, workload irregularity) draws from an explicitly seeded
+// Rng so that every figure in EXPERIMENTS.md is bit-reproducible.
+// The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace iw {
+
+/// splitmix64 step; used for seeding and as a cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Not thread-safe; use one per simulated entity.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal such that the *median* of the result is `median` and the
+  /// spread parameter is `sigma` (sigma of the underlying normal).
+  double lognormal_median(double median, double sigma);
+
+  /// Bounded Pareto-style heavy tail: median `median`, shape `alpha` > 0,
+  /// capped at `cap`. Used for OS noise (signal latency tails).
+  double heavy_tail(double median, double alpha, double cap);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derive an independent child stream (for per-core RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace iw

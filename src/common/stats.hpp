@@ -1,0 +1,47 @@
+// Summary statistics used by the benchmark harnesses: means, geometric
+// means (the paper reports geomeans), percentiles, and an online
+// (Welford) accumulator for long-running simulations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iw {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  // requires all xs > 0
+double stddev(std::span<const double> xs);   // sample stddev (n-1)
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Coefficient of variation (stddev / mean); 0 for n < 2 or mean == 0.
+double cv(std::span<const double> xs);
+
+/// Numerically stable online mean/variance/min/max accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+}  // namespace iw

@@ -1,0 +1,45 @@
+// Fundamental quantity types shared by every interweave subsystem.
+//
+// All simulated time in the project is kept in *cycles* of a per-machine
+// reference clock. Conversions to wall-clock units go through a frequency
+// so each figure can state its machine preset (KNL-like vs Xeon-like).
+#pragma once
+
+#include <cstdint>
+
+namespace iw {
+
+/// Virtual time, in cycles of the machine's reference clock.
+using Cycles = std::uint64_t;
+
+/// Signed cycle delta, for differences that may be negative.
+using CycleDelta = std::int64_t;
+
+/// A simulated physical/virtual address (single address space).
+using Addr = std::uint64_t;
+
+/// Core / CPU identifier inside a simulated machine.
+using CoreId = std::uint32_t;
+
+/// Frequency descriptor used to convert cycles <-> nanoseconds.
+struct ClockFreq {
+  double ghz{1.0};
+
+  [[nodiscard]] constexpr double cycles_to_ns(Cycles c) const {
+    return static_cast<double>(c) / ghz;
+  }
+  [[nodiscard]] constexpr double cycles_to_us(Cycles c) const {
+    return cycles_to_ns(c) / 1000.0;
+  }
+  [[nodiscard]] constexpr Cycles ns_to_cycles(double ns) const {
+    return static_cast<Cycles>(ns * ghz + 0.5);
+  }
+  [[nodiscard]] constexpr Cycles us_to_cycles(double us) const {
+    return ns_to_cycles(us * 1000.0);
+  }
+};
+
+/// Sentinel for "no time" / "never".
+inline constexpr Cycles kNever = ~Cycles{0};
+
+}  // namespace iw

@@ -1,0 +1,116 @@
+// Heartbeat delivery backends (paper Fig. 2).
+//
+// Nautilus path (left):  LAPIC timer fires on CPU 0 -> IPI broadcast ->
+// per-CPU interrupt handlers set the worker's promotion flag. Cycle-
+// exact cadence, sub-µs delivery, cost = one interrupt dispatch.
+//
+// Linux path (right): a POSIX timer expires (with hrtimer floor+slack)
+// and signals must carry the event to every worker — either relayed by a
+// master thread (one tgkill per worker, serialized on the master) or via
+// per-thread timers (kernel expiry work on every CPU). Delivery is µs-
+// scale, heavy-tailed, and "unsteady" — the figure's word for it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "hwsim/lapic.hpp"
+#include "hwsim/machine.hpp"
+#include "linuxmodel/signals.hpp"
+#include "linuxmodel/timers.hpp"
+
+namespace iw::heartbeat {
+
+/// Per-worker delivery bookkeeping shared by both backends.
+struct BeatState {
+  bool pending{false};
+  std::uint64_t delivered{0};
+  Cycles last_delivery{0};
+  OnlineStats interbeat;  // gaps between deliveries (cycles)
+};
+
+class HeartbeatBackend {
+ public:
+  virtual ~HeartbeatBackend() = default;
+
+  /// Begin delivering beats with the given target period to workers on
+  /// cores [0, num_workers).
+  virtual void start(Cycles period, unsigned num_workers) = 0;
+  virtual void stop() = 0;
+
+  /// Worker-side poll at a compiler-inserted point: consumes a pending
+  /// beat. Returns true if one was pending.
+  bool poll(CoreId core) {
+    auto& s = states_[core];
+    if (!s.pending) return false;
+    s.pending = false;
+    return true;
+  }
+
+  [[nodiscard]] const BeatState& state(CoreId core) const {
+    return states_[core];
+  }
+  [[nodiscard]] const std::vector<BeatState>& states() const {
+    return states_;
+  }
+
+  /// Beats delivered per virtual second on `core` between first and
+  /// last delivery (0 if fewer than 2 beats).
+  [[nodiscard]] double delivered_rate_hz(CoreId core, ClockFreq freq) const;
+
+  /// Coefficient of variation of inter-beat gaps on `core`.
+  [[nodiscard]] double jitter_cv(CoreId core) const;
+
+ protected:
+  void mark_delivery(CoreId core, Cycles now) {
+    auto& s = states_[core];
+    s.pending = true;
+    ++s.delivered;
+    if (s.last_delivery != 0) {
+      s.interbeat.add(static_cast<double>(now - s.last_delivery));
+    }
+    s.last_delivery = now;
+  }
+
+  std::vector<BeatState> states_;
+};
+
+/// Nautilus: LAPIC on CPU 0, IPI broadcast to workers (Fig. 2 left).
+class NautilusHeartbeat final : public HeartbeatBackend {
+ public:
+  explicit NautilusHeartbeat(hwsim::Machine& machine, int vector = 0x40);
+  void start(Cycles period, unsigned num_workers) override;
+  void stop() override;
+
+ private:
+  hwsim::Machine& machine_;
+  int vector_;
+  unsigned num_workers_{0};
+  std::unique_ptr<hwsim::LapicTimer> timer_;
+};
+
+enum class LinuxHeartbeatMode {
+  kRelay,           // master thread tgkills every worker per beat
+  kPerThreadTimer,  // one POSIX timer per worker CPU
+};
+
+/// Linux: POSIX timers + signal delivery (Fig. 2 right).
+class LinuxHeartbeat final : public HeartbeatBackend {
+ public:
+  LinuxHeartbeat(linuxmodel::LinuxStack& stack, LinuxHeartbeatMode mode);
+  void start(Cycles period, unsigned num_workers) override;
+  void stop() override;
+
+  [[nodiscard]] linuxmodel::SignalPath& signals() { return signals_; }
+
+ private:
+  linuxmodel::LinuxStack& stack_;
+  LinuxHeartbeatMode mode_;
+  linuxmodel::SignalPath signals_;
+  std::vector<std::unique_ptr<linuxmodel::PosixTimer>> timers_;
+};
+
+}  // namespace iw::heartbeat

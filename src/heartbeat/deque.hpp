@@ -1,0 +1,57 @@
+// Work-stealing deque of iteration ranges for the TPAL runtime.
+// Owner pushes/pops at the bottom; thieves steal from the top. In the
+// simulated machine all operations happen in global virtual-time order,
+// so a plain deque models the Chase-Lev structure's behavior.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace iw::heartbeat {
+
+/// Half-open iteration range [lo, hi).
+struct Range {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+
+  [[nodiscard]] std::uint64_t size() const { return hi - lo; }
+  [[nodiscard]] bool empty() const { return lo >= hi; }
+
+  /// Split off the upper half; this range keeps the lower half.
+  Range split() {
+    const std::uint64_t mid = lo + size() / 2;
+    Range upper{mid, hi};
+    hi = mid;
+    return upper;
+  }
+};
+
+class WorkDeque {
+ public:
+  void push_bottom(Range r) {
+    if (!r.empty()) dq_.push_back(r);
+  }
+  std::optional<Range> pop_bottom() {
+    if (dq_.empty()) return std::nullopt;
+    Range r = dq_.back();
+    dq_.pop_back();
+    return r;
+  }
+  std::optional<Range> steal_top() {
+    if (dq_.empty()) return std::nullopt;
+    Range r = dq_.front();
+    dq_.pop_front();
+    ++steals_;
+    return r;
+  }
+  [[nodiscard]] bool empty() const { return dq_.empty(); }
+  [[nodiscard]] std::size_t size() const { return dq_.size(); }
+  [[nodiscard]] std::uint64_t steals() const { return steals_; }
+
+ private:
+  std::deque<Range> dq_;
+  std::uint64_t steals_{0};
+};
+
+}  // namespace iw::heartbeat

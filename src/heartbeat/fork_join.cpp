@@ -1,0 +1,225 @@
+#include "heartbeat/fork_join.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::heartbeat {
+
+ForkJoinTpal::ForkJoinTpal(nautilus::Kernel& kernel, ForkJoinConfig cfg,
+                           HeartbeatBackend* backend)
+    : kernel_(kernel), cfg_(cfg), backend_(backend) {
+  IW_ASSERT(cfg.num_workers >= 1);
+  IW_ASSERT(cfg.num_workers <= kernel.machine().num_cores());
+  IW_ASSERT(cfg.tree_depth >= 1 && cfg.tree_depth < 40);
+  workers_.resize(cfg.num_workers);
+}
+
+ForkJoinTpal::~ForkJoinTpal() = default;
+
+bool ForkJoinTpal::promote(Worker& w) {
+  if (!w.spine) return false;
+  // Oldest eligible fork: the shallowest frame whose right child has
+  // not started and is big enough to be worth promoting.
+  for (auto& f : w.spine->frames) {
+    if (f.st == Frame::St::kRight && f.promoted == nullptr &&
+        f.depth - 1 >= cfg_.min_promote_depth) {
+      joins_.push_back(std::make_unique<Join>());
+      Join* j = joins_.back().get();
+      f.promoted = j;
+      f.st = Frame::St::kCombining;  // right no longer pending locally
+      w.deque.push_back(TaskDesc{f.depth - 1, j});
+      ++w.promotions;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<ForkJoinTpal::Spine> ForkJoinTpal::complete_task(
+    Worker& w, std::uint64_t result, Join* join, Cycles& charge) {
+  if (join == nullptr) {
+    root_result_ = result;
+    root_done_ = true;
+    return nullptr;
+  }
+  if (join->parked) {
+    // The owner parked at this join: adopt the continuation.
+    charge += cfg_.resume_cost;
+    ++w.resumes;
+    auto spine = std::move(join->parked);
+    Frame& waiter = spine->frames.back();
+    IW_ASSERT(waiter.promoted == join);
+    waiter.acc += result;
+    waiter.promoted = nullptr;  // resolved
+    return spine;
+  }
+  join->child_done = true;
+  join->child_result = result;
+  return nullptr;
+}
+
+Cycles ForkJoinTpal::run_chunk(Worker& w) {
+  Cycles charge = 0;
+  for (std::uint64_t visits = 0; visits < cfg_.chunk && w.spine;
+       ++visits) {
+    auto& frames = w.spine->frames;
+    IW_ASSERT(!frames.empty());
+    Frame& f = frames.back();
+
+    if (f.depth == 0) {
+      // Leaf: contributes 1 to the sum.
+      charge += cfg_.leaf_cycles;
+      w.work_cycles += cfg_.leaf_cycles;
+      const std::uint64_t leaf_result = 1;
+      frames.pop_back();
+      if (frames.empty()) {
+        auto resumed = complete_task(w, leaf_result,
+                                     w.spine->parent_join, charge);
+        w.spine = std::move(resumed);
+      } else {
+        frames.back().acc += leaf_result;
+      }
+      continue;
+    }
+
+    charge += cfg_.node_cycles;
+    w.work_cycles += cfg_.node_cycles;
+    switch (f.st) {
+      case Frame::St::kLeft:
+        f.st = Frame::St::kRight;
+        frames.push_back(Frame{f.depth - 1, 0, Frame::St::kLeft, nullptr});
+        break;
+      case Frame::St::kRight:
+        f.st = Frame::St::kCombining;
+        frames.push_back(Frame{f.depth - 1, 0, Frame::St::kLeft, nullptr});
+        break;
+      case Frame::St::kCombining: {
+        if (f.promoted != nullptr) {
+          if (f.promoted->child_done) {
+            f.acc += f.promoted->child_result;
+            f.promoted = nullptr;
+          } else {
+            // Park the whole spine in the join and go steal.
+            charge += cfg_.park_cost;
+            w.overhead_cycles += cfg_.park_cost;
+            ++w.parks;
+            Join* j = f.promoted;
+            j->parked = std::move(w.spine);
+            w.spine = nullptr;
+            break;
+          }
+        }
+        if (w.spine == nullptr) break;
+        const std::uint64_t sub = f.acc;
+        frames.pop_back();
+        if (frames.empty()) {
+          auto resumed =
+              complete_task(w, sub, w.spine->parent_join, charge);
+          w.spine = std::move(resumed);
+        } else {
+          frames.back().acc += sub;
+        }
+        break;
+      }
+    }
+  }
+  return charge;
+}
+
+nautilus::StepResult ForkJoinTpal::worker_step(
+    unsigned wid, nautilus::ThreadContext& ctx) {
+  Worker& w = workers_[wid];
+  Cycles charge = 0;
+
+  if (root_done_) {
+    w.done = true;
+    return nautilus::StepResult::done(1);
+  }
+
+  if (!w.spine) {
+    // Acquire: own deque first, then steal.
+    TaskDesc task{};
+    bool got = false;
+    if (!w.deque.empty()) {
+      task = w.deque.back();
+      w.deque.pop_back();
+      got = true;
+    } else {
+      const unsigned victim = static_cast<unsigned>(
+          steal_rng_.uniform(0, cfg_.num_workers - 1));
+      charge += cfg_.steal_cost;
+      w.overhead_cycles += cfg_.steal_cost;
+      if (victim != wid && !workers_[victim].deque.empty()) {
+        task = workers_[victim].deque.front();
+        workers_[victim].deque.pop_front();
+        ++w.steals;
+        got = true;
+      }
+    }
+    if (!got) {
+      return nautilus::StepResult::cont(std::max<Cycles>(charge, 1));
+    }
+    w.spine = std::make_unique<Spine>();
+    w.spine->parent_join = task.parent_join;
+    w.spine->frames.push_back(
+        Frame{task.depth, 0, Frame::St::kLeft, nullptr});
+  }
+
+  charge += run_chunk(w);
+
+  // Compiler-inserted poll at the chunk boundary.
+  charge += cfg_.poll_cost;
+  w.overhead_cycles += cfg_.poll_cost;
+  if (backend_ != nullptr && backend_->poll(ctx.core.id())) {
+    if (promote(w)) {
+      charge += cfg_.promotion_cost;
+      w.overhead_cycles += cfg_.promotion_cost;
+    }
+  }
+  return nautilus::StepResult::cont(std::max<Cycles>(charge, 1));
+}
+
+ForkJoinResult ForkJoinTpal::run() {
+  // Worker 0 owns the root task.
+  workers_[0].deque.push_back(TaskDesc{cfg_.tree_depth, nullptr});
+
+  if (backend_ != nullptr && cfg_.heartbeat_period != 0) {
+    backend_->start(cfg_.heartbeat_period, cfg_.num_workers);
+  }
+  for (unsigned wid = 0; wid < cfg_.num_workers; ++wid) {
+    nautilus::ThreadConfig tc;
+    tc.name = "fj-worker" + std::to_string(wid);
+    tc.bound_core = wid;
+    tc.body = [this, wid](nautilus::ThreadContext& ctx) {
+      return worker_step(wid, ctx);
+    };
+    kernel_.spawn(std::move(tc));
+  }
+  auto& machine = kernel_.machine();
+  bool ok = machine.run([this] { return root_done_; });
+  IW_ASSERT_MSG(ok, "fork-join run hit machine watchdog");
+  if (backend_ != nullptr) backend_->stop();
+  ok = machine.run([this] {
+    return std::all_of(workers_.begin(), workers_.end(),
+                       [](const Worker& w) { return w.done; });
+  });
+  IW_ASSERT(ok);
+
+  ForkJoinResult res;
+  res.result = root_result_;
+  for (unsigned c = 0; c < cfg_.num_workers; ++c) {
+    res.makespan = std::max(res.makespan, machine.core(c).clock());
+  }
+  for (const auto& w : workers_) {
+    res.promotions += w.promotions;
+    res.steals += w.steals;
+    res.parks += w.parks;
+    res.resumes += w.resumes;
+    res.work_cycles += w.work_cycles;
+    res.overhead_cycles += w.overhead_cycles;
+  }
+  return res;
+}
+
+}  // namespace iw::heartbeat

@@ -1,0 +1,138 @@
+// Heartbeat scheduling over recursive fork-join programs (paper §IV-B):
+// "Heartbeat scheduling is a recently proposed technique for scheduling
+// recursively parallel task-based programs within a work-stealing
+// model... the programmer exposes all available parallelism... The
+// runtime system dynamically promotes sequential code to the parallel
+// variants as needed."
+//
+// The program: a balanced binary tree-sum of depth D (2^D leaves). Each
+// worker runs the *sequential* variant — a depth-first traversal with
+// an explicit frame stack. On a heartbeat, the worker promotes the
+// OLDEST unpromoted fork point on its spine: the right subtree becomes
+// a stealable task with a join node, exactly one promotion per beat —
+// parallelism materializes at heartbeat rate, which is what bounds the
+// scheduling overhead.
+//
+// Joins use continuation parking: a worker that reaches a join whose
+// promoted child is still outstanding parks its remaining spine in the
+// join and goes stealing; whoever finishes the child adopts the parked
+// spine and resumes the ascent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "heartbeat/delivery.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace iw::heartbeat {
+
+struct ForkJoinConfig {
+  unsigned num_workers{8};
+  unsigned tree_depth{18};      // 2^18 leaves
+  Cycles leaf_cycles{60};
+  Cycles node_cycles{8};        // visit cost of an internal node
+  std::uint64_t chunk{64};      // node visits between compiler polls
+  Cycles poll_cost{3};
+  Cycles promotion_cost{260};   // join alloc + deque publish
+  Cycles steal_cost{450};
+  Cycles park_cost{180};        // spine capture at an unresolved join
+  Cycles resume_cost{120};      // continuation adoption
+  /// Heartbeat period (0 = no promotion: pure serial execution).
+  Cycles heartbeat_period{0};
+  /// Don't promote forks below this subtree depth (grain control).
+  unsigned min_promote_depth{6};
+};
+
+struct ForkJoinResult {
+  Cycles makespan{0};
+  std::uint64_t result{0};  // must equal 2^tree_depth (leaf count)
+  std::uint64_t promotions{0};
+  std::uint64_t steals{0};
+  std::uint64_t parks{0};
+  std::uint64_t resumes{0};
+  Cycles work_cycles{0};
+  Cycles overhead_cycles{0};
+};
+
+class ForkJoinTpal {
+ public:
+  ForkJoinTpal(nautilus::Kernel& kernel, ForkJoinConfig cfg,
+               HeartbeatBackend* backend);
+  ~ForkJoinTpal();
+
+  ForkJoinResult run();
+
+ private:
+  struct Join;
+
+  /// One DFS frame: an internal node mid-traversal.
+  struct Frame {
+    unsigned depth{0};
+    std::uint64_t acc{0};
+    enum class St : std::uint8_t {
+      kLeft,       // about to descend left
+      kRight,      // left running/done; right not yet started locally
+      kCombining,  // both sides accounted for (or right promoted)
+    } st{St::kLeft};
+    Join* promoted{nullptr};  // non-null if the right child was promoted
+  };
+
+  /// A parked continuation: the spine from the task root down to (and
+  /// including) the frame waiting on the join.
+  struct Spine {
+    std::vector<Frame> frames;
+    Join* parent_join{nullptr};  // where this task's result goes
+  };
+
+  struct Join {
+    bool child_done{false};
+    std::uint64_t child_result{0};
+    std::unique_ptr<Spine> parked;  // set if the owner reached the join
+  };
+
+  /// A stealable subtree task.
+  struct TaskDesc {
+    unsigned depth{0};
+    Join* parent_join{nullptr};  // null = the root task
+  };
+
+  struct Worker {
+    std::deque<TaskDesc> deque;  // published (promoted) subtrees
+    std::unique_ptr<Spine> spine;  // current task's DFS state
+    std::uint64_t promotions{0};
+    std::uint64_t parks{0};
+    std::uint64_t resumes{0};
+    std::uint64_t steals{0};
+    Cycles work_cycles{0};
+    Cycles overhead_cycles{0};
+    bool done{false};
+  };
+
+  nautilus::StepResult worker_step(unsigned wid,
+                                   nautilus::ThreadContext& ctx);
+  /// Execute up to cfg_.chunk node visits; returns cycles consumed.
+  Cycles run_chunk(Worker& w);
+  /// Promote the oldest eligible fork on the spine; returns true if one
+  /// was promoted.
+  bool promote(Worker& w);
+  /// Deliver a completed task's result; may hand back a parked spine to
+  /// resume (returned), or record the result in the join.
+  std::unique_ptr<Spine> complete_task(Worker& w, std::uint64_t result,
+                                       Join* join, Cycles& charge);
+
+  nautilus::Kernel& kernel_;
+  ForkJoinConfig cfg_;
+  HeartbeatBackend* backend_;
+  std::vector<Worker> workers_;
+  std::vector<std::unique_ptr<Join>> joins_;  // ownership pool
+  std::uint64_t root_result_{0};
+  bool root_done_{false};
+  Rng steal_rng_{0xf02c};
+};
+
+}  // namespace iw::heartbeat

@@ -1,0 +1,98 @@
+#include "hwsim/core.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::hwsim {
+
+Core::Core(Machine& machine, CoreId id)
+    : machine_(machine), id_(id), vector_table_(256) {}
+
+const CostModel& Core::costs() const { return machine_.costs(); }
+
+void Core::set_irq_handler(int vector, IrqHandler handler) {
+  IW_ASSERT(vector >= 0 && vector < 256);
+  vector_table_[static_cast<std::size_t>(vector)] = std::move(handler);
+}
+
+void Core::set_interrupts_enabled(bool enabled) { irq_enabled_ = enabled; }
+
+void Core::post_irq(Cycles t, int vector) {
+  Event ev;
+  ev.time = t;
+  ev.seq = machine_.next_seq();
+  ev.kind = EventKind::kIrq;
+  ev.vector = vector;
+  irq_inbox_.push(std::move(ev));
+}
+
+void Core::post_callback(Cycles t, std::function<void()> fn) {
+  Event ev;
+  ev.time = t;
+  ev.seq = machine_.next_seq();
+  ev.kind = EventKind::kCallback;
+  ev.fn = std::move(fn);
+  callback_inbox_.push(std::move(ev));
+}
+
+unsigned Core::deliver_due_events() {
+  unsigned delivered = 0;
+  for (;;) {
+    const Cycles cb_t = callback_inbox_.peek_time();
+    const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
+    const Cycles t = std::min(cb_t, irq_t);
+    if (t > clock_) break;
+    if (cb_t <= irq_t) {
+      Event ev = callback_inbox_.pop();
+      ev.fn();
+      ++delivered;
+      continue;
+    }
+    Event ev = irq_inbox_.pop();
+    const CostModel& cm = costs();
+    const Cycles start = clock_;
+    consume(cm.interrupt_dispatch);
+    auto& handler = vector_table_[static_cast<std::size_t>(ev.vector)];
+    if (handler) handler(*this, ev.vector);
+    consume(cm.interrupt_return);
+    irq_overhead_ += clock_ - start;
+    ++irqs_delivered_;
+    ++delivered;
+  }
+  return delivered;
+}
+
+bool Core::runnable() { return driver_ != nullptr && driver_->runnable(*this); }
+
+Cycles Core::next_action_time() {
+  if (runnable()) return clock_;
+  const Cycles cb_t = callback_inbox_.peek_time();
+  const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
+  const Cycles t = std::min(cb_t, irq_t);
+  if (t == kNever) return kNever;
+  return std::max(t, clock_);
+}
+
+void Core::advance() {
+  ++steps_;
+  if (!runnable()) {
+    // Idle: jump to the next deliverable event (HLT wake-up).
+    const Cycles cb_t = callback_inbox_.peek_time();
+    const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
+    const Cycles t = std::min(cb_t, irq_t);
+    IW_ASSERT_MSG(t != kNever, "idle core advanced with no pending events");
+    advance_to(t);
+    deliver_due_events();
+    return;
+  }
+  deliver_due_events();
+  if (runnable()) {
+    const Cycles before = clock_;
+    driver_->step(*this);
+    IW_ASSERT_MSG(clock_ > before, "driver step must consume cycles");
+  }
+}
+
+}  // namespace iw::hwsim

@@ -1,0 +1,121 @@
+// A simulated CPU core: a local virtual-cycle clock, an interrupt
+// controller front-end (vector table + pending queues), and a pluggable
+// CoreDriver that supplies the work the core executes.
+//
+// Execution model: the machine's DES loop always advances the core whose
+// next action has the globally smallest timestamp, so shared state is
+// always touched in nondecreasing virtual-time order. Drivers execute in
+// *steps*; interrupts are recognized at step boundaries (exactly the
+// "check placement granularity" story that Figs. 3 and 4 are about).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hwsim/cost_model.hpp"
+#include "hwsim/event_queue.hpp"
+
+namespace iw::hwsim {
+
+class Machine;
+class Core;
+
+/// Interrupt handler: called with the core at the time of dispatch.
+using IrqHandler = std::function<void(Core&, int vector)>;
+
+/// Supplies work for a core. Implemented by the kernel substrates
+/// (nautilus::Kernel, linuxmodel::LinuxStack).
+class CoreDriver {
+ public:
+  virtual ~CoreDriver() = default;
+
+  /// Does this core have runnable work right now?
+  virtual bool runnable(Core& core) = 0;
+
+  /// Execute one step; must advance core.clock() by at least one cycle
+  /// (enforced by the machine loop to guarantee progress).
+  virtual void step(Core& core) = 0;
+};
+
+class Core {
+ public:
+  Core(Machine& machine, CoreId id);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  [[nodiscard]] CoreId id() const { return id_; }
+  [[nodiscard]] Cycles clock() const { return clock_; }
+  [[nodiscard]] Machine& machine() { return machine_; }
+  [[nodiscard]] const CostModel& costs() const;
+
+  /// Consume `c` cycles of execution time.
+  void consume(Cycles c) { clock_ += c; }
+
+  /// Move the clock forward to `t` (no-op if already past it).
+  void advance_to(Cycles t) {
+    if (t > clock_) clock_ = t;
+  }
+
+  // --- interrupt controller front-end ---
+
+  void set_irq_handler(int vector, IrqHandler handler);
+  void set_interrupts_enabled(bool enabled);
+  [[nodiscard]] bool interrupts_enabled() const { return irq_enabled_; }
+
+  /// Post an IRQ to arrive at absolute time `t` (called by machine/LAPIC).
+  void post_irq(Cycles t, int vector);
+
+  /// Post a core-local callback at absolute time `t` (used by device
+  /// models and timers that must run on this core's timeline; callbacks
+  /// are machine-internal and ignore the interrupt mask).
+  void post_callback(Cycles t, std::function<void()> fn);
+
+  [[nodiscard]] std::uint64_t pending_irqs() const { return irq_inbox_.size(); }
+
+  /// Deliver all events due at or before the current clock: callbacks
+  /// unconditionally, IRQs only while interrupts are enabled. Each IRQ
+  /// pays dispatch + return costs from the cost model.
+  unsigned deliver_due_events();
+
+  // --- driver ---
+
+  void set_driver(CoreDriver* driver) { driver_ = driver; }
+  [[nodiscard]] CoreDriver* driver() const { return driver_; }
+
+  /// True if the driver reports runnable work.
+  [[nodiscard]] bool runnable();
+
+  /// Next time this core needs the machine loop's attention:
+  ///  - its own clock if runnable,
+  ///  - else the earliest *deliverable* inbox event time,
+  ///  - kNever if idle with nothing deliverable.
+  [[nodiscard]] Cycles next_action_time();
+
+  /// Execute one advance: deliver due events, then run one driver step
+  /// (or jump the clock to the next event if idle).
+  void advance();
+
+  // --- accounting ---
+  [[nodiscard]] std::uint64_t irqs_delivered() const { return irqs_delivered_; }
+  [[nodiscard]] Cycles irq_overhead_cycles() const { return irq_overhead_; }
+  [[nodiscard]] std::uint64_t steps_executed() const { return steps_; }
+
+ private:
+  Machine& machine_;
+  CoreId id_;
+  Cycles clock_{0};
+  bool irq_enabled_{true};
+  EventQueue irq_inbox_;
+  EventQueue callback_inbox_;
+  std::vector<IrqHandler> vector_table_;
+  CoreDriver* driver_{nullptr};
+
+  std::uint64_t irqs_delivered_{0};
+  Cycles irq_overhead_{0};
+  std::uint64_t steps_{0};
+};
+
+}  // namespace iw::hwsim

@@ -1,0 +1,89 @@
+#include "hwsim/cost_model.hpp"
+
+namespace iw::hwsim {
+
+CostModel CostModel::knl() {
+  CostModel m;
+  m.freq = ClockFreq{1.4};
+  m.interrupt_dispatch = 1100;
+  m.interrupt_return = 680;
+  m.ipi_send = 130;
+  m.ipi_latency = 600;
+  m.lapic_program = 70;
+  m.gpr_save = 110;
+  m.gpr_restore = 110;
+  m.fp_save = 420;  // AVX-512 state on KNL is particularly expensive
+  m.fp_restore = 420;
+  m.cache_hit = 4;
+  m.cache_miss_local = 230;
+  m.cache_miss_remote = 230;  // KNL: flat MCDRAM-backed node
+  m.tlb_miss_walk = 150;
+  m.cache_line_transfer = 120;
+  m.mmio_read = 260;
+  m.mmio_write = 180;
+  m.atomic_rmw = 60;
+  m.call_overhead = 8;
+  return m;
+}
+
+CostModel CostModel::xeon() {
+  CostModel m;
+  m.freq = ClockFreq{3.3};
+  m.interrupt_dispatch = 950;
+  m.interrupt_return = 590;
+  m.ipi_send = 110;
+  m.ipi_latency = 500;
+  m.lapic_program = 50;
+  m.gpr_save = 80;
+  m.gpr_restore = 80;
+  m.fp_save = 320;
+  m.fp_restore = 320;
+  m.cache_hit = 4;
+  m.cache_miss_local = 170;
+  m.cache_miss_remote = 310;
+  m.tlb_miss_walk = 120;
+  m.cache_line_transfer = 80;
+  m.mmio_read = 200;
+  m.mmio_write = 140;
+  m.atomic_rmw = 40;
+  m.call_overhead = 6;
+  return m;
+}
+
+CostModel CostModel::xeon8s() {
+  CostModel m = CostModel::xeon();
+  m.freq = ClockFreq{2.4};        // high-core-count parts clock lower
+  m.cache_miss_remote = 420;      // multi-hop UPI
+  m.ipi_latency = 900;            // cross-fabric interrupt delivery
+  m.cache_line_transfer = 140;
+  return m;
+}
+
+CostModel CostModel::riscv_openpiton() {
+  CostModel m;
+  m.freq = ClockFreq{0.8};  // OpenPiton FPGA/ASIC-class clocks
+  // RISC-V trap entry is a handful of CSR writes + vectored jump: far
+  // cheaper than x64's microcoded dispatch — which also means the
+  // *relative* win of branch-injected interrupts shrinks on this core.
+  m.interrupt_dispatch = 140;
+  m.interrupt_return = 90;   // mret
+  m.ipi_send = 60;           // CLINT MSIP write
+  m.ipi_latency = 300;
+  m.lapic_program = 40;      // CLINT mtimecmp write
+  m.gpr_save = 64;           // 32 GPRs, simple stores
+  m.gpr_restore = 64;
+  m.fp_save = 96;            // F/D state is small next to AVX-512
+  m.fp_restore = 96;
+  m.cache_hit = 2;
+  m.cache_miss_local = 120;
+  m.cache_miss_remote = 120;
+  m.tlb_miss_walk = 90;      // SV39, shallower walks
+  m.cache_line_transfer = 60;
+  m.mmio_read = 90;
+  m.mmio_write = 70;
+  m.atomic_rmw = 30;         // LR/SC pair
+  m.call_overhead = 4;
+  return m;
+}
+
+}  // namespace iw::hwsim

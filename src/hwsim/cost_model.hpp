@@ -1,0 +1,68 @@
+// Hardware micro-operation cost tables.
+//
+// Every simulated machine is parameterized by one of these. The presets
+// correspond to the two platforms the paper reports on: an Intel Xeon Phi
+// KNL node (Figs. 4 and 6) and a dual-socket Xeon server (Fig. 7 and the
+// 8-socket repetition of Fig. 6). Costs are in cycles of the machine's
+// reference clock and are drawn from the measurements the paper itself
+// cites: ~1000-cycle interrupt dispatch [29][36], ~5000-cycle Linux
+// context switch with FP state on KNL [29].
+#pragma once
+
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+
+struct CostModel {
+  ClockFreq freq{1.4};
+
+  // --- interrupt / exception machinery ---
+  Cycles interrupt_dispatch{1000};  // IDT entry: ucode + pipeline flush
+  Cycles interrupt_return{630};     // iret
+  Cycles ipi_send{120};             // ICR write
+  Cycles ipi_latency{520};          // fabric traversal to remote LAPIC
+  Cycles lapic_program{60};         // timer MSR write
+
+  // --- context state ---
+  Cycles gpr_save{90};
+  Cycles gpr_restore{90};
+  Cycles fp_save{380};     // xsave of 512-bit state (KNL is slow here)
+  Cycles fp_restore{380};  // xrstor
+
+  // --- memory system ---
+  Cycles cache_hit{4};
+  Cycles cache_miss_local{180};    // local DRAM
+  Cycles cache_miss_remote{320};   // remote NUMA node
+  Cycles tlb_miss_walk{130};       // 4-level page walk, warm caches
+  Cycles cache_line_transfer{90};  // core-to-core line move
+
+  // --- misc ---
+  Cycles mmio_read{220};
+  Cycles mmio_write{160};
+  Cycles atomic_rmw{45};
+  Cycles call_overhead{6};  // call+ret pair: the compiler-timing story
+
+  /// Intel Xeon Phi Knights Landing preset (1.4 GHz, slow xsave,
+  /// high interrupt cost — matches the paper's Fig. 4/6 platform).
+  static CostModel knl();
+
+  /// Dual-socket Xeon server preset (3.3 GHz 12-core x 2, Fig. 7 platform).
+  static CostModel xeon();
+
+  /// 8-socket, 192-core Xeon preset (the paper repeats the Fig. 6 study
+  /// on this machine and reports "similar results (~20% for RTK and
+  /// PIK)"). Deep NUMA: remote misses and IPIs cross up to the socket
+  /// fabric's diameter.
+  static CostModel xeon8s();
+
+  /// RISC-V / OpenPiton preset (§V-F: "we are currently exploring a
+  /// port of Nautilus and other components to RISC-V... by working on
+  /// open hardware, we anticipate being able to more deeply explore
+  /// hardware changes prompted by the interweaving model"). Simple
+  /// in-order cores: cheap trap entry (no microcoded IDT walk), small
+  /// FP state, slower clock — a different, *open* point in the space
+  /// every experiment can be re-run against.
+  static CostModel riscv_openpiton();
+};
+
+}  // namespace iw::hwsim

@@ -1,0 +1,51 @@
+#include "hwsim/device.hpp"
+
+#include "common/assert.hpp"
+#include "hwsim/core.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::hwsim {
+
+NicDevice::NicDevice(Machine& machine, NicConfig cfg)
+    : machine_(machine), cfg_(cfg), rng_(machine.rng().split()) {}
+
+void NicDevice::start(Cycles start) { schedule_next_arrival(start); }
+
+void NicDevice::schedule_next_arrival(Cycles from) {
+  if (generated_ >= cfg_.total_packets) return;
+  const Cycles gap =
+      cfg_.poisson
+          ? static_cast<Cycles>(
+                rng_.exponential(static_cast<double>(cfg_.mean_gap)) + 1.0)
+          : cfg_.mean_gap;
+  const Cycles at = from + gap;
+  machine_.schedule_at(at, [this, at] {
+    ++generated_;
+    pending_.push_back(at);
+    if (cfg_.mode == DeviceMode::kInterrupt) {
+      machine_.core(cfg_.irq_core).post_irq(at, cfg_.irq_vector);
+    }
+    schedule_next_arrival(at);
+  });
+}
+
+unsigned NicDevice::poll(Cycles now) {
+  unsigned n = 0;
+  while (!pending_.empty() && pending_.front() <= now) {
+    latency_.add(now - pending_.front());
+    pending_.pop_front();
+    ++serviced_;
+    ++n;
+  }
+  return n;
+}
+
+void NicDevice::service_one(Cycles now) {
+  if (pending_.empty()) return;  // spurious interrupt
+  IW_ASSERT(pending_.front() <= now);
+  latency_.add(now - pending_.front());
+  pending_.pop_front();
+  ++serviced_;
+}
+
+}  // namespace iw::hwsim

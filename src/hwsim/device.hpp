@@ -1,0 +1,70 @@
+// Simulated devices. The NIC model is used by the blended-driver
+// experiment (paper §V-C): packet arrivals either raise an interrupt on
+// a target core or accumulate in a pending queue that compiler-injected
+// poll checks drain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+
+class Machine;
+
+enum class DeviceMode {
+  kInterrupt,  // arrival -> IRQ to target core
+  kPolled,     // arrival -> pending queue, drained by poll()
+};
+
+struct NicConfig {
+  DeviceMode mode{DeviceMode::kInterrupt};
+  CoreId irq_core{0};
+  int irq_vector{0x60};
+  /// Mean inter-arrival gap in cycles (exponential if `poisson`).
+  Cycles mean_gap{100000};
+  bool poisson{true};
+  std::uint64_t total_packets{1000};
+};
+
+class NicDevice {
+ public:
+  NicDevice(Machine& machine, NicConfig cfg);
+
+  /// Begin generating arrivals at time `start`.
+  void start(Cycles start);
+
+  /// Polled mode: drain all pending packets, recording service latency
+  /// (now - arrival) for each. Returns number drained. Constant-cost
+  /// check: the *caller* pays the poll-check cost from the cost model.
+  unsigned poll(Cycles now);
+
+  /// Interrupt mode: the IRQ handler calls this to consume the packet
+  /// that raised the interrupt and record its latency.
+  void service_one(Cycles now);
+
+  [[nodiscard]] std::uint64_t packets_generated() const { return generated_; }
+  [[nodiscard]] std::uint64_t packets_serviced() const { return serviced_; }
+  [[nodiscard]] bool done() const {
+    return generated_ >= cfg_.total_packets && pending_.empty();
+  }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+  [[nodiscard]] const NicConfig& config() const { return cfg_; }
+
+ private:
+  void schedule_next_arrival(Cycles from);
+
+  Machine& machine_;
+  NicConfig cfg_;
+  Rng rng_;
+  std::deque<Cycles> pending_;  // arrival timestamps awaiting service
+  std::uint64_t generated_{0};
+  std::uint64_t serviced_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace iw::hwsim

@@ -1,0 +1,50 @@
+#include "hwsim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace iw::hwsim {
+
+void EventQueue::push(Event ev) {
+  heap_.push_back(std::move(ev));
+  sift_up(heap_.size() - 1);
+}
+
+Cycles EventQueue::peek_time() const {
+  return heap_.empty() ? kNever : heap_.front().time;
+}
+
+Event EventQueue::pop() {
+  IW_ASSERT(!heap_.empty());
+  Event out = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::clear() { heap_.clear(); }
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace iw::hwsim

@@ -1,0 +1,51 @@
+// Deterministic time-ordered event queue (binary heap with a sequence
+// tie-breaker so equal-time events pop in insertion order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+
+enum class EventKind : std::uint8_t {
+  kIrq,       // interrupt request: `vector` is meaningful
+  kCallback,  // machine-level callback: `fn` is meaningful
+};
+
+struct Event {
+  Cycles time{0};
+  std::uint64_t seq{0};
+  EventKind kind{EventKind::kCallback};
+  int vector{-1};
+  std::function<void()> fn;
+};
+
+class EventQueue {
+ public:
+  void push(Event ev);
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event; kNever if empty.
+  [[nodiscard]] Cycles peek_time() const;
+
+  /// Pop the earliest event. Precondition: !empty().
+  Event pop();
+
+  void clear();
+
+ private:
+  static bool later(const Event& a, const Event& b) {
+    return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace iw::hwsim

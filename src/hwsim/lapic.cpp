@@ -1,0 +1,45 @@
+#include "hwsim/lapic.hpp"
+
+#include "hwsim/core.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::hwsim {
+
+LapicTimer::LapicTimer(Core& core, int vector) : core_(core), vector_(vector) {}
+
+void LapicTimer::oneshot(Cycles delta) {
+  core_.consume(core_.costs().lapic_program);
+  armed_ = true;
+  period_ = 0;
+  ++generation_;
+  schedule_fire(core_.clock() + delta);
+}
+
+void LapicTimer::periodic(Cycles period) {
+  core_.consume(core_.costs().lapic_program);
+  armed_ = true;
+  period_ = period;
+  ++generation_;
+  schedule_fire(core_.clock() + period);
+}
+
+void LapicTimer::stop() {
+  armed_ = false;
+  ++generation_;  // invalidates in-flight fires
+}
+
+void LapicTimer::schedule_fire(Cycles at) {
+  const std::uint64_t gen = generation_;
+  core_.post_callback(at, [this, gen, at] {
+    if (!armed_ || gen != generation_) return;  // disarmed/re-armed since
+    ++fires_;
+    core_.post_irq(at, vector_);
+    if (period_ != 0) {
+      schedule_fire(at + period_);  // absolute cadence, no drift
+    } else {
+      armed_ = false;
+    }
+  });
+}
+
+}  // namespace iw::hwsim

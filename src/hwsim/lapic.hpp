@@ -1,0 +1,44 @@
+// Per-core local APIC timer. One-shot and periodic modes; the periodic
+// mode keeps an absolute cadence (fires at t0 + k*period) independent of
+// handler latency, which is what the heartbeat experiments rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+
+class Core;
+
+class LapicTimer {
+ public:
+  LapicTimer(Core& core, int vector);
+
+  /// Arm a one-shot interrupt `delta` cycles from the core's clock.
+  /// Pays the LAPIC programming cost on the core.
+  void oneshot(Cycles delta);
+
+  /// Arm a periodic interrupt with the given period (first fire one
+  /// period from now). Pays the programming cost once.
+  void periodic(Cycles period);
+
+  /// Disarm: in-flight fires are discarded.
+  void stop();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
+  [[nodiscard]] int vector() const { return vector_; }
+
+ private:
+  void schedule_fire(Cycles at);
+
+  Core& core_;
+  int vector_;
+  bool armed_{false};
+  Cycles period_{0};  // 0 = one-shot
+  std::uint64_t generation_{0};
+  std::uint64_t fires_{0};
+};
+
+}  // namespace iw::hwsim

@@ -1,0 +1,99 @@
+#include "hwsim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace iw::hwsim {
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  IW_ASSERT(cfg.num_cores >= 1);
+  cores_.reserve(cfg.num_cores);
+  for (unsigned i = 0; i < cfg.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(*this, i));
+  }
+}
+
+Cycles Machine::now() const {
+  Cycles frontier = 0;
+  for (const auto& c : cores_) frontier = std::max(frontier, c->clock());
+  return frontier;
+}
+
+void Machine::send_ipi(Core& from, CoreId to, int vector) {
+  IW_ASSERT(to < cores_.size());
+  from.consume(cfg_.costs.ipi_send);
+  cores_[to]->post_irq(from.clock() + cfg_.costs.ipi_latency, vector);
+  ++total_ipis_;
+}
+
+void Machine::broadcast_ipi(Core& from, int vector) {
+  // A single ICR write with destination shorthand "all excluding self":
+  // one send cost, fan-out in the fabric.
+  from.consume(cfg_.costs.ipi_send);
+  for (auto& c : cores_) {
+    if (c->id() == from.id()) continue;
+    c->post_irq(from.clock() + cfg_.costs.ipi_latency, vector);
+    ++total_ipis_;
+  }
+}
+
+void Machine::schedule_at(Cycles t, std::function<void()> fn) {
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq();
+  ev.kind = EventKind::kCallback;
+  ev.fn = std::move(fn);
+  machine_queue_.push(std::move(ev));
+}
+
+bool Machine::advance_once() {
+  // Find the earliest actionable entity: a core or the machine queue.
+  Cycles best_t = machine_queue_.peek_time();
+  Core* best_core = nullptr;
+  for (auto& c : cores_) {
+    const Cycles t = c->next_action_time();
+    if (t < best_t) {
+      best_t = t;
+      best_core = c.get();
+    }
+  }
+  if (best_t == kNever) return false;  // quiescent
+
+  ++advances_;
+  if (best_core == nullptr) {
+    Event ev = machine_queue_.pop();
+    ev.fn();
+  } else {
+    best_core->advance();
+  }
+  return true;
+}
+
+bool Machine::run(const std::function<bool()>& stop) {
+  for (;;) {
+    if (stop && stop()) return true;
+    if (cfg_.max_time != 0 && now() > cfg_.max_time) {
+      IW_LOG_WARN("machine watchdog: virtual time limit %llu exceeded",
+                  static_cast<unsigned long long>(cfg_.max_time));
+      return false;
+    }
+    if (cfg_.max_advances != 0 && advances_ > cfg_.max_advances) {
+      IW_LOG_WARN("machine watchdog: advance limit exceeded");
+      return false;
+    }
+    if (!advance_once()) return true;  // quiescent
+  }
+}
+
+bool Machine::run_until(Cycles t) {
+  return run([this, t] {
+    // Stop once every actionable entity is at/after t.
+    Cycles best = machine_queue_.peek_time();
+    for (auto& c : cores_) best = std::min(best, c->next_action_time());
+    return best >= t;
+  });
+}
+
+}  // namespace iw::hwsim

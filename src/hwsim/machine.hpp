@@ -1,0 +1,85 @@
+// The simulated machine: a set of cores, a global callback queue for
+// non-core entities (devices), an IPI fabric, and the conservative
+// min-timestamp DES loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hwsim/core.hpp"
+#include "hwsim/cost_model.hpp"
+#include "hwsim/event_queue.hpp"
+
+namespace iw::hwsim {
+
+struct MachineConfig {
+  unsigned num_cores{16};
+  CostModel costs{CostModel::knl()};
+  std::uint64_t seed{42};
+  /// Hard stop: abort the run if virtual time passes this (0 = unlimited).
+  Cycles max_time{0};
+  /// Hard stop: abort after this many core advances (0 = unlimited).
+  std::uint64_t max_advances{0};
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] unsigned num_cores() const {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] Core& core(CoreId id) { return *cores_[id]; }
+  [[nodiscard]] const CostModel& costs() const { return cfg_.costs; }
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Global simulated time = max over core clocks (the frontier).
+  [[nodiscard]] Cycles now() const;
+
+  /// Send an inter-processor interrupt from `from`'s current time.
+  /// Pays the send cost on the sender and latency in the fabric.
+  void send_ipi(Core& from, CoreId to, int vector);
+
+  /// Broadcast an IPI to every core except the sender (the paper's
+  /// heartbeat path: LAPIC fire on CPU 0, IPI broadcast to workers).
+  void broadcast_ipi(Core& from, int vector);
+
+  /// Schedule a machine-level callback at absolute time `t`.
+  void schedule_at(Cycles t, std::function<void()> fn);
+
+  /// Next global sequence number (shared by core inboxes for stable order).
+  std::uint64_t next_seq() { return seq_++; }
+
+  /// Run until `stop()` returns true or no work remains.
+  /// Returns false if a hard-stop watchdog fired.
+  bool run(const std::function<bool()>& stop = nullptr);
+
+  /// Run until virtual time `t` has been reached on the frontier.
+  bool run_until(Cycles t);
+
+  // accounting
+  [[nodiscard]] std::uint64_t total_ipis() const { return total_ipis_; }
+  [[nodiscard]] std::uint64_t total_advances() const { return advances_; }
+
+ private:
+  /// One iteration of the DES loop. Returns false when no work remains.
+  bool advance_once();
+
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  EventQueue machine_queue_;
+  Rng rng_;
+  std::uint64_t seq_{0};
+  std::uint64_t total_ipis_{0};
+  std::uint64_t advances_{0};
+};
+
+}  // namespace iw::hwsim

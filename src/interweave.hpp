@@ -1,0 +1,72 @@
+// interweave — umbrella header for the public API.
+//
+// A reproduction of "The Case for an Interwoven Parallel Hardware/
+// Software Stack" (Hale, Campanoni, Hardavellas, Dinda — ROSS/SC-W
+// 2021). See README.md for a tour and DESIGN.md for the layer map.
+//
+// Substrates:
+//   iw::hwsim      — deterministic discrete-event machine (cores,
+//                    LAPICs, IPIs, devices, cost-model presets)
+//   iw::mem        — buddy/NUMA allocation, paging + TLB models
+//   iw::ir         — mini compiler IR + interpreter
+//   iw::passes     — guard injection/hoisting, timing/poll placement,
+//                    pointer provenance
+//   iw::nautilus   — kernel framework (threads, fibers, EDF/RR, events,
+//                    tasks, interrupt steering)
+//   iw::linuxmodel — the commodity-stack baseline (signals, futexes,
+//                    hrtimers, crossing costs)
+//
+// Interwoven subsystems:
+//   iw::carat      — compiler/runtime address translation (§IV-A)
+//   iw::heartbeat  — TPAL heartbeat scheduling (§IV-B)
+//   iw::timing     — compiler-based timing + blended drivers (§IV-C, V-C)
+//   iw::virtine    — Wasp microhypervisor + bespoke contexts (§IV-D, V-E)
+//   iw::omp        — kernel OpenMP: Linux/RTK/PIK/CCK (§V-A)
+//   iw::coherence  — MESI + selective deactivation + consistency (§V-B)
+//   iw::blending   — object-granularity far memory (§V-C)
+//   iw::pipeline   — branch-injected interrupts (§V-D)
+//   iw::workloads  — NAS-style mini-apps, PBBS-style traces, native
+//                    kernels
+#pragma once
+
+#include "blending/farmem.hpp"
+#include "carat/native_guards.hpp"
+#include "carat/pik_image.hpp"
+#include "carat/runtime.hpp"
+#include "coherence/consistency.hpp"
+#include "coherence/simulator.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "heartbeat/fork_join.hpp"
+#include "heartbeat/tpal.hpp"
+#include "hwsim/device.hpp"
+#include "hwsim/lapic.hpp"
+#include "hwsim/machine.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "linuxmodel/futex.hpp"
+#include "linuxmodel/signals.hpp"
+#include "linuxmodel/timers.hpp"
+#include "mem/buddy_allocator.hpp"
+#include "mem/numa.hpp"
+#include "mem/paging.hpp"
+#include "nautilus/fiber.hpp"
+#include "nautilus/irq.hpp"
+#include "nautilus/kernel.hpp"
+#include "omp/runtime.hpp"
+#include "passes/guard_hoisting.hpp"
+#include "passes/guard_injection.hpp"
+#include "passes/pass_manager.hpp"
+#include "passes/provenance.hpp"
+#include "passes/timing_placement.hpp"
+#include "passes/virtine_lowering.hpp"
+#include "pipeline/interrupt_delivery.hpp"
+#include "timing/ctx_switch_model.hpp"
+#include "timing/device_polling.hpp"
+#include "virtine/binding.hpp"
+#include "virtine/wasp.hpp"
+#include "workloads/miniapp.hpp"
+#include "workloads/native_kernels.hpp"
+#include "workloads/pbbs_traces.hpp"

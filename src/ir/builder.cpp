@@ -1,0 +1,234 @@
+#include "ir/builder.hpp"
+
+namespace iw::ir::programs {
+
+Function* sum_array(Module& m) {
+  // args: r0 = a (base addr), r1 = n
+  Function* f = m.add_function("sum_array", 2);
+  const BlockId entry = f->add_block("entry");
+  const BlockId header = f->add_block("header");
+  const BlockId body = f->add_block("body");
+  const BlockId exit = f->add_block("exit");
+  Builder b(*f);
+
+  const Reg a = f->arg_reg(0), n = f->arg_reg(1);
+  b.at(entry);
+  const Reg i = b.constant(0);
+  const Reg sum = b.constant(0);
+  b.br(header);
+
+  b.at(header);
+  const Reg c = b.cmp_lt(i, n);
+  b.cond_br(c, body, exit);
+
+  b.at(body);
+  const Reg eight = b.constant(8);
+  const Reg off = b.mul(i, eight);
+  const Reg addr = b.add(a, off);
+  const Reg v = b.load(addr);
+  {
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = sum;
+    upd.a = sum;
+    upd.b = v;
+    b.emit(upd);
+  }
+  {
+    Instr inc = Instr::make(Op::kConst);
+    inc.r = f->fresh_reg();
+    inc.imm = 1;
+    b.emit(inc);
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = i;
+    upd.a = i;
+    upd.b = inc.r;
+    b.emit(upd);
+  }
+  b.br(header);
+
+  b.at(exit);
+  b.ret(sum);
+  return f;
+}
+
+Function* copy_array(Module& m) {
+  // args: r0 = dst, r1 = src, r2 = n
+  Function* f = m.add_function("copy_array", 3);
+  const BlockId entry = f->add_block("entry");
+  const BlockId header = f->add_block("header");
+  const BlockId body = f->add_block("body");
+  const BlockId exit = f->add_block("exit");
+  Builder b(*f);
+  const Reg dst = f->arg_reg(0), src = f->arg_reg(1), n = f->arg_reg(2);
+
+  b.at(entry);
+  const Reg i = b.constant(0);
+  b.br(header);
+
+  b.at(header);
+  const Reg c = b.cmp_lt(i, n);
+  b.cond_br(c, body, exit);
+
+  b.at(body);
+  const Reg eight = b.constant(8);
+  const Reg off = b.mul(i, eight);
+  const Reg saddr = b.add(src, off);
+  const Reg daddr = b.add(dst, off);
+  const Reg v = b.load(saddr);
+  b.store(daddr, v);
+  const Reg one = b.constant(1);
+  Instr upd = Instr::make(Op::kAdd);
+  upd.r = i;
+  upd.a = i;
+  upd.b = one;
+  b.emit(upd);
+  b.br(header);
+
+  b.at(exit);
+  b.ret(n);
+  return f;
+}
+
+Function* stencil3(Module& m) {
+  // args: r0 = base, r1 = n. Three nested loops i,j,k in [0,n):
+  //   acc += mem[base + ((i*n + j)*n + k)*8]
+  Function* f = m.add_function("stencil3", 2);
+  const BlockId entry = f->add_block("entry");
+  const BlockId ih = f->add_block("i.header");
+  const BlockId jh = f->add_block("j.header");
+  const BlockId kh = f->add_block("k.header");
+  const BlockId kb = f->add_block("k.body");
+  const BlockId klatch = f->add_block("k.latch");
+  const BlockId jlatch = f->add_block("j.latch");
+  const BlockId ilatch = f->add_block("i.latch");
+  const BlockId exit = f->add_block("exit");
+  Builder b(*f);
+  const Reg base = f->arg_reg(0), n = f->arg_reg(1);
+
+  b.at(entry);
+  const Reg i = b.constant(0);
+  const Reg j = b.constant(0);
+  const Reg k = b.constant(0);
+  const Reg acc = b.constant(0);
+  const Reg one = b.constant(1);
+  const Reg eight = b.constant(8);
+  b.br(ih);
+
+  b.at(ih);
+  b.cond_br(b.cmp_lt(i, n), jh, exit);
+
+  b.at(jh);
+  {
+    Instr z = Instr::make(Op::kConst);
+    z.r = j;
+    z.imm = 0;
+    b.emit(z);
+  }
+  b.br(kh);
+
+  b.at(kh);
+  b.cond_br(b.cmp_lt(j, n), kb, ilatch);
+
+  b.at(kb);
+  {
+    Instr z = Instr::make(Op::kConst);
+    z.r = k;
+    z.imm = 0;
+    b.emit(z);
+  }
+  // inner loop over k folded into klatch-driven loop:
+  b.br(klatch);
+
+  b.at(klatch);
+  // body: addr = base + ((i*n + j)*n + k)*8 ; acc += load
+  const Reg t1 = b.mul(i, n);
+  const Reg t2 = b.add(t1, j);
+  const Reg t3 = b.mul(t2, n);
+  const Reg t4 = b.add(t3, k);
+  const Reg t5 = b.mul(t4, eight);
+  const Reg addr = b.add(base, t5);
+  const Reg v = b.load(addr);
+  {
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = acc;
+    upd.a = acc;
+    upd.b = v;
+    b.emit(upd);
+  }
+  {
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = k;
+    upd.a = k;
+    upd.b = one;
+    b.emit(upd);
+  }
+  const Reg kc = b.cmp_lt(k, n);
+  b.cond_br(kc, klatch, jlatch);
+
+  b.at(jlatch);
+  {
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = j;
+    upd.a = j;
+    upd.b = one;
+    b.emit(upd);
+  }
+  b.br(kh);
+
+  b.at(ilatch);
+  {
+    Instr upd = Instr::make(Op::kAdd);
+    upd.r = i;
+    upd.a = i;
+    upd.b = one;
+    b.emit(upd);
+  }
+  b.br(ih);
+
+  b.at(exit);
+  b.ret(acc);
+  return f;
+}
+
+Function* diamond(Module& m) {
+  // args: r0 = x. if (x < 10) { cheap } else { expensive } ; merge.
+  Function* f = m.add_function("diamond", 1);
+  const BlockId entry = f->add_block("entry");
+  const BlockId cheap = f->add_block("cheap");
+  const BlockId costly = f->add_block("costly");
+  const BlockId merge = f->add_block("merge");
+  Builder b(*f);
+  const Reg x = f->arg_reg(0);
+
+  b.at(entry);
+  const Reg ten = b.constant(10);
+  const Reg c = b.cmp_lt(x, ten);
+  b.cond_br(c, cheap, costly);
+
+  b.at(cheap);
+  const Reg y1 = b.add(x, ten);
+  b.br(merge);
+
+  b.at(costly);
+  Reg acc = x;
+  for (int i = 0; i < 40; ++i) acc = b.mul(acc, x);  // 40 muls: long path
+  b.br(merge);
+
+  b.at(merge);
+  const Reg out = b.add(y1, acc);
+  b.ret(out);
+  return f;
+}
+
+Function* straightline(Module& m, int n_ops) {
+  Function* f = m.add_function("straightline", 1);
+  const BlockId entry = f->add_block("entry");
+  Builder b(*f);
+  b.at(entry);
+  Reg acc = f->arg_reg(0);
+  for (int i = 0; i < n_ops; ++i) acc = b.add(acc, acc);
+  b.ret(acc);
+  return f;
+}
+
+}  // namespace iw::ir::programs

@@ -1,0 +1,127 @@
+// Convenience builder for constructing mini-IR functions in tests,
+// workload generators, and examples.
+#pragma once
+
+#include "common/assert.hpp"
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+class Builder {
+ public:
+  explicit Builder(Function& f) : f_(f) {}
+
+  /// Position at the end of `bb`'s body.
+  Builder& at(BlockId bb) {
+    bb_ = bb;
+    return *this;
+  }
+  [[nodiscard]] BlockId current() const { return bb_; }
+
+  Reg constant(std::int64_t v) {
+    Instr i = Instr::make(Op::kConst);
+    i.r = f_.fresh_reg();
+    i.imm = v;
+    return emit(i);
+  }
+  Reg binop(Op op, Reg a, Reg b) {
+    Instr i = Instr::make(op);
+    i.r = f_.fresh_reg();
+    i.a = a;
+    i.b = b;
+    return emit(i);
+  }
+  Reg add(Reg a, Reg b) { return binop(Op::kAdd, a, b); }
+  Reg sub(Reg a, Reg b) { return binop(Op::kSub, a, b); }
+  Reg mul(Reg a, Reg b) { return binop(Op::kMul, a, b); }
+  Reg cmp_lt(Reg a, Reg b) { return binop(Op::kCmpLt, a, b); }
+  Reg cmp_eq(Reg a, Reg b) { return binop(Op::kCmpEq, a, b); }
+
+  Reg load(Reg base, std::int64_t offset = 0) {
+    Instr i = Instr::make(Op::kLoad);
+    i.r = f_.fresh_reg();
+    i.a = base;
+    i.imm = offset;
+    return emit(i);
+  }
+  void store(Reg base, Reg value, std::int64_t offset = 0) {
+    Instr i = Instr::make(Op::kStore);
+    i.a = base;
+    i.b = value;
+    i.imm = offset;
+    emit(i);
+  }
+  Reg alloc(std::int64_t bytes) {
+    Instr i = Instr::make(Op::kAlloc);
+    i.r = f_.fresh_reg();
+    i.imm = bytes;
+    return emit(i);
+  }
+  void free(Reg base) {
+    Instr i = Instr::make(Op::kFree);
+    i.a = base;
+    emit(i);
+  }
+  Reg call(FuncId callee, std::vector<Reg> args) {
+    Instr i = Instr::make(Op::kCall);
+    i.r = f_.fresh_reg();
+    i.imm = callee;
+    i.args = std::move(args);
+    return emit(i);
+  }
+
+  void br(BlockId target) {
+    auto& b = f_.block(bb_);
+    b.term = Instr::make(Op::kBr);
+    b.succs = {target};
+  }
+  void cond_br(Reg cond, BlockId if_true, BlockId if_false) {
+    auto& b = f_.block(bb_);
+    b.term = Instr::make(Op::kCondBr);
+    b.term.a = cond;
+    b.succs = {if_true, if_false};
+  }
+  void ret(Reg value = kNoReg) {
+    auto& b = f_.block(bb_);
+    b.term = Instr::make(Op::kRet);
+    b.term.a = value;
+    b.succs.clear();
+  }
+
+  /// Emit an arbitrary prepared instruction.
+  Reg emit(Instr i) {
+    IW_ASSERT_MSG(!is_terminator(i.op), "use br/cond_br/ret for terminators");
+    f_.block(bb_).body.push_back(i);
+    return i.r;
+  }
+
+  Function& func() { return f_; }
+
+ private:
+  Function& f_;
+  BlockId bb_{0};
+};
+
+/// Canonical test/workload programs (shared by pass tests and benches).
+namespace programs {
+
+/// for (i = 0; i < n; ++i) sum += a[i];    args: (a, n) -> sum
+Function* sum_array(Module& m);
+
+/// for (i = 0; i < n; ++i) dst[i] = src[i]; args: (dst, src, n) -> n
+Function* copy_array(Module& m);
+
+/// Triple loop nest touching a matrix; args: (base, n) -> checksum.
+/// Exercises loop-nesting analysis and guard hoisting at depth.
+Function* stencil3(Module& m);
+
+/// Diamond CFG with unbalanced branch costs; args: (x) -> y.
+/// Exercises worst-case path analysis for timing placement.
+Function* diamond(Module& m);
+
+/// Straight-line block with `n_ops` arithmetic ops; args: (x) -> y.
+Function* straightline(Module& m, int n_ops);
+
+}  // namespace programs
+
+}  // namespace iw::ir

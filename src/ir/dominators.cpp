@@ -1,0 +1,56 @@
+#include "ir/dominators.hpp"
+
+#include "common/assert.hpp"
+
+namespace iw::ir {
+
+DominatorTree::DominatorTree(const Function& f) {
+  const auto order = f.rpo();
+  const auto preds = f.predecessors();
+  idom_.assign(f.num_blocks(), -1);
+  rpo_index_.assign(f.num_blocks(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rpo_index_[order[i]] = static_cast<int>(i);
+  }
+
+  const BlockId entry = f.entry();
+  idom_[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+      while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : order) {
+      if (b == entry) continue;
+      BlockId new_idom = -1;
+      for (BlockId p : preds[b]) {
+        if (idom_[p] == -1) continue;  // pred not yet processed/unreachable
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  IW_ASSERT(reachable(b));
+  BlockId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    const BlockId up = idom_[cur];
+    if (up == cur) return false;  // reached entry
+    cur = up;
+  }
+}
+
+}  // namespace iw::ir

@@ -1,0 +1,28 @@
+// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm).
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& f);
+
+  /// Immediate dominator of `b` (entry's idom is itself). -1 if `b` is
+  /// unreachable from the entry.
+  [[nodiscard]] BlockId idom(BlockId b) const { return idom_[b]; }
+
+  /// Does `a` dominate `b`? (reflexive)
+  [[nodiscard]] bool dominates(BlockId a, BlockId b) const;
+
+  [[nodiscard]] bool reachable(BlockId b) const { return idom_[b] != -1; }
+
+ private:
+  std::vector<BlockId> idom_;
+  std::vector<int> rpo_index_;  // position in RPO, -1 if unreachable
+};
+
+}  // namespace iw::ir

@@ -1,0 +1,85 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::ir {
+
+Cycles BasicBlock::cost() const {
+  Cycles c = term.cost;
+  for (const auto& i : body) c += i.cost;
+  return c;
+}
+
+Function::Function(FuncId id, std::string name, unsigned num_args)
+    : id_(id), name_(std::move(name)), num_args_(num_args) {
+  reserve_regs(static_cast<int>(num_args));
+}
+
+BlockId Function::add_block(std::string label) {
+  const auto id = static_cast<BlockId>(blocks_.size());
+  auto b = std::make_unique<BasicBlock>();
+  b->id = id;
+  b->label = label.empty() ? "bb" + std::to_string(id) : std::move(label);
+  blocks_.push_back(std::move(b));
+  return id;
+}
+
+std::vector<std::vector<BlockId>> Function::predecessors() const {
+  std::vector<std::vector<BlockId>> preds(blocks_.size());
+  for (const auto& b : blocks_) {
+    for (BlockId s : b->succs) {
+      IW_ASSERT(s >= 0 && static_cast<std::size_t>(s) < blocks_.size());
+      preds[s].push_back(b->id);
+    }
+  }
+  return preds;
+}
+
+std::vector<BlockId> Function::rpo() const {
+  std::vector<BlockId> order;
+  std::vector<char> seen(blocks_.size(), 0);
+  // Iterative post-order DFS.
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(entry(), 0);
+  seen[entry()] = 1;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const auto& succs = blocks_[id]->succs;
+    if (next < succs.size()) {
+      const BlockId s = succs[next++];
+      if (!seen[s]) {
+        seen[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b->body.size() + 1;
+  return n;
+}
+
+Function* Module::add_function(std::string name, unsigned num_args) {
+  const auto id = static_cast<FuncId>(funcs_.size());
+  funcs_.push_back(
+      std::make_unique<Function>(id, std::move(name), num_args));
+  return funcs_.back().get();
+}
+
+Function* Module::find(const std::string& name) {
+  for (auto& f : funcs_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace iw::ir

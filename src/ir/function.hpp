@@ -1,0 +1,95 @@
+// Functions and basic blocks of the mini-IR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace iw::ir {
+
+struct BasicBlock {
+  BlockId id{-1};
+  std::string label;
+  std::vector<Instr> body;  // non-terminators
+  Instr term{Instr::make(Op::kRet)};
+  std::vector<BlockId> succs;  // 0 (ret), 1 (br) or 2 (condbr) entries
+
+  /// Static cycle cost of executing body + terminator once.
+  [[nodiscard]] Cycles cost() const;
+};
+
+class Function {
+ public:
+  Function(FuncId id, std::string name, unsigned num_args);
+
+  [[nodiscard]] FuncId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] unsigned num_args() const { return num_args_; }
+
+  /// Argument `i` arrives in register i (0-based).
+  [[nodiscard]] Reg arg_reg(unsigned i) const { return static_cast<Reg>(i); }
+
+  BlockId add_block(std::string label = "");
+  [[nodiscard]] BasicBlock& block(BlockId id) { return *blocks_[id]; }
+  [[nodiscard]] const BasicBlock& block(BlockId id) const {
+    return *blocks_[id];
+  }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] BlockId entry() const { return 0; }
+
+  /// Allocate a fresh virtual register.
+  Reg fresh_reg() { return next_reg_++; }
+  [[nodiscard]] int num_regs() const { return next_reg_; }
+  /// Reserve register indices [0, n) (used for arguments).
+  void reserve_regs(int n) {
+    if (n > next_reg_) next_reg_ = n;
+  }
+
+  /// Predecessor lists (recomputed on demand after CFG edits).
+  [[nodiscard]] std::vector<std::vector<BlockId>> predecessors() const;
+
+  /// Blocks in reverse post-order from the entry.
+  [[nodiscard]] std::vector<BlockId> rpo() const;
+
+  /// Total static instruction count (body + terminators).
+  [[nodiscard]] std::size_t instruction_count() const;
+
+  /// Count of instructions matching a predicate.
+  template <typename Pred>
+  [[nodiscard]] std::size_t count_instrs(Pred&& pred) const {
+    std::size_t n = 0;
+    for (const auto& b : blocks_) {
+      for (const auto& i : b->body) {
+        if (pred(i)) ++n;
+      }
+      if (pred(b->term)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  FuncId id_;
+  std::string name_;
+  unsigned num_args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  int next_reg_{0};
+};
+
+class Module {
+ public:
+  Function* add_function(std::string name, unsigned num_args);
+  [[nodiscard]] Function& function(FuncId id) { return *funcs_[id]; }
+  [[nodiscard]] const Function& function(FuncId id) const {
+    return *funcs_[id];
+  }
+  Function* find(const std::string& name);
+  [[nodiscard]] std::size_t num_functions() const { return funcs_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Function>> funcs_;
+};
+
+}  // namespace iw::ir

@@ -1,0 +1,106 @@
+#include "ir/instruction.hpp"
+
+namespace iw::ir {
+
+bool is_terminator(Op op) {
+  return op == Op::kBr || op == Op::kCondBr || op == Op::kRet;
+}
+
+bool is_memory_access(Op op) { return op == Op::kLoad || op == Op::kStore; }
+
+bool is_instrumentation(Op op) {
+  return op == Op::kGuard || op == Op::kGuardRange || op == Op::kTimingCall ||
+         op == Op::kPoll;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kCmpLe: return "cmple";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kAlloc: return "alloc";
+    case Op::kFree: return "free";
+    case Op::kGuard: return "guard";
+    case Op::kGuardRange: return "guard.range";
+    case Op::kTimingCall: return "timing.call";
+    case Op::kPoll: return "poll";
+    case Op::kCall: return "call";
+    case Op::kVirtineCall: return "virtine.call";
+    case Op::kBr: return "br";
+    case Op::kCondBr: return "condbr";
+    case Op::kRet: return "ret";
+  }
+  return "?";
+}
+
+Cycles default_cost(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmpEq:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+      return 1;
+    case Op::kMul:
+      return 3;
+    case Op::kDiv:
+    case Op::kRem:
+      return 20;
+    case Op::kLoad:
+    case Op::kStore:
+      return 4;
+    case Op::kAlloc:
+      return 30;
+    case Op::kFree:
+      return 20;
+    case Op::kGuard:
+      return 6;  // tracked-interval lookup
+    case Op::kGuardRange:
+      return 8;  // allocation-table lookup + range insert
+    case Op::kTimingCall:
+      return 4;  // call + decrement + compare + ret (amortized body)
+    case Op::kPoll:
+      return 5;  // constant-time device pending check
+    case Op::kCall:
+      return 8;
+    case Op::kVirtineCall:
+      return 12;  // hypercall-style marshalling; VM costs via runtime
+    case Op::kBr:
+      return 1;
+    case Op::kCondBr:
+      return 1;
+    case Op::kRet:
+      return 2;
+  }
+  return 1;
+}
+
+Instr Instr::make(Op op) {
+  Instr i;
+  i.op = op;
+  i.cost = default_cost(op);
+  return i;
+}
+
+}  // namespace iw::ir

@@ -1,0 +1,76 @@
+// Mini-IR instruction set.
+//
+// A deliberately small, register-based (non-SSA) IR: just enough surface
+// for the interweaving passes — CARAT guard injection/hoisting and
+// compiler-based timing placement — to be real algorithms over a real
+// CFG, and for an interpreter to *dynamically validate* the guarantees
+// those passes claim (every access guarded; at most `budget` cycles
+// between timing calls on every path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::ir {
+
+using Reg = int;                  // virtual register index, -1 = none
+using BlockId = int;              // index into Function::blocks
+using FuncId = int;               // index into Module::functions
+inline constexpr Reg kNoReg = -1;
+
+enum class Op : std::uint8_t {
+  // data
+  kConst,  // r = imm
+  kMov,    // r = a
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kCmpEq, kCmpLt, kCmpLe,  // r = (a OP b) ? 1 : 0
+  // memory (addresses are simulated iw::Addr values)
+  kLoad,   // r = mem[a + imm]
+  kStore,  // mem[a + imm] = b
+  kAlloc,  // r = runtime.alloc(imm bytes)
+  kFree,   // runtime.free(a)
+  // instrumentation (inserted by passes, or hand-placed in tests)
+  kGuard,       // runtime.guard(a + imm, size=imm2, write=(b==1)) — see notes below
+  kGuardRange,  // runtime.guard_range(base=a): whole allocation containing a
+  kTimingCall,  // timing framework check; `imm` = fire threshold (cycles)
+  kPoll,        // device poll check; `imm` = fire threshold (cycles)
+  // control
+  kCall,  // r = call imm(=FuncId) with args
+  kVirtineCall,  // r = virtine-invoke imm(=FuncId): isolated VM (§IV-D)
+  kBr,      // goto succ[0]
+  kCondBr,  // a != 0 ? succ[0] : succ[1]
+  kRet,     // return a (or nothing if a == kNoReg)
+};
+
+[[nodiscard]] bool is_terminator(Op op);
+[[nodiscard]] bool is_memory_access(Op op);
+[[nodiscard]] bool is_instrumentation(Op op);
+[[nodiscard]] const char* op_name(Op op);
+
+/// Default execution cost (cycles) per opcode; used both by the
+/// interpreter and by the static path-length analysis so they agree.
+[[nodiscard]] Cycles default_cost(Op op);
+
+struct Instr {
+  Op op{Op::kConst};
+  Reg r{kNoReg};   // result
+  Reg a{kNoReg};   // first operand
+  Reg b{kNoReg};   // second operand
+  std::int64_t imm{0};    // immediate / byte offset / callee id / alloc
+                          // size / timing-check fire threshold
+  std::int64_t imm2{0};   // secondary immediate (guard size, write flag)
+  Cycles cost{1};
+  std::vector<Reg> args;  // kCall arguments
+
+  static Instr make(Op op);
+};
+
+/// kGuard encoding: guards the access [regs[a] + imm, +imm2) where imm2
+/// is the access size in bytes; `b` == 1 marks a write guard.
+/// kGuardRange encoding: guards the whole allocation containing regs[a].
+
+}  // namespace iw::ir

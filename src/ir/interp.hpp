@@ -1,0 +1,92 @@
+// Mini-IR interpreter with cycle accounting and runtime hooks.
+//
+// The hooks are the "runtime half" of the interwoven compiler passes:
+// kGuard/kGuardRange call into CARAT's allocation map, kTimingCall into
+// the timing framework, kPoll into a device. Tests use the hooks to
+// dynamically validate pass guarantees (e.g. max cycle gap between
+// timing calls <= budget along the actually-executed path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+struct InterpHooks {
+  /// guard(addr, size, is_write) — access-granular protection check.
+  std::function<void(Addr, std::uint64_t, bool)> on_guard;
+  /// guard_range(base) — whole-allocation (hoisted) protection check.
+  std::function<void(Addr)> on_guard_range;
+  /// timing framework entry (compiler-based timing).
+  std::function<void()> on_timing;
+  /// device poll check (blended drivers).
+  std::function<void()> on_poll;
+  /// every executed load/store, after any guards: (addr, is_write).
+  std::function<void(Addr, bool)> on_access;
+  /// allocation override; default is an internal bump allocator.
+  std::function<Addr(std::uint64_t)> on_alloc;
+  std::function<void(Addr)> on_free;
+  /// virtine boundary: run callee `f` with `args` in an isolated
+  /// context; returns {result, cycles charged to the caller}. Absent
+  /// handler => the call degrades to a plain local call.
+  std::function<std::pair<std::int64_t, Cycles>(
+      FuncId, const std::vector<std::int64_t>&)>
+      on_virtine;
+};
+
+struct InterpResult {
+  std::int64_t ret{0};
+  Cycles cycles{0};
+  std::uint64_t instrs{0};
+  bool hit_step_limit{false};
+};
+
+class Interp {
+ public:
+  explicit Interp(Module& m, InterpHooks hooks = {});
+
+  /// Execute `f` with `args`. Cycle/instr counters accumulate across
+  /// calls (reset() to clear).
+  InterpResult run(FuncId f, const std::vector<std::int64_t>& args);
+
+  void reset();
+
+  [[nodiscard]] Cycles cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t instrs() const { return instrs_; }
+
+  // Direct memory access for setting up / inspecting test data
+  // (8-byte words at 8-byte-aligned simulated addresses).
+  void poke(Addr a, std::int64_t v) { memory_[a] = v; }
+  [[nodiscard]] std::int64_t peek(Addr a) const {
+    auto it = memory_.find(a);
+    return it == memory_.end() ? 0 : it->second;
+  }
+
+  /// Abort knob for runaway programs (default 100M instructions).
+  void set_step_limit(std::uint64_t n) { step_limit_ = n; }
+
+ private:
+  std::int64_t exec_function(const Function& f,
+                             const std::vector<std::int64_t>& args,
+                             int depth);
+  void exec_instr(const Function& f, const Instr& i,
+                  std::vector<std::int64_t>& regs, int depth);
+
+  Module& m_;
+  InterpHooks hooks_;
+  std::unordered_map<Addr, std::int64_t> memory_;
+  Cycles last_timing_fire_{0};
+  Cycles last_poll_fire_{0};
+  Cycles cycles_{0};
+  std::uint64_t instrs_{0};
+  std::uint64_t step_limit_{100'000'000};
+  bool hit_limit_{false};
+  Addr bump_{0x10000};
+};
+
+}  // namespace iw::ir

@@ -1,0 +1,87 @@
+#include "ir/loops.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::ir {
+
+bool Loop::contains(BlockId b) const {
+  return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+LoopInfo::LoopInfo(const Function& f, const DominatorTree& dt) {
+  loop_of_.assign(f.num_blocks(), nullptr);
+
+  // Find back edges: tail -> header where header dominates tail.
+  // Merge loops that share a header.
+  const auto preds = f.predecessors();
+  std::vector<Loop*> header_loop(f.num_blocks(), nullptr);
+  for (std::size_t b = 0; b < f.num_blocks(); ++b) {
+    if (!dt.reachable(static_cast<BlockId>(b))) continue;
+    for (BlockId succ : f.block(static_cast<BlockId>(b)).succs) {
+      if (!dt.dominates(succ, static_cast<BlockId>(b))) continue;
+      // b -> succ is a back edge; succ is a header.
+      Loop* loop = header_loop[succ];
+      if (loop == nullptr) {
+        loops_.push_back(std::make_unique<Loop>());
+        loop = loops_.back().get();
+        loop->header = succ;
+        loop->blocks.push_back(succ);
+        header_loop[succ] = loop;
+      }
+      // Collect the natural loop body: reverse reachability from the
+      // tail; the header (already in the set) bounds the walk.
+      std::vector<BlockId> work{static_cast<BlockId>(b)};
+      while (!work.empty()) {
+        const BlockId x = work.back();
+        work.pop_back();
+        if (loop->contains(x)) continue;
+        loop->blocks.push_back(x);
+        for (BlockId p : preds[x]) work.push_back(p);
+      }
+    }
+  }
+
+  // Establish nesting: loop A is a child of the smallest loop B != A
+  // whose block set strictly contains A's header.
+  for (auto& a : loops_) {
+    Loop* best = nullptr;
+    for (auto& b : loops_) {
+      if (a.get() == b.get()) continue;
+      if (!b->contains(a->header)) continue;
+      if (best == nullptr || b->blocks.size() < best->blocks.size()) {
+        best = b.get();
+      }
+    }
+    a->parent = best;
+    if (best != nullptr) best->children.push_back(a.get());
+  }
+  // Depths.
+  for (auto& l : loops_) {
+    int d = 1;
+    for (Loop* p = l->parent; p != nullptr; p = p->parent) ++d;
+    l->depth = d;
+  }
+  // Innermost loop per block = the containing loop with max depth.
+  for (auto& l : loops_) {
+    for (BlockId b : l->blocks) {
+      if (loop_of_[b] == nullptr || loop_of_[b]->depth < l->depth) {
+        loop_of_[b] = l.get();
+      }
+    }
+  }
+}
+
+BlockId LoopInfo::preheader(const Function& f, const Loop& l) const {
+  const auto preds = f.predecessors();
+  BlockId ph = -1;
+  for (BlockId p : preds[l.header]) {
+    if (l.contains(p)) continue;  // back edge
+    if (ph != -1) return -1;      // multiple entries
+    ph = p;
+  }
+  return ph;
+}
+
+}  // namespace iw::ir

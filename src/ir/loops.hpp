@@ -1,0 +1,47 @@
+// Natural-loop detection and nesting forest, via back edges found with
+// the dominator tree. Guard hoisting and timing placement both consume
+// this analysis.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+struct Loop {
+  BlockId header{-1};
+  std::vector<BlockId> blocks;  // includes header; unordered
+  Loop* parent{nullptr};
+  std::vector<Loop*> children;
+  int depth{1};  // 1 = outermost
+
+  [[nodiscard]] bool contains(BlockId b) const;
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Function& f, const DominatorTree& dt);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Loop>>& loops() const {
+    return loops_;
+  }
+  /// Innermost loop containing `b`, or nullptr.
+  [[nodiscard]] Loop* loop_of(BlockId b) const { return loop_of_[b]; }
+  [[nodiscard]] int depth_of(BlockId b) const {
+    return loop_of_[b] ? loop_of_[b]->depth : 0;
+  }
+
+  /// The unique out-of-loop predecessor of the loop's header, if any
+  /// (the preheader). Returns -1 if the header has multiple or zero
+  /// out-of-loop predecessors.
+  [[nodiscard]] BlockId preheader(const Function& f, const Loop& l) const;
+
+ private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<Loop*> loop_of_;
+};
+
+}  // namespace iw::ir

@@ -1,0 +1,65 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace iw::ir {
+
+namespace {
+void print_reg(std::ostringstream& os, Reg r) {
+  if (r == kNoReg) {
+    os << "_";
+  } else {
+    os << "%" << r;
+  }
+}
+}  // namespace
+
+std::string to_string(const Instr& i) {
+  std::ostringstream os;
+  if (i.r != kNoReg) {
+    print_reg(os, i.r);
+    os << " = ";
+  }
+  os << op_name(i.op);
+  if (i.a != kNoReg) {
+    os << " ";
+    print_reg(os, i.a);
+  }
+  if (i.b != kNoReg) {
+    os << ", ";
+    print_reg(os, i.b);
+  }
+  if (i.op == Op::kConst || i.op == Op::kAlloc || i.op == Op::kCall ||
+      i.imm != 0) {
+    os << " #" << i.imm;
+  }
+  if (i.imm2 != 0) os << " #" << i.imm2;
+  if (!i.args.empty()) {
+    os << " (";
+    for (std::size_t k = 0; k < i.args.size(); ++k) {
+      if (k) os << ", ";
+      print_reg(os, i.args[k]);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name() << "(" << f.num_args() << " args)\n";
+  for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+    const auto& bb = f.block(static_cast<BlockId>(bi));
+    os << bb.label << ":\n";
+    for (const auto& i : bb.body) os << "  " << to_string(i) << "\n";
+    os << "  " << to_string(bb.term);
+    if (!bb.succs.empty()) {
+      os << " ->";
+      for (BlockId s : bb.succs) os << " " << f.block(s).label;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iw::ir

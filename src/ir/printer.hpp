@@ -1,0 +1,13 @@
+// Human-readable dump of mini-IR, for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+std::string to_string(const Instr& i);
+std::string to_string(const Function& f);
+
+}  // namespace iw::ir

@@ -1,0 +1,60 @@
+#include "ir/verify.hpp"
+
+#include <sstream>
+
+namespace iw::ir {
+
+namespace {
+bool reg_ok(Reg r, int num_regs) { return r >= kNoReg && r < num_regs; }
+}  // namespace
+
+std::string verify(const Function& f, const Module* m) {
+  std::ostringstream err;
+  const int nregs = f.num_regs();
+  for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+    const auto& bb = f.block(static_cast<BlockId>(bi));
+    for (const auto& i : bb.body) {
+      if (is_terminator(i.op)) {
+        err << bb.label << ": terminator " << op_name(i.op) << " in body\n";
+      }
+      if (!reg_ok(i.r, nregs) || !reg_ok(i.a, nregs) || !reg_ok(i.b, nregs)) {
+        err << bb.label << ": register out of range in " << op_name(i.op)
+            << "\n";
+      }
+      if (i.op == Op::kCall || i.op == Op::kVirtineCall) {
+        if (m != nullptr && (i.imm < 0 ||
+                             static_cast<std::size_t>(i.imm) >=
+                                 m->num_functions())) {
+          err << bb.label << ": call to invalid function " << i.imm << "\n";
+        }
+        for (Reg a : i.args) {
+          if (!reg_ok(a, nregs)) {
+            err << bb.label << ": call arg register out of range\n";
+          }
+        }
+      }
+    }
+    const auto& t = bb.term;
+    if (!is_terminator(t.op)) {
+      err << bb.label << ": block does not end in a terminator\n";
+      continue;
+    }
+    const std::size_t want_succs =
+        t.op == Op::kRet ? 0 : (t.op == Op::kBr ? 1 : 2);
+    if (bb.succs.size() != want_succs) {
+      err << bb.label << ": " << op_name(t.op) << " expects " << want_succs
+          << " successors, has " << bb.succs.size() << "\n";
+    }
+    for (BlockId s : bb.succs) {
+      if (s < 0 || static_cast<std::size_t>(s) >= f.num_blocks()) {
+        err << bb.label << ": successor " << s << " out of range\n";
+      }
+    }
+    if (!reg_ok(t.a, nregs)) {
+      err << bb.label << ": terminator operand out of range\n";
+    }
+  }
+  return err.str();
+}
+
+}  // namespace iw::ir

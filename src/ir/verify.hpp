@@ -1,0 +1,16 @@
+// Structural IR verification, run by the pass manager after each pass.
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace iw::ir {
+
+/// Returns an empty string if `f` is well-formed, else a diagnostic.
+/// Checks: successor indices valid and arity matches the terminator;
+/// register indices within bounds; call targets valid within `m` when
+/// provided.
+std::string verify(const Function& f, const Module* m = nullptr);
+
+}  // namespace iw::ir

@@ -1,0 +1,40 @@
+#include "linuxmodel/futex.hpp"
+
+namespace iw::linuxmodel {
+
+nautilus::WaitQueue& FutexTable::queue_for(Addr addr) {
+  auto it = queues_.find(addr);
+  if (it == queues_.end()) {
+    it = queues_
+             .emplace(addr, std::make_unique<nautilus::WaitQueue>(
+                                stack_.kernel()))
+             .first;
+  }
+  return *it->second;
+}
+
+nautilus::StepResult FutexTable::wait(hwsim::Core& core, Addr addr,
+                                      Cycles work_done) {
+  stack_.syscall(core);
+  core.consume(stack_.costs().futex_wait);
+  return nautilus::StepResult::block(work_done, &queue_for(addr));
+}
+
+unsigned FutexTable::wake(hwsim::Core& core, Addr addr, unsigned n) {
+  stack_.syscall(core);
+  // futex_wake kernel-side cost is charged per woken thread via the
+  // kernel's wake_cost (configured to the futex path in LinuxStack).
+  return queue_for(addr).signal(core, n);
+}
+
+unsigned FutexTable::wake_all(hwsim::Core& core, Addr addr) {
+  stack_.syscall(core);
+  return queue_for(addr).broadcast(core);
+}
+
+std::size_t FutexTable::waiters(Addr addr) const {
+  auto it = queues_.find(addr);
+  return it == queues_.end() ? 0 : it->second->waiter_count();
+}
+
+}  // namespace iw::linuxmodel

@@ -1,0 +1,39 @@
+// Futex table: addr-keyed wait queues with syscall-priced wait/wake.
+// This is what pthread mutexes/condvars and OpenMP barriers bottom out
+// in on the commodity stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "linuxmodel/linux_stack.hpp"
+#include "nautilus/event.hpp"
+
+namespace iw::linuxmodel {
+
+class FutexTable {
+ public:
+  explicit FutexTable(LinuxStack& stack) : stack_(stack) {}
+
+  /// Build the StepResult a user thread returns to FUTEX_WAIT on `addr`.
+  /// Charges the syscall + kernel wait path to the calling core first.
+  nautilus::StepResult wait(hwsim::Core& core, Addr addr, Cycles work_done);
+
+  /// FUTEX_WAKE up to `n` waiters of `addr` from `core`.
+  unsigned wake(hwsim::Core& core, Addr addr, unsigned n = 1);
+
+  /// Wake everyone (barrier release).
+  unsigned wake_all(hwsim::Core& core, Addr addr);
+
+  [[nodiscard]] std::size_t waiters(Addr addr) const;
+
+ private:
+  nautilus::WaitQueue& queue_for(Addr addr);
+
+  LinuxStack& stack_;
+  std::unordered_map<Addr, std::unique_ptr<nautilus::WaitQueue>> queues_;
+};
+
+}  // namespace iw::linuxmodel

@@ -1,0 +1,46 @@
+#include "linuxmodel/linux_stack.hpp"
+
+namespace iw::linuxmodel {
+
+LinuxCosts LinuxCosts::knl() {
+  return LinuxCosts{};  // defaults are calibrated to the KNL platform
+}
+
+LinuxCosts LinuxCosts::xeon() {
+  LinuxCosts c;
+  c.syscall_entry = 300;
+  c.syscall_exit = 300;
+  c.mitigation = 550;
+  c.switch_extra = 2300;
+  c.signal_latency_median_us = 1.8;
+  c.timer_min_period_us = 3.0;
+  c.thread_create = 45'000;
+  c.tick_period = 3'300'000;  // 1 kHz at 3.3 GHz
+  c.tick_cost = 6'000;
+  c.rr_slice = 19'800'000;  // ~6 ms at 3.3 GHz
+  return c;
+}
+
+LinuxStack::LinuxStack(hwsim::Machine& machine, LinuxCosts costs)
+    : machine_(machine), costs_(costs) {
+  nautilus::KernelConfig kc;
+  kc.rr_slice = costs.rr_slice;
+  kc.tick_period = costs.tick_period;
+  kc.tick_always_on = true;
+  kc.tick_cost = costs.tick_cost;
+  kc.switch_extra = costs.switch_extra;
+  // Linux primitive path lengths (contrast with Nautilus defaults).
+  kc.sched_pick_cost = 240;      // CFS rbtree + lock
+  kc.sched_pick_rt_cost = 260;   // rt sched class
+  kc.thread_create_cost = costs.thread_create;
+  kc.wake_cost = costs.futex_wake;
+  kernel_ = std::make_unique<nautilus::Kernel>(machine, kc);
+}
+
+nautilus::Thread* LinuxStack::spawn_user_thread(nautilus::ThreadConfig cfg,
+                                                hwsim::Core* creator) {
+  if (creator != nullptr) syscall(*creator);
+  return kernel_->spawn(std::move(cfg), creator);
+}
+
+}  // namespace iw::linuxmodel

@@ -1,0 +1,65 @@
+#include "linuxmodel/signals.hpp"
+
+#include "hwsim/core.hpp"
+
+namespace iw::linuxmodel {
+
+SignalPath::SignalPath(LinuxStack& stack)
+    : stack_(stack), rng_(stack.machine().rng().split()) {}
+
+Cycles SignalPath::draw_latency() {
+  const auto& c = stack_.costs();
+  const auto& freq = stack_.machine().costs().freq;
+  // Body: lognormal around the median; tail: bounded Pareto. Mix 85/15.
+  double us;
+  if (rng_.chance(0.85)) {
+    us = rng_.lognormal_median(c.signal_latency_median_us,
+                               c.signal_latency_sigma);
+  } else {
+    us = rng_.heavy_tail(c.signal_latency_median_us * 2.0,
+                         c.signal_tail_alpha, c.signal_latency_cap_us);
+  }
+  return freq.us_to_cycles(us);
+}
+
+void SignalPath::send(hwsim::Core& sender, CoreId target_core,
+                      SignalHandler handler) {
+  const auto& c = stack_.costs();
+  // tgkill(): user->kernel crossing + queueing work, charged to sender.
+  stack_.syscall(sender);
+  sender.consume(c.signal_kernel_send);
+  ++sent_;
+  deliver_at(sender.clock(), target_core, std::move(handler));
+}
+
+void SignalPath::send_from_kernel(CoreId origin_core, Cycles t,
+                                  CoreId target_core, SignalHandler handler) {
+  const auto& c = stack_.costs();
+  auto& origin = stack_.machine().core(origin_core);
+  ++sent_;
+  origin.post_callback(t, [this, &origin, target_core,
+                           h = std::move(handler)]() mutable {
+    origin.consume(stack_.costs().signal_kernel_send);
+    deliver_at(origin.clock(), target_core, std::move(h));
+  });
+  (void)c;
+}
+
+void SignalPath::deliver_at(Cycles queue_time, CoreId target_core,
+                            SignalHandler handler) {
+  const Cycles latency = draw_latency();
+  auto& target = stack_.machine().core(target_core);
+  target.post_callback(
+      queue_time + latency,
+      [this, &target, queue_time, h = std::move(handler)]() {
+        const auto& c = stack_.costs();
+        // The target is interrupted: frame setup, handler, sigreturn.
+        target.consume(c.signal_frame_setup);
+        latency_hist_.add(target.clock() - queue_time);
+        ++delivered_;
+        if (h) h(target);
+        target.consume(c.sigreturn);
+      });
+}
+
+}  // namespace iw::linuxmodel

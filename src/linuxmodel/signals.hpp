@@ -1,0 +1,60 @@
+// POSIX signal delivery model.
+//
+// The heartbeat comparison (paper Fig. 2 right, Fig. 3) hinges on what a
+// signal *costs* and how late it arrives: the sender crosses into the
+// kernel to queue it, the kernel interrupts the target (possibly on
+// another CPU, via reschedule IPI), builds a signal frame in user space,
+// runs the handler, and sigreturns. Latency is µs-scale with a heavy
+// tail — "existing software mechanisms in Linux are unable to achieve
+// predictably low latencies for out-of-band event signaling" [36].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "linuxmodel/linux_stack.hpp"
+
+namespace iw::linuxmodel {
+
+/// Handler invoked on the target core at frame-entry time.
+using SignalHandler = std::function<void(hwsim::Core&)>;
+
+class SignalPath {
+ public:
+  explicit SignalPath(LinuxStack& stack);
+
+  /// Send a signal from `sender` to a thread on `target_core`. Charges
+  /// the sender's kernel-side send path now and schedules the target's
+  /// interruption + frame + handler + sigreturn after a drawn latency.
+  void send(hwsim::Core& sender, CoreId target_core, SignalHandler handler);
+
+  /// Kernel-originated signal (timer expiry): no user sender to charge;
+  /// the kernel-side queueing work happens on `origin_core`'s timeline
+  /// via a callback at time `t`.
+  void send_from_kernel(CoreId origin_core, Cycles t, CoreId target_core,
+                        SignalHandler handler);
+
+  /// Draw one delivery latency (cycles) — exposed for tests/benches.
+  Cycles draw_latency();
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] const LatencyHistogram& latency_hist() const {
+    return latency_hist_;
+  }
+
+ private:
+  void deliver_at(Cycles queue_time, CoreId target_core,
+                  SignalHandler handler);
+
+  LinuxStack& stack_;
+  Rng rng_;
+  std::uint64_t sent_{0};
+  std::uint64_t delivered_{0};
+  LatencyHistogram latency_hist_;
+};
+
+}  // namespace iw::linuxmodel

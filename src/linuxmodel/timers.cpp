@@ -1,0 +1,53 @@
+#include "linuxmodel/timers.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "hwsim/core.hpp"
+
+namespace iw::linuxmodel {
+
+PosixTimer::PosixTimer(LinuxStack& stack, CoreId core)
+    : stack_(stack), core_(core), rng_(stack.machine().rng().split()) {}
+
+void PosixTimer::arm_periodic(Cycles requested_period, TimerCallback cb) {
+  IW_ASSERT(requested_period > 0);
+  const auto& freq = stack_.machine().costs().freq;
+  const Cycles floor =
+      freq.us_to_cycles(stack_.costs().timer_min_period_us);
+  effective_period_ = std::max(requested_period, floor);
+  cb_ = std::move(cb);
+  armed_ = true;
+  ++generation_;
+  last_fire_ = stack_.machine().core(core_).clock();
+  schedule_next(last_fire_ + effective_period_);
+}
+
+void PosixTimer::stop() {
+  armed_ = false;
+  ++generation_;
+}
+
+void PosixTimer::schedule_next(Cycles ideal) {
+  const std::uint64_t gen = generation_;
+  auto& core = stack_.machine().core(core_);
+  const auto& freq = stack_.machine().costs().freq;
+  // Expiry slack: the hrtimer fires late by a lognormal amount.
+  const Cycles slack = freq.us_to_cycles(
+      rng_.lognormal_median(stack_.costs().timer_slack_us, 0.6));
+  const Cycles fire_at = ideal + slack;
+  core.post_callback(fire_at, [this, gen, ideal, fire_at, &core] {
+    if (!armed_ || gen != generation_) return;
+    ++expiries_;
+    // hrtimer interrupt + expiry processing on this CPU.
+    core.consume(stack_.machine().costs().interrupt_dispatch / 2 + 2400);
+    if (cb_) cb_(core, fire_at);
+    // Next expiry: hrtimers re-arm relative to *now* when they missed
+    // their slot (period coalescing), unlike the LAPIC's absolute mode.
+    const Cycles next_ideal =
+        std::max(ideal + effective_period_, core.clock());
+    schedule_next(next_ideal);
+  });
+}
+
+}  // namespace iw::linuxmodel

@@ -1,0 +1,50 @@
+// POSIX interval timer model (timer_create + hrtimers).
+//
+// Unlike the LAPIC (absolute cadence, cycle-exact), the kernel timer path
+// adds per-expiry slack and cannot sustain periods below a per-CPU floor:
+// each expiry costs kernel work (hrtimer interrupt, signal queueing), so
+// requested 20 µs periods degrade into best-effort delivery — the Linux
+// half of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "linuxmodel/linux_stack.hpp"
+
+namespace iw::linuxmodel {
+
+/// Expiry callback: runs as kernel work on the owning core.
+using TimerCallback = std::function<void(hwsim::Core&, Cycles expiry_time)>;
+
+class PosixTimer {
+ public:
+  PosixTimer(LinuxStack& stack, CoreId core);
+
+  /// Arm with the requested period (cycles). The effective period is
+  /// max(requested, per-CPU floor); each expiry lands with drawn slack.
+  void arm_periodic(Cycles requested_period, TimerCallback cb);
+
+  void stop();
+
+  [[nodiscard]] std::uint64_t expiries() const { return expiries_; }
+  [[nodiscard]] Cycles effective_period() const { return effective_period_; }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  void schedule_next(Cycles ideal);
+
+  LinuxStack& stack_;
+  CoreId core_;
+  Rng rng_;
+  bool armed_{false};
+  Cycles effective_period_{0};
+  Cycles last_fire_{0};
+  std::uint64_t generation_{0};
+  std::uint64_t expiries_{0};
+  TimerCallback cb_;
+};
+
+}  // namespace iw::linuxmodel

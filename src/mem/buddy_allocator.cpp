@@ -1,0 +1,115 @@
+#include "mem/buddy_allocator.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace iw::mem {
+
+BuddyAllocator::BuddyAllocator(Addr base, std::uint64_t size,
+                               std::uint64_t min_block)
+    : base_(base), size_(size), min_block_(min_block) {
+  IW_ASSERT_MSG(std::has_single_bit(size), "size must be a power of two");
+  IW_ASSERT_MSG(std::has_single_bit(min_block),
+                "min_block must be a power of two");
+  IW_ASSERT(size >= min_block);
+  IW_ASSERT_MSG(base % size == 0, "base must be size-aligned");
+  max_order_ = static_cast<unsigned>(std::countr_zero(size) -
+                                     std::countr_zero(min_block));
+  free_lists_.resize(max_order_ + 1);
+  free_lists_[max_order_].insert(base_);
+}
+
+unsigned BuddyAllocator::order_for(std::uint64_t bytes) const {
+  if (bytes <= min_block_) return 0;
+  const std::uint64_t granules = (bytes + min_block_ - 1) / min_block_;
+  return static_cast<unsigned>(std::bit_width(granules - 1));
+}
+
+std::optional<Addr> BuddyAllocator::alloc(std::uint64_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const unsigned want = order_for(bytes);
+  if (want > max_order_) return std::nullopt;
+
+  // Find the smallest order with a free block.
+  unsigned o = want;
+  while (o <= max_order_ && free_lists_[o].empty()) ++o;
+  if (o > max_order_) return std::nullopt;
+
+  Addr addr = *free_lists_[o].begin();
+  free_lists_[o].erase(free_lists_[o].begin());
+
+  // Split down to the wanted order, freeing the upper halves.
+  while (o > want) {
+    --o;
+    free_lists_[o].insert(addr + order_size(o));
+  }
+
+  allocated_order_.emplace(addr, want);
+  allocated_ += order_size(want);
+  return addr;
+}
+
+void BuddyAllocator::free(Addr addr) {
+  auto it = allocated_order_.find(addr);
+  IW_ASSERT_MSG(it != allocated_order_.end(), "free of unallocated address");
+  unsigned order = it->second;
+  allocated_order_.erase(it);
+  allocated_ -= order_size(order);
+
+  // Coalesce with free buddies as far as possible.
+  while (order < max_order_) {
+    const Addr buddy = buddy_of(addr, order);
+    auto bit = free_lists_[order].find(buddy);
+    if (bit == free_lists_[order].end()) break;
+    free_lists_[order].erase(bit);
+    addr = addr < buddy ? addr : buddy;
+    ++order;
+  }
+  free_lists_[order].insert(addr);
+}
+
+std::uint64_t BuddyAllocator::block_size(Addr addr) const {
+  auto it = allocated_order_.find(addr);
+  IW_ASSERT(it != allocated_order_.end());
+  return order_size(it->second);
+}
+
+std::uint64_t BuddyAllocator::largest_free_block() const {
+  for (unsigned o = max_order_ + 1; o-- > 0;) {
+    if (!free_lists_[o].empty()) return order_size(o);
+  }
+  return 0;
+}
+
+double BuddyAllocator::fragmentation() const {
+  const std::uint64_t free_total = free_bytes();
+  if (free_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) /
+                   static_cast<double>(free_total);
+}
+
+bool BuddyAllocator::check_invariants() const {
+  std::uint64_t free_sum = 0;
+  for (unsigned o = 0; o <= max_order_; ++o) {
+    for (Addr a : free_lists_[o]) {
+      if ((a - base_) % order_size(o) != 0) return false;  // misaligned
+      if (allocated_order_.contains(a)) return false;      // double-booked
+      // A free block's buddy at the same order must not also be free
+      // (they should have coalesced) unless the buddy is out of range.
+      if (o < max_order_) {
+        const Addr buddy = buddy_of(a, o);
+        if (free_lists_[o].contains(buddy)) return false;
+      }
+      free_sum += order_size(o);
+    }
+  }
+  std::uint64_t alloc_sum = 0;
+  for (const auto& [a, o] : allocated_order_) {
+    (void)a;
+    alloc_sum += order_size(o);
+  }
+  return free_sum + alloc_sum == size_ && alloc_sum == allocated_;
+}
+
+}  // namespace iw::mem

@@ -1,0 +1,72 @@
+// Binary buddy allocator over a simulated physical address range.
+//
+// Nautilus performs all memory management with per-zone buddy allocators
+// (paper §III). This is a faithful implementation: power-of-two blocks,
+// split on allocation, eager coalescing on free. It manages *simulated*
+// addresses — the kernel substrate and CARAT use it to model placement;
+// no host memory is touched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::mem {
+
+class BuddyAllocator {
+ public:
+  /// Manage [base, base+size). `size` must be a power of two >= min_block,
+  /// and `base` must be size-aligned. `min_block` is the smallest
+  /// allocatable granule (also a power of two).
+  BuddyAllocator(Addr base, std::uint64_t size, std::uint64_t min_block = 64);
+
+  /// Allocate at least `bytes`; returns the block address or nullopt.
+  std::optional<Addr> alloc(std::uint64_t bytes);
+
+  /// Free a previously allocated block. Asserts on invalid frees.
+  void free(Addr addr);
+
+  /// Size actually reserved for the block at `addr` (power of two).
+  [[nodiscard]] std::uint64_t block_size(Addr addr) const;
+
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] std::uint64_t capacity() const { return size_; }
+  [[nodiscard]] std::uint64_t allocated_bytes() const { return allocated_; }
+  [[nodiscard]] std::uint64_t free_bytes() const { return size_ - allocated_; }
+  [[nodiscard]] std::size_t live_blocks() const { return allocated_order_.size(); }
+
+  /// Largest contiguous block currently allocatable.
+  [[nodiscard]] std::uint64_t largest_free_block() const;
+
+  /// External fragmentation in [0,1]: 1 - largest_free / total_free.
+  [[nodiscard]] double fragmentation() const;
+
+  /// Internal consistency check (free lists disjoint, buddies coalesced).
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  [[nodiscard]] unsigned order_for(std::uint64_t bytes) const;
+  [[nodiscard]] std::uint64_t order_size(unsigned order) const {
+    return min_block_ << order;
+  }
+  [[nodiscard]] Addr buddy_of(Addr addr, unsigned order) const {
+    return ((addr - base_) ^ order_size(order)) + base_;
+  }
+
+  Addr base_;
+  std::uint64_t size_;
+  std::uint64_t min_block_;
+  unsigned max_order_;
+  std::uint64_t allocated_{0};
+  // Free blocks per order, kept sorted for deterministic allocation order.
+  std::vector<std::set<Addr>> free_lists_;
+  // Live allocations: address -> order.
+  std::unordered_map<Addr, unsigned> allocated_order_;
+};
+
+}  // namespace iw::mem

@@ -1,0 +1,38 @@
+#include "mem/numa.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iw::mem {
+
+NumaDomain::NumaDomain(NumaConfig cfg) : cfg_(cfg) {
+  IW_ASSERT(cfg.num_zones >= 1);
+  zones_.reserve(cfg.num_zones);
+  for (unsigned z = 0; z < cfg.num_zones; ++z) {
+    zones_.push_back(std::make_unique<BuddyAllocator>(
+        static_cast<Addr>(z) * cfg.zone_size, cfg.zone_size, cfg.min_block));
+  }
+}
+
+unsigned NumaDomain::zone_of_addr(Addr a) const {
+  const auto z = static_cast<unsigned>(a / cfg_.zone_size);
+  IW_ASSERT(z < zones_.size());
+  return z;
+}
+
+std::optional<Addr> NumaDomain::alloc_on(unsigned zone, std::uint64_t bytes) {
+  IW_ASSERT(zone < zones_.size());
+  // Preferred zone first, then increasing distance (ring order).
+  for (unsigned d = 0; d < num_zones(); ++d) {
+    const unsigned z = (zone + d) % num_zones();
+    if (auto a = zones_[z]->alloc(bytes)) return a;
+  }
+  return std::nullopt;
+}
+
+void NumaDomain::free(Addr addr) {
+  zones_[zone_of_addr(addr)]->free(addr);
+}
+
+}  // namespace iw::mem

@@ -1,0 +1,63 @@
+// NUMA topology: zones, zone-aware allocation, and access-cost lookup.
+//
+// Nautilus selects a buddy allocator per target zone and guarantees that
+// a bound thread's essential state lives in the most desirable zone
+// (paper §III). NumaDomain models that policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/buddy_allocator.hpp"
+
+namespace iw::mem {
+
+struct NumaConfig {
+  unsigned num_zones{2};
+  std::uint64_t zone_size{1ULL << 30};  // bytes per zone (power of two)
+  unsigned cores_per_zone{8};
+  std::uint64_t min_block{64};
+};
+
+class NumaDomain {
+ public:
+  explicit NumaDomain(NumaConfig cfg);
+
+  [[nodiscard]] unsigned num_zones() const {
+    return static_cast<unsigned>(zones_.size());
+  }
+  [[nodiscard]] BuddyAllocator& zone(unsigned z) { return *zones_[z]; }
+
+  /// Zone that `core` belongs to.
+  [[nodiscard]] unsigned zone_of_core(CoreId core) const {
+    return static_cast<unsigned>(core / cfg_.cores_per_zone) % num_zones();
+  }
+  /// Zone that owns address `a`; asserts if out of range.
+  [[nodiscard]] unsigned zone_of_addr(Addr a) const;
+
+  /// Allocate preferring `zone`, falling back to others nearest-first.
+  std::optional<Addr> alloc_on(unsigned zone, std::uint64_t bytes);
+
+  /// Allocate in the zone local to `core`.
+  std::optional<Addr> alloc_local(CoreId core, std::uint64_t bytes) {
+    return alloc_on(zone_of_core(core), bytes);
+  }
+
+  void free(Addr addr);
+
+  /// Is `addr` local to `core`'s zone?
+  [[nodiscard]] bool is_local(CoreId core, Addr addr) const {
+    return zone_of_core(core) == zone_of_addr(addr);
+  }
+
+  [[nodiscard]] const NumaConfig& config() const { return cfg_; }
+
+ private:
+  NumaConfig cfg_;
+  std::vector<std::unique_ptr<BuddyAllocator>> zones_;
+};
+
+}  // namespace iw::mem

@@ -1,0 +1,32 @@
+#include "mem/tlb.hpp"
+
+#include "common/assert.hpp"
+
+namespace iw::mem {
+
+Tlb::Tlb(TlbConfig cfg) : cfg_(cfg) { IW_ASSERT(cfg.entries >= 1); }
+
+Cycles Tlb::access(Addr addr) {
+  const std::uint64_t page = addr / cfg_.page_size;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return cfg_.hit_cost;
+  }
+  ++misses_;
+  if (map_.size() >= cfg_.entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return cfg_.miss_walk_cost;
+}
+
+void Tlb::flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace iw::mem

@@ -1,0 +1,53 @@
+// Fully-associative LRU TLB model with cycle accounting.
+//
+// The paper's argument (§I, §IV-A): identity mapping with the largest
+// possible pages means TLB entries can cover the whole physical address
+// space — after warm-up there are *no* TLB misses; paging-based stacks
+// pay walks continuously. Tlb lets both stacks charge translation costs
+// against the same access streams.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace iw::mem {
+
+struct TlbConfig {
+  unsigned entries{64};
+  std::uint64_t page_size{4096};
+  Cycles hit_cost{0};
+  Cycles miss_walk_cost{130};
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig cfg);
+
+  /// Translate an access to `addr`; returns the cycle cost (hit or walk)
+  /// and updates LRU state.
+  Cycles access(Addr addr);
+
+  void flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_rate() const {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  [[nodiscard]] const TlbConfig& config() const { return cfg_; }
+
+ private:
+  TlbConfig cfg_;
+  // LRU list of page numbers, most-recent at front; map for O(1) lookup.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace iw::mem

@@ -1,0 +1,23 @@
+#include "nautilus/event.hpp"
+
+#include "nautilus/kernel.hpp"
+
+namespace iw::nautilus {
+
+unsigned WaitQueue::signal(hwsim::Core& from, unsigned n) {
+  unsigned woken = 0;
+  while (woken < n && !waiters_.empty()) {
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    kernel_.wake(t, from);
+    ++woken;
+  }
+  signals_ += woken;
+  return woken;
+}
+
+unsigned WaitQueue::broadcast(hwsim::Core& from) {
+  return signal(from, static_cast<unsigned>(waiters_.size()));
+}
+
+}  // namespace iw::nautilus

@@ -1,0 +1,48 @@
+// Wait queues and condition-style events. Nautilus event signaling is
+// one of the primitives the paper reports as orders of magnitude faster
+// than Linux's (§III): a wake is a queue move plus, for a remote core,
+// one IPI-latency hop — no kernel/user crossing exists to pay for.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+class Core;
+}
+
+namespace iw::nautilus {
+
+class Kernel;
+class Thread;
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Kernel& kernel) : kernel_(kernel) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Wake up to `n` waiters; `from` is the signaling core (pays the wake
+  /// cost; remote waiters additionally see IPI latency). Returns the
+  /// number of threads woken.
+  unsigned signal(hwsim::Core& from, unsigned n = 1);
+
+  /// Wake all waiters.
+  unsigned broadcast(hwsim::Core& from);
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t total_signals() const { return signals_; }
+
+ private:
+  friend class Kernel;
+  void enqueue(Thread* t) { waiters_.push_back(t); }
+
+  Kernel& kernel_;
+  std::deque<Thread*> waiters_;
+  std::uint64_t signals_{0};
+};
+
+}  // namespace iw::nautilus

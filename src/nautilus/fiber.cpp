@@ -1,0 +1,94 @@
+#include "nautilus/fiber.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::nautilus {
+
+FiberSet::FiberSet(FiberSetConfig cfg, Cycles fp_save, Cycles fp_restore)
+    : cfg_(cfg), fp_save_(fp_save), fp_restore_(fp_restore) {}
+
+Fiber* FiberSet::add(FiberConfig cfg) {
+  IW_ASSERT(cfg.body != nullptr);
+  auto f = std::make_unique<Fiber>(fibers_.size() + 1, std::move(cfg));
+  Fiber* raw = f.get();
+  fibers_.push_back(std::move(f));
+  ready_.push_back(raw);
+  ++live_;
+  return raw;
+}
+
+void FiberSet::switch_fibers(Cycles& charge) {
+  Cycles cost = 0;
+  if (current_ != nullptr) {
+    cost += cfg_.save_cost;
+    if (current_->fp_live()) cost += fp_save_;
+    current_->since_yield_ = 0;
+    if (!current_->done_) ready_.push_back(current_);
+    current_ = nullptr;
+  }
+  cost += cfg_.pick_cost;
+  if (!ready_.empty()) {
+    current_ = ready_.front();
+    ready_.pop_front();
+    cost += cfg_.restore_cost;
+    if (current_->fp_live()) cost += fp_restore_;
+  }
+  ++stats_.switches;
+  stats_.switch_overhead += cost;
+  charge += cost;
+}
+
+ThreadBody FiberSet::as_thread_body() {
+  return [this](ThreadContext& tctx) -> StepResult {
+    Cycles charge = 0;
+    if (current_ == nullptr) {
+      if (ready_.empty()) {
+        return all_done() ? StepResult::done(std::max<Cycles>(charge, 1))
+                          : StepResult::yield(std::max<Cycles>(charge, 1));
+      }
+      switch_fibers(charge);
+    }
+    Fiber* f = current_;
+    FiberContext fctx{*f, tctx};
+    const FiberStep r = f->cfg_.body(fctx);
+    charge += r.cycles;
+    f->run_cycles_ += r.cycles;
+    f->since_yield_ += r.cycles;
+
+    if (cfg_.mode == FiberMode::kCompilerTimed && r.cycles > 0) {
+      // The compiler guaranteed a timing call at least every
+      // check_interval cycles along this region.
+      const std::uint64_t checks =
+          1 + (r.cycles - 1) / std::max<Cycles>(cfg_.check_interval, 1);
+      stats_.timing_checks += checks;
+      const Cycles check_cost = checks * cfg_.timing_check_cost;
+      stats_.check_overhead += check_cost;
+      charge += check_cost;
+    }
+
+    switch (r.next) {
+      case FiberStep::Next::kDone:
+        f->done_ = true;
+        IW_ASSERT(live_ > 0);
+        --live_;
+        current_ = nullptr;
+        if (!ready_.empty() || live_ > 0) switch_fibers(charge);
+        break;
+      case FiberStep::Next::kYield:
+        switch_fibers(charge);
+        break;
+      case FiberStep::Next::kContinue:
+        if (cfg_.mode == FiberMode::kCompilerTimed &&
+            f->since_yield_ >= cfg_.quantum && !ready_.empty()) {
+          switch_fibers(charge);  // framework-forced preemption
+        }
+        break;
+    }
+    if (all_done()) return StepResult::done(std::max<Cycles>(charge, 1));
+    return StepResult::cont(std::max<Cycles>(charge, 1));
+  };
+}
+
+}  // namespace iw::nautilus

@@ -1,0 +1,38 @@
+#include "nautilus/irq.hpp"
+
+#include <vector>
+
+namespace iw::nautilus {
+
+void IrqSteering::route(int vector, CoreId target, hwsim::IrqHandler handler) {
+  auto it = routes_.find(vector);
+  if (it != routes_.end() && it->second != target) {
+    machine_.core(it->second).set_irq_handler(vector, nullptr);
+  }
+  routes_[vector] = target;
+  machine_.core(target).set_irq_handler(vector, std::move(handler));
+}
+
+CoreId IrqSteering::target_of(int vector) const {
+  auto it = routes_.find(vector);
+  return it == routes_.end() ? 0 : it->second;
+}
+
+void IrqSteering::raise(int vector, Cycles t) {
+  machine_.core(target_of(vector)).post_irq(t, vector);
+}
+
+unsigned IrqSteering::quiet_cores() const {
+  std::vector<bool> noisy(machine_.num_cores(), false);
+  for (const auto& [vec, core] : routes_) {
+    (void)vec;
+    noisy[core] = true;
+  }
+  unsigned quiet = 0;
+  for (bool n : noisy) {
+    if (!n) ++quiet;
+  }
+  return quiet;
+}
+
+}  // namespace iw::nautilus

@@ -1,0 +1,39 @@
+// Interrupt steering (paper §III: "interrupts are fully steerable, and
+// thus can largely be avoided on most hardware threads"). A steering
+// table maps device vectors to target cores; devices consult it when
+// raising interrupts, and handlers install per-core.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "hwsim/core.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::nautilus {
+
+class IrqSteering {
+ public:
+  explicit IrqSteering(hwsim::Machine& machine) : machine_(machine) {}
+
+  /// Route `vector` to `target`, installing `handler` there. Any previous
+  /// route's handler is removed from its old core.
+  void route(int vector, CoreId target, hwsim::IrqHandler handler);
+
+  /// Core currently receiving `vector` (default: core 0).
+  [[nodiscard]] CoreId target_of(int vector) const;
+
+  /// Raise `vector` through the steering table at absolute time `t`.
+  void raise(int vector, Cycles t);
+
+  /// Number of cores receiving no device interrupts at all (the property
+  /// Nautilus exploits to keep worker cores quiet).
+  [[nodiscard]] unsigned quiet_cores() const;
+
+ private:
+  hwsim::Machine& machine_;
+  std::unordered_map<int, CoreId> routes_;
+};
+
+}  // namespace iw::nautilus

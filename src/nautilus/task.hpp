@@ -1,0 +1,32 @@
+// Nautilus task framework — "a Linux-like SoftIRQ framework. Unlike
+// SoftIRQs, however, if the compiler can estimate task size, its tasks
+// can be run in the scheduler itself, even in interrupt context"
+// (paper §V-A). CCK OpenMP compiles directly to these tasks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace iw::nautilus {
+
+/// A task body returns the cycles it consumed.
+using TaskFn = std::function<Cycles()>;
+
+struct Task {
+  TaskFn fn;
+  /// Compiler's size estimate in cycles; tasks below the kernel's
+  /// `small_task_threshold` are eligible to run inline in the scheduler
+  /// or in interrupt context (no dispatch to a worker step).
+  Cycles size_hint{0};
+};
+
+struct TaskStats {
+  std::uint64_t executed{0};
+  std::uint64_t executed_inline{0};  // ran in scheduler/interrupt context
+  Cycles total_cycles{0};
+  Cycles dispatch_overhead{0};
+};
+
+}  // namespace iw::nautilus

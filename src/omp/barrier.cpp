@@ -1,0 +1,31 @@
+#include "omp/barrier.hpp"
+
+namespace iw::omp {
+
+std::uint64_t SpinBarrier::arrive(hwsim::Core& core) {
+  core.consume(core.costs().atomic_rmw);
+  const std::uint64_t gen = generation_;
+  if (++count_ >= parties_) {
+    count_ = 0;
+    ++generation_;
+  }
+  return gen;
+}
+
+FutexBarrier::Arrival FutexBarrier::arrive(hwsim::Core& core,
+                                           Cycles work_done) {
+  core.consume(core.costs().atomic_rmw);
+  Arrival a;
+  if (++count_ >= parties_) {
+    count_ = 0;
+    a.last = true;
+    // Serial wake chain on the last arriver's core.
+    futex_.wake_all(core, addr_);
+    return a;
+  }
+  a.last = false;
+  a.block = futex_.wait(core, addr_, work_done);
+  return a;
+}
+
+}  // namespace iw::omp

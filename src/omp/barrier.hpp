@@ -1,0 +1,70 @@
+// OpenMP barrier implementations per execution mode (paper §V-A).
+//
+// RTK/PIK (in-kernel): a spin barrier — one atomic arrive, spinners
+// burn cycles until the generation flips; no syscalls exist to pay.
+//
+// Linux (libomp-over-futex): arrivals cross into the kernel; the last
+// arriver wakes every waiter through the futex path, serialized on its
+// own core and paying per-wake costs plus IPI latency to remote CPUs.
+// At high thread counts this serial wake chain dominates — which is why
+// Fig. 6's gap grows with scale.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "hwsim/core.hpp"
+#include "linuxmodel/futex.hpp"
+#include "nautilus/event.hpp"
+
+namespace iw::omp {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+  /// Arrive; pays one atomic RMW on `core`. Returns the generation to
+  /// poll against (passed() flips when everyone arrived).
+  std::uint64_t arrive(hwsim::Core& core);
+
+  [[nodiscard]] bool passed(std::uint64_t gen) const {
+    return generation_ != gen;
+  }
+  /// Cycles one spin-poll costs (load + pause).
+  [[nodiscard]] static constexpr Cycles spin_cost() { return 40; }
+
+  void reset(unsigned parties) {
+    parties_ = parties;
+    count_ = 0;
+  }
+
+ private:
+  unsigned parties_;
+  unsigned count_{0};
+  std::uint64_t generation_{0};
+};
+
+class FutexBarrier {
+ public:
+  FutexBarrier(linuxmodel::FutexTable& futex, Addr addr, unsigned parties)
+      : futex_(futex), addr_(addr), parties_(parties) {}
+
+  struct Arrival {
+    bool last{false};
+    nautilus::StepResult block;  // valid when !last
+  };
+
+  /// Arrive with `work_done` cycles accumulated in this step. If not
+  /// last, the returned StepResult blocks the thread on the futex; if
+  /// last, all waiters are woken (serialized on `core`) and the caller
+  /// proceeds.
+  Arrival arrive(hwsim::Core& core, Cycles work_done);
+
+ private:
+  linuxmodel::FutexTable& futex_;
+  Addr addr_;
+  unsigned parties_;
+  unsigned count_{0};
+};
+
+}  // namespace iw::omp

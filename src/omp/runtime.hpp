@@ -1,0 +1,84 @@
+// "iwomp": the mini OpenMP runtime with the paper's four execution
+// modes (§V-A, Fig. 6).
+//
+//   kLinux — the commodity baseline: user threads over the Linux stack
+//            (futex barriers, housekeeping ticks, demand paging + small
+//            TLB, syscall-priced primitives);
+//   kRTK  — "runtime in kernel": the OpenMP runtime ported into
+//            Nautilus; kernel threads, spin barriers, tickless cores,
+//            identity paging;
+//   kPIK  — "process in kernel": unmodified user-level code admitted
+//            into the kernel via the CARAT/PIK path; performance is
+//            RTK-like plus the residual (hoisted) guard cost;
+//   kCCK  — "custom compilation for kernel": loops compile directly to
+//            the kernel task framework; no barriers, per-task dispatch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hwsim/machine.hpp"
+#include "linuxmodel/futex.hpp"
+#include "linuxmodel/linux_stack.hpp"
+#include "mem/paging.hpp"
+#include "nautilus/kernel.hpp"
+#include "omp/barrier.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace iw::omp {
+
+enum class OmpMode { kLinux, kRTK, kPIK, kCCK };
+
+[[nodiscard]] const char* mode_name(OmpMode m);
+
+struct OmpConfig {
+  OmpMode mode{OmpMode::kRTK};
+  unsigned num_threads{16};
+  /// Iterations executed between scheduler-visible step boundaries.
+  std::uint64_t iter_chunk{64};
+  /// schedule(dynamic, N): workers pull N-iteration chunks from a shared
+  /// counter behind a lock (0 = schedule(static), the NAS default).
+  std::uint64_t dynamic_chunk{0};
+  /// PIK residual: cycles of hoisted-guard work per phase per worker.
+  Cycles pik_phase_guard_cost{900};
+  /// CCK: loop iterations per generated task.
+  std::uint64_t cck_task_iters{512};
+  /// Barrier wait policy on Linux: libomp's default is active spinning
+  /// (KMP_BLOCKTIME); passive waiting goes through the futex path.
+  bool linux_passive_wait{false};
+  /// Fraction of workers found parked at a region start (they exceeded
+  /// the active-spin window) and the serial per-wake cost the master
+  /// pays to bring each back — the fork-join cost kernel-level
+  /// runtimes do not have.
+  double linux_park_fraction{0.5};
+  Cycles linux_region_wake_cost{1'600};
+  /// Linux OS-noise model: unsteerable kworker/softirq/IRQ activity
+  /// periodically steals a core (mean gap / median burst, in µs).
+  /// Barriers amplify one core's delay to all — the classic OS-noise
+  /// mechanism behind the growing-with-scale gap of Fig. 6.
+  double noise_gap_us{2'500.0};
+  double noise_burst_us{5.0};
+  hwsim::CostModel costs{hwsim::CostModel::knl()};
+  std::uint64_t seed{42};
+};
+
+struct OmpResult {
+  Cycles makespan{0};
+  std::uint64_t barriers_passed{0};
+  std::uint64_t tasks_executed{0};
+  std::uint64_t syscalls{0};
+  double tlb_miss_rate{0.0};
+};
+
+/// Run one mini-app under one mode on a fresh machine.
+OmpResult run_miniapp(const workloads::MiniApp& app, const OmpConfig& cfg);
+
+/// Fig. 6 helper: relative performance of `mode` vs the Linux baseline
+/// at the same thread count (>1 means faster than Linux).
+double relative_to_linux(const workloads::MiniApp& app, OmpMode mode,
+                         unsigned threads, const OmpConfig& base = {});
+
+}  // namespace iw::omp

@@ -1,0 +1,164 @@
+#include "omp/tasking.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "linuxmodel/linux_stack.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace iw::omp {
+
+namespace {
+
+/// Shared task pool with a serialized critical section: `lock_free_at`
+/// models the pool lock's timeline, so pop contention grows with the
+/// number of workers hammering it — the EPCC scaling effect.
+struct TaskPool {
+  std::uint64_t remaining{0};
+  Cycles lock_free_at{0};
+  Cycles op_cost{70};
+
+  /// Try to pop at `now`; returns {got_task, cycles_spent}.
+  std::pair<bool, Cycles> pop(Cycles now) {
+    const Cycles start = std::max(now, lock_free_at);
+    const Cycles done = start + op_cost;
+    lock_free_at = done;
+    const Cycles spent = done - now;
+    if (remaining == 0) return {false, spent};
+    --remaining;
+    return {true, spent};
+  }
+
+  /// Push one task at `now` (master side).
+  Cycles push(Cycles now, Cycles spawn_cost) {
+    const Cycles start = std::max(now, lock_free_at);
+    const Cycles done = start + spawn_cost;
+    lock_free_at = done;
+    ++remaining;
+    return done - now;
+  }
+};
+
+TaskBenchResult run_threaded_tasks(const TaskBenchConfig& cfg) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = cfg.threads;
+  mc.costs = cfg.costs;
+  mc.max_advances = 4'000'000'000ULL;
+  hwsim::Machine m(mc);
+
+  std::unique_ptr<linuxmodel::LinuxStack> lx;
+  std::unique_ptr<nautilus::Kernel> nk;
+  nautilus::Kernel* k;
+  Cycles spawn_cost, pop_cost;
+  if (cfg.mode == OmpMode::kLinux) {
+    lx = std::make_unique<linuxmodel::LinuxStack>(m);
+    k = &lx->kernel();
+    spawn_cost = 260;  // heap-allocated task descriptor + locked push
+    pop_cost = 170;    // lock + dequeue + unlock
+  } else {
+    nk = std::make_unique<nautilus::Kernel>(m);
+    k = nk.get();
+    spawn_cost = 110;  // pool-allocated descriptor + atomic push
+    pop_cost = 70;     // atomic pop
+  }
+  k->attach();
+
+  auto pool = std::make_shared<TaskPool>();
+  pool->op_cost = pop_cost;
+  auto spawned = std::make_shared<std::uint64_t>(0);
+  auto executed = std::make_shared<std::uint64_t>(0);
+  auto done_at = std::make_shared<std::vector<Cycles>>(cfg.threads, 0);
+
+  for (unsigned wid = 0; wid < cfg.threads; ++wid) {
+    nautilus::ThreadConfig tc;
+    tc.bound_core = wid;
+    tc.name = "taskworker" + std::to_string(wid);
+    tc.body = [cfg, pool, spawned, executed, done_at, wid,
+               spawn_cost](nautilus::ThreadContext& ctx)
+        -> nautilus::StepResult {
+      const Cycles now = ctx.core.clock();
+      // Master spawns in bursts interleaved with execution (EPCC's
+      // single-producer pattern).
+      if (wid == 0 && *spawned < cfg.num_tasks) {
+        Cycles charge = 0;
+        const std::uint64_t burst =
+            std::min<std::uint64_t>(16, cfg.num_tasks - *spawned);
+        for (std::uint64_t i = 0; i < burst; ++i) {
+          charge += pool->push(now + charge, spawn_cost);
+          ++*spawned;
+        }
+        return nautilus::StepResult::cont(std::max<Cycles>(charge, 1));
+      }
+      // Everyone (master included, once done spawning) drains the pool.
+      const auto [got, spent] = pool->pop(now);
+      if (got) {
+        ++*executed;
+        Cycles charge = spent + cfg.task_cycles;
+        if (cfg.mode == OmpMode::kPIK) charge += 8;  // residual guard
+        return nautilus::StepResult::cont(charge);
+      }
+      if (*spawned >= cfg.num_tasks && *executed >= cfg.num_tasks) {
+        (*done_at)[wid] = ctx.core.clock() + spent;
+        return nautilus::StepResult::done(std::max<Cycles>(spent, 1));
+      }
+      return nautilus::StepResult::cont(std::max<Cycles>(spent, 1));
+    };
+    k->spawn(std::move(tc));
+  }
+
+  const bool ok = m.run();
+  IW_ASSERT_MSG(ok, "task microbench hit watchdog");
+
+  TaskBenchResult res;
+  res.tasks_run = *executed;
+  for (Cycles t : *done_at) res.makespan = std::max(res.makespan, t);
+  const double total_cpu =
+      static_cast<double>(res.makespan) * cfg.threads;
+  const double body =
+      static_cast<double>(cfg.num_tasks) * cfg.task_cycles;
+  res.per_task_overhead =
+      (total_cpu - body) / static_cast<double>(cfg.num_tasks);
+  return res;
+}
+
+TaskBenchResult run_cck_tasks(const TaskBenchConfig& cfg) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = cfg.threads;
+  mc.costs = cfg.costs;
+  mc.max_advances = 4'000'000'000ULL;
+  hwsim::Machine m(mc);
+  nautilus::Kernel k(m);
+  k.attach();
+  // The compiler emitted the task set directly onto per-core queues:
+  // no shared pool, no runtime descriptor allocation.
+  for (std::uint64_t t = 0; t < cfg.num_tasks; ++t) {
+    nautilus::Task task;
+    task.size_hint = cfg.task_cycles;
+    task.fn = [cycles = cfg.task_cycles]() -> Cycles { return cycles; };
+    k.submit_task(static_cast<CoreId>(t % cfg.threads), std::move(task));
+  }
+  const bool ok = m.run();
+  IW_ASSERT(ok);
+
+  TaskBenchResult res;
+  res.tasks_run = k.stats().tasks.executed;
+  res.makespan = m.now();
+  const double total_cpu =
+      static_cast<double>(res.makespan) * cfg.threads;
+  const double body =
+      static_cast<double>(cfg.num_tasks) * cfg.task_cycles;
+  res.per_task_overhead =
+      (total_cpu - body) / static_cast<double>(cfg.num_tasks);
+  return res;
+}
+
+}  // namespace
+
+TaskBenchResult run_task_microbench(const TaskBenchConfig& cfg) {
+  IW_ASSERT(cfg.threads >= 1);
+  if (cfg.mode == OmpMode::kCCK) return run_cck_tasks(cfg);
+  return run_threaded_tasks(cfg);
+}
+
+}  // namespace iw::omp

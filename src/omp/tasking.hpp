@@ -1,0 +1,40 @@
+// OpenMP tasking across the execution modes (paper §V-A): the EPCC task
+// microbenchmark shape — a master spawns many small tasks, workers
+// drain a shared pool. What differs per mode is exactly the paper's
+// argument:
+//   Linux — task allocation + a lock-guarded pool in user space, with
+//           the usual stack underneath (ticks, crossings);
+//   RTK/PIK — the same runtime structure with streamlined kernel
+//           primitives (cheap atomics, no ticks);
+//   CCK  — no runtime pool at all: tasks compile directly onto the
+//           kernel task framework, small ones run inline in the
+//           scheduler ("even in interrupt context").
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "hwsim/cost_model.hpp"
+#include "omp/runtime.hpp"
+
+namespace iw::omp {
+
+struct TaskBenchConfig {
+  OmpMode mode{OmpMode::kRTK};
+  unsigned threads{8};
+  std::uint64_t num_tasks{4'096};
+  Cycles task_cycles{600};  // EPCC-style small tasks
+  hwsim::CostModel costs{hwsim::CostModel::knl()};
+};
+
+struct TaskBenchResult {
+  Cycles makespan{0};
+  std::uint64_t tasks_run{0};
+  /// Total CPU overhead beyond the task bodies, per task:
+  /// (makespan * threads - num_tasks * task_cycles) / num_tasks.
+  double per_task_overhead{0.0};
+};
+
+TaskBenchResult run_task_microbench(const TaskBenchConfig& cfg);
+
+}  // namespace iw::omp

@@ -1,0 +1,122 @@
+#include "passes/guard_hoisting.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "passes/provenance.hpp"
+
+namespace iw::passes {
+
+namespace {
+
+/// Is register `r` assigned anywhere inside the loop?
+bool defined_in_loop(const ir::Function& f, const ir::Loop& loop,
+                     ir::Reg r) {
+  if (r == ir::kNoReg) return false;
+  for (ir::BlockId b : loop.blocks) {
+    const auto& bb = f.block(b);
+    for (const auto& i : bb.body) {
+      if (i.r == r) return true;
+    }
+    if (bb.term.r == r) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HoistStats hoist_guards(ir::Function& f) {
+  HoistStats stats;
+
+  // --- In-block aggregation: a guard is redundant if an earlier guard in
+  // the same block covers the same base with no intervening redefinition
+  // of the base register. The surviving guard widens to the union span.
+  for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+    auto& bb = f.block(static_cast<ir::BlockId>(bi));
+    // (base reg -> index of the covering guard in bb.body)
+    std::vector<std::pair<ir::Reg, std::size_t>> active;
+    for (std::size_t k = 0; k < bb.body.size(); ++k) {
+      auto& i = bb.body[k];
+      if (i.op == ir::Op::kGuard) {
+        auto it = std::find_if(active.begin(), active.end(),
+                               [&](auto& p) { return p.first == i.a; });
+        if (it != active.end()) {
+          auto& cover = bb.body[it->second];
+          // Widen the covering guard to include this access.
+          const auto lo = std::min(cover.imm, i.imm);
+          const auto hi =
+              std::max(cover.imm + cover.imm2, i.imm + i.imm2);
+          cover.imm = lo;
+          cover.imm2 = hi - lo;
+          cover.b = std::max(cover.b, i.b);  // write dominates read
+          bb.body.erase(bb.body.begin() + static_cast<std::ptrdiff_t>(k));
+          --k;
+          ++stats.aggregated;
+          continue;
+        }
+        active.emplace_back(i.a, k);
+        continue;
+      }
+      if (i.r != ir::kNoReg) {
+        // Redefinition kills coverage for that base.
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](auto& p) { return p.first == i.r; }),
+                     active.end());
+      }
+    }
+  }
+
+  // --- Loop hoisting, innermost loops first so guards bubble outward
+  // through nested loops when the allocation root is invariant at every
+  // level. The root is recovered by pointer-provenance tracing: the
+  // access address may be recomputed every iteration (base + i*8), but
+  // as long as it derives from a loop-invariant allocation root, one
+  // whole-allocation check outside the loop covers every access.
+  ProvenanceAnalysis pa(f);
+  ir::DominatorTree dt(f);
+  ir::LoopInfo li(f, dt);
+  std::vector<ir::Loop*> by_depth;
+  for (const auto& l : li.loops()) by_depth.push_back(l.get());
+  std::sort(by_depth.begin(), by_depth.end(),
+            [](const ir::Loop* a, const ir::Loop* b) {
+              return a->depth > b->depth;
+            });
+
+  for (ir::Loop* loop : by_depth) {
+    const ir::BlockId ph = li.preheader(f, *loop);
+    if (ph == -1) continue;  // no unique preheader: leave guards in place
+    std::set<ir::Reg> hoist_bases;
+    for (ir::BlockId b : loop->blocks) {
+      auto& bb = f.block(b);
+      for (std::size_t k = 0; k < bb.body.size(); ++k) {
+        auto& i = bb.body[k];
+        if (i.op != ir::Op::kGuard && i.op != ir::Op::kGuardRange) continue;
+        const ir::Reg root = pa.root_of(i.a);
+        if (root == ir::kNoReg || defined_in_loop(f, *loop, root)) continue;
+        hoist_bases.insert(root);
+        bb.body.erase(bb.body.begin() + static_cast<std::ptrdiff_t>(k));
+        --k;
+        ++stats.hoisted;
+      }
+    }
+    auto& phb = f.block(ph);
+    for (ir::Reg base : hoist_bases) {
+      // Dedupe: the preheader may already range-guard this base.
+      const bool exists = std::any_of(
+          phb.body.begin(), phb.body.end(), [&](const ir::Instr& i) {
+            return i.op == ir::Op::kGuardRange && i.a == base;
+          });
+      if (exists) continue;
+      ir::Instr g = ir::Instr::make(ir::Op::kGuardRange);
+      g.a = base;
+      phb.body.push_back(g);
+      ++stats.range_guards;
+    }
+  }
+  return stats;
+}
+
+}  // namespace iw::passes

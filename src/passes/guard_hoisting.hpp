@@ -1,0 +1,28 @@
+// CARAT guard hoisting and aggregation (paper §IV-A, optimized phase).
+//
+// "Modern code analysis techniques can provide the information necessary
+// to aggregate and hoist protection and tracking code, thus taking it
+// out of the critical path in most instances."
+//
+// Two transformations:
+//  * In-block aggregation: consecutive guards on the same base register
+//    collapse into one covering guard.
+//  * Loop hoisting: a guard whose base register is loop-invariant is
+//    replaced by a single whole-allocation kGuardRange in the loop
+//    preheader (CARAT knows allocation bounds, so a base-only range
+//    check covers every in-bounds offset from that base).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+struct HoistStats {
+  unsigned hoisted{0};      // per-access guards removed by loop hoisting
+  unsigned aggregated{0};   // guards merged within blocks
+  unsigned range_guards{0}; // kGuardRange instrs inserted in preheaders
+};
+
+HoistStats hoist_guards(ir::Function& f);
+
+}  // namespace iw::passes

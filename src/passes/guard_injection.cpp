@@ -1,0 +1,45 @@
+#include "passes/guard_injection.hpp"
+
+namespace iw::passes {
+
+GuardStats inject_guards(ir::Function& f) {
+  GuardStats stats;
+  for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+    auto& bb = f.block(static_cast<ir::BlockId>(bi));
+    for (std::size_t k = 0; k < bb.body.size(); ++k) {
+      const ir::Instr access = bb.body[k];  // copy: insert invalidates refs
+      if (!ir::is_memory_access(access.op)) continue;
+      // Idempotence: skip if the previous instruction already guards
+      // this exact access.
+      if (k > 0) {
+        const auto& prev = bb.body[k - 1];
+        if (prev.op == ir::Op::kGuard && prev.a == access.a &&
+            prev.imm == access.imm) {
+          continue;
+        }
+      }
+      ir::Instr g = ir::Instr::make(ir::Op::kGuard);
+      g.a = access.a;       // base register of the access
+      g.imm = access.imm;   // byte offset
+      g.imm2 = 8;           // access width
+      g.b = access.op == ir::Op::kStore ? 1 : 0;  // write flag
+      bb.body.insert(bb.body.begin() + static_cast<std::ptrdiff_t>(k), g);
+      ++k;  // skip past the access we just guarded
+      ++stats.guards_inserted;
+      if (access.op == ir::Op::kStore) {
+        ++stats.stores_guarded;
+      } else {
+        ++stats.loads_guarded;
+      }
+    }
+  }
+  return stats;
+}
+
+unsigned count_guards(const ir::Function& f) {
+  return static_cast<unsigned>(f.count_instrs([](const ir::Instr& i) {
+    return i.op == ir::Op::kGuard || i.op == ir::Op::kGuardRange;
+  }));
+}
+
+}  // namespace iw::passes

@@ -1,0 +1,25 @@
+// CARAT guard injection (paper §IV-A, naive phase).
+//
+// "Conceptually, protection check code is introduced at each read or
+// write" — this pass does exactly that: every kLoad/kStore gets a kGuard
+// immediately before it, checking the accessed range with the access's
+// width and direction. GuardHoisting then recovers the <6% overhead by
+// aggregating and hoisting these checks.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+struct GuardStats {
+  unsigned guards_inserted{0};
+  unsigned loads_guarded{0};
+  unsigned stores_guarded{0};
+};
+
+GuardStats inject_guards(ir::Function& f);
+
+/// Count guards of both kinds currently in `f` (for overhead reporting).
+unsigned count_guards(const ir::Function& f);
+
+}  // namespace iw::passes

@@ -1,0 +1,29 @@
+#include "passes/pass_manager.hpp"
+
+#include "common/assert.hpp"
+#include "ir/verify.hpp"
+
+namespace iw::passes {
+
+void PassManager::add(std::string name, FnPass pass) {
+  passes_.emplace_back(std::move(name), std::move(pass));
+}
+
+void PassManager::run(ir::Function& f, const ir::Module* m) {
+  for (auto& [name, pass] : passes_) {
+    pass(f);
+    const std::string err = ir::verify(f, m);
+    IW_ASSERT_MSG(err.empty(), ("pass '" + name + "' broke " + f.name() +
+                                ":\n" + err)
+                                   .c_str());
+    log_.push_back(name + ":" + f.name());
+  }
+}
+
+void PassManager::run_module(ir::Module& m) {
+  for (std::size_t i = 0; i < m.num_functions(); ++i) {
+    run(m.function(static_cast<ir::FuncId>(i)), &m);
+  }
+}
+
+}  // namespace iw::passes

@@ -1,0 +1,33 @@
+// Minimal pass manager: named function passes, structural verification
+// after each, and a run log for tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+class PassManager {
+ public:
+  using FnPass = std::function<void(ir::Function&)>;
+
+  void add(std::string name, FnPass pass);
+
+  /// Run all passes over `f` in order; asserts if any pass breaks
+  /// structural validity (verify() against `m` when given).
+  void run(ir::Function& f, const ir::Module* m = nullptr);
+
+  /// Run over every function in the module.
+  void run_module(ir::Module& m);
+
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  std::vector<std::pair<std::string, FnPass>> passes_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace iw::passes

@@ -1,0 +1,123 @@
+#include "passes/path_length.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::passes {
+
+MarkerPred is_op(ir::Op op) {
+  return [op](const ir::Instr& i) { return i.op == op; };
+}
+
+BlockGapInfo block_gap_info(const ir::BasicBlock& bb,
+                            const MarkerPred& pred) {
+  BlockGapInfo info;
+  Cycles run = 0;  // cycles since block entry or last marker
+  bool seen = false;
+  for (const auto& i : bb.body) {
+    if (pred(i)) {
+      if (!seen) {
+        info.before_first = run;
+        seen = true;
+      } else {
+        info.max_internal = std::max(info.max_internal, run);
+      }
+      run = 0;
+      // The marker's own cost counts toward the following gap.
+      run += i.cost;
+    } else {
+      run += i.cost;
+    }
+    info.total += i.cost;
+  }
+  run += bb.term.cost;
+  info.total += bb.term.cost;
+  info.has_marker = seen;
+  info.after_last = run;
+  if (!seen) info.before_first = info.total;
+  return info;
+}
+
+GapAnalysis analyze_gaps(const ir::Function& f, const MarkerPred& pred) {
+  const std::size_t n = f.num_blocks();
+  std::vector<BlockGapInfo> info(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    info[b] = block_gap_info(f.block(static_cast<ir::BlockId>(b)), pred);
+  }
+  const auto preds = f.predecessors();
+  const auto order = f.rpo();
+
+  // in_gap[b]: max cycles-since-last-marker at block entry.
+  std::vector<Cycles> in_gap(n, 0);
+  std::vector<Cycles> out_gap(n, 0);
+  std::vector<char> visited(n, 0);
+  visited[f.entry()] = 1;  // entry counts as a marker event: gap 0
+
+  Cycles global_max = 0;
+  // Fixpoint with divergence detection: gaps can only grow; if they are
+  // still growing after n+2 sweeps a marker-free cycle exists.
+  const std::size_t max_sweeps = n + 2;
+  bool changed = true;
+  std::size_t sweep = 0;
+  bool diverged = false;
+  while (changed && !diverged) {
+    changed = false;
+    if (++sweep > max_sweeps) {
+      diverged = true;
+      break;
+    }
+    for (ir::BlockId b : order) {
+      Cycles in = 0;
+      bool any = b == f.entry();
+      for (ir::BlockId p : preds[b]) {
+        if (!visited[p]) continue;
+        in = std::max(in, out_gap[p]);
+        any = true;
+      }
+      if (!any) continue;
+      const Cycles out = info[b].has_marker
+                             ? info[b].after_last
+                             : in + info[b].total;
+      if (!visited[b] || in != in_gap[b] || out != out_gap[b]) {
+        visited[b] = 1;
+        in_gap[b] = in;
+        out_gap[b] = out;
+        changed = true;
+      }
+    }
+  }
+  GapAnalysis out;
+  out.in_gap = std::move(in_gap);
+  out.reachable = std::move(visited);
+  if (diverged) {
+    out.max_gap = kNever;
+    return out;
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!out.reachable[b]) continue;
+    const auto& bi = info[b];
+    global_max = std::max(global_max, bi.max_internal);
+    if (bi.has_marker) {
+      global_max = std::max(global_max, out.in_gap[b] + bi.before_first);
+      global_max = std::max(global_max, bi.after_last);
+    } else {
+      global_max = std::max(global_max, out.in_gap[b] + bi.total);
+    }
+  }
+  out.max_gap = global_max;
+  return out;
+}
+
+Cycles static_max_gap(const ir::Function& f, const MarkerPred& pred) {
+  return analyze_gaps(f, pred).max_gap;
+}
+
+Cycles loop_iteration_bound(const ir::Function& f,
+                            const std::vector<ir::BlockId>& loop_blocks) {
+  Cycles total = 0;
+  for (ir::BlockId b : loop_blocks) total += f.block(b).cost();
+  return total;
+}
+
+}  // namespace iw::passes

@@ -1,0 +1,57 @@
+// Static path-length / marker-gap analysis.
+//
+// "A major challenge here is that the compiler transform needs to
+// introduce timing calls statically, so that they occur dynamically at
+// some desired rate regardless of the code path taken" (paper §IV-C).
+// This analysis computes a conservative bound on the cycles executed
+// between consecutive *markers* (timing calls / polls) over all paths.
+//
+// Strided markers (amortized checks placed in hot loops) are treated as
+// firing on every visit here; the placement pass chooses strides so the
+// amortized gap stays within budget, and the interpreter-based dynamic
+// tests validate the real (strided) guarantee.
+#pragma once
+
+#include <functional>
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+using MarkerPred = std::function<bool(const ir::Instr&)>;
+
+/// Marker predicate for timing calls / polls.
+MarkerPred is_op(ir::Op op);
+
+struct BlockGapInfo {
+  Cycles before_first{0};  // cycles from block entry to first marker
+  Cycles after_last{0};    // cycles from last marker to block exit
+  Cycles max_internal{0};  // max gap between consecutive in-block markers
+  bool has_marker{false};
+  Cycles total{0};  // whole-block cost
+};
+
+BlockGapInfo block_gap_info(const ir::BasicBlock& bb, const MarkerPred& pred);
+
+/// Full gap dataflow result: per-block inflowing gap (cycles since the
+/// last marker at block entry) plus the global max. `max_gap` is kNever
+/// if some CFG cycle contains no marker (unbounded gap).
+struct GapAnalysis {
+  std::vector<Cycles> in_gap;
+  std::vector<char> reachable;
+  Cycles max_gap{0};
+};
+
+GapAnalysis analyze_gaps(const ir::Function& f, const MarkerPred& pred);
+
+/// Max cycles between consecutive marker events over any path, where
+/// function entry counts as a marker event and the gap to `ret` counts.
+/// Returns kNever if some CFG cycle contains no marker (unbounded gap).
+Cycles static_max_gap(const ir::Function& f, const MarkerPred& pred);
+
+/// Conservative per-iteration cost of a loop: the sum of all its blocks'
+/// costs (an upper bound on any single iteration's path).
+Cycles loop_iteration_bound(const ir::Function& f,
+                            const std::vector<ir::BlockId>& loop_blocks);
+
+}  // namespace iw::passes

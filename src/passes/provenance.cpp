@@ -1,0 +1,79 @@
+#include "passes/provenance.hpp"
+
+namespace iw::passes {
+
+namespace {
+
+using Kind = Provenance::Kind;
+
+/// Merge a new definition's provenance into the accumulated one.
+Provenance merge(const Provenance& cur, const Provenance& def) {
+  if (cur.kind == Kind::kNoDef) return def;
+  if (def.kind == Kind::kNoDef) return cur;
+  if (cur.kind == Kind::kBase && def.kind == Kind::kBase &&
+      cur.root == def.root) {
+    return cur;
+  }
+  return {Kind::kUnknown, ir::kNoReg};
+}
+
+/// Provenance of an additive combination: pointer + index stays with the
+/// pointer; pointer + pointer (or anything else) is unknown.
+Provenance combine_additive(const Provenance& a, const Provenance& b) {
+  const bool a_base = a.kind == Kind::kBase;
+  const bool b_base = b.kind == Kind::kBase;
+  if (a_base && !b_base) return a;
+  if (b_base && !a_base) return b;
+  return {Kind::kUnknown, ir::kNoReg};
+}
+
+}  // namespace
+
+ProvenanceAnalysis::ProvenanceAnalysis(const ir::Function& f) {
+  prov_.assign(static_cast<std::size_t>(f.num_regs()), Provenance{});
+  // Arguments are allocation roots (the caller vouches for them).
+  for (unsigned i = 0; i < f.num_args(); ++i) {
+    prov_[f.arg_reg(i)] = {Kind::kBase, f.arg_reg(i)};
+  }
+
+  auto lookup = [&](ir::Reg r) -> Provenance {
+    if (r == ir::kNoReg) return {Kind::kUnknown, ir::kNoReg};
+    return prov_[r];
+  };
+
+  bool changed = true;
+  // Fixpoint: each pass can only move lattice values downward
+  // (NoDef -> Base -> Unknown), so it terminates quickly.
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+      const auto& bb = f.block(static_cast<ir::BlockId>(bi));
+      for (const auto& i : bb.body) {
+        if (i.r == ir::kNoReg) continue;
+        Provenance def;
+        switch (i.op) {
+          case ir::Op::kAlloc:
+            def = {Kind::kBase, i.r};
+            break;
+          case ir::Op::kMov:
+            def = lookup(i.a);
+            break;
+          case ir::Op::kAdd:
+          case ir::Op::kSub:
+            def = combine_additive(lookup(i.a), lookup(i.b));
+            break;
+          default:
+            def = {Kind::kUnknown, ir::kNoReg};
+            break;
+        }
+        const Provenance next = merge(prov_[i.r], def);
+        if (next.kind != prov_[i.r].kind || next.root != prov_[i.r].root) {
+          prov_[i.r] = next;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace iw::passes

@@ -1,0 +1,42 @@
+// Pointer-provenance analysis: trace each register's value back to the
+// allocation root it derives from (a function argument or a kAlloc
+// result). CARAT performs exactly this tracing at LLVM IR level so it
+// can hoist per-access checks to whole-allocation checks — "memory can
+// be managed at arbitrary granularity" because the runtime knows which
+// allocation every address belongs to.
+//
+// Flow-insensitive, conservative: a register whose definitions disagree
+// (or that is produced by a non-address-preserving op) gets kUnknown.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+struct Provenance {
+  enum class Kind : std::uint8_t { kNoDef, kBase, kUnknown };
+  Kind kind{Kind::kNoDef};
+  ir::Reg root{ir::kNoReg};  // valid when kind == kBase
+
+  [[nodiscard]] bool is_base() const { return kind == Kind::kBase; }
+};
+
+class ProvenanceAnalysis {
+ public:
+  explicit ProvenanceAnalysis(const ir::Function& f);
+
+  [[nodiscard]] const Provenance& of(ir::Reg r) const { return prov_[r]; }
+
+  /// The allocation root of the address held in `r`, or kNoReg if it
+  /// cannot be traced to a unique root.
+  [[nodiscard]] ir::Reg root_of(ir::Reg r) const {
+    return prov_[r].is_base() ? prov_[r].root : ir::kNoReg;
+  }
+
+ private:
+  std::vector<Provenance> prov_;
+};
+
+}  // namespace iw::passes

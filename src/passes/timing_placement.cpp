@@ -1,0 +1,153 @@
+#include "passes/timing_placement.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "passes/path_length.hpp"
+
+namespace iw::passes {
+
+namespace {
+
+bool block_has_call(const ir::BasicBlock& bb, ir::Op op) {
+  for (const auto& i : bb.body) {
+    if (i.op == op) return true;
+  }
+  return false;
+}
+
+ir::Instr make_check(ir::Op op, Cycles fire_threshold) {
+  ir::Instr call = ir::Instr::make(op);
+  call.imm = static_cast<std::int64_t>(fire_threshold);
+  return call;
+}
+
+}  // namespace
+
+PlacementStats place_periodic_calls(ir::Function& f,
+                                    const PlacementOptions& opts) {
+  IW_ASSERT(opts.budget >= 16);
+  PlacementStats stats;
+  const Cycles half = opts.budget / 2;
+
+  auto count_insert = [&stats, &opts](Cycles threshold) {
+    ++stats.calls_inserted;
+    if (threshold > 0) {
+      ++stats.amortized_calls;
+      stats.max_threshold = std::max(stats.max_threshold, threshold);
+    }
+    (void)opts;
+  };
+
+  // 1. Entry call: unconditional fire (the caller's guarantee hands the
+  //    elapsed-time clock off here).
+  if (opts.entry_call) {
+    auto& entry = f.block(f.entry());
+    entry.body.insert(entry.body.begin(), make_check(opts.call_op, 0));
+    count_insert(0);
+  }
+
+  // 2. Straight-line coverage within each block: a thresholded check
+  //    wherever more than half a budget of work accumulates since the
+  //    last check in the block.
+  for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+    auto& bb = f.block(static_cast<ir::BlockId>(bi));
+    Cycles run = 0;
+    for (std::size_t k = 0; k < bb.body.size(); ++k) {
+      if (bb.body[k].op == opts.call_op) {
+        run = 0;
+        continue;
+      }
+      run += bb.body[k].cost;
+      if (run > half) {
+        bb.body.insert(bb.body.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                       make_check(opts.call_op, half));
+        count_insert(half);
+        ++k;
+        run = 0;
+      }
+    }
+  }
+
+  // 3. Every loop header gets a thresholded check (unless the loop body
+  //    already contains one): the check visits every iteration for the
+  //    cost of a compare, and fires only once at least half a budget of
+  //    *elapsed cycles* has passed — the global-clock semantics of
+  //    compiler-based timing, immune to loop re-entry effects.
+  {
+    ir::DominatorTree dt(f);
+    ir::LoopInfo li(f, dt);
+    for (const auto& loop : li.loops()) {
+      bool covered = false;
+      for (ir::BlockId b : loop->blocks) {
+        if (block_has_call(f.block(b), opts.call_op)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      auto& header = f.block(loop->header);
+      header.body.insert(header.body.begin(),
+                         make_check(opts.call_op, half));
+      count_insert(half);
+    }
+  }
+
+  // 4. Fixpoint refinement: the guarantee is
+  //      dynamic gap <= (max check spacing) + (fire threshold)
+  //                  <= half + half = budget,
+  //    so drive the static *spacing* (static_max_gap treats every check
+  //    as a marker) down to half by inserting block-entry checks where
+  //    the inflowing gap overflows. Each round inserts at least one
+  //    check, so this terminates.
+  for (int round = 0; round < 64; ++round) {
+    GapAnalysis ga = analyze_gaps(f, is_op(opts.call_op));
+    if (ga.max_gap != kNever && ga.max_gap <= half) break;
+    bool inserted = false;
+    for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+      const auto id = static_cast<ir::BlockId>(bi);
+      if (!ga.reachable[id]) continue;
+      const auto info = block_gap_info(f.block(id), is_op(opts.call_op));
+      const Cycles through =
+          ga.in_gap[id] +
+          (info.has_marker ? info.before_first : info.total);
+      if (through > half && ga.in_gap[id] > 0) {
+        auto& bb = f.block(id);
+        bb.body.insert(bb.body.begin(), make_check(opts.call_op, half));
+        count_insert(half);
+        inserted = true;
+      }
+    }
+    if (!inserted) {
+      // Residual overflow lives inside single blocks with in_gap == 0;
+      // tighten intra-block spacing there.
+      for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+        auto& bb = f.block(static_cast<ir::BlockId>(bi));
+        Cycles run = 0;
+        for (std::size_t k = 0; k < bb.body.size(); ++k) {
+          if (bb.body[k].op == opts.call_op) {
+            run = 0;
+            continue;
+          }
+          run += bb.body[k].cost;
+          if (run > half) {
+            bb.body.insert(
+                bb.body.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                make_check(opts.call_op, half));
+            count_insert(half);
+            inserted = true;
+            ++k;
+            run = 0;
+          }
+        }
+      }
+      if (!inserted) break;  // nothing left to tighten
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace iw::passes

@@ -1,0 +1,54 @@
+// Compiler-based timing: place timing checks so that along every path
+// at most `budget` cycles elapse between framework entries (paper
+// §IV-C). The same placement engine also drives poll injection for
+// blended device drivers (§V-C).
+//
+// Check semantics (matching the real system): each injected check
+// compares the *elapsed global cycle count* since the framework last
+// ran against a fire threshold; a non-firing visit costs one compare.
+// The guarantee is therefore compositional:
+//     dynamic gap <= (max static check spacing) + (fire threshold).
+// Placement drives the static spacing to budget/2 and uses a budget/2
+// threshold, so the dynamic gap is bounded by the budget on every
+// path — including across loop re-entries, where naive per-site visit
+// counters leak (a bug our randomized property tests caught).
+//
+// Algorithm:
+//  1. an unconditional call at function entry;
+//  2. straight-line coverage: a thresholded check wherever accumulated
+//     block cost exceeds budget/2;
+//  3. a thresholded check in every loop header not otherwise covered;
+//  4. fixpoint refinement over the CFG gap analysis until the static
+//     spacing is <= budget/2 on every path.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+struct PlacementStats {
+  unsigned calls_inserted{0};
+  /// Checks with a non-zero fire threshold (amortized visits).
+  unsigned amortized_calls{0};
+  Cycles max_threshold{0};
+};
+
+struct PlacementOptions {
+  Cycles budget{1000};
+  ir::Op call_op{ir::Op::kTimingCall};
+  /// Skip the entry call (for polls, which need only periodic coverage).
+  bool entry_call{true};
+};
+
+PlacementStats place_periodic_calls(ir::Function& f,
+                                    const PlacementOptions& opts);
+
+/// Convenience wrappers matching the paper's two uses.
+inline PlacementStats inject_timing(ir::Function& f, Cycles budget) {
+  return place_periodic_calls(f, {budget, ir::Op::kTimingCall, true});
+}
+inline PlacementStats inject_polling(ir::Function& f, Cycles budget) {
+  return place_periodic_calls(f, {budget, ir::Op::kPoll, false});
+}
+
+}  // namespace iw::passes

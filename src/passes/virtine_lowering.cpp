@@ -1,0 +1,27 @@
+#include "passes/virtine_lowering.hpp"
+
+namespace iw::passes {
+
+VirtineLoweringStats lower_virtine_calls(
+    ir::Module& m, const std::set<ir::FuncId>& virtines) {
+  VirtineLoweringStats stats;
+  for (std::size_t fi = 0; fi < m.num_functions(); ++fi) {
+    const auto fid = static_cast<ir::FuncId>(fi);
+    if (virtines.contains(fid)) continue;  // intra-virtine calls stay
+    auto& f = m.function(fid);
+    for (std::size_t bi = 0; bi < f.num_blocks(); ++bi) {
+      auto& bb = f.block(static_cast<ir::BlockId>(bi));
+      for (auto& i : bb.body) {
+        if (i.op == ir::Op::kCall &&
+            virtines.contains(static_cast<ir::FuncId>(i.imm))) {
+          i.op = ir::Op::kVirtineCall;
+          i.cost = ir::default_cost(ir::Op::kVirtineCall);
+          ++stats.calls_lowered;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace iw::passes

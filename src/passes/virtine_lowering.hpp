@@ -1,0 +1,29 @@
+// Virtine lowering (paper §IV-D, Fig. 5):
+//
+//     virtine int fib(int n) { ... }
+//
+// "Programmers write code as shown in Figure 5, and the compiler and
+// runtime cooperate to run that function in its own, isolated virtual
+// machine." This pass is the compiler half: every call to a
+// virtine-marked function from *non-virtine* code is rewritten into a
+// kVirtineCall, which the runtime binding (virtine::VirtineBinding)
+// dispatches through Wasp. Calls *inside* a virtine (e.g. fib's own
+// recursion) stay plain calls — they execute within the same VM.
+#pragma once
+
+#include <set>
+
+#include "ir/function.hpp"
+
+namespace iw::passes {
+
+struct VirtineLoweringStats {
+  unsigned calls_lowered{0};
+};
+
+/// Rewrite calls to the functions in `virtines` from every function NOT
+/// in `virtines`.
+VirtineLoweringStats lower_virtine_calls(ir::Module& m,
+                                         const std::set<ir::FuncId>& virtines);
+
+}  // namespace iw::passes

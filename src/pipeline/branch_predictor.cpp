@@ -1,0 +1,39 @@
+#include "pipeline/branch_predictor.hpp"
+
+namespace iw::pipeline {
+
+GsharePredictor::GsharePredictor(unsigned table_bits)
+    : table_bits_(table_bits),
+      counters_(std::size_t{1} << table_bits, 1) {}  // weakly not-taken
+
+std::size_t GsharePredictor::index(std::uint64_t pc) const {
+  const std::uint64_t mask = (std::uint64_t{1} << table_bits_) - 1;
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & mask);
+}
+
+bool GsharePredictor::predict(std::uint64_t pc) const {
+  ++lookups_;
+  return counters_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(std::uint64_t pc, bool taken) {
+  auto& c = counters_[index(pc)];
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+             ((std::uint64_t{1} << table_bits_) - 1);
+}
+
+bool GsharePredictor::resolve(std::uint64_t pc, bool taken) {
+  ++lookups_;
+  const bool predicted = counters_[index(pc)] >= 2;
+  const bool correct = predicted == taken;
+  if (!correct) ++mispredicts_;
+  update(pc, taken);
+  return correct;
+}
+
+}  // namespace iw::pipeline

@@ -1,0 +1,40 @@
+// Gshare branch predictor: global history XOR PC indexing a table of
+// 2-bit saturating counters. Pipeline-interrupt delivery (paper §V-D)
+// rides exactly this machinery — an injected interrupt is "a kind of
+// branch instruction injected into the instruction fetch logic".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iw::pipeline {
+
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(unsigned table_bits = 12);
+
+  [[nodiscard]] bool predict(std::uint64_t pc) const;
+  void update(std::uint64_t pc, bool taken);
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t mispredicts() const { return mispredicts_; }
+  [[nodiscard]] double accuracy() const {
+    return lookups_ ? 1.0 - static_cast<double>(mispredicts_) /
+                                static_cast<double>(lookups_)
+                    : 1.0;
+  }
+
+  /// Record the outcome of a predicted branch (bookkeeping helper).
+  bool resolve(std::uint64_t pc, bool taken);
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t pc) const;
+
+  unsigned table_bits_;
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating
+  std::uint64_t history_{0};
+  mutable std::uint64_t lookups_{0};
+  std::uint64_t mispredicts_{0};
+};
+
+}  // namespace iw::pipeline

@@ -1,0 +1,65 @@
+// Pipeline interrupts (paper §V-D).
+//
+// "We have measured [interrupt dispatch] to be on the order of 1000
+// cycles... We have developed a realizable extension of branch
+// prediction logic that would allow a simple interrupt (no privilege
+// level change) in an interwoven system to be delivered as if it were a
+// kind of branch instruction injected into the instruction fetch logic.
+// ... The latency would be similar to that of a correctly predicted
+// branch instruction, 100-1000x better."
+//
+// The model: an in-order pipeline retiring a synthetic branchy
+// instruction stream (gshare-predicted) while interrupts arrive at a
+// configurable rate. Two delivery mechanisms:
+//   kClassicIdt   — drain + microcoded dispatch (state save, IDT read,
+//                   privilege checks) + iret on return;
+//   kBranchInject — the interrupt is injected at fetch as a predicted
+//                   branch to the handler; return via an MSR-based
+//                   sysret-like path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "pipeline/branch_predictor.hpp"
+
+namespace iw::pipeline {
+
+enum class DeliveryMechanism { kClassicIdt, kBranchInject };
+
+struct PipelineConfig {
+  unsigned stages{8};             // fetch-to-retire depth
+  double branch_fraction{0.18};   // of the synthetic stream
+  double branch_taken_bias{0.6};
+  Cycles idt_microcode{960};      // state save + descriptor walk + checks
+  Cycles iret_cost{630};
+  Cycles msr_return_cost{38};     // sysret-like return path
+  std::uint64_t handler_instrs{24};
+  std::uint64_t seed{42};
+};
+
+struct InterruptExperiment {
+  DeliveryMechanism mechanism{DeliveryMechanism::kClassicIdt};
+  std::uint64_t total_instructions{2'000'000};
+  Cycles interrupt_period{50'000};  // mean arrival gap (exponential)
+};
+
+struct PipelineResult {
+  std::uint64_t cycles{0};
+  std::uint64_t instructions{0};
+  std::uint64_t interrupts_delivered{0};
+  LatencyHistogram dispatch_latency;  // arrival -> first handler instr
+  double predictor_accuracy{0.0};
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+PipelineResult run_pipeline(const PipelineConfig& cfg,
+                            const InterruptExperiment& exp);
+
+}  // namespace iw::pipeline

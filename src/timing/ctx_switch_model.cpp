@@ -1,0 +1,196 @@
+#include "timing/ctx_switch_model.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "hwsim/machine.hpp"
+#include "linuxmodel/linux_stack.hpp"
+#include "nautilus/fiber.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace iw::timing {
+
+std::string SwitchVariant::label() const {
+  std::string s = linux_stack ? "Linux " : "NK ";
+  switch (kind) {
+    case SwitchKind::kThreadHwTimer:
+      s += realtime ? "Threads (RT" : "Threads (non-RT";
+      break;
+    case SwitchKind::kFiberCooperative:
+      s += "Fibers-Coop (";
+      s += realtime ? "RT" : "non-RT";
+      break;
+    case SwitchKind::kFiberCompTimed:
+      s += "Fibers-CompTime (";
+      s += realtime ? "RT" : "non-RT";
+      break;
+  }
+  s += fp ? ", FP)" : ")";
+  return s;
+}
+
+namespace {
+
+/// Spin-thread ping-pong under timer preemption; the per-switch cost
+/// includes the triggering interrupt's dispatch+return share.
+SwitchMeasurement measure_threads(const SwitchVariant& v,
+                                  const hwsim::CostModel& costs) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 1;
+  mc.costs = costs;
+  mc.max_advances = 200'000'000;
+  hwsim::Machine m(mc);
+
+  std::unique_ptr<linuxmodel::LinuxStack> lx;
+  std::unique_ptr<nautilus::Kernel> nk;
+  nautilus::Kernel* k = nullptr;
+  const Cycles tick = 20'000;
+  if (v.linux_stack) {
+    auto lc = linuxmodel::LinuxCosts::knl();
+    lc.tick_period = tick;
+    lc.rr_slice = tick;
+    lc.tick_cost = 0;  // isolate the switch path; housekeeping measured
+                       // separately in the primitives table
+    lx = std::make_unique<linuxmodel::LinuxStack>(m, lc);
+    k = &lx->kernel();
+  } else {
+    nautilus::KernelConfig kc;
+    kc.tick_period = tick;
+    kc.rr_slice = tick;
+    nk = std::make_unique<nautilus::Kernel>(m, kc);
+    k = nk.get();
+  }
+  k->attach();
+
+  const std::uint64_t target_switches = 600;
+  auto done = std::make_shared<bool>(false);
+  for (int t = 0; t < 2; ++t) {
+    nautilus::ThreadConfig tc;
+    tc.uses_fp = v.fp;
+    tc.realtime = v.realtime;
+    tc.rt_relative_deadline = 1'000'000'000;
+    tc.body = [done](nautilus::ThreadContext&) -> nautilus::StepResult {
+      if (*done) return nautilus::StepResult::done(10);
+      return nautilus::StepResult::cont(500);  // spin in small steps
+    };
+    k->spawn(std::move(tc));
+  }
+  m.run([&] {
+    if (k->stats().context_switches >= target_switches) *done = true;
+    return *done && k->quiescent();
+  });
+
+  const auto& st = k->stats();
+  IW_ASSERT(st.context_switches > 0);
+  // Interrupt share: every preemption was triggered by one timer IRQ.
+  const double irq_share =
+      static_cast<double>(m.core(0).irq_overhead_cycles()) /
+      static_cast<double>(st.context_switches);
+  SwitchMeasurement out;
+  out.variant = v;
+  out.switches = st.context_switches;
+  out.cycles_per_switch =
+      static_cast<double>(st.switch_overhead) /
+          static_cast<double>(st.context_switches) +
+      irq_share;
+  return out;
+}
+
+SwitchMeasurement measure_fibers(const SwitchVariant& v,
+                                 const hwsim::CostModel& costs) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 1;
+  mc.costs = costs;
+  mc.max_advances = 200'000'000;
+  hwsim::Machine m(mc);
+  nautilus::KernelConfig kc;
+  nautilus::Kernel k(m, kc);
+  k.attach();
+
+  nautilus::FiberSetConfig fc;
+  fc.mode = v.kind == SwitchKind::kFiberCompTimed
+                ? nautilus::FiberMode::kCompilerTimed
+                : nautilus::FiberMode::kCooperative;
+  fc.quantum = 600;  // the paper's granularity floor on this platform
+  fc.check_interval = 120;
+  // Fiber switch path lengths scale with the machine's register-save
+  // machinery (callee-saved subset + stack switch), not with x64
+  // constants — the RISC-V preset has far cheaper saves.
+  fc.save_cost = costs.gpr_save + costs.gpr_save / 2;
+  fc.restore_cost = costs.gpr_restore + costs.gpr_restore / 2;
+  fc.pick_cost = (costs.gpr_save * 7) / 10;
+  fc.timing_check_cost = costs.call_overhead + 4;
+  nautilus::FiberSet set(fc, costs.fp_save, costs.fp_restore);
+
+  const int rounds = 500;
+  for (int f = 0; f < 2; ++f) {
+    nautilus::FiberConfig cfg;
+    cfg.fp_live_across_yields = v.fp;
+    auto left = std::make_shared<int>(rounds);
+    if (v.kind == SwitchKind::kFiberCooperative) {
+      cfg.body = [left](nautilus::FiberContext&) -> nautilus::FiberStep {
+        if (--*left == 0) return nautilus::FiberStep::done(500);
+        return nautilus::FiberStep::yield(500);
+      };
+    } else {
+      // Compiler-timed: the fiber never yields; the framework preempts
+      // at quantum boundaries through injected checks.
+      cfg.body = [left](nautilus::FiberContext&) -> nautilus::FiberStep {
+        if (--*left == 0) return nautilus::FiberStep::done(600);
+        return nautilus::FiberStep::cont(600);
+      };
+    }
+    set.add(std::move(cfg));
+  }
+
+  nautilus::ThreadConfig tc;
+  tc.realtime = v.realtime;
+  tc.rt_relative_deadline = 1'000'000'000;
+  tc.body = set.as_thread_body();
+  k.spawn(std::move(tc));
+  const bool ok = m.run();
+  IW_ASSERT(ok);
+
+  const auto& st = set.stats();
+  IW_ASSERT(st.switches > 0);
+  SwitchMeasurement out;
+  out.variant = v;
+  out.switches = st.switches;
+  out.cycles_per_switch =
+      (static_cast<double>(st.switch_overhead) +
+       static_cast<double>(st.check_overhead)) /
+      static_cast<double>(st.switches);
+  return out;
+}
+
+}  // namespace
+
+SwitchMeasurement measure_switch_cost(const SwitchVariant& v,
+                                      const hwsim::CostModel& costs) {
+  if (v.kind == SwitchKind::kThreadHwTimer) return measure_threads(v, costs);
+  return measure_fibers(v, costs);
+}
+
+std::vector<SwitchMeasurement> measure_fig4(const hwsim::CostModel& costs) {
+  std::vector<SwitchMeasurement> out;
+  // Linux reference bars (non-RT threads, the commodity default).
+  for (bool fp : {true, false}) {
+    out.push_back(measure_switch_cost(
+        {true, false, fp, SwitchKind::kThreadHwTimer}, costs));
+  }
+  // Specialized kernel: the full {RT,non-RT} x {threads,fibers} x
+  // {coop,comp-timed} x {FP,no-FP} space.
+  for (bool rt : {false, true}) {
+    for (bool fp : {true, false}) {
+      out.push_back(measure_switch_cost(
+          {false, rt, fp, SwitchKind::kThreadHwTimer}, costs));
+      out.push_back(measure_switch_cost(
+          {false, rt, fp, SwitchKind::kFiberCooperative}, costs));
+      out.push_back(measure_switch_cost(
+          {false, rt, fp, SwitchKind::kFiberCompTimed}, costs));
+    }
+  }
+  return out;
+}
+
+}  // namespace iw::timing

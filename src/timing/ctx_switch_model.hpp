@@ -1,0 +1,46 @@
+// Context-switch cost measurement for Fig. 4: the full parameter space
+// {Linux, Nautilus kernel} x {RT, non-RT} x {threads, fibers} x
+// {cooperative, compiler-timed} x {FP, no-FP}, each measured by actually
+// running a ping-pong experiment on the simulated machine — the trigger
+// mechanism (hardware timer interrupt vs injected timing call) is part
+// of the measured cost, which is the paper's whole point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hwsim/cost_model.hpp"
+
+namespace iw::timing {
+
+enum class SwitchKind {
+  kThreadHwTimer,    // preemptive threads driven by timer interrupts
+  kFiberCooperative, // explicit yield()s
+  kFiberCompTimed,   // compiler-injected timing calls force yields
+};
+
+struct SwitchVariant {
+  bool linux_stack{false};  // Linux profile vs Nautilus kernel
+  bool realtime{false};     // EDF (RT) vs round-robin (non-RT)
+  bool fp{false};           // FP state live across switches
+  SwitchKind kind{SwitchKind::kThreadHwTimer};
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct SwitchMeasurement {
+  SwitchVariant variant;
+  double cycles_per_switch{0.0};
+  std::uint64_t switches{0};
+};
+
+/// Run the ping-pong experiment for one variant on a machine with the
+/// given hardware cost model.
+SwitchMeasurement measure_switch_cost(const SwitchVariant& v,
+                                      const hwsim::CostModel& costs);
+
+/// The full Fig. 4 sweep (Linux reference + kernel variants).
+std::vector<SwitchMeasurement> measure_fig4(const hwsim::CostModel& costs);
+
+}  // namespace iw::timing

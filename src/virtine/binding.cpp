@@ -1,0 +1,38 @@
+#include "virtine/binding.hpp"
+
+namespace iw::virtine {
+
+VirtineBinding::VirtineBinding(ir::Module& module, ContextSpec spec,
+                               SpawnPath path, WaspConfig wasp_cfg)
+    : module_(module), spec_(spec), path_(path), wasp_(wasp_cfg) {
+  wasp_.prepare_snapshot(spec_);
+  wasp_.warm_pool(spec_, 2);
+}
+
+std::pair<std::int64_t, Cycles> VirtineBinding::invoke(
+    ir::FuncId f, const std::vector<std::int64_t>& args) {
+  ++stats_.invocations;
+  const auto inv =
+      wasp_.invoke(spec_, path_, [&](GuestEnv&) -> GuestResult {
+        // The guest executes the callee with a FRESH interpreter: its
+        // simulated memory is disjoint from the caller's by
+        // construction — isolation is structural, not advisory.
+        ir::Interp guest_interp(module_);
+        const auto res = guest_interp.run(f, args);
+        return {res.ret, res.cycles};
+      });
+  stats_.startup_cycles += inv.startup_cycles;
+  stats_.guest_cycles += inv.result.cycles;
+  return {inv.result.value, inv.total_cycles};
+}
+
+ir::InterpHooks VirtineBinding::caller_hooks() {
+  ir::InterpHooks h;
+  h.on_virtine = [this](ir::FuncId f,
+                        const std::vector<std::int64_t>& args) {
+    return invoke(f, args);
+  };
+  return h;
+}
+
+}  // namespace iw::virtine

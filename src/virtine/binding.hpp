@@ -1,0 +1,48 @@
+// The runtime half of virtine lowering: binds kVirtineCall sites to
+// Wasp. Each lowered call spawns (or reuses, via pool/snapshot) an
+// isolated context whose *interpreter and memory are fresh* — the
+// callee cannot observe or corrupt the caller's memory, and vice
+// versa. Start-up costs flow back into the caller's cycle count, so
+// IR-level programs see the true price of isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "virtine/wasp.hpp"
+
+namespace iw::virtine {
+
+struct BindingStats {
+  std::uint64_t invocations{0};
+  Cycles startup_cycles{0};
+  Cycles guest_cycles{0};
+};
+
+class VirtineBinding {
+ public:
+  /// `module` holds the virtine functions' code; `spec` is their
+  /// compiler-synthesized bespoke context; `path` the spawn strategy.
+  VirtineBinding(ir::Module& module, ContextSpec spec,
+                 SpawnPath path = SpawnPath::kSnapshot,
+                 WaspConfig wasp_cfg = {});
+
+  /// Hooks for the *caller's* interpreter: installs on_virtine.
+  [[nodiscard]] ir::InterpHooks caller_hooks();
+
+  [[nodiscard]] const BindingStats& stats() const { return stats_; }
+  [[nodiscard]] Wasp& wasp() { return wasp_; }
+
+ private:
+  std::pair<std::int64_t, Cycles> invoke(
+      ir::FuncId f, const std::vector<std::int64_t>& args);
+
+  ir::Module& module_;
+  ContextSpec spec_;
+  SpawnPath path_;
+  Wasp wasp_;
+  BindingStats stats_;
+};
+
+}  // namespace iw::virtine

@@ -1,0 +1,76 @@
+#include "virtine/context.hpp"
+
+#include <sstream>
+
+namespace iw::virtine {
+
+ContextSpec ContextSpec::synthesize(std::uint32_t features) {
+  ContextSpec s;
+  s.features = features;
+  // Base shim: entry trampoline + stack + exit hypercall.
+  std::uint64_t image = 16 * 1024;
+  // Boot path at ~1 GHz-equivalent cycles.
+  Cycles boot = 18'000;  // mode setup + control registers + jump to entry
+
+  if (features & kFeat16BitOnly) {
+    // Real-mode-only service: skip long-mode + GDT/IDT bring-up.
+    image = 8 * 1024;
+    boot = 5'000;
+  }
+  if (features & kFeatFpu) boot += 4'000;        // xsave area + control bits
+  if (features & kFeatPaging) {
+    boot += 16'000;                              // page-table construction
+    image += 32 * 1024;
+  }
+  if (features & kFeatTimer) boot += 6'000;      // APIC timer calibration
+  if (features & kFeatIoDrivers) {
+    boot += 55'000;                              // virtio probe + rings
+    image += 512 * 1024;
+  }
+  if (features & kFeatNetStack) {
+    boot += 30'000;
+    image += 256 * 1024;
+  }
+  if (features & kFeatFullLibc) {
+    boot += 280'000;                             // crt0 + malloc + locale
+    image += 4 * 1024 * 1024;
+  }
+  s.image_bytes = image;
+  s.boot_cycles = boot;
+  return s;
+}
+
+ContextSpec ContextSpec::minimal() { return synthesize(kFeat16BitOnly); }
+
+ContextSpec ContextSpec::faas_handler() {
+  return synthesize(kFeatFpu | kFeatPaging | kFeatTimer | kFeatNetStack);
+}
+
+ContextSpec ContextSpec::unikernel() {
+  return synthesize(kFeatFpu | kFeatPaging | kFeatTimer | kFeatIoDrivers |
+                    kFeatNetStack | kFeatFullLibc);
+}
+
+std::string ContextSpec::describe() const {
+  std::ostringstream os;
+  os << "image=" << image_bytes / 1024 << "KiB boot=" << boot_cycles
+     << "cyc features=[";
+  const char* sep = "";
+  auto put = [&](Feature f, const char* name) {
+    if (has(f)) {
+      os << sep << name;
+      sep = ",";
+    }
+  };
+  put(kFeat16BitOnly, "16bit");
+  put(kFeatFpu, "fpu");
+  put(kFeatPaging, "paging");
+  put(kFeatTimer, "timer");
+  put(kFeatIoDrivers, "io");
+  put(kFeatNetStack, "net");
+  put(kFeatFullLibc, "libc");
+  os << "]";
+  return os.str();
+}
+
+}  // namespace iw::virtine

@@ -1,0 +1,51 @@
+// Bespoke execution contexts (paper §V-E): an execution environment
+// synthesized at compile time from exactly the features a function
+// needs. "A piece of code which leverages only integer math need not
+// have the OS layer set up the floating point unit... we may even leave
+// the machine in 16-bit mode as it boots up for certain simple
+// services."
+//
+// A ContextSpec is the compiler's output: the feature set, the derived
+// image size, and the derived boot path length. Virtines instantiate
+// these specs under the Wasp microhypervisor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace iw::virtine {
+
+enum Feature : std::uint32_t {
+  kFeat16BitOnly = 1u << 0,  // stay in real mode: skips long-mode bring-up
+  kFeatFpu = 1u << 1,
+  kFeatPaging = 1u << 2,
+  kFeatTimer = 1u << 3,
+  kFeatIoDrivers = 1u << 4,
+  kFeatNetStack = 1u << 5,
+  kFeatFullLibc = 1u << 6,
+};
+
+struct ContextSpec {
+  std::uint32_t features{0};
+  std::uint64_t image_bytes{0};
+  Cycles boot_cycles{0};
+
+  [[nodiscard]] bool has(Feature f) const { return (features & f) != 0; }
+
+  /// Synthesize the context for a feature set, deriving image size and
+  /// boot path length (cycle costs at 1 GHz reference; presets below).
+  static ContextSpec synthesize(std::uint32_t features);
+
+  /// The minimal integer-only virtine shim (fib-style functions).
+  static ContextSpec minimal();
+  /// A typical FaaS handler: FPU + timer + net.
+  static ContextSpec faas_handler();
+  /// A full unikernel-style stack for comparison.
+  static ContextSpec unikernel();
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace iw::virtine

@@ -1,0 +1,112 @@
+#include "virtine/wasp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace iw::virtine {
+
+Wasp::Wasp(WaspConfig cfg) : cfg_(cfg) {
+  IW_ASSERT(cfg.heap_bytes % cfg.page_bytes == 0);
+}
+
+std::int64_t GuestEnv::hypercall(std::uint32_t nr, std::int64_t arg) {
+  ++hypercalls_;
+  hypercall_cycles_ += exit_entry_cost_;
+  if (handler_ == nullptr || !*handler_) {
+    ++faults_;  // unprovisioned service
+    return 0;
+  }
+  return (*handler_)(nr, arg);
+}
+
+Wasp::Vm Wasp::make_vm() const {
+  Vm vm;
+  vm.heap.assign(cfg_.heap_bytes / 8, 0);
+  vm.dirty.assign(cfg_.heap_bytes / cfg_.page_bytes, false);
+  return vm;
+}
+
+Cycles Wasp::boot_cost(const ContextSpec& spec) const {
+  return spec.boot_cycles;
+}
+
+void Wasp::prepare_snapshot(const ContextSpec& spec) {
+  // Boot once, capture the heap image; boot is assumed to dirty a
+  // fraction of the image's pages (code + bss + early heap).
+  Snapshot snap;
+  Vm vm = make_vm();
+  snap.heap = vm.heap;
+  snap.boot_dirty_pages = std::max<std::uint64_t>(1, image_pages(spec) / 4);
+  snapshot_ = std::move(snap);
+  snapshot_features_ = spec.features;
+}
+
+void Wasp::warm_pool(const ContextSpec& spec, unsigned n) {
+  for (unsigned i = 0; i < n && pool_.size() < cfg_.pool_capacity; ++i) {
+    Vm vm = make_vm();
+    vm.spec_features = spec.features;
+    pool_.push_back(std::move(vm));
+  }
+}
+
+Wasp::Invocation Wasp::invoke(const ContextSpec& spec, SpawnPath path,
+                              const GuestFn& fn) {
+  ++stats_.spawns;
+  Cycles startup = 0;
+  Vm vm;
+
+  switch (path) {
+    case SpawnPath::kCold: {
+      ++stats_.cold_spawns;
+      vm = make_vm();
+      startup += cfg_.vm_create + cfg_.vcpu_create;
+      startup += image_pages(spec) * cfg_.per_page_load;
+      startup += boot_cost(spec);
+      break;
+    }
+    case SpawnPath::kPooled: {
+      if (pool_.empty()) {
+        // Pool miss degrades to a cold spawn (and refills later).
+        return invoke(spec, SpawnPath::kCold, fn);
+      }
+      ++stats_.pooled_spawns;
+      vm = std::move(pool_.front());
+      pool_.pop_front();
+      startup += cfg_.reset_registers;
+      // Entry rebinding: a handful of pages re-seeded.
+      startup += 2 * cfg_.per_page_restore;
+      break;
+    }
+    case SpawnPath::kSnapshot: {
+      IW_ASSERT_MSG(snapshot_.has_value(),
+                    "prepare_snapshot before snapshot spawns");
+      IW_ASSERT(snapshot_features_ == spec.features);
+      ++stats_.snapshot_spawns;
+      vm = make_vm();
+      vm.heap = snapshot_->heap;
+      const std::uint64_t pages = snapshot_->boot_dirty_pages;
+      stats_.pages_restored += pages;
+      startup += cfg_.snapshot_fixed;  // VM shell + EPT + vCPU state
+      startup += pages * cfg_.per_page_restore;
+      break;
+    }
+  }
+  startup += cfg_.vm_entry;
+
+  GuestEnv env(vm.heap, vm.dirty, cfg_.page_bytes / 8);
+  env.handler_ = hypercall_handler_ ? &hypercall_handler_ : nullptr;
+  env.exit_entry_cost_ = cfg_.vm_exit + cfg_.vm_entry;
+  const GuestResult res = fn(env);
+
+  Invocation inv;
+  inv.result = res;
+  inv.startup_cycles = startup;
+  inv.total_cycles =
+      startup + res.cycles + env.hypercall_cycles() + cfg_.vm_exit;
+  inv.isolation_faults = env.faults();
+  stats_.startup_cycles.add(startup);
+  return inv;
+}
+
+}  // namespace iw::virtine

@@ -1,0 +1,75 @@
+#include "workloads/miniapp.hpp"
+
+namespace iw::workloads {
+
+MiniApp bt_mini(unsigned n, unsigned timesteps) {
+  // BT solves block-tridiagonal systems with 5x5 blocks: the per-cell
+  // solve cost is high (dense small-matrix work), phases follow the
+  // classic ADI structure.
+  const std::uint64_t cells = static_cast<std::uint64_t>(n) * n * n;
+  const std::uint64_t lines = static_cast<std::uint64_t>(n) * n;
+  MiniApp app;
+  app.name = "BT-mini";
+  app.timesteps = timesteps;
+  app.footprint_bytes = cells * 5 * 8 * 3;  // u, rhs, lhs blocks
+  app.phases = {
+      {"compute_rhs", cells, 220, 200, 0, true},
+      // Line solves stride across planes: ~3 distinct pages per cell row.
+      {"x_solve", lines, 2600, 1200, 2, true},
+      {"y_solve", lines, 2600, 1200, 3, true},
+      {"z_solve", lines, 2800, 1400, 4, true},  // worst stride
+      {"add", cells, 40, 80, 0, true},
+  };
+  return app;
+}
+
+MiniApp sp_mini(unsigned n, unsigned timesteps) {
+  // SP's scalar pentadiagonal solves are much cheaper per cell than
+  // BT's block solves, with extra small phases (txinvr, pinvr).
+  const std::uint64_t cells = static_cast<std::uint64_t>(n) * n * n;
+  const std::uint64_t lines = static_cast<std::uint64_t>(n) * n;
+  MiniApp app;
+  app.name = "SP-mini";
+  app.timesteps = timesteps;
+  app.footprint_bytes = cells * 5 * 8 * 2;
+  app.phases = {
+      {"compute_rhs", cells, 190, 200, 0, true},
+      {"txinvr", cells, 35, 80, 0, true},
+      {"x_solve", lines, 900, 900, 1, true},
+      {"y_solve", lines, 900, 900, 2, true},
+      {"z_solve", lines, 1000, 1100, 2, true},
+      {"pinvr", cells, 30, 80, 0, true},
+      {"add", cells, 35, 80, 0, true},
+  };
+  return app;
+}
+
+MiniApp cg_mini(unsigned rows, unsigned timesteps) {
+  // CG: sparse MatVec dominates; dot products and AXPYs are cheap but
+  // barrier-heavy (two reductions per iteration).
+  MiniApp app;
+  app.name = "CG-mini";
+  app.timesteps = timesteps;
+  app.footprint_bytes = static_cast<std::uint64_t>(rows) * 8 * 14;
+  app.phases = {
+      {"spmv", rows, 160, 112, 2, true},  // random column gathers
+      {"dot_pq", rows, 8, 16, 0, true},
+      {"axpy_x", rows, 10, 24, 0, true},
+      {"axpy_r", rows, 10, 24, 0, true},
+      {"dot_rr", rows, 8, 16, 0, true},
+  };
+  return app;
+}
+
+MiniApp epcc_syncbench(unsigned iters_per_phase, unsigned timesteps) {
+  MiniApp app;
+  app.name = "EPCC-sync";
+  app.timesteps = timesteps;
+  app.footprint_bytes = 1 << 16;
+  app.phases = {
+      {"tiny_region", iters_per_phase, 60, 8, 0, false},
+  };
+  return app;
+}
+
+}  // namespace iw::workloads

@@ -1,0 +1,61 @@
+// Mini-app workload descriptors with the *shape* of the NAS kernels the
+// paper evaluates (BT, SP, CG): a sequence of parallel phases separated
+// by barriers, repeated over timesteps, with per-iteration compute cost
+// and memory-touch patterns. The iteration counts and costs follow the
+// published per-phase structure of the originals (ADI sweeps for BT/SP,
+// sparse MatVec + reductions for CG), scaled to simulator-friendly
+// sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::workloads {
+
+struct ParallelPhase {
+  std::string name;
+  std::uint64_t iters{0};
+  Cycles cycles_per_iter{100};
+  /// Bytes of distinct data touched per iteration (drives TLB/paging).
+  std::uint64_t bytes_per_iter{64};
+  /// Strided plane-crossing accesses: an ADI line solve (or sparse
+  /// gather) touches this many *distinct far-apart pages* per iteration
+  /// — the access pattern that makes 4 KiB TLBs weep on NAS solves.
+  /// 0 = sequential sweep (page crossings only).
+  unsigned pages_per_iter{0};
+  bool fp{true};
+};
+
+struct MiniApp {
+  std::string name;
+  std::vector<ParallelPhase> phases;  // one timestep; barrier after each
+  unsigned timesteps{1};
+  std::uint64_t footprint_bytes{0};
+
+  [[nodiscard]] std::uint64_t total_iterations() const {
+    std::uint64_t n = 0;
+    for (const auto& p : phases) n += p.iters;
+    return n * timesteps;
+  }
+  [[nodiscard]] Cycles serial_work() const {
+    Cycles c = 0;
+    for (const auto& p : phases) c += p.iters * p.cycles_per_iter;
+    return c * timesteps;
+  }
+  [[nodiscard]] std::size_t barriers() const {
+    return phases.size() * timesteps;
+  }
+};
+
+/// Problem scale knob: grid edge n (BT/SP operate on n^3 cells).
+MiniApp bt_mini(unsigned n = 24, unsigned timesteps = 10);
+MiniApp sp_mini(unsigned n = 24, unsigned timesteps = 10);
+MiniApp cg_mini(unsigned rows = 14'000, unsigned timesteps = 8);
+/// Edinburgh-style synthetic: tiny phases that stress fork/join/barrier.
+MiniApp epcc_syncbench(unsigned iters_per_phase = 256,
+                       unsigned timesteps = 50);
+
+}  // namespace iw::workloads

@@ -1,0 +1,216 @@
+// Real (natively executed) computational kernels for the CARAT overhead
+// table, templated over a guard policy (carat/native_guards.hpp).
+//
+// Kernel selection mirrors the paper's benchmark families:
+//   stream_triad — memory-bandwidth streaming (Mantevo/STREAM-like)
+//   jacobi2d     — structured stencil (NAS/Mantevo-like)
+//   cg_spmv      — sparse MatVec (NAS CG inner loop)
+//   nbody_step   — compute-bound n-body (PARSEC-like)
+//   pointer_chase— linked traversal where guards cannot be hoisted
+//                  (the CachedGuard case)
+//
+// Guard placement follows what the compiler achieves per kernel:
+// check_region() calls model hoisted whole-allocation checks outside the
+// hot loop; per-access check() calls model what is left inside it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iw::workloads {
+
+/// Per-access-guarded variants: `G::check` before every access (what the
+/// naive CARAT placement produces).
+template <typename G>
+double stream_triad_checked(G& g, std::vector<double>& a,
+                            const std::vector<double>& b,
+                            const std::vector<double>& c, double scalar) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    g.check(&b[i], sizeof(double));
+    g.check(&c[i], sizeof(double));
+    g.check(&a[i], sizeof(double));
+    a[i] = b[i] + scalar * c[i];
+  }
+  return a[n / 2];
+}
+
+/// Hoisted variant: one region check per operand, nothing in the loop.
+template <typename G>
+double stream_triad_hoisted(G& g, std::vector<double>& a,
+                            const std::vector<double>& b,
+                            const std::vector<double>& c, double scalar) {
+  g.check_region(a.data());
+  g.check_region(b.data());
+  g.check_region(c.data());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = b[i] + scalar * c[i];
+  }
+  return a[n / 2];
+}
+
+template <typename G>
+double jacobi2d_checked(G& g, std::vector<double>& dst,
+                        const std::vector<double>& src, std::size_t n) {
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      const std::size_t k = i * n + j;
+      g.check(&src[k - n], sizeof(double));
+      g.check(&src[k - 1], sizeof(double));
+      g.check(&src[k + 1], sizeof(double));
+      g.check(&src[k + n], sizeof(double));
+      g.check(&dst[k], sizeof(double));
+      dst[k] = 0.25 * (src[k - n] + src[k - 1] + src[k + 1] + src[k + n]);
+    }
+  }
+  return dst[n + 1];
+}
+
+template <typename G>
+double jacobi2d_hoisted(G& g, std::vector<double>& dst,
+                        const std::vector<double>& src, std::size_t n) {
+  g.check_region(dst.data());
+  g.check_region(src.data());
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      const std::size_t k = i * n + j;
+      dst[k] = 0.25 * (src[k - n] + src[k - 1] + src[k + 1] + src[k + n]);
+    }
+  }
+  return dst[n + 1];
+}
+
+struct CsrMatrix {
+  std::vector<std::uint32_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+
+  static CsrMatrix random(std::size_t rows, unsigned nnz_per_row,
+                          std::uint64_t seed) {
+    CsrMatrix m;
+    Rng rng(seed);
+    m.row_ptr.reserve(rows + 1);
+    m.row_ptr.push_back(0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (unsigned k = 0; k < nnz_per_row; ++k) {
+        m.col.push_back(
+            static_cast<std::uint32_t>(rng.uniform(0, rows - 1)));
+        m.val.push_back(rng.uniform_real(-1.0, 1.0));
+      }
+      m.row_ptr.push_back(static_cast<std::uint32_t>(m.col.size()));
+    }
+    return m;
+  }
+};
+
+template <typename G>
+double cg_spmv_checked(G& g, const CsrMatrix& m,
+                       const std::vector<double>& x,
+                       std::vector<double>& y) {
+  const std::size_t rows = y.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      g.check(&m.val[k], sizeof(double));
+      g.check(&x[m.col[k]], sizeof(double));
+      acc += m.val[k] * x[m.col[k]];
+    }
+    g.check(&y[r], sizeof(double));
+    y[r] = acc;
+  }
+  return y[rows / 2];
+}
+
+template <typename G>
+double cg_spmv_hoisted(G& g, const CsrMatrix& m,
+                       const std::vector<double>& x,
+                       std::vector<double>& y) {
+  g.check_region(m.val.data());
+  g.check_region(x.data());
+  g.check_region(y.data());
+  const std::size_t rows = y.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      acc += m.val[k] * x[m.col[k]];
+    }
+    y[r] = acc;
+  }
+  return y[rows / 2];
+}
+
+struct Body {
+  double x, y, z, vx, vy, vz;
+};
+
+template <typename G>
+double nbody_step_checked(G& g, std::vector<Body>& bodies, double dt) {
+  const std::size_t n = bodies.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    g.check(&bodies[i], sizeof(Body));
+    double fx = 0, fy = 0, fz = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      g.check(&bodies[j], sizeof(Body));
+      const double dx = bodies[j].x - bodies[i].x;
+      const double dy = bodies[j].y - bodies[i].y;
+      const double dz = bodies[j].z - bodies[i].z;
+      const double d2 = dx * dx + dy * dy + dz * dz + 1e-6;
+      const double inv = 1.0 / (d2 * __builtin_sqrt(d2));
+      fx += dx * inv;
+      fy += dy * inv;
+      fz += dz * inv;
+    }
+    bodies[i].vx += dt * fx;
+    bodies[i].vy += dt * fy;
+    bodies[i].vz += dt * fz;
+  }
+  return bodies[0].vx;
+}
+
+template <typename G>
+double nbody_step_hoisted(G& g, std::vector<Body>& bodies, double dt) {
+  g.check_region(bodies.data());
+  const std::size_t n = bodies.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double fx = 0, fy = 0, fz = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = bodies[j].x - bodies[i].x;
+      const double dy = bodies[j].y - bodies[i].y;
+      const double dz = bodies[j].z - bodies[i].z;
+      const double d2 = dx * dx + dy * dy + dz * dz + 1e-6;
+      const double inv = 1.0 / (d2 * __builtin_sqrt(d2));
+      fx += dx * inv;
+      fy += dy * inv;
+      fz += dz * inv;
+    }
+    bodies[i].vx += dt * fx;
+    bodies[i].vy += dt * fy;
+    bodies[i].vz += dt * fz;
+  }
+  return bodies[0].vx;
+}
+
+struct ChaseNode {
+  std::uint32_t next;
+  std::uint64_t payload;
+};
+
+/// Pointer chase: the base varies per step, so guards stay per-access;
+/// the CachedGuard policy models CARAT's surviving fast-path check.
+template <typename G>
+std::uint64_t pointer_chase(G& g, const std::vector<ChaseNode>& nodes,
+                            std::size_t hops) {
+  std::uint64_t acc = 0;
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < hops; ++i) {
+    g.check(&nodes[cur], sizeof(ChaseNode));
+    acc += nodes[cur].payload;
+    cur = nodes[cur].next;
+  }
+  return acc;
+}
+
+}  // namespace iw::workloads

@@ -1,0 +1,288 @@
+#include "workloads/pbbs_traces.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace iw::workloads {
+
+namespace {
+
+using coherence::Access;
+using coherence::AccessType;
+using coherence::Handoff;
+using coherence::Region;
+using coherence::RegionClass;
+using coherence::Trace;
+
+constexpr std::uint64_t kElem = 8;
+
+struct TraceBuilder {
+  Trace t;
+  Addr next_base{0x1000'0000};
+
+  std::uint32_t region(std::string name, std::uint64_t bytes,
+                       RegionClass cls, bool streaming_writes = false) {
+    Region r;
+    r.id = static_cast<std::uint32_t>(t.regions.size());
+    r.base = next_base;
+    r.size = bytes;
+    r.cls = cls;
+    r.streaming_writes = streaming_writes;
+    r.name = std::move(name);
+    next_base += (bytes + 4095) & ~std::uint64_t{4095};
+    t.regions.push_back(r);
+    return r.id;
+  }
+
+  void touch(unsigned core, std::uint32_t region_id, std::uint64_t offset,
+             AccessType type) {
+    const Region& r = t.regions[region_id];
+    IW_ASSERT(offset < r.size);
+    t.accesses.push_back(Access{core, type, r.base + offset, region_id});
+  }
+
+  void handoff(std::uint32_t region_id, unsigned from, unsigned to) {
+    t.handoffs.push_back(
+        Handoff{region_id, from, to, t.accesses.size() - 1});
+  }
+};
+
+/// Owner of slice `s` during round `r`: rotate to model work stealing.
+unsigned slice_owner(unsigned s, unsigned round, unsigned cores) {
+  return (s + round) % cores;
+}
+
+}  // namespace
+
+Trace pbbs_map(const PbbsParams& p) {
+  TraceBuilder b;
+  b.t.name = "map";
+  const std::uint64_t per = p.elements / p.cores;
+  const auto input =
+      b.region("input", p.elements * kElem, RegionClass::kReadOnly);
+  std::vector<std::uint32_t> outs;
+  for (unsigned s = 0; s < p.cores; ++s) {
+    outs.push_back(b.region("out" + std::to_string(s), per * kElem,
+                            RegionClass::kTaskPrivate,
+                            /*streaming_writes=*/true));
+  }
+  for (unsigned round = 0; round < p.rounds; ++round) {
+    for (std::uint64_t i = 0; i < per; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, input, (s * per + i) * kElem, AccessType::kRead);
+        b.touch(core, outs[s], i * kElem, AccessType::kWrite);
+      }
+    }
+    if (round + 1 < p.rounds) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        b.handoff(outs[s], slice_owner(s, round, p.cores),
+                  slice_owner(s, round + 1, p.cores));
+      }
+    }
+  }
+  return std::move(b.t);
+}
+
+Trace pbbs_reduce(const PbbsParams& p) {
+  TraceBuilder b;
+  b.t.name = "reduce";
+  const std::uint64_t per = p.elements / p.cores;
+  const auto input =
+      b.region("input", p.elements * kElem, RegionClass::kReadOnly);
+  std::vector<std::uint32_t> accs;
+  for (unsigned s = 0; s < p.cores; ++s) {
+    accs.push_back(b.region("acc" + std::to_string(s), 64,
+                            RegionClass::kTaskPrivate));
+  }
+  const auto partials =
+      b.region("partials", p.cores * 64, RegionClass::kShared);
+  for (unsigned round = 0; round < p.rounds; ++round) {
+    // Scan phase: each core streams its input slice into a private
+    // accumulator (one acc write per 8 elements read).
+    for (std::uint64_t i = 0; i < per; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, input, (s * per + i) * kElem, AccessType::kRead);
+        if (i % 8 == 0) b.touch(core, accs[s], 0, AccessType::kWrite);
+      }
+    }
+    // Publish partials, then tree-combine (true sharing).
+    for (unsigned s = 0; s < p.cores; ++s) {
+      b.touch(slice_owner(s, round, p.cores), partials,
+              s * 64, AccessType::kWrite);
+    }
+    for (unsigned stride = 1; stride < p.cores; stride *= 2) {
+      for (unsigned s = 0; s + stride < p.cores; s += 2 * stride) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, partials, (s + stride) * 64, AccessType::kRead);
+        b.touch(core, partials, s * 64, AccessType::kWrite);
+      }
+    }
+    if (round + 1 < p.rounds) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        b.handoff(accs[s], slice_owner(s, round, p.cores),
+                  slice_owner(s, round + 1, p.cores));
+      }
+    }
+  }
+  return std::move(b.t);
+}
+
+Trace pbbs_filter(const PbbsParams& p) {
+  TraceBuilder b;
+  b.t.name = "filter";
+  Rng rng(p.seed);
+  const std::uint64_t per = p.elements / p.cores;
+  const auto input =
+      b.region("input", p.elements * kElem, RegionClass::kReadOnly);
+  std::vector<std::uint32_t> flags;
+  for (unsigned s = 0; s < p.cores; ++s) {
+    flags.push_back(b.region("flags" + std::to_string(s), per,
+                             RegionClass::kTaskPrivate,
+                             /*streaming_writes=*/true));
+  }
+  // Packed output: shared, with slice boundaries not line-aligned, so
+  // adjacent cores false-share boundary lines.
+  const auto output =
+      b.region("output", p.elements * kElem, RegionClass::kShared);
+  for (unsigned round = 0; round < p.rounds; ++round) {
+    std::vector<std::uint64_t> out_cursor(p.cores);
+    for (unsigned s = 0; s < p.cores; ++s) {
+      // Unaligned start: deliberate false sharing with neighbor.
+      out_cursor[s] = (s * per + (s % 7)) * kElem;
+    }
+    for (std::uint64_t i = 0; i < per; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, input, (s * per + i) * kElem, AccessType::kRead);
+        b.touch(core, flags[s], i, AccessType::kWrite);
+        if (rng.chance(0.5)) {
+          b.touch(core, output, out_cursor[s], AccessType::kWrite);
+          out_cursor[s] += kElem;
+        }
+      }
+    }
+    if (round + 1 < p.rounds) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        b.handoff(flags[s], slice_owner(s, round, p.cores),
+                  slice_owner(s, round + 1, p.cores));
+      }
+    }
+  }
+  return std::move(b.t);
+}
+
+Trace pbbs_bfs(const PbbsParams& p) {
+  TraceBuilder b;
+  b.t.name = "bfs";
+  Rng rng(p.seed ^ 0xbf5);
+  const std::uint64_t nodes = p.elements;
+  const auto graph =
+      b.region("graph", nodes * kElem * 4, RegionClass::kReadOnly);
+  const auto visited = b.region("visited", nodes, RegionClass::kShared);
+  std::vector<std::uint32_t> frontier;
+  for (unsigned s = 0; s < p.cores; ++s) {
+    frontier.push_back(b.region("frontier" + std::to_string(s),
+                                (nodes / p.cores) * kElem,
+                                RegionClass::kTaskPrivate,
+                                /*streaming_writes=*/true));
+  }
+  const std::uint64_t per = nodes / p.cores;
+  for (unsigned level = 0; level < p.rounds; ++level) {
+    for (std::uint64_t i = 0; i < per / 4; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, level, p.cores);
+        // Pop a frontier node (private), read its adjacency (RO),
+        // claim ~2 random neighbors in the shared visited array, and
+        // push discovered nodes to the private next-frontier.
+        b.touch(core, frontier[s], (i % per) * kElem, AccessType::kRead);
+        b.touch(core, graph, ((s * per + i * 4) % (nodes * 4)) * kElem,
+                AccessType::kRead);
+        for (int nb = 0; nb < 2; ++nb) {
+          b.touch(core, visited, rng.uniform(0, nodes - 1),
+                  AccessType::kWrite);
+        }
+        b.touch(core, frontier[s], ((i + 1) % per) * kElem,
+                AccessType::kWrite);
+      }
+    }
+    if (level + 1 < p.rounds) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        b.handoff(frontier[s], slice_owner(s, level, p.cores),
+                  slice_owner(s, level + 1, p.cores));
+      }
+    }
+  }
+  return std::move(b.t);
+}
+
+Trace pbbs_sort(const PbbsParams& p) {
+  TraceBuilder b;
+  b.t.name = "sort";
+  const std::uint64_t per = p.elements / p.cores;
+  std::vector<std::uint32_t> local, buckets;
+  for (unsigned s = 0; s < p.cores; ++s) {
+    local.push_back(b.region("local" + std::to_string(s), per * kElem,
+                             RegionClass::kTaskPrivate));
+    // Buckets are written once by their producer and then only read:
+    // the language runtime proves them read-only after publication.
+    buckets.push_back(b.region("bucket" + std::to_string(s), per * kElem,
+                               RegionClass::kReadOnly,
+                               /*streaming_writes=*/true));
+  }
+  for (unsigned round = 0; round < p.rounds; ++round) {
+    // Local sort: ~2 passes of read+write over the private slice.
+    for (std::uint64_t i = 0; i < per; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, local[s], i * kElem, AccessType::kRead);
+        b.touch(core, local[s], ((i * 7) % per) * kElem,
+                AccessType::kWrite);
+      }
+    }
+    // Publish to buckets. Under deactivation the producer writes
+    // incoherently (no invalidation storms) and the publication handoff
+    // below flushes the lines to the home slice before any consumer
+    // reads them — the language runtime knows the publication point.
+    for (std::uint64_t i = 0; i < per; ++i) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        const unsigned core = slice_owner(s, round, p.cores);
+        b.touch(core, buckets[s], i * kElem, AccessType::kWrite);
+      }
+    }
+    for (unsigned s = 0; s < p.cores; ++s) {
+      b.handoff(buckets[s], slice_owner(s, round, p.cores), 0);
+    }
+    // Exchange: every core reads a stripe of every bucket.
+    for (unsigned s = 0; s < p.cores; ++s) {
+      const unsigned core = slice_owner(s, round, p.cores);
+      for (unsigned src = 0; src < p.cores; ++src) {
+        const std::uint64_t stripe = per / p.cores;
+        for (std::uint64_t i = 0; i < stripe; ++i) {
+          b.touch(core, buckets[src], (s * stripe + i) * kElem,
+                  AccessType::kRead);
+        }
+      }
+    }
+    if (round + 1 < p.rounds) {
+      for (unsigned s = 0; s < p.cores; ++s) {
+        b.handoff(local[s], slice_owner(s, round, p.cores),
+                  slice_owner(s, round + 1, p.cores));
+      }
+    }
+  }
+  return std::move(b.t);
+}
+
+std::vector<coherence::Trace> pbbs_suite(const PbbsParams& p) {
+  std::vector<coherence::Trace> out;
+  out.push_back(pbbs_map(p));
+  out.push_back(pbbs_reduce(p));
+  out.push_back(pbbs_filter(p));
+  out.push_back(pbbs_bfs(p));
+  out.push_back(pbbs_sort(p));
+  return out;
+}
+
+}  // namespace iw::workloads

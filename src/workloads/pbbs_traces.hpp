@@ -1,0 +1,46 @@
+// PBBS-like access-trace generators for the coherence experiments
+// (paper Fig. 7). Each generator reproduces the *sharing pattern* of a
+// PBBS kernel as compiled by an MPL-style runtime: task-private heap
+// slices (disentangled), read-only inputs, truly-shared structures, and
+// task migrations (handoffs) from work stealing. Absolute instruction
+// mixes don't matter for the protocol comparison; who-touches-what-when
+// does.
+#pragma once
+
+#include <cstdint>
+
+#include "coherence/trace.hpp"
+
+namespace iw::workloads {
+
+struct PbbsParams {
+  unsigned cores{24};
+  std::uint64_t elements{200'000};  // 8 B each
+  unsigned rounds{3};               // parallel rounds (tasks migrate)
+  std::uint64_t seed{42};
+};
+
+/// map: y[i] = f(x[i]); input read-only, output slices task-private,
+/// slices migrate between rounds (work stealing).
+coherence::Trace pbbs_map(const PbbsParams& p);
+
+/// reduce: tree reduction; input read-only, partials truly shared at
+/// combine points, accumulators private.
+coherence::Trace pbbs_reduce(const PbbsParams& p);
+
+/// filter: input read-only, flags private, packed output shared with
+/// false sharing at slice boundaries.
+coherence::Trace pbbs_filter(const PbbsParams& p);
+
+/// BFS-like: visited array truly shared (atomic claims), frontier
+/// slices private with migration.
+coherence::Trace pbbs_bfs(const PbbsParams& p);
+
+/// sample sort: local sorts on private slices, then an all-to-all
+/// exchange reading buckets that become read-only after publication.
+coherence::Trace pbbs_sort(const PbbsParams& p);
+
+/// All five, in Fig. 7 order.
+std::vector<coherence::Trace> pbbs_suite(const PbbsParams& p);
+
+}  // namespace iw::workloads

@@ -1,0 +1,118 @@
+// Property test: CARAT data mobility under random churn. A shadow map
+// tracks what every live word should contain and where every registered
+// pointer should point; after arbitrary interleavings of alloc, free,
+// write, move, and defragment, the heap must agree with the shadow.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "carat/runtime.hpp"
+#include "common/rng.hpp"
+
+namespace iw::carat {
+namespace {
+
+class DefragChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DefragChurnTest, HeapMatchesShadowThroughChurn) {
+  Rng rng(GetParam());
+  CaratRuntime rt(CaratConfig{0x1000, 1 << 17, false});
+
+  struct Obj {
+    Addr base;
+    std::uint64_t size;
+    std::vector<std::int64_t> shadow;      // expected payload words
+    std::vector<std::size_t> ptr_slots;    // word indices holding links
+    std::size_t target{SIZE_MAX};          // which live object it links to
+  };
+  std::vector<Obj> live;
+
+  // A "root table" object whose slots point at every live object; all
+  // slots are registered escapes, so CARAT's pointer patching keeps
+  // them current across moves. Allocated first, it sits at the arena
+  // base and defragmentation never displaces it.
+  const Addr roots = *rt.alloc(8 * 64);
+  for (int i = 0; i < 64; ++i) rt.register_escape(roots + 8u * i);
+  auto root_slot = [&](std::size_t idx) { return roots + 8 * idx; };
+
+  auto alloc_obj = [&]() -> bool {
+    if (live.size() >= 48) return false;
+    const std::uint64_t words = rng.uniform(2, 24);
+    auto base = rt.alloc(words * 8);
+    if (!base) return false;
+    Obj o;
+    o.base = *base;
+    o.size = words * 8;
+    o.shadow.resize(words);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      o.shadow[w] = static_cast<std::int64_t>(rng.next_u64() >> 1);
+      rt.write(*base + w * 8, o.shadow[w]);
+    }
+    rt.write(root_slot(live.size()), static_cast<std::int64_t>(*base));
+    live.push_back(std::move(o));
+    return true;
+  };
+
+  for (int i = 0; i < 12; ++i) alloc_obj();
+
+  for (int step = 0; step < 600; ++step) {
+    const auto action = rng.uniform(0, 9);
+    if (action < 3) {
+      alloc_obj();
+    } else if (action < 5 && live.size() > 4) {
+      // Free a random object; compact the root table.
+      const auto idx = rng.uniform(0, live.size() - 1);
+      const Addr base = static_cast<Addr>(rt.read(root_slot(idx)));
+      rt.free(base);
+      rt.write(root_slot(idx), rt.read(root_slot(live.size() - 1)));
+      rt.write(root_slot(live.size() - 1), 0);
+      live[idx] = std::move(live.back());
+      live.pop_back();
+    } else if (action < 8 && !live.empty()) {
+      // Random write through the (possibly moved) base.
+      const auto idx = rng.uniform(0, live.size() - 1);
+      Obj& o = live[idx];
+      const Addr base = static_cast<Addr>(rt.read(root_slot(idx)));
+      const auto w = rng.uniform(0, o.shadow.size() - 1);
+      o.shadow[w] = static_cast<std::int64_t>(rng.next_u64() >> 1);
+      rt.write(base + w * 8, o.shadow[w]);
+    } else {
+      rt.defragment();
+    }
+
+    if (step % 97 == 0) {
+      // Full validation pass.
+      for (std::size_t idx = 0; idx < live.size(); ++idx) {
+        const Obj& o = live[idx];
+        const Addr base = static_cast<Addr>(rt.read(root_slot(idx)));
+        ASSERT_TRUE(rt.check_access(base, 8, false))
+            << "seed " << GetParam() << " step " << step;
+        for (std::size_t w = 0; w < o.shadow.size(); ++w) {
+          ASSERT_EQ(rt.read(base + w * 8), o.shadow[w])
+              << "seed " << GetParam() << " step " << step << " obj "
+              << idx << " word " << w;
+        }
+      }
+      ASSERT_EQ(rt.stats().violations, 0u);
+    }
+  }
+
+  // Final: defrag all the way down and validate once more.
+  rt.defragment();
+  EXPECT_LT(rt.fragmentation(), 1e-9);
+  for (std::size_t idx = 0; idx < live.size(); ++idx) {
+    const Obj& o = live[idx];
+    const Addr base = static_cast<Addr>(rt.read(root_slot(idx)));
+    for (std::size_t w = 0; w < o.shadow.size(); ++w) {
+      ASSERT_EQ(rt.read(base + w * 8), o.shadow[w]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefragChurnTest,
+                         ::testing::Values(7, 11, 13, 17, 19, 23, 29, 31));
+
+}  // namespace
+}  // namespace iw::carat

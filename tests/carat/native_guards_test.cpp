@@ -1,0 +1,73 @@
+#include "carat/native_guards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iw::carat {
+namespace {
+
+TEST(NativeAllocationMap, ContainsSemantics) {
+  NativeAllocationMap m;
+  std::vector<double> buf(100);
+  m.add(buf.data(), buf.size() * sizeof(double));
+  EXPECT_TRUE(m.contains(buf.data(), 8));
+  EXPECT_TRUE(m.contains(&buf[99], 8));
+  EXPECT_FALSE(m.contains(buf.data() + 100, 8));
+  m.remove(buf.data());
+  EXPECT_FALSE(m.contains(buf.data(), 8));
+}
+
+template <typename Policy>
+std::uint64_t run_kernel_violations(bool oob) {
+  Policy p;
+  std::vector<double> a(1000), out(1000);
+  p.on_alloc(a.data(), a.size() * sizeof(double));
+  p.on_alloc(out.data(), out.size() * sizeof(double));
+  p.check_region(a.data());
+  p.check_region(out.data());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    p.check(&a[i], sizeof(double));
+    p.check(&out[i], sizeof(double));
+    out[i] = a[i] * 2.0;
+  }
+  if (oob) {
+    double x;
+    p.check(&x, sizeof(double));  // stack slot: not tracked
+  }
+  if constexpr (std::is_same_v<Policy, NoGuard>) {
+    return 0;
+  } else {
+    return p.violations();
+  }
+}
+
+TEST(NativeGuards, CleanKernelHasNoViolations) {
+  EXPECT_EQ(run_kernel_violations<FullGuard>(false), 0u);
+  EXPECT_EQ(run_kernel_violations<CachedGuard>(false), 0u);
+  EXPECT_EQ(run_kernel_violations<HoistedGuard>(false), 0u);
+}
+
+TEST(NativeGuards, FullAndCachedCatchUntrackedAccess) {
+  EXPECT_EQ(run_kernel_violations<FullGuard>(true), 1u);
+  EXPECT_EQ(run_kernel_violations<CachedGuard>(true), 1u);
+}
+
+TEST(NativeGuards, CachedGuardFastPathStaysCorrectAcrossAllocs) {
+  CachedGuard p;
+  std::vector<double> a(64), b(64);
+  p.on_alloc(a.data(), a.size() * sizeof(double));
+  p.on_alloc(b.data(), b.size() * sizeof(double));
+  // Alternate between allocations: cache must re-fill, not misreport.
+  for (int r = 0; r < 10; ++r) {
+    p.check(&a[r], 8);
+    p.check(&b[r], 8);
+  }
+  EXPECT_EQ(p.violations(), 0u);
+  double stack_var;
+  p.check(&stack_var, 8);
+  EXPECT_EQ(p.violations(), 1u);
+}
+
+}  // namespace
+}  // namespace iw::carat

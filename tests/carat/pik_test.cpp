@@ -1,0 +1,128 @@
+#include "carat/pik_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace iw::carat {
+namespace {
+
+/// A "user program": allocates a buffer, fills it, sums it.
+ir::Function* user_program(ir::Module& m) {
+  ir::Function* f = m.add_function("user_main", 1);  // arg: n
+  const ir::BlockId entry = f->add_block("entry");
+  const ir::BlockId fill_h = f->add_block("fill.header");
+  const ir::BlockId fill_b = f->add_block("fill.body");
+  const ir::BlockId sum_h = f->add_block("sum.header");
+  const ir::BlockId sum_b = f->add_block("sum.body");
+  const ir::BlockId exit = f->add_block("exit");
+  ir::Builder b(*f);
+  const ir::Reg n = f->arg_reg(0);
+
+  b.at(entry);
+  const ir::Reg buf = b.alloc(8 * 256);
+  const ir::Reg i = b.constant(0);
+  const ir::Reg sum = b.constant(0);
+  const ir::Reg one = b.constant(1);
+  const ir::Reg eight = b.constant(8);
+  b.br(fill_h);
+
+  b.at(fill_h);
+  b.cond_br(b.cmp_lt(i, n), fill_b, sum_h);
+  b.at(fill_b);
+  b.store(b.add(buf, b.mul(i, eight)), i);
+  {
+    ir::Instr upd = ir::Instr::make(ir::Op::kAdd);
+    upd.r = i;
+    upd.a = i;
+    upd.b = one;
+    b.emit(upd);
+  }
+  b.br(fill_h);
+
+  b.at(sum_h);
+  {
+    ir::Instr z = ir::Instr::make(ir::Op::kConst);
+    z.r = i;
+    z.imm = 0;
+    b.emit(z);
+  }
+  b.br(sum_b);
+  b.at(sum_b);
+  const ir::Reg v = b.load(b.add(buf, b.mul(i, eight)));
+  {
+    ir::Instr upd = ir::Instr::make(ir::Op::kAdd);
+    upd.r = sum;
+    upd.a = sum;
+    upd.b = v;
+    b.emit(upd);
+  }
+  {
+    ir::Instr upd = ir::Instr::make(ir::Op::kAdd);
+    upd.r = i;
+    upd.a = i;
+    upd.b = one;
+    b.emit(upd);
+  }
+  b.cond_br(b.cmp_lt(i, n), sum_b, exit);
+
+  b.at(exit);
+  b.free(buf);
+  b.ret(sum);
+  return f;
+}
+
+TEST(PikImage, TransformAttestAndRun) {
+  ir::Module m;
+  ir::Function* f = user_program(m);
+  PikImage img(m);
+  EXPECT_GT(img.guards_before(), 0u);
+  EXPECT_LT(img.guards_after(), img.guards_before())
+      << "hoisting must reduce static guard count on loop code";
+
+  const auto h = img.attestation_hash();
+  EXPECT_TRUE(img.attest(h));
+  EXPECT_FALSE(img.attest(h ^ 1));
+
+  CaratRuntime rt;
+  Cycles cycles = 0;
+  const auto result = img.run(f->id(), {100}, rt, &cycles);
+  EXPECT_EQ(result, 100 * 99 / 2);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(rt.stats().violations, 0u);
+  EXPECT_GT(rt.stats().range_checks + rt.stats().guard_checks, 0u);
+}
+
+TEST(PikImage, TamperedCodeFailsAttestation) {
+  ir::Module m;
+  ir::Function* f = user_program(m);
+  PikImage img(m);
+  const auto signed_hash = img.attestation_hash();
+  // Tamper after signing: flip an immediate.
+  f->block(0).body.front().imm ^= 0x1;
+  PikImage reimaged_view(m, {.timing_budget = 5'000, .hoist = true});
+  EXPECT_FALSE(reimaged_view.attest(signed_hash));
+}
+
+TEST(PikImage, RuntimeSeesWholeAllocationChecks) {
+  ir::Module m;
+  ir::Function* f = user_program(m);
+  PikImage img(m);
+  CaratRuntime rt;
+  img.run(f->id(), {200}, rt);
+  // Hoisted: range checks dominate; per-access checks are rare.
+  EXPECT_GT(rt.stats().range_checks, 0u);
+  EXPECT_LT(rt.stats().guard_checks, 10u);
+}
+
+TEST(PikImage, NoHoistOptionKeepsPerAccessChecks) {
+  ir::Module m;
+  ir::Function* f = user_program(m);
+  PikImage img(m, {.timing_budget = 5'000, .hoist = false});
+  CaratRuntime rt;
+  img.run(f->id(), {200}, rt);
+  EXPECT_GE(rt.stats().guard_checks, 400u) << "one per access";
+}
+
+}  // namespace
+}  // namespace iw::carat

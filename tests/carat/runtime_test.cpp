@@ -1,0 +1,228 @@
+#include "carat/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ir/builder.hpp"
+
+namespace iw::carat {
+namespace {
+
+TEST(AllocationMap, AddFindRemove) {
+  AllocationMap m;
+  m.add(0x1000, 256);
+  m.add(0x2000, 128);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.tracked_bytes(), 384u);
+  ASSERT_NE(m.find(0x1000), nullptr);
+  ASSERT_NE(m.find(0x10FF), nullptr);
+  EXPECT_EQ(m.find(0x1100), nullptr);
+  EXPECT_EQ(m.find(0x0FFF), nullptr);
+  m.remove(0x1000);
+  EXPECT_EQ(m.find(0x1000), nullptr);
+  EXPECT_EQ(m.tracked_bytes(), 128u);
+}
+
+TEST(AllocationMap, ContainsRangeEdges) {
+  AllocationMap m;
+  m.add(0x1000, 64);
+  const Allocation* a = m.find(0x1000);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->contains_range(0x1000, 64));
+  EXPECT_TRUE(a->contains_range(0x1038, 8));
+  EXPECT_FALSE(a->contains_range(0x1039, 8));  // spills one byte past
+}
+
+TEST(AllocationMap, RebasePreservesIdentity) {
+  AllocationMap m;
+  const auto& a = m.add(0x1000, 64);
+  const auto id = a.id;
+  m.rebase(0x1000, 0x9000);
+  const Allocation* moved = m.find_base(0x9000);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->id, id);
+  EXPECT_EQ(moved->size, 64u);
+  EXPECT_EQ(m.find(0x1000), nullptr);
+}
+
+TEST(CaratRuntime, AllocatesByteGranular) {
+  CaratRuntime rt;
+  auto a = rt.alloc(24);
+  auto b = rt.alloc(100);
+  ASSERT_TRUE(a && b);
+  // No page rounding: 24 -> 24 (8-byte aligned), next alloc close by.
+  EXPECT_EQ(*b - *a, 24u);
+}
+
+TEST(CaratRuntime, GuardsDetectOutOfBounds) {
+  CaratRuntime rt;
+  auto a = rt.alloc(64);
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(rt.check_access(*a, 8, false));
+  EXPECT_TRUE(rt.check_access(*a + 56, 8, true));
+  EXPECT_FALSE(rt.check_access(*a + 64, 8, false)) << "past the end";
+  EXPECT_FALSE(rt.check_access(*a - 8, 8, false)) << "before the start";
+  EXPECT_EQ(rt.stats().violations, 2u);
+}
+
+TEST(CaratRuntime, GuardsDetectUseAfterFree) {
+  CaratRuntime rt;
+  auto a = rt.alloc(64);
+  ASSERT_TRUE(a);
+  rt.free(*a);
+  EXPECT_FALSE(rt.check_access(*a, 8, false));
+}
+
+TEST(CaratRuntime, ProtectionBlocksWrites) {
+  CaratRuntime rt;
+  auto a = rt.alloc(64);
+  ASSERT_TRUE(a);
+  rt.protect(*a, Perm::kRead);
+  EXPECT_TRUE(rt.check_access(*a, 8, false));
+  EXPECT_FALSE(rt.check_access(*a, 8, true));
+  rt.protect(*a, Perm::kNone);
+  EXPECT_FALSE(rt.check_access(*a, 8, false));
+}
+
+TEST(CaratRuntime, MovePreservesContents) {
+  CaratRuntime rt;
+  auto a = rt.alloc(64);
+  ASSERT_TRUE(a);
+  for (Addr off = 0; off < 64; off += 8) {
+    rt.write(*a + off, static_cast<std::int64_t>(off) * 3);
+  }
+  const Addr target = rt.config().arena_base + 4096;
+  ASSERT_TRUE(rt.move_allocation(*a, target));
+  for (Addr off = 0; off < 64; off += 8) {
+    EXPECT_EQ(rt.read(target + off), static_cast<std::int64_t>(off) * 3);
+  }
+  // Old location is no longer tracked; new one is.
+  EXPECT_FALSE(rt.check_access(*a, 8, false));
+  EXPECT_TRUE(rt.check_access(target, 8, false));
+}
+
+TEST(CaratRuntime, MovePatchesEscapedPointers) {
+  CaratRuntime rt;
+  auto obj = rt.alloc(64);
+  auto holder = rt.alloc(16);
+  ASSERT_TRUE(obj && holder);
+  // holder[0] points at obj[24]; the compiler registered the escape.
+  rt.write(*holder, static_cast<std::int64_t>(*obj + 24));
+  rt.register_escape(*holder);
+  const Addr target = rt.config().arena_base + 8192;
+  ASSERT_TRUE(rt.move_allocation(*obj, target));
+  EXPECT_EQ(static_cast<Addr>(rt.read(*holder)), target + 24);
+  EXPECT_EQ(rt.stats().pointers_patched, 1u);
+}
+
+TEST(CaratRuntime, MoveRejectsOverlappingTarget) {
+  CaratRuntime rt;
+  auto a = rt.alloc(64);
+  auto b = rt.alloc(64);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(rt.move_allocation(*a, *b));
+  EXPECT_FALSE(rt.move_allocation(*a, *b - 8));
+}
+
+TEST(CaratRuntime, LinkedListSurvivesDefrag) {
+  // Build a 50-node linked list with interleaved junk allocations, free
+  // the junk (creating fragmentation), defragment, then walk the list.
+  // Small arena so the junk holes matter relative to total free space.
+  CaratRuntime rt(CaratConfig{0x1000, 1 << 16, false});
+  Rng rng(11);
+  std::vector<Addr> nodes, junk;
+  Addr prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto n = rt.alloc(16);
+    auto j = rt.alloc(8 + rng.uniform(0, 128) * 8);
+    ASSERT_TRUE(n && j);
+    nodes.push_back(*n);
+    junk.push_back(*j);
+    rt.write(*n, i);            // payload
+    rt.write(*n + 8, 0);        // next = null
+    rt.register_escape(*n + 8);
+    if (prev != 0) {
+      rt.write(prev + 8, static_cast<std::int64_t>(*n));
+    }
+    prev = *n;
+  }
+  for (Addr j : junk) rt.free(j);
+  const double frag_before = rt.fragmentation();
+  EXPECT_GT(frag_before, 0.1);
+
+  const unsigned moved = rt.defragment();
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(rt.fragmentation(), 1e-9);
+
+  // Walk: every node reachable with intact payloads.
+  Addr cur = 0;
+  // Find the head: it is the allocation with payload 0; after defrag the
+  // first node slid to the arena base region. Track via map entries.
+  for (const auto& [base, a] : rt.allocations().entries()) {
+    (void)a;
+    if (rt.read(base) == 0 && a.size == 16) {
+      cur = base;
+      break;
+    }
+  }
+  ASSERT_NE(cur, 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rt.read(cur), i);
+    cur = static_cast<Addr>(rt.read(cur + 8));
+    if (i < 49) {
+      ASSERT_NE(cur, 0u) << "chain broken at node " << i;
+    }
+  }
+  EXPECT_EQ(cur, 0u) << "list must terminate";
+}
+
+TEST(CaratRuntime, DefragEnablesLargeAllocation) {
+  CaratRuntime cfg_rt(CaratConfig{0x1000, 1 << 16, false});
+  std::vector<Addr> blocks;
+  // Fill the arena with 512-byte blocks.
+  while (auto a = cfg_rt.alloc(512)) blocks.push_back(*a);
+  // Free every other block: half the space free, but scattered.
+  for (std::size_t i = 0; i < blocks.size(); i += 2) cfg_rt.free(blocks[i]);
+  EXPECT_FALSE(cfg_rt.alloc(8 * 1024).has_value())
+      << "no contiguous 8 KiB hole exists yet";
+  cfg_rt.defragment();
+  EXPECT_TRUE(cfg_rt.alloc(8 * 1024).has_value())
+      << "defrag must consolidate free space";
+}
+
+TEST(CaratRuntime, InterpIntegrationGuardsCleanProgram) {
+  ir::Module m;
+  ir::Function* f = m.add_function("writer", 0);
+  const ir::BlockId e = f->add_block();
+  ir::Builder b(*f);
+  b.at(e);
+  const ir::Reg p = b.alloc(128);
+  {
+    ir::Instr g = ir::Instr::make(ir::Op::kGuard);
+    g.a = p;
+    g.imm = 8;
+    g.imm2 = 8;
+    g.b = 1;
+    b.emit(g);
+  }
+  const ir::Reg v = b.constant(99);
+  b.store(p, v, 8);
+  b.ret(v);
+
+  CaratRuntime rt;
+  ir::Interp in(m, rt.interp_hooks());
+  in.run(f->id(), {});
+  EXPECT_EQ(rt.stats().guard_checks, 1u);
+  EXPECT_EQ(rt.stats().violations, 0u);
+  EXPECT_EQ(rt.allocations().count(), 1u);
+}
+
+TEST(CaratRuntime, FatalViolationAborts) {
+  CaratConfig cfg;
+  cfg.fatal_violations = true;
+  CaratRuntime rt(cfg);
+  EXPECT_DEATH(rt.check_access(0xDEAD, 8, false), "violation");
+}
+
+}  // namespace
+}  // namespace iw::carat

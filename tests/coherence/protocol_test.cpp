@@ -1,0 +1,202 @@
+#include "coherence/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::coherence {
+namespace {
+
+SimConfig small_cfg(bool deactivate) {
+  SimConfig cfg;
+  cfg.num_cores = 4;
+  cfg.noc.num_cores = 4;
+  cfg.private_cache = CacheConfig{8 * 1024, 4, 64};
+  cfg.selective_deactivation = deactivate;
+  return cfg;
+}
+
+Trace one_region_trace(RegionClass cls) {
+  Trace t;
+  Region r;
+  r.id = 0;
+  r.base = 0x10000;
+  r.size = 1 << 16;
+  r.cls = cls;
+  t.regions.push_back(r);
+  return t;
+}
+
+TEST(PrivateCacheUnit, HitAfterInsert) {
+  PrivateCache c(CacheConfig{1024, 2, 64});
+  EXPECT_EQ(c.find(0x100), nullptr);
+  c.insert(0x100, LineState::kExclusive, 0);
+  auto* l = c.find(0x108);  // same line
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->state, LineState::kExclusive);
+}
+
+TEST(PrivateCacheUnit, LruEvictionReturnsVictim) {
+  // 2-way, 64B lines, 1024B => 8 sets. Fill one set 3x.
+  PrivateCache c(CacheConfig{1024, 2, 64});
+  const Addr set_stride = 8 * 64;
+  EXPECT_FALSE(c.insert(0x0, LineState::kModified, 0).has_value());
+  EXPECT_FALSE(
+      c.insert(set_stride, LineState::kExclusive, 0).has_value());
+  c.find(0x0);  // make first MRU
+  auto evicted = c.insert(2 * set_stride, LineState::kShared, 0);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->tag, set_stride);
+  EXPECT_EQ(evicted->state, LineState::kExclusive);
+}
+
+TEST(Protocol, ReadMissThenHit) {
+  CoherenceSim sim(small_cfg(false));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  const Cycles miss = sim.access({0, AccessType::kRead, r.base, 0}, r);
+  const Cycles hit = sim.access({0, AccessType::kRead, r.base + 8, 0}, r);
+  EXPECT_GT(miss, hit * 5);
+  EXPECT_EQ(sim.stats().private_hits, 1u);
+  EXPECT_EQ(sim.stats().memory_fetches, 1u);
+}
+
+TEST(Protocol, WriteInvalidatesSharers) {
+  CoherenceSim sim(small_cfg(false));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  // Three readers, then one writer.
+  for (unsigned c = 0; c < 3; ++c) {
+    sim.access({c, AccessType::kRead, r.base, 0}, r);
+  }
+  sim.access({3, AccessType::kWrite, r.base, 0}, r);
+  EXPECT_EQ(sim.stats().invalidations, 3u);
+  // Readers' copies are gone: their next read misses.
+  const auto hits_before = sim.stats().private_hits;
+  sim.access({0, AccessType::kRead, r.base, 0}, r);
+  EXPECT_EQ(sim.stats().private_hits, hits_before);
+}
+
+TEST(Protocol, DirtyReadIsThreeHop) {
+  CoherenceSim sim(small_cfg(false));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  sim.access({0, AccessType::kWrite, r.base, 0}, r);  // core 0: M
+  sim.access({1, AccessType::kRead, r.base, 0}, r);   // 3-hop forward
+  EXPECT_EQ(sim.stats().three_hop_transfers, 1u);
+  // Owner downgraded to S: its next read still hits.
+  const auto hits = sim.stats().private_hits;
+  sim.access({0, AccessType::kRead, r.base, 0}, r);
+  EXPECT_EQ(sim.stats().private_hits, hits + 1);
+}
+
+TEST(Protocol, WriteAfterWriteMigratesOwnership) {
+  CoherenceSim sim(small_cfg(false));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  sim.access({0, AccessType::kWrite, r.base, 0}, r);
+  sim.access({1, AccessType::kWrite, r.base, 0}, r);
+  EXPECT_EQ(sim.stats().invalidations, 1u);
+  EXPECT_EQ(sim.directory().entry(0x10000).owner, 1u);
+}
+
+TEST(Protocol, ExclusiveUpgradeIsSilent) {
+  CoherenceSim sim(small_cfg(false));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  sim.access({0, AccessType::kRead, r.base, 0}, r);  // E (sole reader)
+  const auto dir_lookups = sim.stats().directory_lookups;
+  const Cycles w = sim.access({0, AccessType::kWrite, r.base, 0}, r);
+  // E->M upgrade requires no directory round trip.
+  EXPECT_EQ(sim.stats().directory_lookups, dir_lookups);
+  EXPECT_LE(w, sim.stats().accesses ? Cycles{8} : Cycles{8});
+}
+
+TEST(Deactivation, PrivateRegionBypassesDirectory) {
+  CoherenceSim sim(small_cfg(true));
+  Trace t = one_region_trace(RegionClass::kTaskPrivate);
+  const Region& r = t.regions[0];
+  sim.access({0, AccessType::kWrite, r.base, 0}, r);
+  sim.access({0, AccessType::kRead, r.base + 8, 0}, r);
+  EXPECT_EQ(sim.stats().directory_lookups, 0u);
+  EXPECT_EQ(sim.directory().tracked_lines(), 0u)
+      << "thread-private data must not be tracked (paper [21])";
+}
+
+TEST(Deactivation, SharedRegionStaysCoherent) {
+  CoherenceSim sim(small_cfg(true));
+  Trace t = one_region_trace(RegionClass::kShared);
+  const Region& r = t.regions[0];
+  for (unsigned c = 0; c < 3; ++c) {
+    sim.access({c, AccessType::kRead, r.base, 0}, r);
+  }
+  sim.access({3, AccessType::kWrite, r.base, 0}, r);
+  EXPECT_EQ(sim.stats().invalidations, 3u)
+      << "true sharing must keep full MESI semantics";
+}
+
+TEST(Deactivation, HandoffFlushesIncoherentLines) {
+  CoherenceSim sim(small_cfg(true));
+  Trace t = one_region_trace(RegionClass::kTaskPrivate);
+  const Region& r = t.regions[0];
+  for (int i = 0; i < 8; ++i) {
+    sim.access({0, AccessType::kWrite, r.base + 64u * i, 0}, r);
+  }
+  t.handoffs.push_back(Handoff{0, 0, 1, 0});
+  sim.handoff(t.handoffs[0], t);
+  EXPECT_EQ(sim.stats().handoff_flushes, 8u);
+  // Old owner's lines are gone.
+  EXPECT_EQ(sim.cache(0).lines_in_region(0).size(), 0u);
+}
+
+TEST(Deactivation, MigrationCheaperThanCoherentMigration) {
+  // A private slice written by core 0, then fully re-read+written by
+  // core 1 (task migration). Baseline: invalidations + 3-hop transfers.
+  // Deactivated: flush + refetch, no directory traffic.
+  auto run = [](bool deactivate) {
+    CoherenceSim sim(small_cfg(deactivate));
+    Trace t = one_region_trace(deactivate ? RegionClass::kTaskPrivate
+                                          : RegionClass::kShared);
+    const Region& r = t.regions[0];
+    for (int i = 0; i < 64; ++i) {
+      sim.access({0, AccessType::kWrite, r.base + 64u * i, 0}, r);
+    }
+    if (deactivate) {
+      Handoff h{0, 0, 1, 0};
+      t.handoffs.push_back(h);
+      sim.handoff(h, t);
+    }
+    for (int i = 0; i < 64; ++i) {
+      sim.access({1, AccessType::kRead, r.base + 64u * i, 0}, r);
+      sim.access({1, AccessType::kWrite, r.base + 64u * i, 0}, r);
+    }
+    return sim.stats();
+  };
+  const auto base = run(false);
+  const auto deact = run(true);
+  EXPECT_LT(deact.noc.energy_pj, base.noc.energy_pj)
+      << "deactivation must cut interconnect energy on migration";
+  EXPECT_EQ(deact.invalidations, 0u);
+  EXPECT_GT(base.invalidations, 0u);
+}
+
+TEST(Interconnect, CrossSocketCostsMore) {
+  InterconnectConfig cfg;
+  cfg.num_cores = 24;
+  cfg.sockets = 2;
+  Interconnect noc(cfg);
+  const Cycles local = noc.message(0, 3);
+  const Cycles remote = noc.message(0, 13);
+  EXPECT_GT(remote, local * 2);
+  EXPECT_EQ(noc.stats().socket_crossings, 1u);
+}
+
+TEST(Interconnect, EnergyAccumulates) {
+  InterconnectConfig cfg;
+  Interconnect noc(cfg);
+  noc.message(0, 1, true);
+  const double e1 = noc.stats().energy_pj;
+  noc.message(0, 23, true);
+  EXPECT_GT(noc.stats().energy_pj, e1 * 2);
+}
+
+}  // namespace
+}  // namespace iw::coherence

@@ -1,0 +1,134 @@
+// Protocol-invariant property test: after every access of a random
+// trace, the Single-Writer-Multiple-Reader invariant must hold for
+// coherent lines, and deactivated task-private lines must have at most
+// one owner between handoffs (the language's disentanglement contract,
+// enforced by flushes).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coherence/simulator.hpp"
+#include "common/rng.hpp"
+
+namespace iw::coherence {
+namespace {
+
+struct RandomTraceParams {
+  std::uint64_t seed;
+  bool deactivate;
+};
+
+class SwmrTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+void check_invariants(CoherenceSim& sim, const Trace& trace,
+                      unsigned cores, std::uint64_t step) {
+  // Scan a sample of line addresses present in the trace regions.
+  for (const auto& r : trace.regions) {
+    for (Addr a = r.base; a < r.base + r.size; a += 256) {
+      unsigned m_or_e = 0, s = 0, incoherent = 0;
+      for (unsigned c = 0; c < cores; ++c) {
+        const CacheLine* l = sim.cache(c).probe(a);
+        if (l == nullptr) continue;
+        switch (l->state) {
+          case LineState::kModified:
+          case LineState::kExclusive:
+            ++m_or_e;
+            break;
+          case LineState::kShared:
+            ++s;
+            break;
+          case LineState::kIncoherent:
+            ++incoherent;
+            break;
+          case LineState::kInvalid:
+            break;
+        }
+      }
+      // SWMR: at most one M/E copy; if an M/E copy exists, no S copies.
+      ASSERT_LE(m_or_e, 1u) << "line " << a << " step " << step;
+      if (m_or_e == 1) {
+        ASSERT_EQ(s, 0u) << "M/E coexists with S at " << a << " step "
+                         << step;
+      }
+      // Incoherent copies never coexist with coherent ones, and a
+      // task-private region's line has at most one incoherent owner.
+      if (incoherent > 0) {
+        ASSERT_EQ(m_or_e + s, 0u)
+            << "incoherent coexists with coherent at " << a;
+        if (r.cls == RegionClass::kTaskPrivate) {
+          ASSERT_LE(incoherent, 1u)
+              << "two owners of private line " << a << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SwmrTest, InvariantHoldsThroughRandomTrace) {
+  const auto [seed, deactivate] = GetParam();
+  Rng rng(seed);
+  const unsigned cores = 4;
+
+  // Regions: one shared, one read-only, two task-private (with owners
+  // that change only via handoffs).
+  Trace t;
+  t.regions.push_back({0, 0x10000, 4096, RegionClass::kShared, false, "sh"});
+  t.regions.push_back(
+      {1, 0x20000, 4096, RegionClass::kReadOnly, false, "ro"});
+  t.regions.push_back(
+      {2, 0x30000, 4096, RegionClass::kTaskPrivate, false, "p0"});
+  t.regions.push_back(
+      {3, 0x40000, 4096, RegionClass::kTaskPrivate, false, "p1"});
+
+  SimConfig cfg;
+  cfg.num_cores = cores;
+  cfg.noc.num_cores = cores;
+  cfg.private_cache = CacheConfig{4 * 1024, 2, 64};  // small: evictions!
+  cfg.selective_deactivation = deactivate;
+  CoherenceSim sim(cfg);
+
+  unsigned p0_owner = 0, p1_owner = 1;
+  for (std::uint64_t step = 0; step < 3'000; ++step) {
+    const auto region_id = static_cast<std::uint32_t>(rng.uniform(0, 3));
+    const Region& r = t.regions[region_id];
+    Access a;
+    a.region = region_id;
+    a.addr = r.base + rng.uniform(0, r.size / 8 - 1) * 8;
+    // Private regions are only touched by their current owner; the
+    // read-only region is never written.
+    if (region_id == 2) {
+      a.core = p0_owner;
+    } else if (region_id == 3) {
+      a.core = p1_owner;
+    } else {
+      a.core = static_cast<std::uint32_t>(rng.uniform(0, cores - 1));
+    }
+    a.type = (region_id == 1 || rng.chance(0.6)) ? AccessType::kRead
+                                                 : AccessType::kWrite;
+    sim.access(a, r);
+
+    // Occasional handoff of a private region.
+    if (rng.chance(0.01)) {
+      const bool which = rng.chance(0.5);
+      unsigned& owner = which ? p0_owner : p1_owner;
+      const std::uint32_t rid = which ? 2 : 3;
+      const auto new_owner =
+          static_cast<unsigned>(rng.uniform(0, cores - 1));
+      Handoff h{rid, owner, new_owner, 0};
+      sim.handoff(h, t);
+      owner = new_owner;
+    }
+
+    if (step % 199 == 0) check_invariants(sim, t, cores, step);
+  }
+  check_invariants(sim, t, cores, 3'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SwmrTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace iw::coherence

@@ -1,0 +1,95 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  LatencyHistogram h(8);
+  h.add(3);
+  h.add(3);
+  h.add(5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_NEAR(h.mean(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  LatencyHistogram h;
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(static_cast<std::uint64_t>(r.exponential(1000.0)));
+  }
+  const auto p50 = h.value_at_percentile(50);
+  const auto p90 = h.value_at_percentile(90);
+  const auto p99 = h.value_at_percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max() * 2);  // bucket upper bound slack
+}
+
+TEST(Histogram, PercentileAccuracyWithinBucket) {
+  LatencyHistogram h;
+  // 100 values of 1000 and 100 of 100000: p50 should land near 1000's
+  // bucket, p99 near 100000's bucket (within one bucket width = 1/8 of
+  // the octave).
+  for (int i = 0; i < 100; ++i) h.add(1000);
+  for (int i = 0; i < 100; ++i) h.add(100000);
+  EXPECT_LT(h.value_at_percentile(50), 1200u);
+  EXPECT_GT(h.value_at_percentile(99), 90000u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.add(10);
+  b.add(20);
+  b.add(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  LatencyHistogram h;
+  h.add(50, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.add(99);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+  LatencyHistogram h;
+  h.add(1);
+  h.add(1000000);
+  const auto s = h.render();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, LargeValuesDoNotCrash) {
+  LatencyHistogram h;
+  h.add(~std::uint64_t{0} - 1);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.value_at_percentile(100), 0u);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,23 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // Suppressed and emitted paths both execute without crashing.
+  IW_LOG_DEBUG("suppressed %d", 1);
+  set_log_level(LogLevel::kDebug);
+  IW_LOG_WARN("emitted %s %d", "warn", 2);
+  IW_LOG_ERROR("emitted error");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace iw

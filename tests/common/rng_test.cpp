@@ -1,0 +1,116 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(9);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[r.uniform(0, 4)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, HeavyTailMedianAndCap) {
+  Rng r(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) {
+    const double v = r.heavy_tail(50.0, 1.5, 5000.0);
+    ASSERT_LE(v, 5000.0);
+    ASSERT_GT(v, 0.0);
+    xs.push_back(v);
+  }
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 50.0, 5.0);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(r.lognormal_median(200.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 200.0, 10.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(29);
+  int yes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (r.chance(0.3)) ++yes;
+  }
+  EXPECT_NEAR(yes / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanKnownValues) {
+  const std::array<double, 2> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+  const std::array<double, 3> ys{2.0, 2.0, 2.0};
+  EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanLessThanMeanForSpread) {
+  const std::array<double, 2> xs{1.0, 100.0};
+  EXPECT_LT(geomean(xs), mean(xs));
+}
+
+TEST(Stats, StddevKnown) {
+  const std::array<double, 4> xs{2, 4, 4, 6};
+  // sample variance = ((4+0+0+4)/3) = 8/3
+  EXPECT_NEAR(stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::array<double, 5> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(median(xs), 30.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::array<double, 5> xs{50, 10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(median(xs), 30.0);
+}
+
+TEST(Stats, CvZeroCases) {
+  const std::array<double, 1> one{5};
+  EXPECT_DOUBLE_EQ(cv(one), 0.0);
+  const std::array<double, 3> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(cv(flat), 0.0);
+}
+
+TEST(OnlineStats, MatchesBatch) {
+  Rng r(5);
+  std::vector<double> xs;
+  OnlineStats os;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(10, 3);
+    xs.push_back(x);
+    os.add(x);
+  }
+  EXPECT_EQ(os.count(), 1000u);
+  EXPECT_NEAR(os.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(os.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(os.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(os.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(OnlineStats, MergeEquivalentToSequential) {
+  Rng r(6);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.exponential(7.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(OnlineStats, MergeIntoEmpty) {
+  OnlineStats a, b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(OnlineStats, Reset) {
+  OnlineStats s;
+  s.add(1);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace iw

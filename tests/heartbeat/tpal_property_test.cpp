@@ -1,0 +1,56 @@
+// Property tests over the TPAL runtime: conservation and liveness
+// invariants must hold for any configuration the sweep produces.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "heartbeat/tpal.hpp"
+
+namespace iw::heartbeat {
+namespace {
+
+using Param = std::tuple<unsigned /*workers*/, std::uint64_t /*chunk*/,
+                         double /*heartbeat_us*/>;
+
+class TpalSweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TpalSweepTest, IterationConservationAndLiveness) {
+  const auto [workers, chunk, hb_us] = GetParam();
+  hwsim::MachineConfig mc;
+  mc.num_cores = workers;
+  mc.costs = hwsim::CostModel::knl();
+  mc.max_advances = 1'000'000'000ULL;
+  hwsim::Machine m(mc);
+  nautilus::Kernel k(m);
+  k.attach();
+  NautilusHeartbeat hb(m);
+
+  TpalConfig cfg;
+  cfg.num_workers = workers;
+  cfg.total_iters = 123'457;  // deliberately not divisible by anything
+  cfg.cycles_per_iter = 25;
+  cfg.chunk = chunk;
+  cfg.heartbeat_period = m.costs().freq.us_to_cycles(hb_us);
+  const auto res = TpalRuntime(k, cfg, &hb).run();
+
+  // Conservation: exactly the requested work executed, no more, no less.
+  EXPECT_EQ(res.work_cycles, cfg.total_iters * cfg.cycles_per_iter);
+  // Liveness: the run completed (watchdog inside run() would assert).
+  EXPECT_GT(res.makespan, 0u);
+  // Overhead sanity: mechanism cost cannot exceed the work for any of
+  // these configurations.
+  EXPECT_LT(res.overhead_cycles, res.work_cycles);
+  // With >1 workers and promotions, stealing must actually occur.
+  if (workers > 1 && res.promotions > 0) {
+    EXPECT_GT(res.steals, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TpalSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(16u, 64u, 256u),
+                       ::testing::Values(20.0, 100.0)));
+
+}  // namespace
+}  // namespace iw::heartbeat

@@ -1,0 +1,167 @@
+#include "heartbeat/tpal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+namespace iw::heartbeat {
+namespace {
+
+hwsim::MachineConfig mcfg(unsigned cores) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = cores;
+  cfg.max_advances = 400'000'000;
+  return cfg;
+}
+
+TEST(WorkDeque, RangeSplitHalves) {
+  Range r{0, 100};
+  const Range upper = r.split();
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 50u);
+  EXPECT_EQ(upper.lo, 50u);
+  EXPECT_EQ(upper.hi, 100u);
+}
+
+TEST(WorkDeque, OwnerBottomThiefTop) {
+  WorkDeque d;
+  d.push_bottom({0, 10});
+  d.push_bottom({10, 20});
+  const auto stolen = d.steal_top();
+  ASSERT_TRUE(stolen);
+  EXPECT_EQ(stolen->lo, 0u);  // oldest work stolen first
+  const auto own = d.pop_bottom();
+  ASSERT_TRUE(own);
+  EXPECT_EQ(own->lo, 10u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Tpal, SerialNoHeartbeatCompletesAllIterations) {
+  hwsim::Machine m(mcfg(1));
+  nautilus::Kernel k(m);
+  k.attach();
+  TpalConfig cfg;
+  cfg.num_workers = 1;
+  cfg.total_iters = 10'000;
+  cfg.cycles_per_iter = 20;
+  const auto res = TpalRuntime(k, cfg, nullptr).run();
+  EXPECT_EQ(res.work_cycles, 10'000u * 20u);
+  EXPECT_EQ(res.promotions, 0u);
+  EXPECT_EQ(res.steals, 0u);
+  // Makespan = work + poll overhead, within a few percent.
+  EXPECT_LT(res.makespan, res.work_cycles * 105 / 100);
+}
+
+TEST(Tpal, HeartbeatPromotionSpreadsWorkAcrossCores) {
+  hwsim::Machine m(mcfg(8));
+  nautilus::Kernel k(m);
+  k.attach();
+  NautilusHeartbeat hb(m);
+  TpalConfig cfg;
+  cfg.num_workers = 8;
+  cfg.total_iters = 400'000;
+  cfg.cycles_per_iter = 30;
+  cfg.heartbeat_period = m.costs().freq.us_to_cycles(20.0);
+  const auto res = TpalRuntime(k, cfg, &hb).run();
+  EXPECT_GT(res.promotions, 3u);
+  EXPECT_GT(res.steals, 3u);
+  // Speedup: makespan well below serial time.
+  const Cycles serial = cfg.total_iters * cfg.cycles_per_iter;
+  EXPECT_LT(res.makespan, serial / 4) << "expect >4x speedup on 8 cores";
+}
+
+TEST(Tpal, NautilusBeatsArriveAtTargetRate) {
+  hwsim::Machine m(mcfg(4));
+  nautilus::Kernel k(m);
+  k.attach();
+  NautilusHeartbeat hb(m);
+  TpalConfig cfg;
+  cfg.num_workers = 4;
+  cfg.total_iters = 600'000;
+  cfg.cycles_per_iter = 30;
+  const double target_us = 100.0;
+  cfg.heartbeat_period = m.costs().freq.us_to_cycles(target_us);
+  TpalRuntime(k, cfg, &hb).run();
+  const double target_hz = 1e6 / target_us;
+  for (unsigned c = 0; c < 4; ++c) {
+    const double rate = hb.delivered_rate_hz(c, m.costs().freq);
+    EXPECT_NEAR(rate, target_hz, target_hz * 0.05)
+        << "core " << c << " missed the target rate";
+    EXPECT_LT(hb.jitter_cv(c), 0.12) << "Nautilus beats must be steady";
+  }
+}
+
+TEST(Tpal, LinuxRelayDegradesAtFineGrain) {
+  // At ♥ = 20 µs and the paper's scale of 16 CPUs the relay master
+  // cannot keep up: 15 serialized signal sends exceed the period, so the
+  // achieved rate falls well short of target with visible jitter (Fig. 3).
+  hwsim::Machine m(mcfg(16));
+  linuxmodel::LinuxStack lx(m);
+  lx.attach();
+  LinuxHeartbeat hb(lx, LinuxHeartbeatMode::kRelay);
+  TpalConfig cfg;
+  cfg.num_workers = 16;
+  cfg.total_iters = 600'000;
+  cfg.cycles_per_iter = 30;
+  const double target_us = 20.0;
+  cfg.heartbeat_period = m.costs().freq.us_to_cycles(target_us);
+  TpalRuntime(lx.kernel(), cfg, &hb).run();
+  const double target_hz = 1e6 / target_us;
+  double worst_rate = target_hz;
+  double worst_cv = 0.0;
+  for (unsigned c = 0; c < 16; ++c) {
+    worst_rate = std::min(worst_rate, hb.delivered_rate_hz(c, m.costs().freq));
+    worst_cv = std::max(worst_cv, hb.jitter_cv(c));
+  }
+  EXPECT_LT(worst_rate, target_hz * 0.85) << "Linux must miss the target";
+  EXPECT_GT(worst_cv, 0.2) << "Linux beats must be unsteady";
+}
+
+TEST(Tpal, MechanismOverheadNautilusBelowLinux) {
+  // Single worker, heartbeat on: pure mechanism cost vs no-heartbeat run.
+  auto overhead = [](bool linux_stack) -> double {
+    const double target_us = 100.0;
+    auto serial = [&](bool hb_on) -> Cycles {
+      hwsim::Machine m(mcfg(1));
+      std::unique_ptr<linuxmodel::LinuxStack> lx;
+      std::unique_ptr<nautilus::Kernel> nk;
+      nautilus::Kernel* k;
+      if (linux_stack) {
+        lx = std::make_unique<linuxmodel::LinuxStack>(m);
+        k = &lx->kernel();
+      } else {
+        nk = std::make_unique<nautilus::Kernel>(m);
+        k = nk.get();
+      }
+      k->attach();
+      std::unique_ptr<HeartbeatBackend> hb;
+      if (hb_on) {
+        if (linux_stack) {
+          hb = std::make_unique<LinuxHeartbeat>(
+              *lx, LinuxHeartbeatMode::kPerThreadTimer);
+        } else {
+          hb = std::make_unique<NautilusHeartbeat>(m);
+        }
+      }
+      TpalConfig cfg;
+      cfg.num_workers = 1;
+      cfg.total_iters = 300'000;
+      cfg.cycles_per_iter = 30;
+      cfg.heartbeat_period =
+          hb_on ? m.costs().freq.us_to_cycles(target_us) : 0;
+      return TpalRuntime(*k, cfg, hb.get()).run().makespan;
+    };
+    const Cycles off = serial(false);
+    const Cycles on = serial(true);
+    return static_cast<double>(on) / static_cast<double>(off) - 1.0;
+  };
+  const double naut = overhead(false);
+  const double linux = overhead(true);
+  // Paper: 13-22% on Linux vs at most 4.9% in Nautilus.
+  EXPECT_LT(naut, 0.06);
+  EXPECT_GT(linux, naut * 2.0);
+}
+
+}  // namespace
+}  // namespace iw::heartbeat

@@ -1,0 +1,80 @@
+#include "hwsim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.hpp"
+
+namespace iw::hwsim {
+namespace {
+
+MachineConfig one_core() {
+  MachineConfig cfg;
+  cfg.num_cores = 1;
+  cfg.max_advances = 10'000'000;
+  return cfg;
+}
+
+TEST(NicDevice, InterruptModeServicesEveryPacket) {
+  Machine m(one_core());
+  NicConfig nc;
+  nc.mode = DeviceMode::kInterrupt;
+  nc.total_packets = 50;
+  nc.mean_gap = 50'000;
+  nc.poisson = false;
+  NicDevice nic(m, nc);
+  m.core(0).set_irq_handler(nc.irq_vector, [&](Core& c, int) {
+    nic.service_one(c.clock());
+  });
+  nic.start(0);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(nic.packets_generated(), 50u);
+  EXPECT_EQ(nic.packets_serviced(), 50u);
+  EXPECT_TRUE(nic.done());
+  // Interrupt-mode service latency = dispatch cost, every time.
+  EXPECT_EQ(nic.latency().min(), m.costs().interrupt_dispatch);
+  EXPECT_EQ(nic.latency().value_at_percentile(99.0),
+            nic.latency().value_at_percentile(1.0));
+}
+
+TEST(NicDevice, PolledModeAccumulatesUntilPolled) {
+  Machine m(one_core());
+  NicConfig nc;
+  nc.mode = DeviceMode::kPolled;
+  nc.total_packets = 10;
+  nc.mean_gap = 1'000;
+  nc.poisson = false;
+  NicDevice nic(m, nc);
+  nic.start(0);
+  EXPECT_TRUE(m.run());  // arrivals happen; nobody polls
+  EXPECT_EQ(nic.packets_generated(), 10u);
+  EXPECT_EQ(nic.packets_serviced(), 0u);
+  const unsigned drained = nic.poll(1'000'000);
+  EXPECT_EQ(drained, 10u);
+  EXPECT_TRUE(nic.done());
+  EXPECT_GT(nic.latency().mean(), 0.0);
+}
+
+TEST(NicDevice, PoissonGapsVary) {
+  Machine m(one_core());
+  NicConfig nc;
+  nc.mode = DeviceMode::kPolled;
+  nc.total_packets = 200;
+  nc.mean_gap = 10'000;
+  nc.poisson = true;
+  NicDevice nic(m, nc);
+  nic.start(0);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(nic.packets_generated(), 200u);
+}
+
+TEST(NicDevice, SpuriousServiceIsHarmless) {
+  Machine m(one_core());
+  NicConfig nc;
+  nc.total_packets = 0;
+  NicDevice nic(m, nc);
+  nic.service_one(100);
+  EXPECT_EQ(nic.packets_serviced(), 0u);
+}
+
+}  // namespace
+}  // namespace iw::hwsim

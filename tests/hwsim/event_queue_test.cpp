@@ -1,0 +1,80 @@
+#include "hwsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iw::hwsim {
+namespace {
+
+Event make(Cycles t, std::uint64_t seq) {
+  Event e;
+  e.time = t;
+  e.seq = seq;
+  return e;
+}
+
+TEST(EventQueue, EmptyPeek) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peek_time(), kNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(make(30, 0));
+  q.push(make(10, 1));
+  q.push(make(20, 2));
+  EXPECT_EQ(q.pop().time, 10u);
+  EXPECT_EQ(q.pop().time, 20u);
+  EXPECT_EQ(q.pop().time, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  q.push(make(5, 100));
+  q.push(make(5, 101));
+  q.push(make(5, 102));
+  EXPECT_EQ(q.pop().seq, 100u);
+  EXPECT_EQ(q.pop().seq, 101u);
+  EXPECT_EQ(q.pop().seq, 102u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(make(10, 0));
+  q.push(make(5, 1));
+  EXPECT_EQ(q.pop().time, 5u);
+  q.push(make(1, 2));
+  EXPECT_EQ(q.pop().time, 1u);
+  EXPECT_EQ(q.pop().time, 10u);
+}
+
+TEST(EventQueue, RandomizedHeapProperty) {
+  EventQueue q;
+  Rng r(77);
+  std::vector<Cycles> times;
+  for (int i = 0; i < 2000; ++i) {
+    const Cycles t = r.uniform(0, 100000);
+    times.push_back(t);
+    q.push(make(t, static_cast<std::uint64_t>(i)));
+  }
+  std::sort(times.begin(), times.end());
+  for (Cycles expect : times) {
+    ASSERT_EQ(q.pop().time, expect);
+  }
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(make(1, 0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peek_time(), kNever);
+}
+
+}  // namespace
+}  // namespace iw::hwsim

@@ -1,0 +1,170 @@
+// Cross-module integration: whole interwoven stacks assembled end to
+// end, the way a downstream user would compose them.
+#include <gtest/gtest.h>
+
+#include "carat/pik_image.hpp"
+#include "heartbeat/tpal.hpp"
+#include "ir/builder.hpp"
+#include "nautilus/fiber.hpp"
+#include "nautilus/irq.hpp"
+#include "omp/runtime.hpp"
+#include "passes/timing_placement.hpp"
+#include "timing/device_polling.hpp"
+
+namespace iw {
+namespace {
+
+// -------------------------------------------------------------------
+// PIK + compiler timing + CARAT + kernel task framework: a transformed
+// "user program" admitted into the kernel and executed as a task, with
+// its timing calls observed and its guards resolved by CARAT.
+TEST(Integration, PikProgramRunsAsKernelTask) {
+  ir::Module m;
+  ir::Function* prog = ir::programs::sum_array(m);
+  carat::PikImage image(m, {.timing_budget = 400, .hoist = true});
+  ASSERT_TRUE(image.attest(image.attestation_hash()));
+
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  hwsim::Machine machine(mc);
+  nautilus::Kernel kernel(machine);
+  kernel.attach();
+
+  carat::CaratRuntime rt;
+  const Addr buf = *rt.alloc(8 * 128);
+
+  std::int64_t result = -1;
+  Cycles program_cycles = 0;
+  nautilus::Task task;
+  task.size_hint = 0;  // unknown: must queue, not run inline
+  task.fn = [&]() -> Cycles {
+    // The kernel runs the attested image; guards resolve against the
+    // kernel's CARAT runtime.
+    ir::Interp in(m, rt.interp_hooks());
+    for (int i = 0; i < 128; ++i) in.poke(buf + 8u * i, 2);
+    const auto res =
+        in.run(prog->id(), {static_cast<std::int64_t>(buf), 128});
+    result = res.ret;
+    program_cycles = res.cycles;
+    return res.cycles;
+  };
+  kernel.submit_task(1, std::move(task));
+  ASSERT_TRUE(machine.run());
+
+  EXPECT_EQ(result, 256);
+  EXPECT_EQ(rt.stats().violations, 0u);
+  EXPECT_GT(rt.stats().range_checks, 0u) << "hoisted guards ran";
+  // The task's cycles were charged to core 1's clock.
+  EXPECT_GE(machine.core(1).clock(), program_cycles);
+  EXPECT_EQ(kernel.stats().tasks.executed, 1u);
+}
+
+// -------------------------------------------------------------------
+// Heartbeat + fibers on one machine: TPAL workers on cores 0-2 while a
+// compiler-timed fiber host runs on core 3, both driven by the same
+// kernel, with interrupts steered away from the fiber core.
+TEST(Integration, HeartbeatAndFibersCoexist) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 4;
+  mc.max_advances = 500'000'000;
+  hwsim::Machine machine(mc);
+  nautilus::Kernel kernel(machine);
+  kernel.attach();
+
+  // Fiber host on core 3.
+  nautilus::FiberSetConfig fc;
+  fc.mode = nautilus::FiberMode::kCompilerTimed;
+  fc.quantum = 2'000;
+  nautilus::FiberSet fibers(fc, machine.costs().fp_save,
+                            machine.costs().fp_restore);
+  for (int i = 0; i < 2; ++i) {
+    nautilus::FiberConfig f;
+    auto left = std::make_shared<int>(200);
+    f.body = [left](nautilus::FiberContext&) -> nautilus::FiberStep {
+      if (--*left == 0) return nautilus::FiberStep::done(800);
+      return nautilus::FiberStep::cont(800);
+    };
+    fibers.add(std::move(f));
+  }
+  nautilus::ThreadConfig host;
+  host.bound_core = 3;
+  host.body = fibers.as_thread_body();
+  kernel.spawn(std::move(host));
+
+  // TPAL on cores 0-2.
+  heartbeat::NautilusHeartbeat hb(machine);
+  heartbeat::TpalConfig tc;
+  tc.num_workers = 3;
+  tc.total_iters = 150'000;
+  tc.cycles_per_iter = 30;
+  tc.heartbeat_period = machine.costs().freq.us_to_cycles(50.0);
+  const auto res = heartbeat::TpalRuntime(kernel, tc, &hb).run();
+
+  EXPECT_GT(res.promotions, 0u);
+  EXPECT_TRUE(fibers.all_done());
+  // The fiber core received no heartbeat interrupts (steering).
+  EXPECT_EQ(hb.state(3).delivered, 0u);
+  EXPECT_GT(hb.state(1).delivered, 10u);
+}
+
+// -------------------------------------------------------------------
+// Poll injection end to end: the placement pass decides the check
+// spacing, and the device-polling experiment's latency must track the
+// pass's static gap bound.
+TEST(Integration, PollPlacementPredictsDeviceLatency) {
+  // The pass guarantees check spacing <= budget on every path; the
+  // polled NIC's p99 latency is bounded by the experiment's chunk,
+  // which plays the role of the injected spacing.
+  for (Cycles spacing : {1'000u, 4'000u}) {
+    timing::PollingExperimentConfig cfg;
+    cfg.chunk = spacing;
+    cfg.packets = 150;
+    const auto res = timing::run_polled_mode(cfg);
+    EXPECT_EQ(res.interrupts, 0u);
+    EXPECT_LE(res.latency_p99, static_cast<double>(spacing) * 2.6)
+        << "spacing " << spacing;
+  }
+}
+
+// -------------------------------------------------------------------
+// OMP + RISC-V preset: the whole kernel-OpenMP machinery is hardware-
+// preset agnostic.
+TEST(Integration, OmpRunsOnRiscvPreset) {
+  const auto app = workloads::sp_mini(10, 2);
+  omp::OmpConfig cfg;
+  cfg.mode = omp::OmpMode::kRTK;
+  cfg.num_threads = 4;
+  cfg.costs = hwsim::CostModel::riscv_openpiton();
+  const auto res = omp::run_miniapp(app, cfg);
+  EXPECT_GT(res.makespan, 0u);
+  EXPECT_EQ(res.barriers_passed, app.barriers());
+}
+
+// -------------------------------------------------------------------
+// Determinism across the whole stack: identical seeds => identical
+// virtual outcomes, across two full TPAL+Linux runs (RNG-heavy path).
+TEST(Integration, FullStackDeterminism) {
+  auto run_once = [] {
+    hwsim::MachineConfig mc;
+    mc.num_cores = 8;
+    mc.seed = 1234;
+    mc.max_advances = 500'000'000;
+    hwsim::Machine machine(mc);
+    linuxmodel::LinuxStack lx(machine);
+    lx.attach();
+    heartbeat::LinuxHeartbeat hb(
+        lx, heartbeat::LinuxHeartbeatMode::kPerThreadTimer);
+    heartbeat::TpalConfig tc;
+    tc.num_workers = 8;
+    tc.total_iters = 200'000;
+    tc.cycles_per_iter = 25;
+    tc.heartbeat_period = machine.costs().freq.us_to_cycles(40.0);
+    const auto res = heartbeat::TpalRuntime(lx.kernel(), tc, &hb).run();
+    return std::make_tuple(res.makespan, res.promotions, res.steals,
+                           res.beats_handled);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+
+namespace iw::ir {
+namespace {
+
+TEST(IrPrograms, AllCanonicalProgramsVerify) {
+  Module m;
+  for (Function* f :
+       {programs::sum_array(m), programs::copy_array(m),
+        programs::stencil3(m), programs::diamond(m),
+        programs::straightline(m, 100)}) {
+    EXPECT_EQ(verify(*f, &m), "") << f->name();
+  }
+}
+
+TEST(IrPrinter, ProducesReadableText) {
+  Module m;
+  Function* f = programs::sum_array(m);
+  const std::string s = to_string(*f);
+  EXPECT_NE(s.find("func @sum_array"), std::string::npos);
+  EXPECT_NE(s.find("load"), std::string::npos);
+  EXPECT_NE(s.find("condbr"), std::string::npos);
+}
+
+TEST(Interp, SumArrayComputesSum) {
+  Module m;
+  Function* f = programs::sum_array(m);
+  Interp in(m);
+  const Addr base = 0x100000;
+  std::int64_t expect = 0;
+  for (int i = 0; i < 100; ++i) {
+    in.poke(base + 8 * static_cast<Addr>(i), i * 3);
+    expect += i * 3;
+  }
+  const auto res = in.run(f->id(), {static_cast<std::int64_t>(base), 100});
+  EXPECT_EQ(res.ret, expect);
+  EXPECT_GT(res.cycles, 0u);
+  EXPECT_FALSE(res.hit_step_limit);
+}
+
+TEST(Interp, CopyArrayCopies) {
+  Module m;
+  Function* f = programs::copy_array(m);
+  Interp in(m);
+  const Addr src = 0x200000, dst = 0x300000;
+  for (int i = 0; i < 50; ++i) in.poke(src + 8 * static_cast<Addr>(i), 7 - i);
+  in.run(f->id(), {static_cast<std::int64_t>(dst),
+                   static_cast<std::int64_t>(src), 50});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(in.peek(dst + 8 * static_cast<Addr>(i)), 7 - i);
+  }
+}
+
+TEST(Interp, Stencil3VisitsAllCells) {
+  Module m;
+  Function* f = programs::stencil3(m);
+  Interp in(m);
+  const Addr base = 0x400000;
+  const int n = 5;
+  for (int i = 0; i < n * n * n; ++i) {
+    in.poke(base + 8 * static_cast<Addr>(i), 1);
+  }
+  const auto res = in.run(f->id(), {static_cast<std::int64_t>(base), n});
+  EXPECT_EQ(res.ret, n * n * n);
+}
+
+TEST(Interp, DiamondTakesBothPaths) {
+  Module m;
+  Function* f = programs::diamond(m);
+  Interp in(m);
+  const auto cheap = in.run(f->id(), {1});
+  in.reset();
+  const auto costly = in.run(f->id(), {11});
+  EXPECT_GT(costly.cycles, cheap.cycles + 40);
+}
+
+TEST(Interp, AllocUsesHookWhenProvided) {
+  Module m;
+  Function* f = m.add_function("allocuser", 0);
+  const BlockId e = f->add_block();
+  Builder b(*f);
+  b.at(e);
+  const Reg p = b.alloc(256);
+  const Reg v = b.constant(42);
+  b.store(p, v);
+  const Reg out = b.load(p);
+  b.ret(out);
+
+  bool alloc_called = false;
+  InterpHooks hooks;
+  hooks.on_alloc = [&](std::uint64_t bytes) -> Addr {
+    EXPECT_EQ(bytes, 256u);
+    alloc_called = true;
+    return 0x7000;
+  };
+  Interp in(m, hooks);
+  const auto res = in.run(f->id(), {});
+  EXPECT_TRUE(alloc_called);
+  EXPECT_EQ(res.ret, 42);
+}
+
+TEST(Interp, AccessHookSeesEveryLoadStore) {
+  Module m;
+  Function* f = programs::copy_array(m);
+  unsigned loads = 0, stores = 0;
+  InterpHooks hooks;
+  hooks.on_access = [&](Addr, bool is_write) {
+    (is_write ? stores : loads) += 1;
+  };
+  Interp in(m, hooks);
+  in.run(f->id(), {0x1000, 0x2000, 25});
+  EXPECT_EQ(loads, 25u);
+  EXPECT_EQ(stores, 25u);
+}
+
+TEST(Interp, StepLimitAbortsRunaway) {
+  Module m;
+  Function* f = m.add_function("forever", 0);
+  const BlockId e = f->add_block();
+  Builder b(*f);
+  b.at(e);
+  b.br(e);  // infinite loop
+  Interp in(m);
+  in.set_step_limit(10'000);
+  const auto res = in.run(f->id(), {});
+  EXPECT_TRUE(res.hit_step_limit);
+}
+
+TEST(Interp, CallPassesArgsAndReturns) {
+  Module m;
+  Function* callee = m.add_function("twice", 1);
+  {
+    const BlockId e = callee->add_block();
+    Builder b(*callee);
+    b.at(e);
+    const Reg r = b.add(callee->arg_reg(0), callee->arg_reg(0));
+    b.ret(r);
+  }
+  Function* caller = m.add_function("caller", 1);
+  {
+    const BlockId e = caller->add_block();
+    Builder b(*caller);
+    b.at(e);
+    const Reg r = b.call(callee->id(), {caller->arg_reg(0)});
+    b.ret(r);
+  }
+  Interp in(m);
+  EXPECT_EQ(in.run(caller->id(), {21}).ret, 42);
+}
+
+TEST(Verify, DetectsBadSuccessorArity) {
+  Module m;
+  Function* f = m.add_function("bad", 0);
+  const BlockId e = f->add_block();
+  auto& bb = f->block(e);
+  bb.term = Instr::make(Op::kBr);
+  bb.succs = {};  // br with no successor
+  EXPECT_NE(verify(*f), "");
+}
+
+TEST(Verify, DetectsOutOfRangeRegister) {
+  Module m;
+  Function* f = m.add_function("bad2", 0);
+  const BlockId e = f->add_block();
+  Instr i = Instr::make(Op::kMov);
+  i.r = 5;  // never allocated
+  i.a = 6;
+  f->block(e).body.push_back(i);
+  f->block(e).term = Instr::make(Op::kRet);
+  EXPECT_NE(verify(*f), "");
+}
+
+}  // namespace
+}  // namespace iw::ir

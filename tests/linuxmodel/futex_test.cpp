@@ -1,0 +1,120 @@
+#include "linuxmodel/futex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::linuxmodel {
+namespace {
+
+hwsim::MachineConfig mcfg(unsigned cores) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = cores;
+  cfg.max_advances = 100'000'000;
+  return cfg;
+}
+
+TEST(Futex, WaitBlocksUntilWake) {
+  hwsim::Machine m(mcfg(2));
+  LinuxStack lx(m);
+  FutexTable futex(lx);
+  lx.attach();
+  std::vector<std::string> events;
+
+  nautilus::ThreadConfig waiter;
+  waiter.bound_core = 0;
+  auto phase = std::make_shared<int>(0);
+  waiter.body = [&, phase](nautilus::ThreadContext& ctx)
+      -> nautilus::StepResult {
+    if (*phase == 0) {
+      *phase = 1;
+      events.push_back("wait");
+      return futex.wait(ctx.core, 0x1000, 100);
+    }
+    events.push_back("resumed");
+    return nautilus::StepResult::done(100);
+  };
+  lx.spawn_user_thread(std::move(waiter));
+
+  nautilus::ThreadConfig waker;
+  waker.bound_core = 1;
+  auto wphase = std::make_shared<int>(0);
+  waker.body = [&, wphase](nautilus::ThreadContext& ctx)
+      -> nautilus::StepResult {
+    if (*wphase == 0) {
+      *wphase = 1;
+      return nautilus::StepResult::cont(50'000);
+    }
+    events.push_back("wake");
+    futex.wake(ctx.core, 0x1000);
+    return nautilus::StepResult::done(100);
+  };
+  lx.spawn_user_thread(std::move(waker));
+
+  EXPECT_TRUE(m.run());
+  const std::vector<std::string> expect{"wait", "wake", "resumed"};
+  EXPECT_EQ(events, expect);
+}
+
+TEST(Futex, WakeOnEmptyAddrIsNoop) {
+  hwsim::Machine m(mcfg(1));
+  LinuxStack lx(m);
+  FutexTable futex(lx);
+  lx.attach();
+  EXPECT_EQ(futex.wake(m.core(0), 0x2000), 0u);
+}
+
+TEST(Futex, DistinctAddressesAreIndependent) {
+  hwsim::Machine m(mcfg(1));
+  LinuxStack lx(m);
+  FutexTable futex(lx);
+  lx.attach();
+  int resumed_a = 0, resumed_b = 0;
+
+  auto make_waiter = [&](Addr addr, int* resumed) {
+    nautilus::ThreadConfig tc;
+    auto phase = std::make_shared<int>(0);
+    tc.body = [&futex, addr, resumed, phase](nautilus::ThreadContext& ctx)
+        -> nautilus::StepResult {
+      if (*phase == 0) {
+        *phase = 1;
+        return futex.wait(ctx.core, addr, 10);
+      }
+      ++*resumed;
+      return nautilus::StepResult::done(10);
+    };
+    return tc;
+  };
+  lx.spawn_user_thread(make_waiter(0xA, &resumed_a));
+  lx.spawn_user_thread(make_waiter(0xB, &resumed_b));
+
+  nautilus::ThreadConfig waker;
+  auto phase = std::make_shared<int>(0);
+  waker.body = [&, phase](nautilus::ThreadContext& ctx)
+      -> nautilus::StepResult {
+    if (*phase == 0) {
+      *phase = 1;
+      return nautilus::StepResult::cont(50'000);
+    }
+    futex.wake_all(ctx.core, 0xA);
+    return nautilus::StepResult::done(10);
+  };
+  lx.spawn_user_thread(std::move(waker));
+
+  // 0xB's waiter never wakes; the machine quiesces with it blocked.
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(resumed_a, 1);
+  EXPECT_EQ(resumed_b, 0);
+  EXPECT_EQ(futex.waiters(0xB), 1u);
+}
+
+TEST(Futex, WakeChargesSyscall) {
+  hwsim::Machine m(mcfg(1));
+  LinuxStack lx(m);
+  FutexTable futex(lx);
+  lx.attach();
+  const auto before = lx.syscall_count();
+  futex.wake(m.core(0), 0x3000);
+  EXPECT_EQ(lx.syscall_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace iw::linuxmodel

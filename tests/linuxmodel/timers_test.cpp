@@ -1,0 +1,96 @@
+#include "linuxmodel/timers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iw::linuxmodel {
+namespace {
+
+hwsim::MachineConfig mcfg() {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = 1;
+  cfg.max_advances = 100'000'000;
+  return cfg;
+}
+
+TEST(PosixTimer, EffectivePeriodFloorsAtHrtimerLimit) {
+  hwsim::Machine m(mcfg());
+  LinuxStack lx(m);
+  PosixTimer t(lx, 0);
+  const auto& freq = m.costs().freq;
+  // Request 1 µs — far below the ~4 µs floor.
+  t.arm_periodic(freq.us_to_cycles(1.0), [](hwsim::Core&, Cycles) {});
+  EXPECT_EQ(t.effective_period(),
+            freq.us_to_cycles(lx.costs().timer_min_period_us));
+  t.stop();
+}
+
+TEST(PosixTimer, LargePeriodUnchanged) {
+  hwsim::Machine m(mcfg());
+  LinuxStack lx(m);
+  PosixTimer t(lx, 0);
+  const auto& freq = m.costs().freq;
+  const Cycles req = freq.us_to_cycles(100.0);
+  t.arm_periodic(req, [](hwsim::Core&, Cycles) {});
+  EXPECT_EQ(t.effective_period(), req);
+  t.stop();
+}
+
+TEST(PosixTimer, ExpiriesArriveLateButMonotone) {
+  hwsim::Machine m(mcfg());
+  LinuxStack lx(m);
+  PosixTimer t(lx, 0);
+  const auto& freq = m.costs().freq;
+  std::vector<Cycles> fires;
+  t.arm_periodic(freq.us_to_cycles(50.0), [&](hwsim::Core&, Cycles at) {
+    fires.push_back(at);
+    if (fires.size() >= 20) t.stop();
+  });
+  EXPECT_TRUE(m.run());
+  ASSERT_EQ(fires.size(), 20u);
+  for (std::size_t i = 1; i < fires.size(); ++i) {
+    EXPECT_GT(fires[i], fires[i - 1]);
+  }
+  // Mean achieved period must exceed the ideal (slack accumulates under
+  // the relative re-arm policy).
+  const double achieved =
+      static_cast<double>(fires.back() - fires.front()) /
+      static_cast<double>(fires.size() - 1);
+  EXPECT_GT(achieved, static_cast<double>(freq.us_to_cycles(50.0)));
+}
+
+TEST(PosixTimer, TinyPeriodCannotHitTarget) {
+  hwsim::Machine m(mcfg());
+  LinuxStack lx(m);
+  PosixTimer t(lx, 0);
+  const auto& freq = m.costs().freq;
+  const Cycles req = freq.us_to_cycles(2.0);  // 2 µs target
+  std::vector<Cycles> fires;
+  t.arm_periodic(req, [&](hwsim::Core&, Cycles at) {
+    fires.push_back(at);
+    if (fires.size() >= 50) t.stop();
+  });
+  EXPECT_TRUE(m.run());
+  const double achieved_period =
+      static_cast<double>(fires.back() - fires.front()) /
+      static_cast<double>(fires.size() - 1);
+  // Achieved rate is a small fraction of the requested rate.
+  EXPECT_GT(achieved_period, static_cast<double>(req) * 2.0);
+}
+
+TEST(PosixTimer, StopPreventsFurtherExpiries) {
+  hwsim::Machine m(mcfg());
+  LinuxStack lx(m);
+  PosixTimer t(lx, 0);
+  int count = 0;
+  t.arm_periodic(10'000, [&](hwsim::Core&, Cycles) {
+    if (++count >= 3) t.stop();
+  });
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(t.expiries(), 3u);
+}
+
+}  // namespace
+}  // namespace iw::linuxmodel

@@ -1,0 +1,158 @@
+#include "mem/buddy_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iw::mem {
+namespace {
+
+TEST(Buddy, SingleAllocFree) {
+  BuddyAllocator b(0, 1 << 20, 64);
+  auto a = b.alloc(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(b.block_size(*a), 128u);  // rounded to power of two
+  EXPECT_EQ(b.allocated_bytes(), 128u);
+  b.free(*a);
+  EXPECT_EQ(b.allocated_bytes(), 0u);
+  EXPECT_EQ(b.largest_free_block(), 1u << 20);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, MinBlockRounding) {
+  BuddyAllocator b(0, 1 << 16, 64);
+  auto a = b.alloc(1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(b.block_size(*a), 64u);
+  b.free(*a);
+}
+
+TEST(Buddy, ZeroByteAllocGetsMinBlock) {
+  BuddyAllocator b(0, 1 << 16, 64);
+  auto a = b.alloc(0);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(b.block_size(*a), 64u);
+  b.free(*a);
+}
+
+TEST(Buddy, ExactPowerOfTwoNotOverrounded) {
+  BuddyAllocator b(0, 1 << 16, 64);
+  auto a = b.alloc(256);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(b.block_size(*a), 256u);
+  b.free(*a);
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt) {
+  BuddyAllocator b(0, 1 << 10, 64);
+  std::vector<Addr> blocks;
+  for (;;) {
+    auto a = b.alloc(64);
+    if (!a) break;
+    blocks.push_back(*a);
+  }
+  EXPECT_EQ(blocks.size(), (1u << 10) / 64);
+  EXPECT_FALSE(b.alloc(64).has_value());
+  for (Addr a : blocks) b.free(a);
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_EQ(b.largest_free_block(), 1u << 10);
+}
+
+TEST(Buddy, OversizeRequestRejected) {
+  BuddyAllocator b(0, 1 << 12, 64);
+  EXPECT_FALSE(b.alloc((1 << 12) + 1).has_value());
+  EXPECT_TRUE(b.alloc(1 << 12).has_value());
+}
+
+TEST(Buddy, CoalescingRestoresLargeBlocks) {
+  BuddyAllocator b(0, 1 << 14, 64);
+  auto a1 = b.alloc(4096);
+  auto a2 = b.alloc(4096);
+  auto a3 = b.alloc(4096);
+  auto a4 = b.alloc(4096);
+  ASSERT_TRUE(a1 && a2 && a3 && a4);
+  EXPECT_FALSE(b.alloc(4096).has_value());
+  b.free(*a2);
+  b.free(*a1);
+  b.free(*a4);
+  b.free(*a3);
+  EXPECT_EQ(b.largest_free_block(), 1u << 14);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, FragmentationMetric) {
+  BuddyAllocator b(0, 1 << 14, 64);
+  // Allocate everything in 64-byte granules, free every other one:
+  // free space exists but the largest free block is tiny.
+  std::vector<Addr> blocks;
+  for (;;) {
+    auto a = b.alloc(64);
+    if (!a) break;
+    blocks.push_back(*a);
+  }
+  for (std::size_t i = 0; i < blocks.size(); i += 2) b.free(blocks[i]);
+  EXPECT_GT(b.fragmentation(), 0.9);
+  for (std::size_t i = 1; i < blocks.size(); i += 2) b.free(blocks[i]);
+  EXPECT_DOUBLE_EQ(b.fragmentation(), 0.0);
+}
+
+TEST(Buddy, NonZeroBase) {
+  BuddyAllocator b(1 << 20, 1 << 20, 64);
+  auto a = b.alloc(128);
+  ASSERT_TRUE(a);
+  EXPECT_GE(*a, 1u << 20);
+  EXPECT_LT(*a, 2u << 20);
+  b.free(*a);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomAllocFreePreservesInvariants) {
+  iw::Rng r(GetParam());
+  BuddyAllocator b(0, 1 << 18, 64);
+  std::vector<Addr> live;
+  for (int i = 0; i < 3000; ++i) {
+    if (live.empty() || r.chance(0.55)) {
+      const auto sz = r.uniform(1, 4096);
+      if (auto a = b.alloc(sz)) live.push_back(*a);
+    } else {
+      const auto idx = r.uniform(0, live.size() - 1);
+      b.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(b.check_invariants());
+    }
+  }
+  for (Addr a : live) b.free(a);
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_EQ(b.allocated_bytes(), 0u);
+  EXPECT_EQ(b.largest_free_block(), 1u << 18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Buddy, AllocationsDoNotOverlap) {
+  iw::Rng r(99);
+  BuddyAllocator b(0, 1 << 16, 64);
+  std::vector<std::pair<Addr, std::uint64_t>> live;
+  for (int i = 0; i < 200; ++i) {
+    const auto sz = r.uniform(1, 2048);
+    auto a = b.alloc(sz);
+    if (!a) break;
+    const auto real = b.block_size(*a);
+    for (const auto& [addr, len] : live) {
+      EXPECT_TRUE(*a + real <= addr || addr + len <= *a)
+          << "overlap between " << *a << " and " << addr;
+    }
+    live.emplace_back(*a, real);
+  }
+}
+
+}  // namespace
+}  // namespace iw::mem

@@ -1,0 +1,77 @@
+#include "mem/numa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::mem {
+namespace {
+
+NumaConfig small() {
+  NumaConfig cfg;
+  cfg.num_zones = 2;
+  cfg.zone_size = 1 << 20;
+  cfg.cores_per_zone = 4;
+  return cfg;
+}
+
+TEST(Numa, ZoneOfCoreMapping) {
+  NumaDomain n(small());
+  EXPECT_EQ(n.zone_of_core(0), 0u);
+  EXPECT_EQ(n.zone_of_core(3), 0u);
+  EXPECT_EQ(n.zone_of_core(4), 1u);
+  EXPECT_EQ(n.zone_of_core(7), 1u);
+  // Cores beyond the zone span wrap (8 cores, 2 zones of 4).
+  EXPECT_EQ(n.zone_of_core(8), 0u);
+}
+
+TEST(Numa, LocalAllocationLandsInLocalZone) {
+  NumaDomain n(small());
+  auto a0 = n.alloc_local(0, 4096);
+  auto a1 = n.alloc_local(5, 4096);
+  ASSERT_TRUE(a0 && a1);
+  EXPECT_EQ(n.zone_of_addr(*a0), 0u);
+  EXPECT_EQ(n.zone_of_addr(*a1), 1u);
+  EXPECT_TRUE(n.is_local(0, *a0));
+  EXPECT_FALSE(n.is_local(0, *a1));
+  n.free(*a0);
+  n.free(*a1);
+}
+
+TEST(Numa, FallbackWhenPreferredZoneFull) {
+  NumaDomain n(small());
+  // Exhaust zone 0.
+  std::vector<Addr> held;
+  for (;;) {
+    auto a = n.zone(0).alloc(1 << 16);
+    if (!a) break;
+    held.push_back(*a);
+  }
+  auto a = n.alloc_on(0, 4096);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(n.zone_of_addr(*a), 1u);  // spilled to the other zone
+  n.free(*a);
+  for (Addr h : held) n.free(h);
+}
+
+TEST(Numa, AllZonesFullReturnsNullopt) {
+  NumaConfig cfg = small();
+  cfg.zone_size = 1 << 12;
+  NumaDomain n(cfg);
+  std::vector<Addr> held;
+  while (auto a = n.alloc_on(0, 1 << 12)) held.push_back(*a);
+  EXPECT_EQ(held.size(), 2u);  // one max-block per zone
+  EXPECT_FALSE(n.alloc_on(0, 64).has_value());
+  for (Addr h : held) n.free(h);
+}
+
+TEST(Numa, FreeRoutesToOwningZone) {
+  NumaDomain n(small());
+  auto a = n.alloc_on(1, 128);
+  ASSERT_TRUE(a);
+  const auto before = n.zone(1).allocated_bytes();
+  EXPECT_GT(before, 0u);
+  n.free(*a);
+  EXPECT_EQ(n.zone(1).allocated_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace iw::mem

@@ -1,0 +1,93 @@
+#include "mem/paging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/tlb.hpp"
+
+namespace iw::mem {
+namespace {
+
+TEST(Tlb, HitAfterFirstAccess) {
+  Tlb t(TlbConfig{4, 4096, 0, 100});
+  EXPECT_EQ(t.access(0x1000), 100u);  // cold miss
+  EXPECT_EQ(t.access(0x1008), 0u);    // same page: hit
+  EXPECT_EQ(t.misses(), 1u);
+  EXPECT_EQ(t.hits(), 1u);
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb t(TlbConfig{2, 4096, 0, 100});
+  t.access(0x0000);   // page 0
+  t.access(0x1000);   // page 1
+  t.access(0x0000);   // page 0 now MRU
+  t.access(0x2000);   // evicts page 1 (LRU)
+  EXPECT_EQ(t.access(0x0000), 0u);    // still resident
+  EXPECT_EQ(t.access(0x1000), 100u);  // was evicted
+}
+
+TEST(Tlb, FlushClearsAll) {
+  Tlb t(TlbConfig{8, 4096, 0, 100});
+  t.access(0x0000);
+  t.flush();
+  EXPECT_EQ(t.access(0x0000), 100u);
+}
+
+TEST(IdentityPaging, NoMissesAfterWarmup) {
+  // 16 x 1 GiB entries cover the whole simulated memory: after each
+  // region is touched once, translation is free — the Nautilus claim.
+  IdentityPaging p(16, 1ULL << 30, 150);
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    p.touch(r.uniform(0, (1ULL << 34) - 1));
+  }
+  const auto warm_misses = p.tlb().misses();
+  EXPECT_LE(warm_misses, 16u);  // at most one per covering entry
+  for (int i = 0; i < 100000; ++i) {
+    p.touch(r.uniform(0, (1ULL << 34) - 1));
+  }
+  EXPECT_EQ(p.tlb().misses(), warm_misses);  // zero steady-state misses
+  EXPECT_EQ(p.stats().fault_cycles, 0u);     // never any faults
+}
+
+TEST(DemandPaging, MinorFaultOncePerPage) {
+  DemandPaging::Config cfg;
+  cfg.tlb_entries = 64;
+  cfg.minor_fault_cost = 2000;
+  DemandPaging p(cfg);
+  p.touch(0x0000);
+  p.touch(0x0100);  // same page: no new fault
+  p.touch(0x1000);  // new page
+  EXPECT_EQ(p.stats().minor_faults, 2u);
+  EXPECT_EQ(p.stats().fault_cycles, 4000u);
+}
+
+TEST(DemandPaging, LargeWorkingSetThrashesSmallTlb) {
+  DemandPaging::Config cfg;
+  cfg.tlb_entries = 16;
+  DemandPaging p(cfg);
+  // Touch 256 distinct pages round-robin: every access misses the TLB.
+  for (int round = 0; round < 10; ++round) {
+    for (Addr pg = 0; pg < 256; ++pg) p.touch(pg * 4096);
+  }
+  EXPECT_GT(p.tlb().miss_rate(), 0.99);
+}
+
+TEST(PagingComparison, IdentityBeatsDemandOnSameStream) {
+  IdentityPaging ident(16, 1ULL << 30, 150);
+  DemandPaging::Config cfg;
+  cfg.tlb_entries = 64;
+  DemandPaging demand(cfg);
+  Rng r(7);
+  Cycles ident_cost = 0, demand_cost = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const Addr a = r.uniform(0, (1ULL << 28) - 1);
+    ident_cost += ident.touch(a);
+    demand_cost += demand.touch(a);
+  }
+  EXPECT_LT(ident_cost * 10, demand_cost)
+      << "identity mapping should be >10x cheaper on a scattered stream";
+}
+
+}  // namespace
+}  // namespace iw::mem

@@ -1,0 +1,63 @@
+#include "nautilus/irq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::nautilus {
+namespace {
+
+TEST(IrqSteering, RouteDeliversToTarget) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = 4;
+  hwsim::Machine m(cfg);
+  IrqSteering steer(m);
+  int handled_on = -1;
+  steer.route(0x40, 2, [&](hwsim::Core& c, int) {
+    handled_on = static_cast<int>(c.id());
+  });
+  steer.raise(0x40, 100);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(handled_on, 2);
+  EXPECT_EQ(steer.target_of(0x40), 2u);
+}
+
+TEST(IrqSteering, RerouteMovesHandler) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = 4;
+  hwsim::Machine m(cfg);
+  IrqSteering steer(m);
+  int handled_on = -1;
+  auto handler = [&](hwsim::Core& c, int) {
+    handled_on = static_cast<int>(c.id());
+  };
+  steer.route(0x40, 1, handler);
+  steer.route(0x40, 3, handler);
+  steer.raise(0x40, 100);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(handled_on, 3);
+  // Old core must not receive the vector anymore.
+  EXPECT_EQ(m.core(1).irqs_delivered(), 0u);
+}
+
+TEST(IrqSteering, DefaultTargetIsCoreZero) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = 2;
+  hwsim::Machine m(cfg);
+  IrqSteering steer(m);
+  EXPECT_EQ(steer.target_of(0x99), 0u);
+}
+
+TEST(IrqSteering, QuietCoresCount) {
+  hwsim::MachineConfig cfg;
+  cfg.num_cores = 8;
+  hwsim::Machine m(cfg);
+  IrqSteering steer(m);
+  EXPECT_EQ(steer.quiet_cores(), 8u);
+  steer.route(0x40, 0, [](hwsim::Core&, int) {});
+  steer.route(0x41, 0, [](hwsim::Core&, int) {});
+  steer.route(0x42, 1, [](hwsim::Core&, int) {});
+  // All device interrupts steered to cores 0-1: six workers stay quiet.
+  EXPECT_EQ(steer.quiet_cores(), 6u);
+}
+
+}  // namespace
+}  // namespace iw::nautilus

@@ -1,0 +1,98 @@
+// Kernel stress: randomized thread behaviors (compute, yield, block,
+// wake, spawn children) across cores; the invariant is that every
+// spawned thread finishes and the machine quiesces with consistent
+// accounting — under any seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nautilus/event.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace iw::nautilus {
+namespace {
+
+class KernelStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelStressTest, RandomWorkloadQuiesces) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 4;
+  mc.seed = GetParam();
+  mc.max_advances = 200'000'000;
+  hwsim::Machine m(mc);
+  KernelConfig kc;
+  kc.tick_period = 50'000;  // preemption in the mix
+  kc.rr_slice = 50'000;
+  Kernel k(m, kc);
+  k.attach();
+
+  auto rng = std::make_shared<Rng>(GetParam() ^ 0x57e55ULL);
+  auto wq = std::make_shared<WaitQueue>(k);
+  auto spawned = std::make_shared<int>(0);
+
+  // Waker: signals the wait queue until every other thread finished,
+  // so blockers cannot hang.
+  ThreadConfig waker;
+  waker.name = "waker";
+  waker.bound_core = 0;
+  waker.body = [wq](ThreadContext& ctx) -> StepResult {
+    wq->broadcast(ctx.core);
+    bool others_left = false;
+    for (const auto& t : ctx.kernel.threads()) {
+      if (t.get() != &ctx.thread &&
+          t->state() != ThreadState::kFinished) {
+        others_left = true;
+        break;
+      }
+    }
+    if (!others_left) return StepResult::done(200);
+    return StepResult::cont(500);
+  };
+  k.spawn(std::move(waker));
+
+  std::function<void(CoreId, int)> spawn_random =
+      [&](CoreId core, int depth) {
+        ThreadConfig tc;
+        tc.bound_core = core;
+        tc.uses_fp = rng->chance(0.5);
+        tc.realtime = rng->chance(0.25);
+        tc.rt_relative_deadline = rng->uniform(1'000, 1'000'000);
+        auto steps = std::make_shared<int>(
+            static_cast<int>(rng->uniform(3, 30)));
+        tc.body = [rng, wq, steps, depth, &k, &spawn_random,
+                   spawned](ThreadContext& ctx) -> StepResult {
+          const Cycles c = rng->uniform(50, 5'000);
+          if (--*steps <= 0) return StepResult::done(c);
+          const auto roll = rng->uniform(0, 9);
+          if (roll < 5) return StepResult::cont(c);
+          if (roll < 7) return StepResult::yield(c);
+          if (roll == 7 && depth < 2 && *spawned < 40) {
+            ++*spawned;
+            spawn_random((ctx.core.id() + 1) % 4, depth + 1);
+            return StepResult::cont(c);
+          }
+          return StepResult::block(c, wq.get());
+        };
+        ++*spawned;
+        k.spawn(std::move(tc));
+      };
+
+  for (CoreId c = 0; c < 4; ++c) spawn_random(c, 0);
+
+  ASSERT_TRUE(m.run());
+  unsigned finished = 0;
+  for (const auto& t : k.threads()) {
+    if (t->state() == ThreadState::kFinished) ++finished;
+  }
+  EXPECT_EQ(finished, k.threads().size())
+      << "all threads must terminate (seed " << GetParam() << ")";
+  EXPECT_TRUE(k.quiescent());
+  EXPECT_GT(k.stats().context_switches, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelStressTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace iw::nautilus

@@ -1,0 +1,165 @@
+#include "omp/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::omp {
+namespace {
+
+workloads::MiniApp tiny_bt() { return workloads::bt_mini(10, 2); }
+
+TEST(SpinBarrierUnit, GenerationFlipsWhenAllArrive) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 1;
+  hwsim::Machine m(mc);
+  SpinBarrier b(3);
+  const auto g1 = b.arrive(m.core(0));
+  const auto g2 = b.arrive(m.core(0));
+  EXPECT_FALSE(b.passed(g1));
+  EXPECT_FALSE(b.passed(g2));
+  const auto g3 = b.arrive(m.core(0));
+  EXPECT_TRUE(b.passed(g1));
+  EXPECT_TRUE(b.passed(g2));
+  EXPECT_TRUE(b.passed(g3));
+}
+
+TEST(OmpRuntime, AllModesCompleteTinyApp) {
+  for (OmpMode mode :
+       {OmpMode::kLinux, OmpMode::kRTK, OmpMode::kPIK, OmpMode::kCCK}) {
+    OmpConfig cfg;
+    cfg.mode = mode;
+    cfg.num_threads = 4;
+    const auto res = run_miniapp(tiny_bt(), cfg);
+    EXPECT_GT(res.makespan, 0u) << mode_name(mode);
+    if (mode == OmpMode::kCCK) {
+      EXPECT_GT(res.tasks_executed, 0u);
+    }
+  }
+}
+
+TEST(OmpRuntime, ParallelismScalesRtk) {
+  const auto app = workloads::bt_mini(14, 3);
+  auto makespan = [&](unsigned p) {
+    OmpConfig cfg;
+    cfg.mode = OmpMode::kRTK;
+    cfg.num_threads = p;
+    return run_miniapp(app, cfg).makespan;
+  };
+  const auto t1 = makespan(1);
+  const auto t4 = makespan(4);
+  const auto t8 = makespan(8);
+  EXPECT_GT(static_cast<double>(t1) / t4, 3.0);
+  EXPECT_GT(static_cast<double>(t1) / t8, 5.0);
+}
+
+TEST(OmpRuntime, RtkBeatsLinuxAndGapGrowsWithScale) {
+  // Large enough that phases are not dominated by fork-point costs.
+  const auto app = workloads::bt_mini(32, 2);
+  const double rel8 = relative_to_linux(app, OmpMode::kRTK, 8);
+  const double rel32 = relative_to_linux(app, OmpMode::kRTK, 32);
+  EXPECT_GT(rel8, 1.00) << "RTK must not lose to Linux";
+  EXPECT_GT(rel32, rel8) << "the gap grows with scale (Fig. 6)";
+  EXPECT_GT(rel32, 1.08);
+  EXPECT_LT(rel32, 2.0) << "but not implausibly so";
+}
+
+TEST(OmpRuntime, PikPerformsLikeRtk) {
+  const auto app = workloads::bt_mini(14, 3);
+  OmpConfig cfg;
+  cfg.num_threads = 16;
+  cfg.mode = OmpMode::kRTK;
+  const auto rtk = run_miniapp(app, cfg).makespan;
+  cfg.mode = OmpMode::kPIK;
+  const auto pik = run_miniapp(app, cfg).makespan;
+  const double ratio = static_cast<double>(pik) / static_cast<double>(rtk);
+  EXPECT_GT(ratio, 0.98);
+  EXPECT_LT(ratio, 1.06) << "PIK ~ RTK (paper: 'PIK performs similarly')";
+}
+
+TEST(OmpRuntime, LinuxTlbSuffersDemandPaging) {
+  const auto app = workloads::bt_mini(14, 2);
+  OmpConfig cfg;
+  cfg.num_threads = 4;
+  cfg.mode = OmpMode::kLinux;
+  const auto lin = run_miniapp(app, cfg);
+  cfg.mode = OmpMode::kRTK;
+  const auto rtk = run_miniapp(app, cfg);
+  EXPECT_GT(lin.tlb_miss_rate, rtk.tlb_miss_rate * 5)
+      << "identity-huge-page mapping must nearly eliminate misses";
+}
+
+TEST(OmpRuntime, PassiveWaitCostsMoreThanActive) {
+  const auto app = workloads::epcc_syncbench(256, 30);
+  OmpConfig cfg;
+  cfg.num_threads = 8;
+  cfg.mode = OmpMode::kLinux;
+  cfg.noise_gap_us = 0.0;  // isolate the barrier mechanism
+  cfg.linux_passive_wait = false;
+  const auto active = run_miniapp(app, cfg).makespan;
+  cfg.linux_passive_wait = true;
+  const auto passive = run_miniapp(app, cfg).makespan;
+  EXPECT_GT(passive, active)
+      << "futex sleep/wake must cost more than spinning on tiny regions";
+}
+
+TEST(OmpRuntime, CckExecutesAllWork) {
+  const auto app = workloads::sp_mini(10, 2);
+  OmpConfig cfg;
+  cfg.mode = OmpMode::kCCK;
+  cfg.num_threads = 8;
+  cfg.cck_task_iters = 128;
+  const auto res = run_miniapp(app, cfg);
+  // Task count mirrors the compiler's sizing rule: chunks are capped so
+  // every core receives several tasks per phase.
+  std::uint64_t expect_tasks = 0;
+  for (unsigned t = 0; t < app.timesteps; ++t) {
+    for (const auto& p : app.phases) {
+      const std::uint64_t per_task = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(
+                 cfg.cck_task_iters,
+                 p.iters / (4ULL * cfg.num_threads) + 1));
+      expect_tasks += (p.iters + per_task - 1) / per_task;
+    }
+  }
+  EXPECT_EQ(res.tasks_executed, expect_tasks);
+}
+
+TEST(OmpRuntime, DynamicScheduleCompletesAllWork) {
+  const auto app = workloads::bt_mini(10, 2);
+  OmpConfig cfg;
+  cfg.mode = OmpMode::kRTK;
+  cfg.num_threads = 4;
+  cfg.dynamic_chunk = 8;
+  const auto res = run_miniapp(app, cfg);
+  EXPECT_GT(res.makespan, 0u);
+  EXPECT_EQ(res.barriers_passed, app.barriers());
+}
+
+TEST(OmpRuntime, DynamicDispenserCostBoundedOnBalancedWork) {
+  // On balanced work, schedule(dynamic) can only lose to static (its
+  // shared dispenser serializes), but the loss must stay bounded —
+  // establishing the dispenser works without tanking. (Its wins appear
+  // under imbalance, which the NAS phases do not have.)
+  const auto app = workloads::sp_mini(12, 2);
+  OmpConfig cfg;
+  cfg.mode = OmpMode::kRTK;
+  cfg.num_threads = 8;
+  const auto stat = run_miniapp(app, cfg).makespan;
+  cfg.dynamic_chunk = 16;
+  const auto dyn = run_miniapp(app, cfg).makespan;
+  const double ratio = static_cast<double>(dyn) / static_cast<double>(stat);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.7);
+}
+
+TEST(OmpRuntime, DeterministicAcrossRuns) {
+  const auto app = workloads::cg_mini(2'000, 2);
+  OmpConfig cfg;
+  cfg.mode = OmpMode::kLinux;
+  cfg.num_threads = 4;
+  const auto a = run_miniapp(app, cfg).makespan;
+  const auto b = run_miniapp(app, cfg).makespan;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace iw::omp

@@ -1,0 +1,79 @@
+#include "omp/tasking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::omp {
+namespace {
+
+TEST(OmpTasking, AllModesExecuteEveryTask) {
+  for (OmpMode mode :
+       {OmpMode::kLinux, OmpMode::kRTK, OmpMode::kPIK, OmpMode::kCCK}) {
+    TaskBenchConfig cfg;
+    cfg.mode = mode;
+    cfg.threads = 4;
+    cfg.num_tasks = 512;
+    const auto res = run_task_microbench(cfg);
+    EXPECT_EQ(res.tasks_run, 512u) << mode_name(mode);
+    EXPECT_GT(res.makespan, 0u) << mode_name(mode);
+  }
+}
+
+TEST(OmpTasking, KernelModesCheaperPerTaskThanLinux) {
+  TaskBenchConfig cfg;
+  cfg.threads = 8;
+  cfg.num_tasks = 4'096;
+  cfg.mode = OmpMode::kLinux;
+  const auto linux = run_task_microbench(cfg);
+  cfg.mode = OmpMode::kRTK;
+  const auto rtk = run_task_microbench(cfg);
+  cfg.mode = OmpMode::kCCK;
+  const auto cck = run_task_microbench(cfg);
+  EXPECT_LT(rtk.per_task_overhead, linux.per_task_overhead);
+  EXPECT_LT(cck.per_task_overhead, rtk.per_task_overhead)
+      << "no-pool compiled tasks are the cheapest dispatch";
+}
+
+TEST(OmpTasking, SharedPoolContentionGrowsWithThreads) {
+  // EPCC's classic result: per-task overhead of a shared pool grows
+  // with the number of workers hammering its critical section.
+  TaskBenchConfig cfg;
+  cfg.mode = OmpMode::kLinux;
+  cfg.num_tasks = 4'096;
+  cfg.task_cycles = 200;  // tiny tasks expose the pool
+  cfg.threads = 2;
+  const auto p2 = run_task_microbench(cfg);
+  cfg.threads = 16;
+  const auto p16 = run_task_microbench(cfg);
+  EXPECT_GT(p16.per_task_overhead, p2.per_task_overhead * 1.5);
+}
+
+TEST(OmpTasking, CckScalesFlat) {
+  // Per-core queues: no shared critical section to contend on.
+  TaskBenchConfig cfg;
+  cfg.mode = OmpMode::kCCK;
+  cfg.num_tasks = 4'096;
+  cfg.task_cycles = 200;
+  cfg.threads = 2;
+  const auto p2 = run_task_microbench(cfg);
+  cfg.threads = 16;
+  const auto p16 = run_task_microbench(cfg);
+  EXPECT_LT(p16.per_task_overhead, p2.per_task_overhead * 1.5 + 40);
+}
+
+TEST(OmpTasking, LargeTasksAmortizeEverything) {
+  TaskBenchConfig cfg;
+  cfg.threads = 8;
+  cfg.num_tasks = 256;
+  cfg.task_cycles = 100'000;
+  cfg.mode = OmpMode::kLinux;
+  const auto linux = run_task_microbench(cfg);
+  cfg.mode = OmpMode::kRTK;
+  const auto rtk = run_task_microbench(cfg);
+  // With 100k-cycle tasks the mode gap shrinks below 3%.
+  const double lm = static_cast<double>(linux.makespan);
+  const double rm = static_cast<double>(rtk.makespan);
+  EXPECT_LT(lm / rm, 1.05);
+}
+
+}  // namespace
+}  // namespace iw::omp

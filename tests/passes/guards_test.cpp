@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "passes/guard_hoisting.hpp"
+#include "passes/guard_injection.hpp"
+#include "passes/pass_manager.hpp"
+
+namespace iw::passes {
+namespace {
+
+using ir::Function;
+using ir::Module;
+
+/// Dynamic safety checker: tracks allocations, guard events, and
+/// verifies that every executed access is covered either by an exact
+/// guard issued since the last non-guard event for that base, or by a
+/// whole-allocation range guard.
+class GuardChecker {
+ public:
+  void track_allocation(Addr base, std::uint64_t size) {
+    allocs_[base] = size;
+  }
+
+  ir::InterpHooks hooks() {
+    ir::InterpHooks h;
+    h.on_guard = [this](Addr a, std::uint64_t size, bool) {
+      ++guard_events_;
+      exact_lo_ = a;
+      exact_hi_ = a + size;
+    };
+    h.on_guard_range = [this](Addr base) {
+      ++guard_events_;
+      const auto it = find_alloc(base);
+      ASSERT_NE(it, allocs_.end()) << "range guard on untracked base";
+      covered_allocs_.insert(it->first);
+    };
+    h.on_access = [this](Addr a, bool) {
+      ++accesses_;
+      if (a >= exact_lo_ && a < exact_hi_) return;  // exact guard covers
+      const auto it = find_alloc(a);
+      if (it != allocs_.end() && covered_allocs_.contains(it->first)) {
+        return;  // hoisted range guard covers
+      }
+      ++uncovered_;
+    };
+    return h;
+  }
+
+  [[nodiscard]] unsigned guard_events() const { return guard_events_; }
+  [[nodiscard]] unsigned accesses() const { return accesses_; }
+  [[nodiscard]] unsigned uncovered() const { return uncovered_; }
+
+ private:
+  std::map<Addr, std::uint64_t>::const_iterator find_alloc(Addr a) const {
+    auto it = allocs_.upper_bound(a);
+    if (it == allocs_.begin()) return allocs_.end();
+    --it;
+    if (a >= it->first && a < it->first + it->second) return it;
+    return allocs_.end();
+  }
+
+  std::map<Addr, std::uint64_t> allocs_;
+  std::set<Addr> covered_allocs_;
+  Addr exact_lo_{1}, exact_hi_{0};
+  unsigned guard_events_{0};
+  unsigned accesses_{0};
+  unsigned uncovered_{0};
+};
+
+TEST(GuardInjection, EveryAccessGetsAGuard) {
+  Module m;
+  Function* f = ir::programs::copy_array(m);
+  const auto stats = inject_guards(*f);
+  EXPECT_EQ(stats.loads_guarded, 1u);
+  EXPECT_EQ(stats.stores_guarded, 1u);
+  EXPECT_EQ(count_guards(*f), 2u);
+}
+
+TEST(GuardInjection, Idempotent) {
+  Module m;
+  Function* f = ir::programs::copy_array(m);
+  inject_guards(*f);
+  const auto again = inject_guards(*f);
+  EXPECT_EQ(again.guards_inserted, 0u);
+  EXPECT_EQ(count_guards(*f), 2u);
+}
+
+TEST(GuardInjection, DynamicCoverageOnNaiveGuards) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  inject_guards(*f);
+  GuardChecker chk;
+  chk.track_allocation(0x100000, 8 * 500);
+  ir::Interp in(m, chk.hooks());
+  in.run(f->id(), {0x100000, 500});
+  EXPECT_EQ(chk.accesses(), 500u);
+  EXPECT_EQ(chk.uncovered(), 0u);
+  EXPECT_EQ(chk.guard_events(), 500u) << "naive: one guard per access";
+}
+
+TEST(GuardHoisting, CoverageHoldsWithFarFewerChecks) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  inject_guards(*f);
+  hoist_guards(*f);
+  GuardChecker chk;
+  chk.track_allocation(0x100000, 8 * 500);
+  ir::Interp in(m, chk.hooks());
+  in.run(f->id(), {0x100000, 500});
+  EXPECT_EQ(chk.accesses(), 500u);
+  EXPECT_EQ(chk.uncovered(), 0u) << "hoisting must preserve protection";
+  EXPECT_LE(chk.guard_events(), 2u)
+      << "one range guard in the preheader replaces 500 per-access checks";
+}
+
+TEST(GuardHoisting, NestedLoopsHoistToOutermostInvariantPoint) {
+  Module m;
+  Function* f = ir::programs::stencil3(m);
+  inject_guards(*f);
+  const auto stats = hoist_guards(*f);
+  EXPECT_GE(stats.hoisted, 1u);
+  GuardChecker chk;
+  const int n = 6;
+  chk.track_allocation(0x400000, 8ULL * n * n * n);
+  ir::Interp in(m, chk.hooks());
+  in.run(f->id(), {0x400000, n});
+  EXPECT_EQ(chk.accesses(), static_cast<unsigned>(n * n * n));
+  EXPECT_EQ(chk.uncovered(), 0u);
+  // The base is invariant at every nesting level: a single range guard
+  // should end up outside all three loops.
+  EXPECT_LE(chk.guard_events(), 2u);
+}
+
+TEST(GuardHoisting, OverheadReductionIsLarge) {
+  // Cycle-level overheads: naive guards add ~6 cycles per access (~40%
+  // on this kernel); hoisted guards approach zero — the mechanism
+  // behind CARAT's <6% geomean.
+  auto run_cycles = [](bool guards, bool hoist) -> Cycles {
+    Module m;
+    Function* f = ir::programs::sum_array(m);
+    if (guards) inject_guards(*f);
+    if (hoist) hoist_guards(*f);
+    ir::Interp in(m);
+    return in.run(f->id(), {0x100000, 2000}).cycles;
+  };
+  const auto base = run_cycles(false, false);
+  const auto naive = run_cycles(true, false);
+  const auto hoisted = run_cycles(true, true);
+  const double naive_ovh =
+      static_cast<double>(naive) / static_cast<double>(base) - 1.0;
+  const double hoisted_ovh =
+      static_cast<double>(hoisted) / static_cast<double>(base) - 1.0;
+  EXPECT_GT(naive_ovh, 0.2);
+  EXPECT_LT(hoisted_ovh, 0.01);
+}
+
+TEST(GuardHoisting, AggregationMergesSameBaseInBlock) {
+  Module m;
+  Function* f = m.add_function("multi", 1);
+  const ir::BlockId e = f->add_block();
+  ir::Builder b(*f);
+  b.at(e);
+  const ir::Reg base = f->arg_reg(0);
+  // Four accesses to consecutive fields of one struct.
+  b.store(base, b.constant(1), 0);
+  b.store(base, b.constant(2), 8);
+  b.store(base, b.constant(3), 16);
+  const ir::Reg v = b.load(base, 24);
+  b.ret(v);
+  inject_guards(*f);
+  EXPECT_EQ(count_guards(*f), 4u);
+  const auto stats = hoist_guards(*f);
+  EXPECT_EQ(stats.aggregated, 3u);
+  EXPECT_EQ(count_guards(*f), 1u);
+  // The surviving guard spans all four accesses.
+  bool found = false;
+  for (const auto& i : f->block(e).body) {
+    if (i.op == ir::Op::kGuard) {
+      EXPECT_EQ(i.imm, 0);
+      EXPECT_EQ(i.imm2, 32);
+      EXPECT_EQ(i.b, 1);  // writes present
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GuardHoisting, RedefinitionBlocksAggregation) {
+  Module m;
+  Function* f = m.add_function("redefine", 1);
+  const ir::BlockId e = f->add_block();
+  ir::Builder b(*f);
+  b.at(e);
+  const ir::Reg base = f->arg_reg(0);
+  b.store(base, b.constant(1), 0);
+  // base is redefined between the accesses:
+  {
+    ir::Instr mv = ir::Instr::make(ir::Op::kAdd);
+    mv.r = base;
+    mv.a = base;
+    mv.b = base;
+    b.emit(mv);
+  }
+  b.store(base, b.constant(2), 0);
+  b.ret(ir::kNoReg);
+  inject_guards(*f);
+  const auto stats = hoist_guards(*f);
+  EXPECT_EQ(stats.aggregated, 0u);
+  EXPECT_EQ(count_guards(*f), 2u);
+}
+
+TEST(GuardHoisting, VaryingBaseStaysInLoop) {
+  // A pointer-chasing loop: the base register is redefined inside the
+  // loop, so its guard must NOT be hoisted.
+  Module m;
+  Function* f = m.add_function("chase", 2);
+  const ir::BlockId entry = f->add_block("entry");
+  const ir::BlockId header = f->add_block("header");
+  const ir::BlockId body = f->add_block("body");
+  const ir::BlockId exit = f->add_block("exit");
+  ir::Builder b(*f);
+  const ir::Reg p = f->arg_reg(0), n = f->arg_reg(1);
+  b.at(entry);
+  const ir::Reg i = b.constant(0);
+  b.br(header);
+  b.at(header);
+  b.cond_br(b.cmp_lt(i, n), body, exit);
+  b.at(body);
+  {
+    ir::Instr next = ir::Instr::make(ir::Op::kLoad);
+    next.r = p;  // p = *p  (redefines the base)
+    next.a = p;
+    b.emit(next);
+  }
+  const ir::Reg one = b.constant(1);
+  {
+    ir::Instr upd = ir::Instr::make(ir::Op::kAdd);
+    upd.r = i;
+    upd.a = i;
+    upd.b = one;
+    b.emit(upd);
+  }
+  b.br(header);
+  b.at(exit);
+  b.ret(p);
+
+  inject_guards(*f);
+  const auto stats = hoist_guards(*f);
+  EXPECT_EQ(stats.hoisted, 0u);
+  EXPECT_EQ(count_guards(*f), 1u);
+  // And it is still inside the loop body.
+  bool in_body = false;
+  for (const auto& ins : f->block(body).body) {
+    if (ins.op == ir::Op::kGuard) in_body = true;
+  }
+  EXPECT_TRUE(in_body);
+}
+
+TEST(PassManager, RunsInOrderAndVerifies) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  PassManager pm;
+  pm.add("guards", [](Function& fn) { inject_guards(fn); });
+  pm.add("hoist", [](Function& fn) { hoist_guards(fn); });
+  pm.run(*f, &m);
+  ASSERT_EQ(pm.log().size(), 2u);
+  EXPECT_EQ(pm.log()[0], "guards:sum_array");
+  EXPECT_EQ(pm.log()[1], "hoist:sum_array");
+}
+
+}  // namespace
+}  // namespace iw::passes

@@ -1,0 +1,127 @@
+#include "passes/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace iw::passes {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Reg;
+
+TEST(Provenance, ArgumentsAreTheirOwnRoots) {
+  Module m;
+  Function* f = m.add_function("f", 2);
+  f->add_block();
+  Builder b(*f);
+  b.at(0);
+  b.ret(f->arg_reg(0));
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(f->arg_reg(0)), f->arg_reg(0));
+  EXPECT_EQ(pa.root_of(f->arg_reg(1)), f->arg_reg(1));
+}
+
+TEST(Provenance, PointerPlusIndexKeepsRoot) {
+  Module m;
+  Function* f = m.add_function("f", 2);
+  f->add_block();
+  Builder b(*f);
+  b.at(0);
+  const Reg base = f->arg_reg(0);
+  const Reg i = f->arg_reg(1);
+  const Reg eight = b.constant(8);
+  const Reg off = b.mul(i, eight);       // index: not a pointer
+  const Reg addr = b.add(base, off);     // ptr + idx
+  const Reg addr2 = b.add(addr, eight);  // chains through
+  b.ret(addr2);
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(addr), base);
+  EXPECT_EQ(pa.root_of(addr2), base);
+  EXPECT_EQ(pa.root_of(off), ir::kNoReg) << "an index has no root";
+}
+
+TEST(Provenance, AllocResultIsARoot) {
+  Module m;
+  Function* f = m.add_function("f", 0);
+  f->add_block();
+  Builder b(*f);
+  b.at(0);
+  const Reg p = b.alloc(128);
+  const Reg q = b.add(p, b.constant(16));
+  b.ret(q);
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(p), p);
+  EXPECT_EQ(pa.root_of(q), p);
+}
+
+TEST(Provenance, TwoPointersSummedIsUnknown) {
+  Module m;
+  Function* f = m.add_function("f", 2);
+  f->add_block();
+  Builder b(*f);
+  b.at(0);
+  const Reg sum = b.add(f->arg_reg(0), f->arg_reg(1));
+  b.ret(sum);
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(sum), ir::kNoReg)
+      << "cannot pick between two pointer roots";
+}
+
+TEST(Provenance, MovPreservesAndLoadDestroys) {
+  Module m;
+  Function* f = m.add_function("f", 1);
+  f->add_block();
+  Builder b(*f);
+  b.at(0);
+  ir::Instr mv = ir::Instr::make(ir::Op::kMov);
+  mv.r = f->fresh_reg();
+  mv.a = f->arg_reg(0);
+  b.emit(mv);
+  const Reg loaded = b.load(mv.r);  // pointer loaded from memory
+  b.ret(loaded);
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(mv.r), f->arg_reg(0));
+  EXPECT_EQ(pa.root_of(loaded), ir::kNoReg)
+      << "loaded values are conservatively rootless";
+}
+
+TEST(Provenance, ConflictingRedefinitionIsUnknown) {
+  // r takes arg0-rooted value on one path and arg1-rooted on another
+  // (flow-insensitive merge must give up).
+  Module m;
+  Function* f = m.add_function("f", 3);
+  const auto e = f->add_block();
+  const auto t = f->add_block();
+  const auto el = f->add_block();
+  const auto j = f->add_block();
+  Builder b(*f);
+  const Reg r = f->fresh_reg();
+  b.at(e);
+  b.cond_br(f->arg_reg(2), t, el);
+  b.at(t);
+  {
+    ir::Instr mv = ir::Instr::make(ir::Op::kMov);
+    mv.r = r;
+    mv.a = f->arg_reg(0);
+    b.emit(mv);
+  }
+  b.br(j);
+  b.at(el);
+  {
+    ir::Instr mv = ir::Instr::make(ir::Op::kMov);
+    mv.r = r;
+    mv.a = f->arg_reg(1);
+    b.emit(mv);
+  }
+  b.br(j);
+  b.at(j);
+  b.ret(r);
+  ProvenanceAnalysis pa(*f);
+  EXPECT_EQ(pa.root_of(r), ir::kNoReg);
+}
+
+}  // namespace
+}  // namespace iw::passes

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "passes/path_length.hpp"
+#include "passes/timing_placement.hpp"
+
+namespace iw::passes {
+namespace {
+
+using ir::Function;
+using ir::Module;
+
+/// Dynamic max-gap measurement: run `f` and record the largest cycle gap
+/// between consecutive timing-hook firings (including entry->first and
+/// last->end).
+Cycles dynamic_max_gap(Module& m, Function* f,
+                       const std::vector<std::int64_t>& args) {
+  Cycles max_gap = 0;
+  Cycles last = 0;
+  ir::Interp* interp = nullptr;
+  ir::InterpHooks hooks;
+  hooks.on_timing = [&] {
+    const Cycles now = interp->cycles();
+    max_gap = std::max(max_gap, now - last);
+    last = now;
+  };
+  ir::Interp in(m, hooks);
+  interp = &in;
+  const auto res = in.run(f->id(), args);
+  max_gap = std::max(max_gap, res.cycles - last);
+  return max_gap;
+}
+
+TEST(TimingPlacement, StaticGapUnboundedBeforePass) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  EXPECT_EQ(static_max_gap(*f, is_op(ir::Op::kTimingCall)), kNever)
+      << "a loop with no timing calls has unbounded gap";
+}
+
+TEST(TimingPlacement, StaticGapBoundedAfterPass) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  const Cycles budget = 200;
+  inject_timing(*f, budget);
+  const Cycles gap = static_max_gap(*f, is_op(ir::Op::kTimingCall));
+  EXPECT_NE(gap, kNever);
+  EXPECT_LE(gap, budget);
+}
+
+class TimingBudgetTest : public ::testing::TestWithParam<Cycles> {};
+
+TEST_P(TimingBudgetTest, DynamicGapRespectsBudgetOnLoopProgram) {
+  const Cycles budget = GetParam();
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  inject_timing(*f, budget);
+  const Cycles gap = dynamic_max_gap(m, f, {0x100000, 2000});
+  EXPECT_LE(gap, budget) << "budget violated on executed path";
+  EXPECT_GT(gap, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TimingBudgetTest,
+                         ::testing::Values(100, 300, 1000, 5000, 20000));
+
+TEST(TimingPlacement, DynamicGapBoundedOnNestedLoops) {
+  Module m;
+  Function* f = ir::programs::stencil3(m);
+  const Cycles budget = 500;
+  inject_timing(*f, budget);
+  const Cycles gap = dynamic_max_gap(m, f, {0x400000, 12});
+  EXPECT_LE(gap, budget);
+}
+
+TEST(TimingPlacement, DynamicGapBoundedOnBothDiamondPaths) {
+  const Cycles budget = 60;
+  for (std::int64_t x : {1, 100}) {
+    Module m;
+    Function* f = ir::programs::diamond(m);
+    inject_timing(*f, budget);
+    EXPECT_LE(dynamic_max_gap(m, f, {x}), budget) << "x=" << x;
+  }
+}
+
+TEST(TimingPlacement, StraightLineGetsSplit) {
+  Module m;
+  Function* f = ir::programs::straightline(m, 400);  // ~400 cycles
+  const Cycles budget = 100;
+  const auto stats = inject_timing(*f, budget);
+  EXPECT_GT(stats.calls_inserted, 4u);
+  EXPECT_LE(dynamic_max_gap(m, f, {1}), budget);
+}
+
+TEST(TimingPlacement, SmallLoopGetsAmortizedCheck) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  // Large budget vs ~20-cycle loop body: the header check must be
+  // thresholded (fires only when half a budget of cycles elapsed), not
+  // a framework call every iteration.
+  const auto stats = inject_timing(*f, 10'000);
+  EXPECT_GE(stats.amortized_calls, 1u);
+  EXPECT_EQ(stats.max_threshold, 5'000u);
+  // Dynamically: far fewer fires than iterations.
+  unsigned fires = 0;
+  ir::InterpHooks hooks;
+  hooks.on_timing = [&] { ++fires; };
+  ir::Interp in(m, hooks);
+  in.run(f->id(), {0x100000, 1'000});
+  EXPECT_GT(fires, 2u);
+  EXPECT_LT(fires, 100u) << "checks must amortize";
+}
+
+TEST(TimingPlacement, OverheadShrinksWithBudget) {
+  // The compiler-based timing tradeoff: tighter budgets => more checks
+  // => more overhead. Overhead at a generous budget must be tiny.
+  auto overhead = [](Cycles budget) -> double {
+    Module base_m;
+    Function* base_f = ir::programs::sum_array(base_m);
+    ir::Interp base_in(base_m);
+    const auto base = base_in.run(base_f->id(), {0x100000, 5000});
+
+    Module m;
+    Function* f = ir::programs::sum_array(m);
+    inject_timing(*f, budget);
+    ir::Interp in(m);
+    const auto instr = in.run(f->id(), {0x100000, 5000});
+    return static_cast<double>(instr.cycles) /
+               static_cast<double>(base.cycles) -
+           1.0;
+  };
+  const double tight = overhead(100);
+  const double loose = overhead(50'000);
+  EXPECT_GT(tight, loose);
+  EXPECT_LT(loose, 0.12) << "amortized checks must be cheap";
+}
+
+TEST(PollInjection, NoEntryCallButLoopsCovered) {
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  const auto stats = inject_polling(*f, 400);
+  EXPECT_GE(stats.calls_inserted, 1u);
+  const auto& entry = f->block(f->entry());
+  EXPECT_TRUE(entry.body.empty() ||
+              entry.body.front().op != ir::Op::kPoll);
+  // Dynamic: polls fire regularly during the loop.
+  unsigned polls = 0;
+  ir::InterpHooks hooks;
+  hooks.on_poll = [&] { ++polls; };
+  ir::Interp in(m, hooks);
+  in.run(f->id(), {0x100000, 1000});
+  EXPECT_GT(polls, 20u);
+}
+
+TEST(TimingPlacement, IdempotentEnough) {
+  // Running placement twice must not blow up the instruction count
+  // (existing calls count as coverage).
+  Module m;
+  Function* f = ir::programs::sum_array(m);
+  inject_timing(*f, 500);
+  const auto count1 = f->instruction_count();
+  inject_timing(*f, 500);
+  const auto count2 = f->instruction_count();
+  // Second run may add the entry call + straight-line splits, but loop
+  // coverage must not duplicate.
+  EXPECT_LE(count2, count1 + 4);
+}
+
+}  // namespace
+}  // namespace iw::passes

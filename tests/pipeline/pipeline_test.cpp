@@ -1,0 +1,113 @@
+#include "pipeline/interrupt_delivery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::pipeline {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTakenBranch) {
+  GsharePredictor p;
+  // The first ~table_bits resolutions walk cold counters while the
+  // global history register fills; accuracy converges after that.
+  for (int i = 0; i < 500; ++i) p.resolve(0x1000, true);
+  EXPECT_TRUE(p.predict(0x1000));
+  EXPECT_GT(p.accuracy(), 0.95);
+}
+
+TEST(Gshare, LearnsAlternatingPatternViaHistory) {
+  GsharePredictor p;
+  // T,N,T,N... — with global history this becomes predictable.
+  for (int i = 0; i < 4000; ++i) p.resolve(0x2000, i % 2 == 0);
+  // Measure accuracy over the last window.
+  const auto before = p.mispredicts();
+  for (int i = 0; i < 1000; ++i) p.resolve(0x2000, i % 2 == 0);
+  const auto window_misses = p.mispredicts() - before;
+  EXPECT_LT(window_misses, 100u) << "history should capture alternation";
+}
+
+TEST(Gshare, RandomBranchesNearChance) {
+  GsharePredictor p;
+  Rng r(7);
+  const auto before = p.mispredicts();
+  for (int i = 0; i < 10000; ++i) p.resolve(0x3000, r.chance(0.5));
+  const auto misses = p.mispredicts() - before;
+  EXPECT_GT(misses, 3500u);
+  EXPECT_LT(misses, 6500u);
+}
+
+TEST(PipelineInterrupts, ClassicDispatchAboutAThousandCycles) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.mechanism = DeliveryMechanism::kClassicIdt;
+  exp.total_instructions = 500'000;
+  const auto res = run_pipeline(cfg, exp);
+  ASSERT_GT(res.interrupts_delivered, 5u);
+  const double p50 =
+      static_cast<double>(res.dispatch_latency.value_at_percentile(50));
+  // Paper: "on the order of 1000 cycles".
+  EXPECT_GT(p50, 700.0);
+  EXPECT_LT(p50, 1'500.0);
+}
+
+TEST(PipelineInterrupts, BranchInjectionLikePredictedBranch) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.mechanism = DeliveryMechanism::kBranchInject;
+  exp.total_instructions = 500'000;
+  const auto res = run_pipeline(cfg, exp);
+  ASSERT_GT(res.interrupts_delivered, 5u);
+  EXPECT_LE(res.dispatch_latency.value_at_percentile(99), 4u);
+}
+
+TEST(PipelineInterrupts, SpeedupInPaperBand) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.total_instructions = 500'000;
+  exp.mechanism = DeliveryMechanism::kClassicIdt;
+  const auto classic = run_pipeline(cfg, exp);
+  exp.mechanism = DeliveryMechanism::kBranchInject;
+  const auto inject = run_pipeline(cfg, exp);
+  const double ratio = classic.dispatch_latency.mean() /
+                       std::max(1.0, inject.dispatch_latency.mean());
+  // "100-1000x better".
+  EXPECT_GT(ratio, 100.0);
+  EXPECT_LT(ratio, 1'000.0);
+}
+
+TEST(PipelineInterrupts, ThroughputSufferersUnderInterruptStorm) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.total_instructions = 300'000;
+  exp.interrupt_period = 3'000;  // storm
+  exp.mechanism = DeliveryMechanism::kClassicIdt;
+  const auto classic = run_pipeline(cfg, exp);
+  exp.mechanism = DeliveryMechanism::kBranchInject;
+  const auto inject = run_pipeline(cfg, exp);
+  EXPECT_GT(inject.ipc(), classic.ipc() * 1.2)
+      << "injection must preserve throughput under high interrupt rates";
+}
+
+TEST(PipelineInterrupts, PredictorAccuracyUnaffectedByInjection) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.total_instructions = 500'000;
+  exp.mechanism = DeliveryMechanism::kBranchInject;
+  exp.interrupt_period = 5'000;
+  const auto with_storm = run_pipeline(cfg, exp);
+  exp.interrupt_period = 10'000'000;  // nearly none
+  const auto quiet = run_pipeline(cfg, exp);
+  EXPECT_NEAR(with_storm.predictor_accuracy, quiet.predictor_accuracy, 0.02);
+}
+
+TEST(PipelineInterrupts, Deterministic) {
+  PipelineConfig cfg;
+  InterruptExperiment exp;
+  exp.total_instructions = 100'000;
+  const auto a = run_pipeline(cfg, exp);
+  const auto b = run_pipeline(cfg, exp);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.interrupts_delivered, b.interrupts_delivered);
+}
+
+}  // namespace
+}  // namespace iw::pipeline

@@ -1,0 +1,103 @@
+#include "timing/ctx_switch_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::timing {
+namespace {
+
+const hwsim::CostModel kKnl = hwsim::CostModel::knl();
+
+double per_switch(const SwitchVariant& v) {
+  return measure_switch_cost(v, kKnl).cycles_per_switch;
+}
+
+TEST(CtxSwitch, LinuxNonRtFpNearPaperNumber) {
+  // Paper: "Linux non-real-time thread context switches with FP state
+  // take about 5000 cycles on this platform."
+  const double c = per_switch({true, false, true, SwitchKind::kThreadHwTimer});
+  EXPECT_GT(c, 4'200.0);
+  EXPECT_LT(c, 6'000.0);
+}
+
+TEST(CtxSwitch, KernelThreadsAboutHalfOfLinux) {
+  const double linux =
+      per_switch({true, false, true, SwitchKind::kThreadHwTimer});
+  const double nk =
+      per_switch({false, false, true, SwitchKind::kThreadHwTimer});
+  EXPECT_GT(linux / nk, 1.5);
+  EXPECT_LT(linux / nk, 2.6);
+}
+
+TEST(CtxSwitch, CompTimedFibersFourTimesCheaperNoFp) {
+  const double threads =
+      per_switch({false, false, false, SwitchKind::kThreadHwTimer});
+  const double fibers =
+      per_switch({false, false, false, SwitchKind::kFiberCompTimed});
+  EXPECT_GT(threads / fibers, 3.0) << "paper: >4x lower (no FP)";
+  EXPECT_LT(threads / fibers, 6.0);
+}
+
+TEST(CtxSwitch, CompTimedFibersTwoPointThreeTimesCheaperWithFp) {
+  const double threads =
+      per_switch({false, false, true, SwitchKind::kThreadHwTimer});
+  const double fibers =
+      per_switch({false, false, true, SwitchKind::kFiberCompTimed});
+  EXPECT_GT(threads / fibers, 1.8) << "paper: 2.3x lower (FP)";
+  EXPECT_LT(threads / fibers, 3.2);
+}
+
+TEST(CtxSwitch, GranularityFloorBelow600Cycles) {
+  // "The granularity limit on this machine is less than 600 cycles":
+  // the no-FP compiler-timed fiber switch is the floor.
+  const double fibers =
+      per_switch({false, false, false, SwitchKind::kFiberCompTimed});
+  EXPECT_LT(fibers, 600.0);
+}
+
+TEST(CtxSwitch, FpStateDominatesAtFineGranularity) {
+  // "so low that floating point state management becomes the bottleneck"
+  const double no_fp =
+      per_switch({false, false, false, SwitchKind::kFiberCompTimed});
+  const double fp =
+      per_switch({false, false, true, SwitchKind::kFiberCompTimed});
+  EXPECT_GT(fp - no_fp, 2 * no_fp * 0.5)
+      << "FP save/restore must dominate the no-FP switch cost";
+}
+
+TEST(CtxSwitch, RtVariantsCostSlightlyMore) {
+  const double rr =
+      per_switch({false, false, false, SwitchKind::kThreadHwTimer});
+  const double rt =
+      per_switch({false, true, false, SwitchKind::kThreadHwTimer});
+  EXPECT_GT(rt, rr * 0.95);
+  EXPECT_LT(rt, rr * 1.3);
+}
+
+TEST(CtxSwitch, CooperativeFibersCheapestMechanism) {
+  const double coop =
+      per_switch({false, false, false, SwitchKind::kFiberCooperative});
+  const double comp =
+      per_switch({false, false, false, SwitchKind::kFiberCompTimed});
+  EXPECT_LE(coop, comp) << "injected checks cost a little extra";
+}
+
+TEST(CtxSwitch, Fig4SweepCoversParameterSpace) {
+  const auto all = measure_fig4(kKnl);
+  EXPECT_EQ(all.size(), 2u + 12u);
+  for (const auto& m : all) {
+    EXPECT_GT(m.cycles_per_switch, 0.0) << m.variant.label();
+    EXPECT_GT(m.switches, 100u) << m.variant.label();
+  }
+}
+
+TEST(CtxSwitch, LabelsAreDistinct) {
+  const auto all = measure_fig4(kKnl);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].variant.label(), all[j].variant.label());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iw::timing

@@ -1,0 +1,73 @@
+#include "timing/device_polling.hpp"
+
+#include "hwsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::timing {
+namespace {
+
+TEST(DevicePolling, BothModesServiceAllPackets) {
+  PollingExperimentConfig cfg;
+  cfg.packets = 100;
+  const auto irq = run_interrupt_mode(cfg);
+  const auto poll = run_polled_mode(cfg);
+  EXPECT_EQ(irq.packets_serviced, 100u);
+  EXPECT_EQ(poll.packets_serviced, 100u);
+}
+
+TEST(DevicePolling, PolledModeTakesNoInterrupts) {
+  PollingExperimentConfig cfg;
+  const auto poll = run_polled_mode(cfg);
+  EXPECT_EQ(poll.interrupts, 0u) << "no interrupts ever occur (paper V-C)";
+  const auto irq = run_interrupt_mode(cfg);
+  EXPECT_GE(irq.interrupts, cfg.packets);
+}
+
+TEST(DevicePolling, PolledLatencyBoundedByCheckSpacing) {
+  PollingExperimentConfig cfg;
+  cfg.chunk = 2'000;
+  const auto poll = run_polled_mode(cfg);
+  // Worst case: packet lands right after a poll -> waits ~one chunk.
+  EXPECT_LE(poll.latency_p99, static_cast<double>(cfg.chunk) * 2.5);
+  // Median: about half a chunk.
+  EXPECT_LE(poll.latency_p50, static_cast<double>(cfg.chunk) * 1.5);
+}
+
+TEST(DevicePolling, TighterInjectionLowersLatency) {
+  PollingExperimentConfig cfg;
+  cfg.chunk = 8'000;
+  const auto coarse = run_polled_mode(cfg);
+  cfg.chunk = 500;
+  const auto fine = run_polled_mode(cfg);
+  EXPECT_LT(fine.latency_p99, coarse.latency_p99 / 2.0);
+}
+
+TEST(DevicePolling, InterruptLatencyIsDispatchBound) {
+  PollingExperimentConfig cfg;
+  const auto irq = run_interrupt_mode(cfg);
+  const auto dispatch =
+      static_cast<double>(hwsim::CostModel::knl().interrupt_dispatch);
+  // Interrupt-mode latency ~ dispatch cost (plus handler queueing).
+  EXPECT_GE(irq.latency_p50, dispatch * 0.5);
+  EXPECT_LE(irq.latency_p50, dispatch * 4.0);
+}
+
+TEST(DevicePolling, AppThroughputLossComparable) {
+  // The blended claim: polling costs about as little as interrupts (or
+  // less) while eliminating interrupt dispatch entirely.
+  PollingExperimentConfig cfg;
+  cfg.chunk = 2'000;
+  cfg.packets = 400;
+  cfg.packet_gap = 80'000;
+  const auto irq = run_interrupt_mode(cfg);
+  const auto poll = run_polled_mode(cfg);
+  // App completion with polling within 5% of interrupt mode.
+  const double ratio = static_cast<double>(poll.app_completion) /
+                       static_cast<double>(irq.app_completion);
+  EXPECT_LT(ratio, 1.05);
+  EXPECT_GT(ratio, 0.90);
+}
+
+}  // namespace
+}  // namespace iw::timing

@@ -1,0 +1,37 @@
+// The umbrella header must compile standalone and expose the whole
+// public surface (what a downstream consumer includes).
+#include "interweave.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, TouchesEverySubsystem) {
+  iw::Rng rng(1);
+  EXPECT_NE(rng.next_u64(), rng.next_u64());
+
+  iw::hwsim::MachineConfig mc;
+  mc.num_cores = 1;
+  iw::hwsim::Machine m(mc);
+  iw::nautilus::Kernel k(m);
+  iw::linuxmodel::LinuxCosts lc = iw::linuxmodel::LinuxCosts::knl();
+  (void)lc;
+  iw::mem::BuddyAllocator buddy(0, 1 << 12, 64);
+  EXPECT_TRUE(buddy.alloc(64).has_value());
+  iw::carat::CaratRuntime carat;
+  EXPECT_TRUE(carat.alloc(64).has_value());
+  iw::coherence::StoreBuffer sb(iw::coherence::StoreBufferConfig{});
+  (void)sb;
+  iw::blending::FarMemConfig fmc;
+  (void)fmc;
+  iw::virtine::ContextSpec spec = iw::virtine::ContextSpec::minimal();
+  EXPECT_GT(spec.boot_cycles, 0u);
+  iw::pipeline::GsharePredictor pred;
+  (void)pred.predict(0x1000);
+  const auto app = iw::workloads::epcc_syncbench(8, 1);
+  EXPECT_GT(app.total_iterations(), 0u);
+  iw::ir::Module mod;
+  EXPECT_NE(iw::ir::programs::sum_array(mod), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "workloads/miniapp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "carat/native_guards.hpp"
+#include "workloads/native_kernels.hpp"
+
+namespace iw::workloads {
+namespace {
+
+TEST(MiniApp, BtStructureMatchesNas) {
+  const auto bt = bt_mini(12, 5);
+  EXPECT_EQ(bt.phases.size(), 5u);  // rhs, x/y/z solves, add
+  EXPECT_EQ(bt.timesteps, 5u);
+  EXPECT_EQ(bt.barriers(), 25u);
+  // ADI solves iterate over lines (n^2), cell phases over n^3.
+  EXPECT_EQ(bt.phases[0].iters, 12u * 12 * 12);
+  EXPECT_EQ(bt.phases[1].iters, 12u * 12);
+  // Solve phases are strided (TLB-hostile); cell sweeps are not.
+  EXPECT_EQ(bt.phases[0].pages_per_iter, 0u);
+  EXPECT_GT(bt.phases[3].pages_per_iter, 0u);
+}
+
+TEST(MiniApp, SpCheaperPerCellThanBt) {
+  const auto bt = bt_mini(16, 1);
+  const auto sp = sp_mini(16, 1);
+  // Same grid: SP's scalar solves must be cheaper than BT's 5x5 blocks.
+  EXPECT_LT(sp.phases[2].cycles_per_iter, bt.phases[1].cycles_per_iter);
+  EXPECT_LT(sp.serial_work(), bt.serial_work());
+}
+
+TEST(MiniApp, TotalsConsistent) {
+  const auto cg = cg_mini(1'000, 3);
+  std::uint64_t iters = 0;
+  Cycles work = 0;
+  for (const auto& p : cg.phases) {
+    iters += p.iters;
+    work += p.iters * p.cycles_per_iter;
+  }
+  EXPECT_EQ(cg.total_iterations(), iters * 3);
+  EXPECT_EQ(cg.serial_work(), work * 3);
+}
+
+// --- native kernel correctness (they feed the CARAT wall-clock table,
+// so wrong math would silently invalidate the ratios) ---
+
+TEST(NativeKernels, StreamTriadComputes) {
+  carat::NoGuard g;
+  std::vector<double> a(64), b(64, 2.0), c(64, 3.0);
+  stream_triad_checked(g, a, b, c, 10.0);
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 32.0);
+  std::vector<double> a2(64);
+  stream_triad_hoisted(g, a2, b, c, 10.0);
+  EXPECT_EQ(a, a2);
+}
+
+TEST(NativeKernels, JacobiVariantsAgree) {
+  carat::NoGuard g;
+  const std::size_t n = 16;
+  std::vector<double> src(n * n);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<double>(i % 7);
+  }
+  std::vector<double> d1(n * n, 0.0), d2(n * n, 0.0);
+  jacobi2d_checked(g, d1, src, n);
+  jacobi2d_hoisted(g, d2, src, n);
+  EXPECT_EQ(d1, d2);
+  // Interior cell = average of neighbors.
+  const std::size_t k = 5 * n + 5;
+  EXPECT_DOUBLE_EQ(d1[k],
+                   0.25 * (src[k - n] + src[k - 1] + src[k + 1] + src[k + n]));
+}
+
+TEST(NativeKernels, SpmvVariantsAgree) {
+  carat::NoGuard g;
+  auto m = CsrMatrix::random(200, 5, 11);
+  std::vector<double> x(200, 1.5), y1(200), y2(200);
+  cg_spmv_checked(g, m, x, y1);
+  cg_spmv_hoisted(g, m, x, y2);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(NativeKernels, NbodyVariantsAgree) {
+  carat::NoGuard g;
+  std::vector<Body> b1(32), b2;
+  Rng rng(3);
+  for (auto& b : b1) {
+    b = {rng.uniform_real(-1, 1), rng.uniform_real(-1, 1),
+         rng.uniform_real(-1, 1), 0, 0, 0};
+  }
+  b2 = b1;
+  nbody_step_checked(g, b1, 1e-3);
+  nbody_step_hoisted(g, b2, 1e-3);
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b1[i].vx, b2[i].vx);
+    EXPECT_DOUBLE_EQ(b1[i].vz, b2[i].vz);
+  }
+}
+
+TEST(NativeKernels, PointerChaseVisitsHops) {
+  carat::CachedGuard g;
+  std::vector<ChaseNode> nodes(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    nodes[i] = {static_cast<std::uint32_t>((i + 1) % 16), i};
+  }
+  g.on_alloc(nodes.data(), nodes.size() * sizeof(ChaseNode));
+  // 32 hops around a 16-cycle: payload sum = 2 * (0+..+15) = 240.
+  EXPECT_EQ(pointer_chase(g, nodes, 32), 240u);
+  EXPECT_EQ(g.violations(), 0u);
+}
+
+TEST(NativeKernels, CsrMatrixWellFormed) {
+  const auto m = CsrMatrix::random(100, 7, 5);
+  ASSERT_EQ(m.row_ptr.size(), 101u);
+  EXPECT_EQ(m.row_ptr.back(), m.col.size());
+  EXPECT_EQ(m.col.size(), m.val.size());
+  EXPECT_EQ(m.col.size(), 700u);
+  for (auto c : m.col) EXPECT_LT(c, 100u);
+}
+
+}  // namespace
+}  // namespace iw::workloads
