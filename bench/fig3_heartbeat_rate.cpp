@@ -8,12 +8,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "heartbeat/tpal.hpp"
+#include "obs_flags.hpp"
 
 using namespace iw;
 
 namespace {
+
+bench::ObsFlags obs_flags;
 
 struct RowResult {
   double worst_rate_khz;
@@ -28,6 +32,9 @@ RowResult run(const char* stack, const char* mech, double target_us,
   mc.costs = hwsim::CostModel::knl();
   mc.max_advances = 2'000'000'000ULL;
   hwsim::Machine m(mc);
+  obs_flags.attach(m, std::string(stack) + "/" + mech + " @" +
+                          std::to_string(static_cast<int>(target_us)) +
+                          "us");
 
   std::unique_ptr<linuxmodel::LinuxStack> lx;
   std::unique_ptr<nautilus::Kernel> nk;
@@ -68,7 +75,8 @@ RowResult run(const char* stack, const char* mech, double target_us,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!obs_flags.parse(argc, argv)) return 2;
   std::printf(
       "== Fig. 3: achieved vs target heartbeat rate (16 CPUs, KNL) ==\n");
   std::printf("%-10s %-12s %9s %14s %14s %10s %8s\n", "stack", "mechanism",
@@ -93,5 +101,5 @@ int main() {
       "\nshape check: nautilus hits both targets with ~0%% jitter;\n"
       "linux falls short at 20 us (relay saturates the master) and\n"
       "delivers with visible jitter even at 100 us.\n");
-  return 0;
+  return obs_flags.finish() ? 0 : 1;
 }

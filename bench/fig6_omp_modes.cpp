@@ -3,14 +3,31 @@
 // KNL-like machine. Baseline (Linux OpenMP) is 1.0; `t` reports the
 // single-threaded Linux absolute performance like the original figure.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs_flags.hpp"
 #include "omp/runtime.hpp"
 
 using namespace iw;
 
-int main() {
+namespace {
+bench::ObsFlags obs_flags;
+
+// run_miniapp creates its machine internally, so the sinks ride in on
+// the config rather than through ObsFlags::attach.
+omp::OmpResult run_app(const workloads::MiniApp& app, omp::OmpConfig cfg,
+                       const std::string& label) {
+  obs_flags.begin_run(label);
+  cfg.tracer = obs_flags.tracer();
+  cfg.metrics = obs_flags.metrics();
+  return omp::run_miniapp(app, cfg);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!obs_flags.parse(argc, argv)) return 2;
   const std::vector<unsigned> cpu_counts{1, 2, 4, 8, 16, 32, 64};
   std::vector<double> rtk_gains;
 
@@ -23,7 +40,7 @@ int main() {
     omp::OmpConfig base;
     base.mode = omp::OmpMode::kLinux;
     base.num_threads = 1;
-    const auto t1 = omp::run_miniapp(app, base);
+    const auto t1 = run_app(app, base, std::string(which) + "/linux/p1");
     std::printf("t = %.1f Mcycles (1-thread Linux makespan)\n",
                 static_cast<double>(t1.makespan) / 1e6);
 
@@ -33,13 +50,17 @@ int main() {
       omp::OmpConfig cfg;
       cfg.num_threads = p;
       cfg.mode = omp::OmpMode::kLinux;
-      const auto linux = omp::run_miniapp(app, cfg);
+      const auto linux = run_app(app, cfg, std::string(which) + "/linux/p" +
+                                               std::to_string(p));
       double rel[3];
       int idx = 0;
       for (omp::OmpMode mode :
            {omp::OmpMode::kRTK, omp::OmpMode::kPIK, omp::OmpMode::kCCK}) {
         cfg.mode = mode;
-        const auto r = omp::run_miniapp(app, cfg);
+        const auto r = run_app(app, cfg,
+                               std::string(which) + "/" +
+                                   omp::mode_name(mode) + "/p" +
+                                   std::to_string(p));
         rel[idx++] = static_cast<double>(linux.makespan) /
                      static_cast<double>(r.makespan);
       }
@@ -68,12 +89,15 @@ int main() {
     cfg.costs = hwsim::CostModel::xeon8s();
     cfg.num_threads = p;
     cfg.mode = omp::OmpMode::kLinux;
-    const auto linux = omp::run_miniapp(app8, cfg);
+    const auto linux =
+        run_app(app8, cfg, "BT8s/linux/p" + std::to_string(p));
     double rel[2];
     int idx = 0;
     for (omp::OmpMode mode : {omp::OmpMode::kRTK, omp::OmpMode::kPIK}) {
       cfg.mode = mode;
-      const auto r = omp::run_miniapp(app8, cfg);
+      const auto r = run_app(app8, cfg,
+                             std::string("BT8s/") + omp::mode_name(mode) +
+                                 "/p" + std::to_string(p));
       rel[idx++] = static_cast<double>(linux.makespan) /
                    static_cast<double>(r.makespan);
     }
@@ -85,5 +109,5 @@ int main() {
               100.0 * (geomean(std::span<const double>(gains8.data(),
                                                        gains8.size())) -
                        1.0));
-  return 0;
+  return obs_flags.finish() ? 0 : 1;
 }

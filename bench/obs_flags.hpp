@@ -1,0 +1,97 @@
+// Shared --trace=FILE / --metrics-json=FILE flag handling for bench
+// programs. With neither flag the benches run with null observability
+// sinks (the default-off path the determinism guarantee is stated
+// against); with a flag the shared TraceRecorder / MetricsRegistry is
+// attached to every machine the bench creates and written out once at
+// exit.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hwsim/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace iw::bench {
+
+class ObsFlags {
+ public:
+  /// Consume --trace=FILE and --metrics-json=FILE from argv (other
+  /// arguments are ignored). Returns false and prints usage on a
+  /// malformed observability flag.
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--trace=", 8) == 0) {
+        trace_path_ = a + 8;
+      } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+        metrics_path_ = a + 15;
+      } else if (std::strcmp(a, "--trace") == 0 ||
+                 std::strcmp(a, "--metrics-json") == 0) {
+        std::fprintf(stderr,
+                     "%s needs a value: %s=FILE (see --trace=FILE / "
+                     "--metrics-json=FILE)\n",
+                     a, a);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] obs::TraceRecorder* tracer() {
+    return trace_path_.empty() ? nullptr : &tracer_;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return metrics_path_.empty() ? nullptr : &metrics_;
+  }
+
+  /// Mark the start of a logical run (one Chrome-trace process per
+  /// call). No-op unless tracing was requested.
+  void begin_run(const std::string& label) {
+    if (!trace_path_.empty()) tracer_.begin_process(label);
+  }
+
+  /// Attach the requested sinks to a machine about to run.
+  void attach(hwsim::Machine& m, const std::string& label) {
+    begin_run(label);
+    m.set_tracer(tracer());
+    m.set_metrics(metrics());
+  }
+
+  /// Write any requested output files; call once before exit.
+  /// Returns false if a write failed.
+  bool finish() {
+    bool ok = true;
+    if (!trace_path_.empty()) {
+      if (tracer_.save_chrome_json(trace_path_)) {
+        std::printf("trace: %llu events -> %s\n",
+                    static_cast<unsigned long long>(tracer_.total_events()),
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: cannot write %s\n",
+                     trace_path_.c_str());
+        ok = false;
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (metrics_.save_json(metrics_path_)) {
+        std::printf("metrics: %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: cannot write %s\n",
+                     metrics_path_.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::TraceRecorder tracer_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace iw::bench

@@ -7,15 +7,19 @@
 // self-promotions), across benchmarks of differing grain.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "heartbeat/fork_join.hpp"
 #include "heartbeat/tpal.hpp"
+#include "obs_flags.hpp"
 
 using namespace iw;
 
 namespace {
+
+bench::ObsFlags obs_flags;
 
 struct Workload {
   const char* name;
@@ -31,6 +35,9 @@ double mechanism_overhead(bool linux_stack, const Workload& w,
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
     hwsim::Machine m(mc);
+    obs_flags.attach(m, std::string(w.name) + "/" +
+                            (linux_stack ? "linux" : "nautilus") +
+                            (hb_on ? "/hb-on" : "/hb-off"));
     std::unique_ptr<linuxmodel::LinuxStack> lx;
     std::unique_ptr<nautilus::Kernel> nk;
     nautilus::Kernel* k;
@@ -69,6 +76,9 @@ double forkjoin_overhead(bool linux_stack, double target_us) {
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
     hwsim::Machine m(mc);
+    obs_flags.attach(m, std::string("tree-sum/") +
+                            (linux_stack ? "linux" : "nautilus") +
+                            (hb_on ? "/hb-on" : "/hb-off"));
     std::unique_ptr<linuxmodel::LinuxStack> lx;
     std::unique_ptr<nautilus::Kernel> nk;
     nautilus::Kernel* k;
@@ -100,7 +110,8 @@ double forkjoin_overhead(bool linux_stack, double target_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!obs_flags.parse(argc, argv)) return 2;
   const std::vector<Workload> workloads = {
       {"fine-grain-loop", 18, 32},
       {"mid-grain-loop", 30, 64},
@@ -136,5 +147,5 @@ int main() {
                                                  lin100.size())),
               100 * mean(std::span<const double>(nk100.data(),
                                                  nk100.size())));
-  return 0;
+  return obs_flags.finish() ? 0 : 1;
 }

@@ -31,7 +31,10 @@ std::size_t LatencyHistogram::bucket_index(std::uint64_t v) const {
 std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t idx) const {
   const std::size_t octave = idx / sub_;
   const std::size_t pos = idx % sub_;
-  if (octave == 0) return pos;  // exact
+  // Indices below sub_ are exact values — except with sub_ == 1, where
+  // the small-value path only covers 0 and bucket_index sends value 1
+  // into bucket 0 too (its log2 octave is 0). The bound must cover it.
+  if (octave == 0) return sub_ == 1 ? 1 : pos;
   const std::uint64_t base = std::uint64_t{1} << octave;
   const std::uint64_t step =
       octave > sub_shift_ ? (std::uint64_t{1} << (octave - sub_shift_)) : 1;

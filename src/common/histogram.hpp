@@ -30,10 +30,12 @@ class LatencyHistogram {
   /// Multi-line ASCII rendering (for example programs).
   [[nodiscard]] std::string render(unsigned width = 50) const;
 
- private:
+  // Bucketing scheme (public: exporters and property tests rely on the
+  // index/bound round-trip being monotone).
   [[nodiscard]] std::size_t bucket_index(std::uint64_t v) const;
   [[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t idx) const;
 
+ private:
   unsigned sub_;
   unsigned sub_shift_;  // log2(sub_)
   std::vector<std::uint64_t> counts_;

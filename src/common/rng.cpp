@@ -45,7 +45,14 @@ double Rng::next_double() {
 std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
   IW_ASSERT(lo <= hi);
   const std::uint64_t span = hi - lo + 1;
-  if (span == 0) return next_u64();  // full range
+  if (span == 0) {
+    // hi - lo spans the whole u64 range, which (with lo <= hi) forces
+    // lo == 0 and hi == UINT64_MAX: every raw draw is already in
+    // [lo, hi]. Keep the offset explicit so the full-range path cannot
+    // silently drift if the precondition ever changes.
+    IW_ASSERT(lo == 0);
+    return lo + next_u64();
+  }
   // Debiased modulo (Lemire-style rejection is overkill for sim noise).
   const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
   std::uint64_t v;

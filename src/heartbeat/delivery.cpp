@@ -2,12 +2,64 @@
 
 #include "common/assert.hpp"
 #include "hwsim/core.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::heartbeat {
 
+bool HeartbeatBackend::poll(CoreId core, Cycles now) {
+  IW_ASSERT_MSG(core < states_.size(), "heartbeat poll: core out of range");
+  auto& s = states_[core];
+  if (!s.pending) return false;
+  s.pending = false;
+  if (now != kNever && machine_ != nullptr) {
+    if (auto* mx = machine_->metrics()) {
+      if (now >= s.last_origin) {
+        mx->record(fire_to_poll_metric_, now - s.last_origin);
+      }
+    }
+    if (auto* tr = machine_->tracer()) {
+      tr->instant(core, "heartbeat.poll_consumed", now);
+    }
+  }
+  return true;
+}
+
+const BeatState& HeartbeatBackend::state(CoreId core) const {
+  IW_ASSERT_MSG(core < states_.size(), "heartbeat state: core out of range");
+  return states_[core];
+}
+
+void HeartbeatBackend::mark_delivery(CoreId core, Cycles now, Cycles origin) {
+  IW_ASSERT_MSG(core < states_.size(),
+                "heartbeat delivery: core out of range");
+  if (origin == kNever) origin = now;
+  auto& s = states_[core];
+  s.pending = true;
+  ++s.delivered;
+  // An explicit first-delivery flag: virtual cycle 0 is a legitimate
+  // delivery time, not a sentinel, so the gap after a cycle-0 beat must
+  // enter the inter-beat stats like any other.
+  if (s.has_delivered) {
+    s.interbeat.add(static_cast<double>(now - s.last_delivery));
+  }
+  s.has_delivered = true;
+  s.last_delivery = now;
+  s.last_origin = origin;
+  if (machine_ != nullptr) {
+    if (auto* tr = machine_->tracer()) {
+      tr->instant(core, "heartbeat.beat", now);
+    }
+    if (auto* mx = machine_->metrics()) {
+      if (now >= origin) {
+        mx->record(obs::names::kHeartbeatDeliveryLatency, now - origin);
+      }
+    }
+  }
+}
+
 double HeartbeatBackend::delivered_rate_hz(CoreId core,
                                            ClockFreq freq) const {
-  const auto& s = states_[core];
+  const auto& s = state(core);
   if (s.interbeat.count() < 1) return 0.0;
   const double mean_gap_cycles = s.interbeat.mean();
   if (mean_gap_cycles <= 0.0) return 0.0;
@@ -18,7 +70,7 @@ double HeartbeatBackend::delivered_rate_hz(CoreId core,
 }
 
 double HeartbeatBackend::jitter_cv(CoreId core) const {
-  const auto& s = states_[core];
+  const auto& s = state(core);
   if (s.interbeat.count() < 2 || s.interbeat.mean() <= 0.0) return 0.0;
   return s.interbeat.stddev() / s.interbeat.mean();
 }
@@ -26,35 +78,41 @@ double HeartbeatBackend::jitter_cv(CoreId core) const {
 // ---------------------------------------------------------------- Nautilus
 
 NautilusHeartbeat::NautilusHeartbeat(hwsim::Machine& machine, int vector)
-    : machine_(machine), vector_(vector) {
+    : HeartbeatBackend(&machine), vector_(vector) {
   states_.resize(machine.num_cores());
 }
 
 void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
-  IW_ASSERT(num_workers >= 1 && num_workers <= machine_.num_cores());
+  IW_ASSERT(num_workers >= 1 && num_workers <= machine_->num_cores());
   num_workers_ = num_workers;
   // Install per-core handlers: the IPI (or local fire on CPU 0) simply
   // sets the promotion flag — the entire handler body.
   for (unsigned c = 0; c < num_workers; ++c) {
-    machine_.core(c).set_irq_handler(
+    machine_->core(c).set_irq_handler(
         vector_, [this](hwsim::Core& core, int) {
-          mark_delivery(core.id(), core.clock());
+          mark_delivery(core.id(), core.clock(), last_fire_);
         });
   }
   // LAPIC timer on CPU 0; its handler broadcasts the IPI (Fig. 2 (1-2)).
-  auto& c0 = machine_.core(0);
+  auto& c0 = machine_->core(0);
   timer_ = std::make_unique<hwsim::LapicTimer>(c0, vector_);
   // The timer raises vector_ on CPU 0 directly; the CPU 0 handler both
   // marks its own delivery and broadcasts. Distinguish by a flag: the
   // broadcast targets other workers with the same vector.
-  machine_.core(0).set_irq_handler(vector_, [this](hwsim::Core& core,
-                                                   int) {
-    mark_delivery(core.id(), core.clock());
+  machine_->core(0).set_irq_handler(vector_, [this](hwsim::Core& core,
+                                                    int) {
+    // The IRQ's origin is the LAPIC fire time (stamped by LapicTimer).
+    last_fire_ = core.current_irq_origin();
+    mark_delivery(core.id(), core.clock(), last_fire_);
     // Broadcast to the other worker cores (bounded by num_workers_).
     core.consume(core.costs().ipi_send);
+    const Cycles sent = core.clock();
+    if (auto* tr = machine_->tracer()) {
+      tr->instant(core.id(), "ipi.send", sent, vector_);
+    }
     for (unsigned c = 1; c < num_workers_; ++c) {
-      machine_.core(c).post_irq(core.clock() + core.costs().ipi_latency,
-                                vector_);
+      machine_->core(c).post_irq(sent + core.costs().ipi_latency, vector_,
+                                 sent, /*ipi=*/true);
     }
   });
   timer_->periodic(period);
@@ -68,7 +126,11 @@ void NautilusHeartbeat::stop() {
 
 LinuxHeartbeat::LinuxHeartbeat(linuxmodel::LinuxStack& stack,
                                LinuxHeartbeatMode mode)
-    : stack_(stack), mode_(mode), signals_(stack) {
+    : HeartbeatBackend(&stack.machine()),
+      stack_(stack),
+      mode_(mode),
+      signals_(stack) {
+  fire_to_poll_metric_ = obs::names::kTimerFireToPollConsumed;
   states_.resize(stack.machine().num_cores());
 }
 
@@ -83,14 +145,16 @@ void LinuxHeartbeat::start(Cycles period, unsigned num_workers) {
       t->arm_periodic(period, [this, c](hwsim::Core& core, Cycles) {
         // Kernel-side queueing happened in the timer; deliver the signal
         // to the thread on this CPU.
+        const Cycles fired = core.clock();
         core.consume(stack_.costs().signal_kernel_send);
         const Cycles latency = signals_.draw_latency();
         auto& target = stack_.machine().core(c);
-        target.post_callback(core.clock() + latency, [this, &target] {
-          target.consume(stack_.costs().signal_frame_setup);
-          mark_delivery(target.id(), target.clock());
-          target.consume(stack_.costs().sigreturn);
-        });
+        target.post_callback(
+            core.clock() + latency, [this, &target, fired] {
+              target.consume(stack_.costs().signal_frame_setup);
+              mark_delivery(target.id(), target.clock(), fired);
+              target.consume(stack_.costs().sigreturn);
+            });
       });
       timers_.push_back(std::move(t));
     }
@@ -100,12 +164,13 @@ void LinuxHeartbeat::start(Cycles period, unsigned num_workers) {
   // every other worker, serialized on CPU 0 (Fig. 2 right: "signals").
   auto t = std::make_unique<linuxmodel::PosixTimer>(stack_, 0);
   t->arm_periodic(period, [this, num_workers](hwsim::Core& core, Cycles) {
+    const Cycles fired = core.clock();
     // Master receives its own signal first.
     core.consume(stack_.costs().signal_frame_setup);
-    mark_delivery(0, core.clock());
+    mark_delivery(0, core.clock(), fired);
     for (unsigned c = 1; c < num_workers; ++c) {
-      signals_.send(core, c, [this](hwsim::Core& target) {
-        mark_delivery(target.id(), target.clock());
+      signals_.send(core, c, [this, fired](hwsim::Core& target) {
+        mark_delivery(target.id(), target.clock(), fired);
       });
     }
     core.consume(stack_.costs().sigreturn);

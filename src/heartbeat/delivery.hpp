@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "hwsim/lapic.hpp"
 #include "hwsim/machine.hpp"
+#include "obs/metrics.hpp"
 #include "linuxmodel/signals.hpp"
 #include "linuxmodel/timers.hpp"
 
@@ -27,8 +28,15 @@ namespace iw::heartbeat {
 /// Per-worker delivery bookkeeping shared by both backends.
 struct BeatState {
   bool pending{false};
+  /// Distinguishes "never delivered" from "delivered at cycle 0": a
+  /// last_delivery==0 sentinel silently dropped the first inter-beat gap
+  /// of any run whose first beat landed at virtual cycle 0.
+  bool has_delivered{false};
   std::uint64_t delivered{0};
   Cycles last_delivery{0};
+  /// Virtual time the pending beat's timer fired (LAPIC fire for the
+  /// Nautilus path, timer expiry for Linux). Feeds fire→poll latency.
+  Cycles last_origin{0};
   OnlineStats interbeat;  // gaps between deliveries (cycles)
 };
 
@@ -42,17 +50,12 @@ class HeartbeatBackend {
   virtual void stop() = 0;
 
   /// Worker-side poll at a compiler-inserted point: consumes a pending
-  /// beat. Returns true if one was pending.
-  bool poll(CoreId core) {
-    auto& s = states_[core];
-    if (!s.pending) return false;
-    s.pending = false;
-    return true;
-  }
+  /// beat. Returns true if one was pending. `now` (the polling core's
+  /// clock) feeds the fire→poll_consumed latency histogram when
+  /// metrics are attached; kNever skips the recording.
+  bool poll(CoreId core, Cycles now = kNever);
 
-  [[nodiscard]] const BeatState& state(CoreId core) const {
-    return states_[core];
-  }
+  [[nodiscard]] const BeatState& state(CoreId core) const;
   [[nodiscard]] const std::vector<BeatState>& states() const {
     return states_;
   }
@@ -65,16 +68,17 @@ class HeartbeatBackend {
   [[nodiscard]] double jitter_cv(CoreId core) const;
 
  protected:
-  void mark_delivery(CoreId core, Cycles now) {
-    auto& s = states_[core];
-    s.pending = true;
-    ++s.delivered;
-    if (s.last_delivery != 0) {
-      s.interbeat.add(static_cast<double>(now - s.last_delivery));
-    }
-    s.last_delivery = now;
-  }
+  explicit HeartbeatBackend(hwsim::Machine* machine = nullptr)
+      : machine_(machine) {}
 
+  /// Record a beat delivered to `core` at `now`. `origin` is the virtual
+  /// time the beat's timer fired (kNever = same as now).
+  void mark_delivery(CoreId core, Cycles now, Cycles origin = kNever);
+
+  /// Observability sinks (may be null in unit tests).
+  hwsim::Machine* machine_{nullptr};
+  /// Metric name for the fire→poll latency (backend-specific source).
+  const char* fire_to_poll_metric_{obs::names::kLapicFireToPollConsumed};
   std::vector<BeatState> states_;
 };
 
@@ -86,9 +90,12 @@ class NautilusHeartbeat final : public HeartbeatBackend {
   void stop() override;
 
  private:
-  hwsim::Machine& machine_;
   int vector_;
   unsigned num_workers_{0};
+  /// Virtual time of the most recent LAPIC fire (set by the CPU 0
+  /// handler before the IPI fan-out; the DES runs handlers in causal
+  /// order, so worker deliveries always see the fire that caused them).
+  Cycles last_fire_{0};
   std::unique_ptr<hwsim::LapicTimer> timer_;
 };
 

@@ -171,7 +171,8 @@ nautilus::StepResult ForkJoinTpal::worker_step(
   // Compiler-inserted poll at the chunk boundary.
   charge += cfg_.poll_cost;
   w.overhead_cycles += cfg_.poll_cost;
-  if (backend_ != nullptr && backend_->poll(ctx.core.id())) {
+  if (backend_ != nullptr &&
+      backend_->poll(ctx.core.id(), ctx.core.clock() + charge)) {
     if (promote(w)) {
       charge += cfg_.promotion_cost;
       w.overhead_cycles += cfg_.promotion_cost;

@@ -59,7 +59,10 @@ nautilus::StepResult TpalRuntime::worker_step(
   charge += cfg_.poll_cost;
   w.overhead_cycles += cfg_.poll_cost;
   ++w.polls;
-  if (backend_ != nullptr && backend_->poll(ctx.core.id())) {
+  // `charge` so far is exactly this step's work + the poll itself, so
+  // clock+charge is the virtual time the poll completes.
+  if (backend_ != nullptr &&
+      backend_->poll(ctx.core.id(), ctx.core.clock() + charge)) {
     ++w.beats_handled;
     // Promote: publish latent parallelism at heartbeat rate.
     if (w.current.size() > cfg_.min_grain) {

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "hwsim/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::hwsim {
 
@@ -19,12 +21,14 @@ void Core::set_irq_handler(int vector, IrqHandler handler) {
 
 void Core::set_interrupts_enabled(bool enabled) { irq_enabled_ = enabled; }
 
-void Core::post_irq(Cycles t, int vector) {
+void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
   Event ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
   ev.kind = EventKind::kIrq;
   ev.vector = vector;
+  ev.origin = origin == kNever ? t : origin;
+  ev.ipi = ipi;
   irq_inbox_.push(std::move(ev));
 }
 
@@ -54,9 +58,23 @@ unsigned Core::deliver_due_events() {
     const CostModel& cm = costs();
     const Cycles start = clock_;
     consume(cm.interrupt_dispatch);
+    const Cycles entry = clock_;
+    cur_irq_origin_ = ev.origin;
+    if (auto* tr = machine_.tracer()) {
+      tr->instant(id_, "irq.handler_entry", entry, ev.vector);
+    }
+    if (auto* mx = machine_.metrics()) {
+      if (ev.ipi && entry >= ev.origin) {
+        mx->record(obs::names::kIpiSendToHandlerEntry, entry - ev.origin);
+      }
+    }
     auto& handler = vector_table_[static_cast<std::size_t>(ev.vector)];
     if (handler) handler(*this, ev.vector);
     consume(cm.interrupt_return);
+    if (auto* tr = machine_.tracer()) {
+      tr->span(id_, ev.ipi ? "ipi.dispatch" : "irq.dispatch", start, clock_,
+               ev.vector);
+    }
     irq_overhead_ += clock_ - start;
     ++irqs_delivered_;
     ++delivered;

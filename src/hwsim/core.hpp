@@ -66,7 +66,15 @@ class Core {
   [[nodiscard]] bool interrupts_enabled() const { return irq_enabled_; }
 
   /// Post an IRQ to arrive at absolute time `t` (called by machine/LAPIC).
-  void post_irq(Cycles t, int vector);
+  /// `origin` is the virtual time of the causing action (IPI send, LAPIC
+  /// fire) for latency attribution; kNever means "same as t". `ipi`
+  /// marks inter-processor interrupts for the IPI latency histogram.
+  void post_irq(Cycles t, int vector, Cycles origin = kNever,
+                bool ipi = false);
+
+  /// Origin timestamp of the IRQ currently being dispatched (valid only
+  /// inside an IrqHandler; the causing action's virtual time).
+  [[nodiscard]] Cycles current_irq_origin() const { return cur_irq_origin_; }
 
   /// Post a core-local callback at absolute time `t` (used by device
   /// models and timers that must run on this core's timeline; callbacks
@@ -108,6 +116,7 @@ class Core {
   CoreId id_;
   Cycles clock_{0};
   bool irq_enabled_{true};
+  Cycles cur_irq_origin_{0};
   EventQueue irq_inbox_;
   EventQueue callback_inbox_;
   std::vector<IrqHandler> vector_table_;

@@ -21,6 +21,13 @@ struct Event {
   std::uint64_t seq{0};
   EventKind kind{EventKind::kCallback};
   int vector{-1};
+  /// For IRQs: virtual time of the causing action (IPI send, LAPIC
+  /// fire). Lets the dispatch path attribute delivery latency without
+  /// widening the handler signature. Defaults to `time` when unset.
+  Cycles origin{0};
+  /// For IRQs: true when this arrival is an inter-processor interrupt
+  /// (feeds the ipi.send→handler_entry latency histogram).
+  bool ipi{false};
   std::function<void()> fn;
 };
 

@@ -2,6 +2,7 @@
 
 #include "hwsim/core.hpp"
 #include "hwsim/machine.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::hwsim {
 
@@ -33,7 +34,10 @@ void LapicTimer::schedule_fire(Cycles at) {
   core_.post_callback(at, [this, gen, at] {
     if (!armed_ || gen != generation_) return;  // disarmed/re-armed since
     ++fires_;
-    core_.post_irq(at, vector_);
+    if (auto* tr = core_.machine().tracer()) {
+      tr->instant(core_.id(), "lapic.fire", at, vector_);
+    }
+    core_.post_irq(at, vector_, /*origin=*/at);
     if (period_ != 0) {
       schedule_fire(at + period_);  // absolute cadence, no drift
     } else {

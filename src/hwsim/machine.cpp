@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::hwsim {
 
@@ -24,7 +26,10 @@ Cycles Machine::now() const {
 void Machine::send_ipi(Core& from, CoreId to, int vector) {
   IW_ASSERT(to < cores_.size());
   from.consume(cfg_.costs.ipi_send);
-  cores_[to]->post_irq(from.clock() + cfg_.costs.ipi_latency, vector);
+  const Cycles sent = from.clock();
+  if (auto* tr = tracer()) tr->instant(from.id(), "ipi.send", sent, vector);
+  cores_[to]->post_irq(sent + cfg_.costs.ipi_latency, vector, sent,
+                       /*ipi=*/true);
   ++total_ipis_;
 }
 
@@ -32,9 +37,11 @@ void Machine::broadcast_ipi(Core& from, int vector) {
   // A single ICR write with destination shorthand "all excluding self":
   // one send cost, fan-out in the fabric.
   from.consume(cfg_.costs.ipi_send);
+  const Cycles sent = from.clock();
+  if (auto* tr = tracer()) tr->instant(from.id(), "ipi.send", sent, vector);
   for (auto& c : cores_) {
     if (c->id() == from.id()) continue;
-    c->post_irq(from.clock() + cfg_.costs.ipi_latency, vector);
+    c->post_irq(sent + cfg_.costs.ipi_latency, vector, sent, /*ipi=*/true);
     ++total_ipis_;
   }
 }

@@ -14,6 +14,11 @@
 #include "hwsim/cost_model.hpp"
 #include "hwsim/event_queue.hpp"
 
+namespace iw::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace iw::obs
+
 namespace iw::hwsim {
 
 struct MachineConfig {
@@ -40,6 +45,20 @@ class Machine {
   [[nodiscard]] const CostModel& costs() const { return cfg_.costs; }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Attach observability sinks (null = off, the default). Recording is
+  /// free in virtual time and draws no RNG, so a traced run executes a
+  /// bit-identical schedule to an untraced one.
+  void set_tracer(obs::TraceRecorder* t) { tracer_ = t; }
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+  [[nodiscard]] obs::TraceRecorder* tracer() const {
+#ifdef IW_TRACE_COMPILED_OUT
+    return nullptr;
+#else
+    return tracer_;
+#endif
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Global simulated time = max over core clocks (the frontier).
   [[nodiscard]] Cycles now() const;
@@ -75,6 +94,8 @@ class Machine {
 
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Core>> cores_;
+  obs::TraceRecorder* tracer_{nullptr};
+  obs::MetricsRegistry* metrics_{nullptr};
   EventQueue machine_queue_;
   Rng rng_;
   std::uint64_t seq_{0};

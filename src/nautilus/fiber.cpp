@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "hwsim/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::nautilus {
 
@@ -19,7 +22,8 @@ Fiber* FiberSet::add(FiberConfig cfg) {
   return raw;
 }
 
-void FiberSet::switch_fibers(Cycles& charge) {
+void FiberSet::switch_fibers(Cycles& charge, hwsim::Core* core) {
+  const Cycles charged_before = charge;
   Cycles cost = 0;
   if (current_ != nullptr) {
     cost += cfg_.save_cost;
@@ -38,6 +42,16 @@ void FiberSet::switch_fibers(Cycles& charge) {
   ++stats_.switches;
   stats_.switch_overhead += cost;
   charge += cost;
+  if (core != nullptr) {
+    auto& machine = core->machine();
+    if (auto* tr = machine.tracer()) {
+      const Cycles begin = core->clock() + charged_before;
+      tr->span(core->id(), "fiber.switch", begin, begin + cost);
+    }
+    if (auto* mx = machine.metrics()) {
+      mx->record(obs::names::kFiberSwitch, cost);
+    }
+  }
 }
 
 ThreadBody FiberSet::as_thread_body() {
@@ -48,7 +62,7 @@ ThreadBody FiberSet::as_thread_body() {
         return all_done() ? StepResult::done(std::max<Cycles>(charge, 1))
                           : StepResult::yield(std::max<Cycles>(charge, 1));
       }
-      switch_fibers(charge);
+      switch_fibers(charge, &tctx.core);
     }
     Fiber* f = current_;
     FiberContext fctx{*f, tctx};
@@ -74,15 +88,15 @@ ThreadBody FiberSet::as_thread_body() {
         IW_ASSERT(live_ > 0);
         --live_;
         current_ = nullptr;
-        if (!ready_.empty() || live_ > 0) switch_fibers(charge);
+        if (!ready_.empty() || live_ > 0) switch_fibers(charge, &tctx.core);
         break;
       case FiberStep::Next::kYield:
-        switch_fibers(charge);
+        switch_fibers(charge, &tctx.core);
         break;
       case FiberStep::Next::kContinue:
         if (cfg_.mode == FiberMode::kCompilerTimed &&
             f->since_yield_ >= cfg_.quantum && !ready_.empty()) {
-          switch_fibers(charge);  // framework-forced preemption
+          switch_fibers(charge, &tctx.core);  // framework-forced preemption
         }
         break;
     }

@@ -24,6 +24,10 @@
 #include "common/types.hpp"
 #include "nautilus/thread.hpp"
 
+namespace iw::hwsim {
+class Core;
+}  // namespace iw::hwsim
+
 namespace iw::nautilus {
 
 enum class FiberMode : std::uint8_t { kCooperative, kCompilerTimed };
@@ -114,7 +118,10 @@ class FiberSet {
   [[nodiscard]] ThreadBody as_thread_body();
 
  private:
-  void switch_fibers(Cycles& charge);
+  /// Perform a fiber switch, adding its cost to `charge`. When `core` is
+  /// given, the switch is traced on that core's timeline (the span sits
+  /// at core.clock() + the charge accumulated so far this step).
+  void switch_fibers(Cycles& charge, hwsim::Core* core = nullptr);
 
   FiberSetConfig cfg_;
   Cycles fp_save_;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace iw::nautilus {
 
 void IrqSteering::route(int vector, CoreId target, hwsim::IrqHandler handler) {
@@ -19,7 +21,11 @@ CoreId IrqSteering::target_of(int vector) const {
 }
 
 void IrqSteering::raise(int vector, Cycles t) {
-  machine_.core(target_of(vector)).post_irq(t, vector);
+  const CoreId target = target_of(vector);
+  if (auto* tr = machine_.tracer()) {
+    tr->instant(target, "irq.steer", t, vector);
+  }
+  machine_.core(target).post_irq(t, vector);
 }
 
 unsigned IrqSteering::quiet_cores() const {

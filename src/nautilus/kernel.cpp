@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "nautilus/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::nautilus {
 
@@ -96,6 +98,9 @@ void Kernel::wake(Thread* t, hwsim::Core& from) {
 
 void Kernel::submit_task(CoreId core, Task task) {
   IW_ASSERT(core < cpus_.size());
+  if (task.enqueued_at == kNever) {
+    task.enqueued_at = machine_.core(core).clock();
+  }
   cpus_[core].tasks.push_back(std::move(task));
 }
 
@@ -194,17 +199,32 @@ void Kernel::context_switch(hwsim::Core& core, Cpu& cpu, Thread* next) {
   // even though it is performed as two half-switches.
   if (prev != nullptr) ++stats_.context_switches;
   stats_.switch_overhead += core.clock() - start;
+  if (auto* tr = machine_.tracer()) {
+    tr->span(core.id(), "nk.ctx_switch", start, core.clock());
+  }
+  if (auto* mx = machine_.metrics()) {
+    mx->record(obs::names::kCtxSwitch, core.clock() - start);
+  }
 }
 
 void Kernel::run_one_task(hwsim::Core& core, Cpu& cpu) {
   Task task = std::move(cpu.tasks.front());
   cpu.tasks.pop_front();
+  const Cycles start = core.clock();
   core.consume(cfg_.task_dispatch_cost);
   const Cycles used = task.fn();
   core.consume(used);
   ++stats_.tasks.executed;
   stats_.tasks.total_cycles += used;
   stats_.tasks.dispatch_overhead += cfg_.task_dispatch_cost;
+  if (auto* tr = machine_.tracer()) {
+    tr->span(core.id(), "nk.task", start, core.clock());
+  }
+  if (auto* mx = machine_.metrics()) {
+    if (task.enqueued_at != kNever && start >= task.enqueued_at) {
+      mx->record(obs::names::kTaskQueueWait, start - task.enqueued_at);
+    }
+  }
 }
 
 bool Kernel::runnable(hwsim::Core& core) {

@@ -20,6 +20,9 @@ struct Task {
   /// `small_task_threshold` are eligible to run inline in the scheduler
   /// or in interrupt context (no dispatch to a worker step).
   Cycles size_hint{0};
+  /// Target core's clock at submit time (stamped by Kernel::submit_task;
+  /// kNever until queued). Feeds the task queue-wait histogram.
+  Cycles enqueued_at{kNever};
 };
 
 struct TaskStats {

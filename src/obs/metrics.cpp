@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace iw::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+OnlineStats& MetricsRegistry::stats(const std::string& name) {
+  auto& slot = stats_[name];
+  if (!slot) slot = std::make_unique<OnlineStats>();
+  return *slot;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+  stats_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << h->count() << ", \"min\": " << h->min()
+       << ", \"max\": " << h->max() << ", \"mean\": " << h->mean();
+    if (h->count() > 0) {
+      os << ", \"p50\": " << h->value_at_percentile(50)
+         << ", \"p90\": " << h->value_at_percentile(90)
+         << ", \"p99\": " << h->value_at_percentile(99);
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"stats\": {";
+  first = true;
+  for (const auto& [name, s] : stats_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << s->count() << ", \"mean\": " << s->mean()
+       << ", \"stddev\": " << s->stddev() << ", \"min\": " << s->min()
+       << ", \"max\": " << s->max() << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+bool MetricsRegistry::save_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace iw::obs

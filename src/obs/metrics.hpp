@@ -1,0 +1,82 @@
+// Metrics registry: named counters and latency histograms that
+// subsystems register into, exported as JSON so BENCH_*.json runs can
+// capture distributions (p50/p99), not just means.
+//
+// Like the trace recorder, recording is free in virtual time — metrics
+// never consume cycles or RNG draws, so enabling them cannot perturb a
+// simulation. Name lookups happen through a std::map so export order is
+// deterministic; hot paths should cache the returned reference.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace iw::obs {
+
+/// Canonical metric names, shared by instrumentation sites, exporters,
+/// and tests. The arrows are UTF-8 (they name causal edges).
+namespace names {
+inline constexpr const char* kIpiSendToHandlerEntry =
+    "ipi.send→handler_entry";
+inline constexpr const char* kLapicFireToPollConsumed =
+    "lapic.fire→poll_consumed";
+inline constexpr const char* kTimerFireToPollConsumed =
+    "timer.fire→poll_consumed";
+inline constexpr const char* kHeartbeatDeliveryLatency =
+    "heartbeat.delivery_latency";
+inline constexpr const char* kOmpBarrierWait = "omp.barrier.wait";
+inline constexpr const char* kCtxSwitch = "nk.ctx_switch";
+inline constexpr const char* kFiberSwitch = "fiber.switch";
+inline constexpr const char* kTaskQueueWait = "nk.task.queue_wait";
+}  // namespace names
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Named monotonic counter; created on first use.
+  std::uint64_t& counter(const std::string& name);
+  void add(const std::string& name, std::uint64_t n = 1) {
+    counter(name) += n;
+  }
+
+  /// Named latency histogram (log-bucketed); created on first use.
+  LatencyHistogram& histogram(const std::string& name);
+  void record(const std::string& name, std::uint64_t value) {
+    histogram(name).add(value);
+  }
+
+  /// Named online mean/stddev accumulator; created on first use.
+  OnlineStats& stats(const std::string& name);
+
+  [[nodiscard]] bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  [[nodiscard]] bool has_histogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  void clear();
+
+  /// JSON object: {"counters": {...}, "histograms": {name: {count, min,
+  /// max, mean, p50, p90, p99}}, "stats": {name: {count, mean, stddev}}}.
+  void write_json(std::ostream& os) const;
+  bool save_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  // unique_ptr: references handed out must survive rehash/insert.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<OnlineStats>> stats_;
+};
+
+}  // namespace iw::obs

@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace iw::obs {
+
+namespace {
+
+/// Escape a name for embedding in a JSON string. Instrumentation names
+/// are ASCII literals, but bench process labels are caller-supplied.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int TraceRecorder::begin_process(std::string name) {
+  if (process_names_.empty()) process_names_.push_back("machine");
+  process_names_.push_back(std::move(name));
+  cur_pid_ = static_cast<int>(process_names_.size()) - 1;
+  return cur_pid_;
+}
+
+std::vector<TraceEvent>& TraceRecorder::buffer_for(CoreId core) {
+  if (core >= per_core_.size()) per_core_.resize(core + 1);
+  return per_core_[core];
+}
+
+void TraceRecorder::span(CoreId core, const char* name, Cycles begin,
+                         Cycles end, int vector) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = TracePhase::kSpan;
+  ev.core = core;
+  ev.vector = vector;
+  ev.begin = begin;
+  ev.end = end < begin ? begin : end;
+  ev.seq = next_seq_++;
+  ev.pid = cur_pid_;
+  buffer_for(core).push_back(ev);
+}
+
+void TraceRecorder::instant(CoreId core, const char* name, Cycles at,
+                            int vector) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = TracePhase::kInstant;
+  ev.core = core;
+  ev.vector = vector;
+  ev.begin = at;
+  ev.end = at;
+  ev.seq = next_seq_++;
+  ev.pid = cur_pid_;
+  buffer_for(core).push_back(ev);
+}
+
+std::uint64_t TraceRecorder::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& b : per_core_) n += b.size();
+  return n;
+}
+
+const std::vector<TraceEvent>& TraceRecorder::events(CoreId core) const {
+  static const std::vector<TraceEvent> kEmpty;
+  return core < per_core_.size() ? per_core_[core] : kEmpty;
+}
+
+std::vector<TraceEvent> TraceRecorder::find(const char* name) const {
+  std::vector<TraceEvent> out;
+  for (const auto& b : per_core_) {
+    for (const auto& ev : b) {
+      if (std::strcmp(ev.name, name) == 0) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.begin != b.begin ? a.begin < b.begin : a.seq < b.seq;
+  });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  per_core_.clear();
+  process_names_.clear();
+  cur_pid_ = 0;
+  next_seq_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> all;
+  all.reserve(total_events());
+  for (const auto& b : per_core_) all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.begin != b.begin ? a.begin < b.begin : a.seq < b.seq;
+  });
+  return all;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t pid = 0; pid < std::max<std::size_t>(
+                                      process_names_.size(), 1);
+       ++pid) {
+    const std::string pname =
+        pid < process_names_.size() ? process_names_[pid] : "machine";
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(pname.c_str()) << "\"}}";
+  }
+  for (const auto& ev : merged()) {
+    os << ",{\"name\":\"" << json_escape(ev.name) << "\",\"pid\":" << ev.pid
+       << ",\"tid\":" << ev.core << ",\"ts\":" << ev.begin;
+    if (ev.phase == TracePhase::kSpan) {
+      os << ",\"ph\":\"X\",\"dur\":" << (ev.end - ev.begin);
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"seq\":" << ev.seq;
+    if (ev.vector >= 0) os << ",\"vector\":" << ev.vector;
+    os << "}}";
+  }
+  os << "]}\n";
+}
+
+void TraceRecorder::write_text(std::ostream& os) const {
+  for (const auto& ev : merged()) {
+    os << ev.begin;
+    if (ev.phase == TracePhase::kSpan) os << ".." << ev.end;
+    os << " core" << ev.core << " " << ev.name;
+    if (ev.vector >= 0) os << " vec=" << ev.vector;
+    os << " seq=" << ev.seq << " pid=" << ev.pid << "\n";
+  }
+}
+
+bool TraceRecorder::save_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+bool TraceRecorder::save_text(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_text(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace iw::obs

@@ -1,0 +1,103 @@
+// Cycle-accurate trace recorder for the DES (the observability layer the
+// paper's figures implicitly depend on: LAPIC fire -> IPI -> handler
+// entry -> promotion poll is an *ordering* claim, and orderings need
+// timelines, not aggregate counters).
+//
+// Design constraints:
+//  * deterministic — recording never consumes simulated cycles, never
+//    touches the machine RNG or the event-queue sequence counter, so a
+//    traced run and an untraced run execute bit-identical schedules;
+//  * low overhead — instrumentation sites hold a nullable pointer; a
+//    null tracer is a single predictable branch. A compile-time kill
+//    switch (-DIW_TRACE_COMPILED_OUT) removes even that;
+//  * append-only per-core buffers — events are recorded in core-local
+//    order and merged (stably, by begin time then record seq) only at
+//    export time.
+//
+// Export formats: Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) and a plain text dump for grepping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace iw::obs {
+
+enum class TracePhase : std::uint8_t {
+  kSpan,     // [begin, end] duration on a core's timeline
+  kInstant,  // single point in virtual time
+};
+
+struct TraceEvent {
+  /// Event name; must point at storage that outlives the recorder
+  /// (string literals at every instrumentation site).
+  const char* name{""};
+  TracePhase phase{TracePhase::kInstant};
+  CoreId core{0};
+  /// Interrupt vector when meaningful, else -1.
+  int vector{-1};
+  Cycles begin{0};
+  Cycles end{0};  // == begin for instants
+  /// Recorder-local sequence number (NOT the machine event seq): stable
+  /// tie-break for same-cycle events without perturbing the DES.
+  std::uint64_t seq{0};
+  /// Process id: distinguishes successive Machine runs in one bench.
+  int pid{0};
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Runtime on/off switch; a disabled recorder drops records.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Start attributing subsequent records to a new logical process
+  /// (one per Machine run in multi-run benches). Returns the pid.
+  int begin_process(std::string name);
+
+  /// Record a [begin, end] span on `core`'s timeline.
+  void span(CoreId core, const char* name, Cycles begin, Cycles end,
+            int vector = -1);
+
+  /// Record an instantaneous event on `core`'s timeline.
+  void instant(CoreId core, const char* name, Cycles at, int vector = -1);
+
+  [[nodiscard]] std::uint64_t total_events() const;
+  /// All events recorded against `core` (across processes), in order.
+  [[nodiscard]] const std::vector<TraceEvent>& events(CoreId core) const;
+  /// Events with the given name, merged across cores, time-ordered.
+  [[nodiscard]] std::vector<TraceEvent> find(const char* name) const;
+
+  void clear();
+
+  /// Chrome trace_event JSON ("ts"/"dur" in virtual cycles, displayed by
+  /// the viewer as microseconds — the scale is virtual either way).
+  void write_chrome_json(std::ostream& os) const;
+  /// Plain text dump, one event per line, globally time-ordered.
+  void write_text(std::ostream& os) const;
+
+  /// Convenience: write_chrome_json to `path`. Returns false on I/O error.
+  bool save_chrome_json(const std::string& path) const;
+  bool save_text(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent>& buffer_for(CoreId core);
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  bool enabled_{true};
+  std::uint64_t next_seq_{0};
+  std::vector<std::vector<TraceEvent>> per_core_;
+  std::vector<std::string> process_names_;  // index = pid
+  int cur_pid_{0};
+};
+
+}  // namespace iw::obs

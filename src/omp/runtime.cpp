@@ -6,6 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace iw::omp {
 
@@ -49,6 +51,7 @@ struct WorkerState {
   std::uint64_t next_iter{0};
   std::uint64_t end_iter{0};
   std::uint64_t barrier_gen{0};
+  Cycles barrier_enter{0};
   Addr mem_cursor{0};
   Cycles done_at{0};
 };
@@ -228,20 +231,32 @@ nautilus::StepResult worker_step(ThreadedRun& run, unsigned wid,
         // Static: chunk remains. Dynamic: grab again next step.
         return nautilus::StepResult::cont(std::max<Cycles>(charge, 1));
       }
-      // Chunk complete: barrier.
+      // Chunk complete: barrier. Wait times (arrival -> release) feed
+      // the omp.barrier.wait histogram when metrics are attached.
       if (run.cfg.mode == OmpMode::kLinux && run.cfg.linux_passive_wait) {
+        const Cycles before = ctx.core.clock();
         const auto arrival = run.futex_barrier->arrive(ctx.core, charge);
         if (arrival.last) {
+          // The last arriver's "wait" is the serial wake chain it pays.
+          if (run.cfg.metrics != nullptr) {
+            run.cfg.metrics->record(obs::names::kOmpBarrierWait,
+                                    ctx.core.clock() - before);
+          }
           ++run.barriers_passed;
           ++ws.phase;
           ws.s = S::kStartPhase;
           return nautilus::StepResult::cont(std::max<Cycles>(charge, 1));
         }
+        ws.barrier_enter = before;
         ws.s = S::kResumed;
         return arrival.block;
       }
+      ws.barrier_enter = ctx.core.clock() + charge;
       ws.barrier_gen = run.spin_barrier->arrive(ctx.core);
       if (run.spin_barrier->passed(ws.barrier_gen)) {
+        if (run.cfg.metrics != nullptr) {
+          run.cfg.metrics->record(obs::names::kOmpBarrierWait, 0);
+        }
         ++run.barriers_passed;
         ++ws.phase;
         ws.s = S::kStartPhase;
@@ -253,6 +268,12 @@ nautilus::StepResult worker_step(ThreadedRun& run, unsigned wid,
     case S::kSpinWait: {
       charge += SpinBarrier::spin_cost();
       if (run.spin_barrier->passed(ws.barrier_gen)) {
+        if (run.cfg.metrics != nullptr) {
+          const Cycles now = ctx.core.clock() + charge;
+          run.cfg.metrics->record(
+              obs::names::kOmpBarrierWait,
+              now > ws.barrier_enter ? now - ws.barrier_enter : 0);
+        }
         ++ws.phase;
         ws.s = S::kStartPhase;
       }
@@ -260,6 +281,12 @@ nautilus::StepResult worker_step(ThreadedRun& run, unsigned wid,
     }
     case S::kResumed: {
       // Woken from the futex barrier.
+      if (run.cfg.metrics != nullptr) {
+        const Cycles now = ctx.core.clock();
+        run.cfg.metrics->record(
+            obs::names::kOmpBarrierWait,
+            now > ws.barrier_enter ? now - ws.barrier_enter : 0);
+      }
       ++ws.phase;
       ws.s = S::kStartPhase;
       return nautilus::StepResult::cont(
@@ -278,6 +305,8 @@ OmpResult run_threaded(const workloads::MiniApp& app, const OmpConfig& cfg) {
   mc.seed = cfg.seed;
   mc.max_advances = 4'000'000'000ULL;
   hwsim::Machine m(mc);
+  m.set_tracer(cfg.tracer);
+  m.set_metrics(cfg.metrics);
 
   std::unique_ptr<linuxmodel::LinuxStack> lx;
   std::unique_ptr<nautilus::Kernel> nk;
@@ -372,6 +401,8 @@ OmpResult run_cck(const workloads::MiniApp& app, const OmpConfig& cfg) {
   mc.seed = cfg.seed;
   mc.max_advances = 4'000'000'000ULL;
   hwsim::Machine m(mc);
+  m.set_tracer(cfg.tracer);
+  m.set_metrics(cfg.metrics);
   nautilus::Kernel k(m);
   k.attach();
 

@@ -28,6 +28,11 @@
 #include "omp/barrier.hpp"
 #include "workloads/miniapp.hpp"
 
+namespace iw::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace iw::obs
+
 namespace iw::omp {
 
 enum class OmpMode { kLinux, kRTK, kPIK, kCCK };
@@ -63,6 +68,10 @@ struct OmpConfig {
   double noise_burst_us{5.0};
   hwsim::CostModel costs{hwsim::CostModel::knl()};
   std::uint64_t seed{42};
+  /// Observability sinks attached to the run's machine (null = off).
+  /// Barrier wait times land in the omp.barrier.wait histogram.
+  obs::TraceRecorder* tracer{nullptr};
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct OmpResult {

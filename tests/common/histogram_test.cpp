@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace iw {
@@ -89,6 +93,63 @@ TEST(Histogram, LargeValuesDoNotCrash) {
   h.add(~std::uint64_t{0} - 1);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_GT(h.value_at_percentile(100), 0u);
+}
+
+// ------------------------------------------------------ property tests
+
+TEST(HistogramProperty, BucketRoundTripIsMonotoneAndCovering) {
+  for (unsigned sub : {1u, 4u, 8u, 16u}) {
+    LatencyHistogram h(sub);
+    std::size_t prev_idx = 0;
+    std::uint64_t prev_bound = 0;
+    Rng r(61);
+    // Sweep every octave: exact powers of two, their neighbours, and a
+    // random interior point per octave.
+    for (int oct = 0; oct < 63; ++oct) {
+      const std::uint64_t base = std::uint64_t{1} << oct;
+      std::vector<std::uint64_t> vs{base, base + 1,
+                                    base + r.uniform(0, base - 1)};
+      std::sort(vs.begin(), vs.end());
+      for (std::uint64_t v : vs) {
+        const std::size_t idx = h.bucket_index(v);
+        const std::uint64_t bound = h.bucket_upper_bound(idx);
+        // Covering: a value is never above its bucket's upper bound.
+        EXPECT_GE(bound, v) << "sub=" << sub << " v=" << v;
+        // Monotone: larger values never land in earlier buckets, and
+        // bucket bounds never decrease with the index.
+        EXPECT_GE(idx, prev_idx) << "sub=" << sub << " v=" << v;
+        EXPECT_GE(bound, prev_bound) << "sub=" << sub << " v=" << v;
+        prev_idx = idx;
+        prev_bound = bound;
+      }
+    }
+  }
+}
+
+TEST(HistogramProperty, PercentileMatchesSortedVectorOracle) {
+  Rng r(67);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed scales so samples span many octaves.
+    const std::uint64_t v =
+        r.chance(0.5) ? r.uniform(1, 1000)
+                      : static_cast<std::uint64_t>(r.exponential(2e6));
+    xs.push_back(v);
+    h.add(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    // The histogram reports the upper bound of the bucket where the
+    // cumulative count first reaches ceil(p% of n) — i.e. exactly the
+    // bucket holding the oracle's order statistic.
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(xs.size()) + 0.5);
+    const std::uint64_t oracle = xs[std::min(rank, xs.size()) - 1];
+    EXPECT_EQ(h.value_at_percentile(p),
+              h.bucket_upper_bound(h.bucket_index(oracle)))
+        << "p=" << p;
+  }
 }
 
 }  // namespace

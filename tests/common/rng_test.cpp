@@ -37,6 +37,27 @@ TEST(Rng, UniformCoversRange) {
   for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
 }
 
+TEST(Rng, UniformDegenerateRangeReturnsTheOneValue) {
+  Rng r(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(5, 5), 5u);
+  EXPECT_EQ(r.uniform(0, 0), 0u);
+  const auto big = ~std::uint64_t{0};
+  EXPECT_EQ(r.uniform(big, big), big);
+}
+
+TEST(Rng, UniformFullU64RangeDoesNotHangOrWrap) {
+  // span = hi - lo + 1 overflows to 0 here; the full-range path must
+  // return raw draws rather than dividing by zero or rejecting forever.
+  Rng r(43);
+  bool high_half = false, low_half = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(0, ~std::uint64_t{0});
+    (v >> 63 ? high_half : low_half) = true;
+  }
+  EXPECT_TRUE(high_half);
+  EXPECT_TRUE(low_half);
+}
+
 TEST(Rng, DoubleInUnitInterval) {
   Rng r(11);
   double sum = 0;

@@ -94,6 +94,31 @@ TEST(OnlineStats, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.mean(), 4.0);
 }
 
+TEST(OnlineStats, MergeEmptyRhsIsNoOp) {
+  OnlineStats a, empty;
+  a.add(2.0);
+  a.add(4.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(OnlineStats, MergePreservesMinMaxEnvelope) {
+  OnlineStats a, b;
+  a.add(5.0);
+  a.add(9.0);
+  b.add(1.0);
+  b.add(7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  // Mean stays inside [min, max] — the basic merge sanity invariant.
+  EXPECT_GE(a.mean(), a.min());
+  EXPECT_LE(a.mean(), a.max());
+}
+
 TEST(OnlineStats, Reset) {
   OnlineStats s;
   s.add(1);

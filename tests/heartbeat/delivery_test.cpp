@@ -1,0 +1,90 @@
+#include "heartbeat/delivery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::heartbeat {
+namespace {
+
+/// Minimal backend exposing the protected delivery hook so the
+/// bookkeeping can be driven directly, without a machine.
+class TestBackend : public HeartbeatBackend {
+ public:
+  explicit TestBackend(unsigned workers) { states_.resize(workers); }
+  void start(Cycles, unsigned) override {}
+  void stop() override {}
+  using HeartbeatBackend::mark_delivery;
+};
+
+TEST(HeartbeatDelivery, FirstBeatAtCycleZeroStillCountsTheFirstGap) {
+  TestBackend hb(1);
+  // Regression: the old code used last_delivery == 0 as a "never
+  // delivered" sentinel, so a run whose first beat landed at virtual
+  // cycle 0 silently dropped its first inter-beat gap.
+  hb.mark_delivery(0, 0);
+  hb.mark_delivery(0, 100);
+  const BeatState& s = hb.state(0);
+  EXPECT_EQ(s.delivered, 2u);
+  ASSERT_EQ(s.interbeat.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.interbeat.mean(), 100.0);
+}
+
+TEST(HeartbeatDelivery, FirstBeatNeverProducesAGap) {
+  TestBackend hb(1);
+  hb.mark_delivery(0, 500);
+  EXPECT_EQ(hb.state(0).delivered, 1u);
+  EXPECT_EQ(hb.state(0).interbeat.count(), 0u);
+  EXPECT_TRUE(hb.state(0).has_delivered);
+}
+
+TEST(HeartbeatDelivery, GapsAccumulatePerCoreIndependently) {
+  TestBackend hb(2);
+  hb.mark_delivery(0, 0);
+  hb.mark_delivery(0, 100);
+  hb.mark_delivery(0, 300);
+  hb.mark_delivery(1, 50);
+  EXPECT_EQ(hb.state(0).interbeat.count(), 2u);
+  EXPECT_DOUBLE_EQ(hb.state(0).interbeat.mean(), 150.0);
+  EXPECT_EQ(hb.state(1).interbeat.count(), 0u);
+}
+
+TEST(HeartbeatDelivery, PollConsumesExactlyOnePendingBeat) {
+  TestBackend hb(1);
+  EXPECT_FALSE(hb.poll(0));
+  hb.mark_delivery(0, 10);
+  EXPECT_TRUE(hb.state(0).pending);
+  EXPECT_TRUE(hb.poll(0));
+  EXPECT_FALSE(hb.poll(0));  // consumed
+  EXPECT_FALSE(hb.state(0).pending);
+}
+
+TEST(HeartbeatDelivery, RateUsesMeanGapEvenWithCycleZeroStart) {
+  TestBackend hb(1);
+  ClockFreq freq;  // 1 GHz default
+  // 10 beats spaced 1000 cycles apart, starting at cycle 0.
+  for (int i = 0; i < 10; ++i) {
+    hb.mark_delivery(0, static_cast<Cycles>(i) * 1000);
+  }
+  EXPECT_EQ(hb.state(0).interbeat.count(), 9u);
+  EXPECT_GT(hb.delivered_rate_hz(0, freq), 0.0);
+  EXPECT_DOUBLE_EQ(hb.jitter_cv(0), 0.0);  // perfectly regular
+}
+
+using HeartbeatDeliveryDeathTest = ::testing::Test;
+
+TEST(HeartbeatDeliveryDeathTest, PollOutOfRangeCoreAborts) {
+  TestBackend hb(2);
+  EXPECT_DEATH((void)hb.poll(2), "out of range");
+}
+
+TEST(HeartbeatDeliveryDeathTest, StateOutOfRangeCoreAborts) {
+  TestBackend hb(2);
+  EXPECT_DEATH((void)hb.state(7), "out of range");
+}
+
+TEST(HeartbeatDeliveryDeathTest, MarkDeliveryOutOfRangeCoreAborts) {
+  TestBackend hb(1);
+  EXPECT_DEATH(hb.mark_delivery(1, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace iw::heartbeat
