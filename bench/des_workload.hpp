@@ -1,0 +1,69 @@
+// Shared IPI+LAPIC-heavy DES workload for the scheduler benchmarks
+// (des_throughput and the gbench advance_once microbenches): a periodic
+// LAPIC timer on CPU 0 whose handler broadcasts an IPI to every other
+// core, over cores kept busy with fixed-cost spin steps. This is the
+// fig3/heartbeat interrupt pattern at benchmark intensity — the regime
+// where per-event scheduler cost dominates the simulator's wall clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hwsim/lapic.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::bench {
+
+/// Endless spin work: every core always runnable, constant step cost.
+/// Keeps the frontier maximally contended (N candidates every advance).
+class SpinForeverDriver final : public hwsim::CoreDriver {
+ public:
+  explicit SpinForeverDriver(Cycles step) : step_(step) {}
+  bool runnable(hwsim::Core&) override { return true; }
+  void step(hwsim::Core& core) override { core.consume(step_); }
+
+ private:
+  Cycles step_;
+};
+
+struct DesWorkload {
+  std::unique_ptr<hwsim::Machine> machine;
+  std::unique_ptr<SpinForeverDriver> driver;
+  std::unique_ptr<hwsim::LapicTimer> timer;
+  /// Heap cell so the handler closures stay valid across moves of this
+  /// struct.
+  std::shared_ptr<std::uint64_t> irqs_handled =
+      std::make_shared<std::uint64_t>(0);
+};
+
+/// Build the workload: `period`-cycle heartbeat broadcast + `step`-cycle
+/// spin steps on every core. The machine never quiesces; drive it with
+/// run_until or advance_n.
+inline DesWorkload make_des_workload(unsigned cores,
+                                     hwsim::SchedulerKind sched,
+                                     Cycles step = 200,
+                                     Cycles period = 20'000) {
+  DesWorkload w;
+  hwsim::MachineConfig mc;
+  mc.num_cores = cores;
+  mc.scheduler = sched;
+  w.machine = std::make_unique<hwsim::Machine>(mc);
+  w.driver = std::make_unique<SpinForeverDriver>(step);
+
+  auto counter = w.irqs_handled;
+  for (unsigned i = 0; i < cores; ++i) {
+    auto& core = w.machine->core(i);
+    core.set_driver(w.driver.get());
+    core.set_irq_handler(0x40, [counter](hwsim::Core& c, int) {
+      c.consume(120);  // handler body: promotion-flag write + return
+      ++*counter;
+      if (c.id() == 0) c.machine().broadcast_ipi(c, 0x40);
+    });
+  }
+  w.timer = std::make_unique<hwsim::LapicTimer>(w.machine->core(0), 0x40);
+  w.timer->periodic(period);
+  return w;
+}
+
+}  // namespace iw::bench

@@ -6,7 +6,9 @@
 #include "carat/native_guards.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
+#include "des_workload.hpp"
 #include "hwsim/event_queue.hpp"
+#include "hwsim/machine.hpp"
 #include "mem/buddy_allocator.hpp"
 #include "mem/tlb.hpp"
 #include "pipeline/branch_predictor.hpp"
@@ -31,19 +33,104 @@ void BM_RngHeavyTail(benchmark::State& state) {
 }
 BENCHMARK(BM_RngHeavyTail);
 
+// Steady-state push+pop at a fixed occupancy: the heap depth (log of
+// occupancy) is the per-event scheduler cost the frontier work targets.
 void BM_EventQueuePushPop(benchmark::State& state) {
-  hwsim::EventQueue q;
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  hwsim::TimedQueue<hwsim::IrqEvent> q;
   Rng rng(7);
   std::uint64_t seq = 0;
-  for (auto _ : state) {
-    hwsim::Event ev;
+  while (q.size() < occupancy) {
+    hwsim::IrqEvent ev;
     ev.time = rng.uniform(0, 1'000'000);
     ev.seq = seq++;
-    q.push(std::move(ev));
-    if (q.size() > 64) benchmark::DoNotOptimize(q.pop());
+    q.push(ev);
+  }
+  for (auto _ : state) {
+    hwsim::IrqEvent ev;
+    ev.time = rng.uniform(0, 1'000'000);
+    ev.seq = seq++;
+    q.push(ev);
+    benchmark::DoNotOptimize(q.pop());
   }
 }
-BENCHMARK(BM_EventQueuePushPop);
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(65536);
+
+// Same traffic but fn-carrying CoreEvents whose closures exceed the
+// std::function small-buffer: every push pays a heap allocation. The gap
+// against BM_EventQueuePushPop is what the tagged timer representation
+// removes from the hot path.
+void BM_EventQueuePushPopFn(benchmark::State& state) {
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  hwsim::TimedQueue<hwsim::CoreEvent> q;
+  Rng rng(7);
+  std::uint64_t seq = 0;
+  std::uint64_t sink = 0;
+  const auto make_ev = [&] {
+    hwsim::CoreEvent ev;
+    ev.time = rng.uniform(0, 1'000'000);
+    ev.seq = seq++;
+    const std::uint64_t a = seq, b = seq + 1, c = seq + 2;
+    ev.fn = [&sink, a, b, c] { sink += a + b + c; };
+    return ev;
+  };
+  while (q.size() < occupancy) q.push(make_ev());
+  for (auto _ : state) {
+    q.push(make_ev());
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPopFn)->Arg(64)->Arg(1024)->Arg(65536);
+
+// Allocation-free timer-tagged CoreEvents (the dominant scheduled-work
+// case after the LapicTimer/PosixTimer conversion).
+void BM_EventQueuePushPopTimer(benchmark::State& state) {
+  struct NullSink final : hwsim::TimerSink {
+    void on_timer(hwsim::Core&, Cycles, std::uint64_t) override {}
+  };
+  static NullSink timer_sink;
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  hwsim::TimedQueue<hwsim::CoreEvent> q;
+  Rng rng(7);
+  std::uint64_t seq = 0;
+  const auto make_ev = [&] {
+    hwsim::CoreEvent ev;
+    ev.time = rng.uniform(0, 1'000'000);
+    ev.seq = seq++;
+    ev.timer = &timer_sink;
+    ev.gen = seq;
+    return ev;
+  };
+  while (q.size() < occupancy) q.push(make_ev());
+  for (auto _ : state) {
+    q.push(make_ev());
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPopTimer)->Arg(64)->Arg(1024)->Arg(65536);
+
+// One full DES iteration (pick + advance) under the IPI+LAPIC heartbeat
+// workload. Args: {cores, 0=frontier | 1=linear}. The frontier/linear
+// gap at 64/256 cores is the headline scheduler win; absolute
+// before/after numbers go in PR descriptions.
+void BM_MachineAdvanceOnce(benchmark::State& state) {
+  const auto cores = static_cast<unsigned>(state.range(0));
+  const auto sched = state.range(1) == 0 ? hwsim::SchedulerKind::kFrontier
+                                         : hwsim::SchedulerKind::kLinearScan;
+  bench::DesWorkload w = bench::make_des_workload(cores, sched);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.machine->advance_n(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineAdvanceOnce)
+    ->ArgNames({"cores", "linear"})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 void BM_BuddyAllocFree(benchmark::State& state) {
   mem::BuddyAllocator buddy(0, 1 << 24, 64);

@@ -108,7 +108,10 @@ void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
     core.consume(core.costs().ipi_send);
     const Cycles sent = core.clock();
     if (auto* tr = machine_->tracer()) {
-      tr->instant(core.id(), "ipi.send", sent, vector_);
+      // One ICR write fans out to num_workers_-1 destinations; the count
+      // argument keeps the trace reconcilable with per-destination
+      // delivery counters.
+      tr->instant(core.id(), "ipi.send", sent, vector_, num_workers_ - 1);
     }
     for (unsigned c = 1; c < num_workers_; ++c) {
       machine_->core(c).post_irq(sent + core.costs().ipi_latency, vector_,

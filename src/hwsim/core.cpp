@@ -10,7 +10,10 @@
 namespace iw::hwsim {
 
 Core::Core(Machine& machine, CoreId id)
-    : machine_(machine), id_(id), vector_table_(256) {}
+    : machine_(machine),
+      machine_now_(machine.now_cell()),
+      id_(id),
+      vector_table_(256) {}
 
 const CostModel& Core::costs() const { return machine_.costs(); }
 
@@ -19,27 +22,43 @@ void Core::set_irq_handler(int vector, IrqHandler handler) {
   vector_table_[static_cast<std::size_t>(vector)] = std::move(handler);
 }
 
-void Core::set_interrupts_enabled(bool enabled) { irq_enabled_ = enabled; }
+void Core::set_interrupts_enabled(bool enabled) {
+  irq_enabled_ = enabled;
+  mark_schedule_dirty();
+}
 
 void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
-  Event ev;
+  IrqEvent ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
-  ev.kind = EventKind::kIrq;
   ev.vector = vector;
   ev.origin = origin == kNever ? t : origin;
   ev.ipi = ipi;
-  irq_inbox_.push(std::move(ev));
+  irq_inbox_.push(ev);
+  mark_schedule_dirty();
 }
 
 void Core::post_callback(Cycles t, std::function<void()> fn) {
-  Event ev;
+  CoreEvent ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
-  ev.kind = EventKind::kCallback;
   ev.fn = std::move(fn);
   callback_inbox_.push(std::move(ev));
+  mark_schedule_dirty();
 }
+
+void Core::post_timer(Cycles t, TimerSink* sink, std::uint64_t gen) {
+  IW_ASSERT(sink != nullptr);
+  CoreEvent ev;
+  ev.time = t;
+  ev.seq = machine_.next_seq();
+  ev.timer = sink;
+  ev.gen = gen;
+  callback_inbox_.push(std::move(ev));
+  mark_schedule_dirty();
+}
+
+void Core::notify_machine_dirty() { machine_.frontier_enqueue_dirty(id_); }
 
 unsigned Core::deliver_due_events() {
   unsigned delivered = 0;
@@ -49,12 +68,16 @@ unsigned Core::deliver_due_events() {
     const Cycles t = std::min(cb_t, irq_t);
     if (t > clock_) break;
     if (cb_t <= irq_t) {
-      Event ev = callback_inbox_.pop();
-      ev.fn();
+      CoreEvent ev = callback_inbox_.pop();
+      if (ev.timer != nullptr) {
+        ev.timer->on_timer(*this, ev.time, ev.gen);
+      } else {
+        ev.fn();
+      }
       ++delivered;
       continue;
     }
-    Event ev = irq_inbox_.pop();
+    const IrqEvent ev = irq_inbox_.pop();
     const CostModel& cm = costs();
     const Cycles start = clock_;
     consume(cm.interrupt_dispatch);
@@ -79,12 +102,13 @@ unsigned Core::deliver_due_events() {
     ++irqs_delivered_;
     ++delivered;
   }
+  if (delivered != 0) mark_schedule_dirty();
   return delivered;
 }
 
 bool Core::runnable() { return driver_ != nullptr && driver_->runnable(*this); }
 
-Cycles Core::next_action_time() {
+Cycles Core::compute_next_action_time() {
   if (runnable()) return clock_;
   const Cycles cb_t = callback_inbox_.peek_time();
   const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
@@ -103,6 +127,7 @@ void Core::advance() {
     IW_ASSERT_MSG(t != kNever, "idle core advanced with no pending events");
     advance_to(t);
     deliver_due_events();
+    mark_schedule_dirty();
     return;
   }
   deliver_due_events();
@@ -111,6 +136,7 @@ void Core::advance() {
     driver_->step(*this);
     IW_ASSERT_MSG(clock_ > before, "driver step must consume cycles");
   }
+  mark_schedule_dirty();
 }
 
 }  // namespace iw::hwsim

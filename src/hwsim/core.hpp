@@ -7,6 +7,16 @@
 // always touched in nondecreasing virtual-time order. Drivers execute in
 // *steps*; interrupts are recognized at step boundaries (exactly the
 // "check placement granularity" story that Figs. 3 and 4 are about).
+//
+// Scheduling cache: `next_action_time()` is cached and recomputed only
+// after an invalidation, so the machine's frontier index pays O(log N)
+// per event instead of O(N) rescans. Every mutation the simulator itself
+// performs (event posts, clock movement, mask changes, delivery) marks
+// the cache dirty automatically. A CoreDriver whose `runnable()` answer
+// can change through any *other* channel (e.g. direct mutation of shared
+// run queues from a different core's timeline) must call
+// `mark_schedule_dirty()` on the affected core — see nautilus::Kernel's
+// enqueue_ready/submit_task for the canonical examples.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +41,9 @@ class CoreDriver {
  public:
   virtual ~CoreDriver() = default;
 
-  /// Does this core have runnable work right now?
+  /// Does this core have runnable work right now? Must be side-effect
+  /// free: the scheduler may cache the answer until the next
+  /// invalidation (see the scheduling-cache contract above).
   virtual bool runnable(Core& core) = 0;
 
   /// Execute one step; must advance core.clock() by at least one cycle
@@ -52,11 +64,17 @@ class Core {
   [[nodiscard]] const CostModel& costs() const;
 
   /// Consume `c` cycles of execution time.
-  void consume(Cycles c) { clock_ += c; }
+  void consume(Cycles c) {
+    clock_ += c;
+    on_clock_moved();
+  }
 
   /// Move the clock forward to `t` (no-op if already past it).
   void advance_to(Cycles t) {
-    if (t > clock_) clock_ = t;
+    if (t > clock_) {
+      clock_ = t;
+      on_clock_moved();
+    }
   }
 
   // --- interrupt controller front-end ---
@@ -81,6 +99,12 @@ class Core {
   /// are machine-internal and ignore the interrupt mask).
   void post_callback(Cycles t, std::function<void()> fn);
 
+  /// Post a timer fire at absolute time `t`: the dominant scheduled-work
+  /// case, carried inline (sink pointer + generation) with no closure
+  /// allocation. Ordered identically to post_callback (same queue, same
+  /// sequence source).
+  void post_timer(Cycles t, TimerSink* sink, std::uint64_t gen);
+
   [[nodiscard]] std::uint64_t pending_irqs() const { return irq_inbox_.size(); }
 
   /// Deliver all events due at or before the current clock: callbacks
@@ -90,7 +114,10 @@ class Core {
 
   // --- driver ---
 
-  void set_driver(CoreDriver* driver) { driver_ = driver; }
+  void set_driver(CoreDriver* driver) {
+    driver_ = driver;
+    mark_schedule_dirty();
+  }
   [[nodiscard]] CoreDriver* driver() const { return driver_; }
 
   /// True if the driver reports runnable work.
@@ -100,7 +127,31 @@ class Core {
   ///  - its own clock if runnable,
   ///  - else the earliest *deliverable* inbox event time,
   ///  - kNever if idle with nothing deliverable.
-  [[nodiscard]] Cycles next_action_time();
+  /// Cached; recomputed only after an invalidation.
+  [[nodiscard]] Cycles next_action_time() {
+    if (schedule_dirty_) {
+      cached_next_action_ = compute_next_action_time();
+      schedule_dirty_ = false;
+    }
+    return cached_next_action_;
+  }
+
+  /// Uncached recompute (the seed linear-scan scheduler's view; also the
+  /// paranoid cross-check's reference).
+  [[nodiscard]] Cycles next_action_time_uncached() {
+    return compute_next_action_time();
+  }
+
+  /// Invalidate the cached next_action_time and re-register this core
+  /// with the machine's frontier index. Idempotent and O(1) while
+  /// already dirty. Drivers must call this when their runnable() answer
+  /// changes through a channel the simulator cannot observe.
+  void mark_schedule_dirty() {
+    if (!schedule_dirty_) {
+      schedule_dirty_ = true;
+      notify_machine_dirty();
+    }
+  }
 
   /// Execute one advance: deliver due events, then run one driver step
   /// (or jump the clock to the next event if idle).
@@ -112,13 +163,30 @@ class Core {
   [[nodiscard]] std::uint64_t steps_executed() const { return steps_; }
 
  private:
+  friend class Machine;
+
+  [[nodiscard]] Cycles compute_next_action_time();
+  /// Out-of-line slow path: registers with the machine's frontier.
+  void notify_machine_dirty();
+
+  /// Clock moved: keep the machine's O(1) now() cache exact (clocks are
+  /// monotone, so the global frontier is a running max) and invalidate
+  /// the scheduling cache.
+  void on_clock_moved() {
+    if (clock_ > *machine_now_) *machine_now_ = clock_;
+    mark_schedule_dirty();
+  }
+
   Machine& machine_;
+  Cycles* machine_now_;  // Machine::now_cache_, updated on clock movement
   CoreId id_;
   Cycles clock_{0};
   bool irq_enabled_{true};
+  bool schedule_dirty_{true};
+  Cycles cached_next_action_{0};
   Cycles cur_irq_origin_{0};
-  EventQueue irq_inbox_;
-  EventQueue callback_inbox_;
+  TimedQueue<IrqEvent> irq_inbox_;
+  TimedQueue<CoreEvent> callback_inbox_;
   std::vector<IrqHandler> vector_table_;
   CoreDriver* driver_{nullptr};
 

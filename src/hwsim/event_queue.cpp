@@ -4,27 +4,18 @@
 
 namespace iw::hwsim {
 
-void EventQueue::push(Event ev) {
-  heap_.push_back(std::move(ev));
-  sift_up(heap_.size() - 1);
-}
-
-Cycles EventQueue::peek_time() const {
-  return heap_.empty() ? kNever : heap_.front().time;
-}
-
-Event EventQueue::pop() {
+template <class EventT>
+EventT TimedQueue<EventT>::pop() {
   IW_ASSERT(!heap_.empty());
-  Event out = std::move(heap_.front());
+  EventT out = std::move(heap_.front());
   heap_.front() = std::move(heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
   return out;
 }
 
-void EventQueue::clear() { heap_.clear(); }
-
-void EventQueue::sift_up(std::size_t i) {
+template <class EventT>
+void TimedQueue<EventT>::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
     if (!later(heap_[parent], heap_[i])) break;
@@ -33,7 +24,8 @@ void EventQueue::sift_up(std::size_t i) {
   }
 }
 
-void EventQueue::sift_down(std::size_t i) {
+template <class EventT>
+void TimedQueue<EventT>::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
   for (;;) {
     std::size_t smallest = i;
@@ -46,5 +38,9 @@ void EventQueue::sift_down(std::size_t i) {
     i = smallest;
   }
 }
+
+template class TimedQueue<IrqEvent>;
+template class TimedQueue<CoreEvent>;
+template class TimedQueue<Event>;
 
 }  // namespace iw::hwsim

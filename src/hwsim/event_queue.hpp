@@ -1,5 +1,15 @@
-// Deterministic time-ordered event queue (binary heap with a sequence
-// tie-breaker so equal-time events pop in insertion order).
+// Deterministic time-ordered event queues (binary min-heap with a
+// sequence tie-breaker so equal-time events pop in insertion order).
+//
+// The DES hot path is dominated by IRQ arrivals and timer fires, so the
+// event representation is split by role instead of one fat struct:
+//  * IrqEvent       — trivially-copyable POD, allocation-free;
+//  * CoreEvent      — core-local scheduled work: either an inline timer
+//                     fire (TimerSink* + generation, allocation-free) or
+//                     a rare owning std::function callback;
+//  * Event          — machine-level callback (rare; owns a function).
+// The queue itself is a template over the payload so each inbox stores
+// exactly what it needs.
 #pragma once
 
 #include <cstdint>
@@ -11,48 +21,90 @@
 
 namespace iw::hwsim {
 
-enum class EventKind : std::uint8_t {
-  kIrq,       // interrupt request: `vector` is meaningful
-  kCallback,  // machine-level callback: `fn` is meaningful
+class Core;
+
+/// Receiver of timer-fire events posted via Core::post_timer. Implemented
+/// by the timer device models (LapicTimer, PosixTimer). `gen` is the
+/// arming generation captured at schedule time, so a stale in-flight fire
+/// from before a re-arm/stop can be recognized and dropped without ever
+/// allocating a closure.
+class TimerSink {
+ public:
+  virtual void on_timer(Core& core, Cycles at, std::uint64_t gen) = 0;
+
+ protected:
+  ~TimerSink() = default;
 };
 
-struct Event {
+/// Interrupt arrival in a core's IRQ inbox. POD: pushing one never
+/// allocates.
+struct IrqEvent {
   Cycles time{0};
   std::uint64_t seq{0};
-  EventKind kind{EventKind::kCallback};
-  int vector{-1};
-  /// For IRQs: virtual time of the causing action (IPI send, LAPIC
-  /// fire). Lets the dispatch path attribute delivery latency without
-  /// widening the handler signature. Defaults to `time` when unset.
+  /// Virtual time of the causing action (IPI send, LAPIC fire). Lets the
+  /// dispatch path attribute delivery latency without widening the
+  /// handler signature.
   Cycles origin{0};
-  /// For IRQs: true when this arrival is an inter-processor interrupt
-  /// (feeds the ipi.send→handler_entry latency histogram).
+  std::int32_t vector{-1};
+  /// True when this arrival is an inter-processor interrupt (feeds the
+  /// ipi.send -> handler_entry latency histogram).
   bool ipi{false};
+};
+
+/// Core-local scheduled work. Tagged: `timer != nullptr` means an inline
+/// timer fire (the dominant case, allocation-free); otherwise `fn` is the
+/// payload.
+struct CoreEvent {
+  Cycles time{0};
+  std::uint64_t seq{0};
+  TimerSink* timer{nullptr};
+  std::uint64_t gen{0};
   std::function<void()> fn;
 };
 
-class EventQueue {
+/// Machine-level callback event (rare: device models and test harnesses).
+struct Event {
+  Cycles time{0};
+  std::uint64_t seq{0};
+  std::function<void()> fn;
+};
+
+template <class EventT>
+class TimedQueue {
  public:
-  void push(Event ev);
+  void push(EventT ev) {
+    heap_.push_back(std::move(ev));
+    sift_up(heap_.size() - 1);
+  }
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest event; kNever if empty.
-  [[nodiscard]] Cycles peek_time() const;
+  [[nodiscard]] Cycles peek_time() const {
+    return heap_.empty() ? kNever : heap_.front().time;
+  }
 
   /// Pop the earliest event. Precondition: !empty().
-  Event pop();
+  EventT pop();
 
-  void clear();
+  void clear() { heap_.clear(); }
 
  private:
-  static bool later(const Event& a, const Event& b) {
+  static bool later(const EventT& a, const EventT& b) {
     return a.time > b.time || (a.time == b.time && a.seq > b.seq);
   }
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
-  std::vector<Event> heap_;
+  std::vector<EventT> heap_;
 };
+
+extern template class TimedQueue<IrqEvent>;
+extern template class TimedQueue<CoreEvent>;
+extern template class TimedQueue<Event>;
+
+/// The machine-level queue carries plain callback events.
+using EventQueue = TimedQueue<Event>;
 
 }  // namespace iw::hwsim

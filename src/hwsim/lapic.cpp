@@ -30,20 +30,21 @@ void LapicTimer::stop() {
 }
 
 void LapicTimer::schedule_fire(Cycles at) {
-  const std::uint64_t gen = generation_;
-  core_.post_callback(at, [this, gen, at] {
-    if (!armed_ || gen != generation_) return;  // disarmed/re-armed since
-    ++fires_;
-    if (auto* tr = core_.machine().tracer()) {
-      tr->instant(core_.id(), "lapic.fire", at, vector_);
-    }
-    core_.post_irq(at, vector_, /*origin=*/at);
-    if (period_ != 0) {
-      schedule_fire(at + period_);  // absolute cadence, no drift
-    } else {
-      armed_ = false;
-    }
-  });
+  core_.post_timer(at, this, generation_);
+}
+
+void LapicTimer::on_timer(Core& core, Cycles at, std::uint64_t gen) {
+  if (!armed_ || gen != generation_) return;  // disarmed/re-armed since
+  ++fires_;
+  if (auto* tr = core.machine().tracer()) {
+    tr->instant(core.id(), "lapic.fire", at, vector_);
+  }
+  core.post_irq(at, vector_, /*origin=*/at);
+  if (period_ != 0) {
+    schedule_fire(at + period_);  // absolute cadence, no drift
+  } else {
+    armed_ = false;
+  }
 }
 
 }  // namespace iw::hwsim

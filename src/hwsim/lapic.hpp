@@ -1,17 +1,22 @@
 // Per-core local APIC timer. One-shot and periodic modes; the periodic
 // mode keeps an absolute cadence (fires at t0 + k*period) independent of
 // handler latency, which is what the heartbeat experiments rely on.
+//
+// Fires ride the core's inline timer-event path (TimerSink): arming and
+// re-arming never allocates, which matters because periodic LAPIC fires
+// are the dominant scheduled event in every heartbeat experiment.
 #pragma once
 
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "hwsim/event_queue.hpp"
 
 namespace iw::hwsim {
 
 class Core;
 
-class LapicTimer {
+class LapicTimer final : public TimerSink {
  public:
   LapicTimer(Core& core, int vector);
 
@@ -29,6 +34,9 @@ class LapicTimer {
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] std::uint64_t fires() const { return fires_; }
   [[nodiscard]] int vector() const { return vector_; }
+
+  // TimerSink: a scheduled fire came due on the owning core.
+  void on_timer(Core& core, Cycles at, std::uint64_t gen) override;
 
  private:
   void schedule_fire(Cycles at);

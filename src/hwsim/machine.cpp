@@ -15,12 +15,9 @@ Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   for (unsigned i = 0; i < cfg.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(*this, i));
   }
-}
-
-Cycles Machine::now() const {
-  Cycles frontier = 0;
-  for (const auto& c : cores_) frontier = std::max(frontier, c->clock());
-  return frontier;
+  // Cores are born dirty but could not register while cores_ was still
+  // being filled; seed the frontier index now.
+  refresh_frontier();
 }
 
 void Machine::send_ipi(Core& from, CoreId to, int vector) {
@@ -35,58 +32,137 @@ void Machine::send_ipi(Core& from, CoreId to, int vector) {
 
 void Machine::broadcast_ipi(Core& from, int vector) {
   // A single ICR write with destination shorthand "all excluding self":
-  // one send cost, fan-out in the fabric.
+  // one send cost, fan-out in the fabric. The single trace instant
+  // carries the fan-out count so trace sums reconcile with total_ipis().
   from.consume(cfg_.costs.ipi_send);
   const Cycles sent = from.clock();
-  if (auto* tr = tracer()) tr->instant(from.id(), "ipi.send", sent, vector);
+  const auto fanout = static_cast<std::uint32_t>(cores_.size() - 1);
+  if (auto* tr = tracer()) {
+    tr->instant(from.id(), "ipi.send", sent, vector, fanout);
+  }
   for (auto& c : cores_) {
     if (c->id() == from.id()) continue;
     c->post_irq(sent + cfg_.costs.ipi_latency, vector, sent, /*ipi=*/true);
-    ++total_ipis_;
   }
+  total_ipis_ += fanout;
 }
 
 void Machine::schedule_at(Cycles t, std::function<void()> fn) {
   Event ev;
   ev.time = t;
   ev.seq = next_seq();
-  ev.kind = EventKind::kCallback;
   ev.fn = std::move(fn);
   machine_queue_.push(std::move(ev));
 }
 
-bool Machine::advance_once() {
-  // Find the earliest actionable entity: a core or the machine queue.
-  Cycles best_t = machine_queue_.peek_time();
-  Core* best_core = nullptr;
-  for (auto& c : cores_) {
-    const Cycles t = c->next_action_time();
-    if (t < best_t) {
-      best_t = t;
-      best_core = c.get();
-    }
-  }
-  if (best_t == kNever) return false;  // quiescent
+void Machine::frontier_enqueue_dirty(CoreId id) {
+  // In linear mode nothing drains the list; the dirty flag alone keeps
+  // the per-core cache coherent for anyone who reads it.
+  if (cfg_.scheduler != SchedulerKind::kFrontier) return;
+  dirty_cores_.push_back(id);
+}
 
+void Machine::frontier_push(FrontierEntry e) {
+  frontier_.push_back(e);
+  std::push_heap(frontier_.begin(), frontier_.end(), entry_later);
+}
+
+void Machine::frontier_pop() {
+  std::pop_heap(frontier_.begin(), frontier_.end(), entry_later);
+  frontier_.pop_back();
+}
+
+void Machine::refresh_frontier() {
+  frontier_.clear();
+  dirty_cores_.clear();
+  for (auto& c : cores_) {
+    c->schedule_dirty_ = true;
+    dirty_cores_.push_back(c->id());
+  }
+}
+
+Machine::Pick Machine::frontier_peek() {
+  // Re-index every core whose schedule changed since the last peek.
+  for (const CoreId id : dirty_cores_) {
+    const Cycles t = cores_[id]->next_action_time();  // recomputes + cleans
+    if (t != kNever) frontier_push({t, id});
+  }
+  dirty_cores_.clear();
+  // Discard stale heap entries: an entry speaks for a core only while
+  // its time matches the core's current (clean) cached value. The fresh
+  // value, if any, was pushed when the core was re-indexed above.
+  while (!frontier_.empty()) {
+    const FrontierEntry top = frontier_.front();
+    if (cores_[top.core]->cached_next_action_ == top.time) break;
+    frontier_pop();
+  }
+  const Cycles mq_t = machine_queue_.peek_time();
+  if (frontier_.empty()) return {mq_t, nullptr};
+  const FrontierEntry top = frontier_.front();
+  // The machine queue wins time ties (seed scheduler semantics).
+  if (mq_t <= top.time) return {mq_t, nullptr};
+  return {top.time, cores_[top.core].get()};
+}
+
+Machine::Pick Machine::linear_peek() {
+  Pick best{machine_queue_.peek_time(), nullptr};
+  for (auto& c : cores_) {
+    const Cycles t = c->next_action_time_uncached();
+    if (t < best.time) best = {t, c.get()};
+  }
+  return best;
+}
+
+Cycles Machine::next_event_time() {
+  return cfg_.scheduler == SchedulerKind::kFrontier ? frontier_peek().time
+                                                    : linear_peek().time;
+}
+
+void Machine::execute(const Pick& pick) {
   ++advances_;
-  if (best_core == nullptr) {
+  if (pick.core == nullptr) {
     Event ev = machine_queue_.pop();
     ev.fn();
   } else {
-    best_core->advance();
+    pick.core->advance();
   }
+}
+
+bool Machine::advance_once() {
+  Pick pick;
+  if (cfg_.scheduler == SchedulerKind::kFrontier) {
+    pick = frontier_peek();
+    if (cfg_.paranoid_frontier) {
+      const Pick ref = linear_peek();
+      IW_ASSERT_MSG(ref.time == pick.time && ref.core == pick.core,
+                    "frontier index diverged from linear scan — a driver "
+                    "mutated runnable state without mark_schedule_dirty()");
+    }
+  } else {
+    pick = linear_peek();
+  }
+  if (pick.time == kNever) return false;  // quiescent
+  execute(pick);
   return true;
 }
 
 bool Machine::run(const std::function<bool()>& stop) {
+  if (cfg_.scheduler == SchedulerKind::kFrontier) {
+    // Driver/workload state may have been mutated between runs without
+    // invalidation; rebuilding once per run (not per iteration) keeps
+    // external setup code oblivious to the frontier index.
+    refresh_frontier();
+  }
+  const bool time_watchdog = cfg_.max_time != 0;
+  const bool advance_watchdog = cfg_.max_advances != 0;
   for (;;) {
     if (stop && stop()) return true;
-    if (cfg_.max_time != 0 && now() > cfg_.max_time) {
+    if (time_watchdog && now() > cfg_.max_time) {
       IW_LOG_WARN("machine watchdog: virtual time limit %llu exceeded",
                   static_cast<unsigned long long>(cfg_.max_time));
       return false;
     }
-    if (cfg_.max_advances != 0 && advances_ > cfg_.max_advances) {
+    if (advance_watchdog && advances_ > cfg_.max_advances) {
       IW_LOG_WARN("machine watchdog: advance limit exceeded");
       return false;
     }
@@ -95,12 +171,16 @@ bool Machine::run(const std::function<bool()>& stop) {
 }
 
 bool Machine::run_until(Cycles t) {
-  return run([this, t] {
-    // Stop once every actionable entity is at/after t.
-    Cycles best = machine_queue_.peek_time();
-    for (auto& c : cores_) best = std::min(best, c->next_action_time());
-    return best >= t;
-  });
+  // Stop once every actionable entity is at/after t. next_event_time()
+  // is the frontier min in O(log N) (or the reference O(N) scan in
+  // linear mode).
+  return run([this, t] { return next_event_time() >= t; });
+}
+
+std::uint64_t Machine::advance_n(std::uint64_t n) {
+  std::uint64_t done = 0;
+  while (done < n && advance_once()) ++done;
+  return done;
 }
 
 }  // namespace iw::hwsim

@@ -1,6 +1,17 @@
 // The simulated machine: a set of cores, a global callback queue for
 // non-core entities (devices), an IPI fabric, and the conservative
 // min-timestamp DES loop.
+//
+// Scheduling: the loop always advances the entity (core or machine
+// queue) with the globally smallest next-action timestamp. Two
+// interchangeable schedulers produce bit-identical event orderings:
+//  * kFrontier (default) — an incrementally-maintained lazy min-heap
+//    over per-core cached next_action_time values. Cores re-register
+//    through dirty-marking invalidation hooks, so one simulated event
+//    costs O(log N) instead of an O(N) rescan.
+//  * kLinearScan — the original reference scheduler: a full uncached
+//    scan per advance. Kept as the golden semantics for equivalence
+//    tests and as the baseline for bench/des_throughput.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +32,11 @@ class MetricsRegistry;
 
 namespace iw::hwsim {
 
+enum class SchedulerKind : std::uint8_t {
+  kFrontier,    // O(log N) incremental frontier index (default)
+  kLinearScan,  // O(N) per-advance scan (seed reference semantics)
+};
+
 struct MachineConfig {
   unsigned num_cores{16};
   CostModel costs{CostModel::knl()};
@@ -29,6 +45,11 @@ struct MachineConfig {
   Cycles max_time{0};
   /// Hard stop: abort after this many core advances (0 = unlimited).
   std::uint64_t max_advances{0};
+  SchedulerKind scheduler{SchedulerKind::kFrontier};
+  /// Cross-check every frontier decision against a full linear scan and
+  /// abort on divergence. O(N) per advance — a debugging aid for driver
+  /// invalidation bugs, not for production runs.
+  bool paranoid_frontier{false};
 };
 
 class Machine {
@@ -60,8 +81,13 @@ class Machine {
   }
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
-  /// Global simulated time = max over core clocks (the frontier).
-  [[nodiscard]] Cycles now() const;
+  /// Global simulated time = max over core clocks (the frontier). O(1):
+  /// clocks are monotone, so cores maintain the max incrementally.
+  [[nodiscard]] Cycles now() const { return now_cache_; }
+
+  /// Earliest pending action time across the machine queue and all
+  /// cores; kNever when quiescent. Amortized O(log N) in frontier mode.
+  [[nodiscard]] Cycles next_event_time();
 
   /// Send an inter-processor interrupt from `from`'s current time.
   /// Pays the send cost on the sender and latency in the fabric.
@@ -69,6 +95,8 @@ class Machine {
 
   /// Broadcast an IPI to every core except the sender (the paper's
   /// heartbeat path: LAPIC fire on CPU 0, IPI broadcast to workers).
+  /// Traced as one ipi.send instant whose count argument carries the
+  /// fan-out, matching the per-destination total_ipis() accounting.
   void broadcast_ipi(Core& from, int vector);
 
   /// Schedule a machine-level callback at absolute time `t`.
@@ -84,19 +112,62 @@ class Machine {
   /// Run until virtual time `t` has been reached on the frontier.
   bool run_until(Cycles t);
 
+  /// Execute at most `n` DES iterations; returns how many actually ran
+  /// (fewer means the machine went quiescent). No watchdogs, no stop
+  /// predicate — the microbenchmark entry point.
+  std::uint64_t advance_n(std::uint64_t n);
+
   // accounting
   [[nodiscard]] std::uint64_t total_ipis() const { return total_ipis_; }
   [[nodiscard]] std::uint64_t total_advances() const { return advances_; }
 
  private:
+  friend class Core;
+
+  /// The scheduler's choice for one DES iteration: the earliest
+  /// actionable entity. core == nullptr means the machine queue (which
+  /// wins time ties, matching the seed scheduler).
+  struct Pick {
+    Cycles time{kNever};
+    Core* core{nullptr};
+  };
+
+  struct FrontierEntry {
+    Cycles time{0};
+    CoreId core{0};
+  };
+
   /// One iteration of the DES loop. Returns false when no work remains.
   bool advance_once();
+  void execute(const Pick& pick);
+  [[nodiscard]] Pick frontier_peek();
+  [[nodiscard]] Pick linear_peek();
+  /// Rebuild the frontier index from scratch (run() entry): makes any
+  /// driver-state mutation performed outside the loop safe even if the
+  /// owner forgot to mark the core dirty.
+  void refresh_frontier();
+
+  // Core-facing hooks.
+  Cycles* now_cell() { return &now_cache_; }
+  void frontier_enqueue_dirty(CoreId id);
+
+  static bool entry_later(const FrontierEntry& a, const FrontierEntry& b) {
+    return a.time > b.time || (a.time == b.time && a.core > b.core);
+  }
+  void frontier_push(FrontierEntry e);
+  void frontier_pop();
 
   MachineConfig cfg_;
+  Cycles now_cache_{0};
   std::vector<std::unique_ptr<Core>> cores_;
   obs::TraceRecorder* tracer_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
   EventQueue machine_queue_;
+  /// Lazy min-heap of (time, core) candidates ordered by (time, id).
+  /// Entries may be stale; frontier_peek() discards any whose time no
+  /// longer matches the core's current cached next_action_time.
+  std::vector<FrontierEntry> frontier_;
+  std::vector<CoreId> dirty_cores_;
   Rng rng_;
   std::uint64_t seq_{0};
   std::uint64_t total_ipis_{0};

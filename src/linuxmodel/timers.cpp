@@ -29,25 +29,26 @@ void PosixTimer::stop() {
 }
 
 void PosixTimer::schedule_next(Cycles ideal) {
-  const std::uint64_t gen = generation_;
   auto& core = stack_.machine().core(core_);
   const auto& freq = stack_.machine().costs().freq;
   // Expiry slack: the hrtimer fires late by a lognormal amount.
   const Cycles slack = freq.us_to_cycles(
       rng_.lognormal_median(stack_.costs().timer_slack_us, 0.6));
-  const Cycles fire_at = ideal + slack;
-  core.post_callback(fire_at, [this, gen, ideal, fire_at, &core] {
-    if (!armed_ || gen != generation_) return;
-    ++expiries_;
-    // hrtimer interrupt + expiry processing on this CPU.
-    core.consume(stack_.machine().costs().interrupt_dispatch / 2 + 2400);
-    if (cb_) cb_(core, fire_at);
-    // Next expiry: hrtimers re-arm relative to *now* when they missed
-    // their slot (period coalescing), unlike the LAPIC's absolute mode.
-    const Cycles next_ideal =
-        std::max(ideal + effective_period_, core.clock());
-    schedule_next(next_ideal);
-  });
+  pending_ideal_ = ideal;
+  core.post_timer(ideal + slack, this, generation_);
+}
+
+void PosixTimer::on_timer(hwsim::Core& core, Cycles at, std::uint64_t gen) {
+  if (!armed_ || gen != generation_) return;
+  ++expiries_;
+  // hrtimer interrupt + expiry processing on this CPU.
+  core.consume(stack_.machine().costs().interrupt_dispatch / 2 + 2400);
+  if (cb_) cb_(core, at);
+  // Next expiry: hrtimers re-arm relative to *now* when they missed
+  // their slot (period coalescing), unlike the LAPIC's absolute mode.
+  const Cycles next_ideal =
+      std::max(pending_ideal_ + effective_period_, core.clock());
+  schedule_next(next_ideal);
 }
 
 }  // namespace iw::linuxmodel

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "hwsim/event_queue.hpp"
 #include "linuxmodel/linux_stack.hpp"
 
 namespace iw::linuxmodel {
@@ -19,7 +20,7 @@ namespace iw::linuxmodel {
 /// Expiry callback: runs as kernel work on the owning core.
 using TimerCallback = std::function<void(hwsim::Core&, Cycles expiry_time)>;
 
-class PosixTimer {
+class PosixTimer final : public hwsim::TimerSink {
  public:
   PosixTimer(LinuxStack& stack, CoreId core);
 
@@ -33,6 +34,9 @@ class PosixTimer {
   [[nodiscard]] Cycles effective_period() const { return effective_period_; }
   [[nodiscard]] bool armed() const { return armed_; }
 
+  // TimerSink: the hrtimer expiry came due on the owning core.
+  void on_timer(hwsim::Core& core, Cycles at, std::uint64_t gen) override;
+
  private:
   void schedule_next(Cycles ideal);
 
@@ -42,6 +46,10 @@ class PosixTimer {
   bool armed_{false};
   Cycles effective_period_{0};
   Cycles last_fire_{0};
+  /// Ideal (slack-free) time of the single in-flight expiry; the hrtimer
+  /// chain schedules the next expiry only from inside the current one,
+  /// so one slot suffices.
+  Cycles pending_ideal_{0};
   std::uint64_t generation_{0};
   std::uint64_t expiries_{0};
   TimerCallback cb_;

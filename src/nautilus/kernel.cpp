@@ -102,6 +102,9 @@ void Kernel::submit_task(CoreId core, Task task) {
     task.enqueued_at = machine_.core(core).clock();
   }
   cpus_[core].tasks.push_back(std::move(task));
+  // Runnable-state transition invisible to hwsim (direct queue push,
+  // possibly from another core's timeline): re-index the target core.
+  machine_.core(core).mark_schedule_dirty();
 }
 
 void Kernel::run_task_inline_or_queue(hwsim::Core& core, Task task) {
@@ -137,6 +140,9 @@ void Kernel::enqueue_ready(Cpu& cpu, Thread* t) {
   }
   cpu.need_resched = true;
   update_tick(t->bound_core());
+  // The bound core may have been idle; tell the frontier index it is
+  // runnable again (hwsim cannot see run-queue pushes).
+  machine_.core(t->bound_core()).mark_schedule_dirty();
 }
 
 void Kernel::update_tick(CoreId id) {

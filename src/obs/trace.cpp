@@ -64,13 +64,14 @@ void TraceRecorder::span(CoreId core, const char* name, Cycles begin,
 }
 
 void TraceRecorder::instant(CoreId core, const char* name, Cycles at,
-                            int vector) {
+                            int vector, std::uint32_t count) {
   if (!enabled_) return;
   TraceEvent ev;
   ev.name = name;
   ev.phase = TracePhase::kInstant;
   ev.core = core;
   ev.vector = vector;
+  ev.count = count;
   ev.begin = at;
   ev.end = at;
   ev.seq = next_seq_++;
@@ -143,6 +144,7 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     }
     os << ",\"args\":{\"seq\":" << ev.seq;
     if (ev.vector >= 0) os << ",\"vector\":" << ev.vector;
+    if (ev.count != 1) os << ",\"count\":" << ev.count;
     os << "}}";
   }
   os << "]}\n";
@@ -154,6 +156,7 @@ void TraceRecorder::write_text(std::ostream& os) const {
     if (ev.phase == TracePhase::kSpan) os << ".." << ev.end;
     os << " core" << ev.core << " " << ev.name;
     if (ev.vector >= 0) os << " vec=" << ev.vector;
+    if (ev.count != 1) os << " count=" << ev.count;
     os << " seq=" << ev.seq << " pid=" << ev.pid << "\n";
   }
 }

@@ -40,6 +40,10 @@ struct TraceEvent {
   CoreId core{0};
   /// Interrupt vector when meaningful, else -1.
   int vector{-1};
+  /// Multiplicity: how many logical occurrences this record stands for
+  /// (e.g. an IPI broadcast emits one ipi.send carrying its fan-out so
+  /// trace sums reconcile with per-destination counters). Default 1.
+  std::uint32_t count{1};
   Cycles begin{0};
   Cycles end{0};  // == begin for instants
   /// Recorder-local sequence number (NOT the machine event seq): stable
@@ -68,8 +72,10 @@ class TraceRecorder {
   void span(CoreId core, const char* name, Cycles begin, Cycles end,
             int vector = -1);
 
-  /// Record an instantaneous event on `core`'s timeline.
-  void instant(CoreId core, const char* name, Cycles at, int vector = -1);
+  /// Record an instantaneous event on `core`'s timeline. `count` is the
+  /// event's multiplicity (fan-out) — see TraceEvent::count.
+  void instant(CoreId core, const char* name, Cycles at, int vector = -1,
+               std::uint32_t count = 1);
 
   [[nodiscard]] std::uint64_t total_events() const;
   /// All events recorded against `core` (across processes), in order.

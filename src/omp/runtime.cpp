@@ -304,6 +304,7 @@ OmpResult run_threaded(const workloads::MiniApp& app, const OmpConfig& cfg) {
   mc.costs = cfg.costs;
   mc.seed = cfg.seed;
   mc.max_advances = 4'000'000'000ULL;
+  mc.scheduler = cfg.scheduler;
   hwsim::Machine m(mc);
   m.set_tracer(cfg.tracer);
   m.set_metrics(cfg.metrics);
@@ -400,6 +401,7 @@ OmpResult run_cck(const workloads::MiniApp& app, const OmpConfig& cfg) {
   mc.costs = cfg.costs;
   mc.seed = cfg.seed;
   mc.max_advances = 4'000'000'000ULL;
+  mc.scheduler = cfg.scheduler;
   hwsim::Machine m(mc);
   m.set_tracer(cfg.tracer);
   m.set_metrics(cfg.metrics);

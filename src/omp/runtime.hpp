@@ -68,6 +68,9 @@ struct OmpConfig {
   double noise_burst_us{5.0};
   hwsim::CostModel costs{hwsim::CostModel::knl()};
   std::uint64_t seed{42};
+  /// DES scheduler for the run's machine (frontier index by default;
+  /// kLinearScan reproduces the seed reference scheduler bit-for-bit).
+  hwsim::SchedulerKind scheduler{hwsim::SchedulerKind::kFrontier};
   /// Observability sinks attached to the run's machine (null = off).
   /// Barrier wait times land in the omp.barrier.wait histogram.
   obs::TraceRecorder* tracer{nullptr};

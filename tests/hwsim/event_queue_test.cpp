@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -9,21 +10,21 @@
 namespace iw::hwsim {
 namespace {
 
-Event make(Cycles t, std::uint64_t seq) {
-  Event e;
+IrqEvent make(Cycles t, std::uint64_t seq) {
+  IrqEvent e;
   e.time = t;
   e.seq = seq;
   return e;
 }
 
 TEST(EventQueue, EmptyPeek) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.peek_time(), kNever);
 }
 
 TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   q.push(make(30, 0));
   q.push(make(10, 1));
   q.push(make(20, 2));
@@ -34,7 +35,7 @@ TEST(EventQueue, PopsInTimeOrder) {
 }
 
 TEST(EventQueue, StableForEqualTimes) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   q.push(make(5, 100));
   q.push(make(5, 101));
   q.push(make(5, 102));
@@ -44,7 +45,7 @@ TEST(EventQueue, StableForEqualTimes) {
 }
 
 TEST(EventQueue, InterleavedPushPop) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   q.push(make(10, 0));
   q.push(make(5, 1));
   EXPECT_EQ(q.pop().time, 5u);
@@ -54,7 +55,7 @@ TEST(EventQueue, InterleavedPushPop) {
 }
 
 TEST(EventQueue, RandomizedHeapProperty) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   Rng r(77);
   std::vector<Cycles> times;
   for (int i = 0; i < 2000; ++i) {
@@ -69,11 +70,47 @@ TEST(EventQueue, RandomizedHeapProperty) {
 }
 
 TEST(EventQueue, ClearResets) {
-  EventQueue q;
+  TimedQueue<IrqEvent> q;
   q.push(make(1, 0));
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.peek_time(), kNever);
+}
+
+TEST(EventQueue, IrqEventIsAllocationFreePod) {
+  // The dominant event type must stay trivially copyable (no closure,
+  // no heap churn); this is the representation half of the O(log N)
+  // scheduler work.
+  static_assert(std::is_trivially_copyable_v<IrqEvent>);
+  static_assert(sizeof(IrqEvent) <= 32);
+}
+
+TEST(EventQueue, CoreEventTimerTagOrdersLikeCallbacks) {
+  // Timer fires and owning callbacks share one queue and one (time, seq)
+  // order — the tag only changes how the payload is invoked.
+  struct NullSink final : TimerSink {
+    void on_timer(Core&, Cycles, std::uint64_t) override {}
+  };
+  NullSink sink;
+  TimedQueue<CoreEvent> q;
+  CoreEvent timer_ev;
+  timer_ev.time = 7;
+  timer_ev.seq = 1;
+  timer_ev.timer = &sink;
+  timer_ev.gen = 42;
+  q.push(std::move(timer_ev));
+  CoreEvent fn_ev;
+  fn_ev.time = 7;
+  fn_ev.seq = 0;
+  fn_ev.fn = [] {};
+  q.push(std::move(fn_ev));
+
+  const CoreEvent first = q.pop();
+  EXPECT_EQ(first.seq, 0u);
+  EXPECT_EQ(first.timer, nullptr);
+  const CoreEvent second = q.pop();
+  EXPECT_EQ(second.timer, &sink);
+  EXPECT_EQ(second.gen, 42u);
 }
 
 }  // namespace
