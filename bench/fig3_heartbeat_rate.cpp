@@ -18,6 +18,7 @@ using namespace iw;
 namespace {
 
 bench::ObsFlags obs_flags;
+bench::FaultFlags fault_flags;
 
 struct RowResult {
   double worst_rate_khz;
@@ -31,6 +32,7 @@ RowResult run(const char* stack, const char* mech, double target_us,
   mc.num_cores = cpus;
   mc.costs = hwsim::CostModel::knl();
   mc.max_advances = 2'000'000'000ULL;
+  fault_flags.apply(mc);
   hwsim::Machine m(mc);
   obs_flags.attach(m, std::string(stack) + "/" + mech + " @" +
                           std::to_string(static_cast<int>(target_us)) +
@@ -43,7 +45,13 @@ RowResult run(const char* stack, const char* mech, double target_us,
   if (std::string(stack) == "nautilus") {
     nk = std::make_unique<nautilus::Kernel>(m);
     k = nk.get();
-    hb = std::make_unique<heartbeat::NautilusHeartbeat>(m);
+    auto nhb = std::make_unique<heartbeat::NautilusHeartbeat>(m);
+    if (fault_flags.enabled()) {
+      heartbeat::FaultToleranceConfig ft;
+      ft.enabled = true;
+      nhb->set_fault_tolerance(ft);
+    }
+    hb = std::move(nhb);
   } else {
     lx = std::make_unique<linuxmodel::LinuxStack>(m);
     k = &lx->kernel();
@@ -77,6 +85,7 @@ RowResult run(const char* stack, const char* mech, double target_us,
 
 int main(int argc, char** argv) {
   if (!obs_flags.parse(argc, argv)) return 2;
+  if (!fault_flags.parse(argc, argv)) return 2;
   std::printf(
       "== Fig. 3: achieved vs target heartbeat rate (16 CPUs, KNL) ==\n");
   std::printf("%-10s %-12s %9s %14s %14s %10s %8s\n", "stack", "mechanism",

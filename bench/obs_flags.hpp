@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -92,6 +93,49 @@ class ObsFlags {
   std::string metrics_path_;
   obs::TraceRecorder tracer_;
   obs::MetricsRegistry metrics_;
+};
+
+/// Shared --faults=SPEC / --fault-seed=N handling: parses a FaultPlan
+/// (see hwsim/fault_plan.hpp for the spec grammar, e.g.
+/// "drop=0.1,delay=0.05:14000,window=0-2000000") and applies it to
+/// every MachineConfig the bench builds. With neither flag the plan
+/// stays disabled and runs are bit-identical to a build without the
+/// fault layer.
+class FaultFlags {
+ public:
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--faults=", 9) == 0) {
+        std::string err;
+        if (!hwsim::FaultPlan::parse(a + 9, &plan_, &err)) {
+          std::fprintf(stderr, "--faults: %s\n", err.c_str());
+          return false;
+        }
+      } else if (std::strncmp(a, "--fault-seed=", 13) == 0) {
+        seed_ = std::strtoull(a + 13, nullptr, 10);
+      } else if (std::strcmp(a, "--faults") == 0 ||
+                 std::strcmp(a, "--fault-seed") == 0) {
+        std::fprintf(stderr,
+                     "%s needs a value: --faults=SPEC / --fault-seed=N\n",
+                     a);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool enabled() const { return plan_.enabled; }
+
+  /// Install the parsed plan (and seed override) on a machine config.
+  void apply(hwsim::MachineConfig& mc) const {
+    mc.faults = plan_;
+    mc.fault_seed = seed_;
+  }
+
+ private:
+  hwsim::FaultPlan plan_;
+  std::uint64_t seed_{0};
 };
 
 }  // namespace iw::bench

@@ -40,7 +40,21 @@ void HeartbeatBackend::mark_delivery(CoreId core, Cycles now, Cycles origin) {
   // delivery time, not a sentinel, so the gap after a cycle-0 beat must
   // enter the inter-beat stats like any other.
   if (s.has_delivered) {
-    s.interbeat.add(static_cast<double>(now - s.last_delivery));
+    const Cycles gap = now - s.last_delivery;
+    // The beat_gap histogram sees *every* gap — including fault-inflated
+    // and regime-transition ones; it is where the fault sweep reads p99
+    // inflation from. The steady-state interbeat stats skip the one gap
+    // spanning a delivery-regime transition (see BeatState::resumed).
+    if (machine_ != nullptr) {
+      if (auto* mx = machine_->metrics()) {
+        mx->record(obs::names::kHeartbeatBeatGap, gap);
+      }
+    }
+    if (s.resumed) {
+      s.resumed = false;
+    } else {
+      s.interbeat.add(static_cast<double>(gap));
+    }
   }
   s.has_delivered = true;
   s.last_delivery = now;
@@ -55,6 +69,19 @@ void HeartbeatBackend::mark_delivery(CoreId core, Cycles now, Cycles origin) {
       }
     }
   }
+}
+
+bool HeartbeatBackend::mark_delivery_once(CoreId core, Cycles now,
+                                          Cycles origin) {
+  IW_ASSERT_MSG(core < states_.size(),
+                "heartbeat delivery: core out of range");
+  auto& s = states_[core];
+  if (s.has_delivered && s.last_origin == origin) {
+    ++s.duplicates_suppressed;
+    return false;
+  }
+  mark_delivery(core, now, origin);
+  return true;
 }
 
 double HeartbeatBackend::delivered_rate_hz(CoreId core,
@@ -82,15 +109,27 @@ NautilusHeartbeat::NautilusHeartbeat(hwsim::Machine& machine, int vector)
   states_.resize(machine.num_cores());
 }
 
+void NautilusHeartbeat::set_fault_tolerance(const FaultToleranceConfig& cfg) {
+  ft_ = cfg;
+  if (ft_.enabled && ft_.ipi_retry && reliable_ == nullptr) {
+    reliable_ = std::make_unique<nautilus::ReliableIpi>(*machine_);
+  }
+}
+
 void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
   IW_ASSERT(num_workers >= 1 && num_workers <= machine_->num_cores());
   num_workers_ = num_workers;
+  period_ = period;
+  ipi_seen_.assign(machine_->num_cores(), 0);
   // Install per-core handlers: the IPI (or local fire on CPU 0) simply
-  // sets the promotion flag — the entire handler body.
-  for (unsigned c = 0; c < num_workers; ++c) {
+  // sets the promotion flag — the entire handler body. Dedupe by fire
+  // window, so a fabric-duplicated IPI cannot double-count a beat; the
+  // fire id doubles as the supervisor's liveness evidence.
+  for (unsigned c = 1; c < num_workers; ++c) {
     machine_->core(c).set_irq_handler(
         vector_, [this](hwsim::Core& core, int) {
-          mark_delivery(core.id(), core.clock(), last_fire_);
+          ipi_seen_[core.id()] = last_fire_;
+          mark_delivery_once(core.id(), core.clock(), last_fire_);
         });
   }
   // LAPIC timer on CPU 0; its handler broadcasts the IPI (Fig. 2 (1-2)).
@@ -102,8 +141,15 @@ void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
   machine_->core(0).set_irq_handler(vector_, [this](hwsim::Core& core,
                                                     int) {
     // The IRQ's origin is the LAPIC fire time (stamped by LapicTimer).
-    last_fire_ = core.current_irq_origin();
-    mark_delivery(core.id(), core.clock(), last_fire_);
+    // A spurious re-fire carries the same origin: it still delivers at
+    // most one (deduped) beat, but must not re-broadcast or re-run the
+    // supervisor for the same round.
+    const Cycles fire = core.current_irq_origin();
+    const bool fresh = fire != last_fire_;
+    last_fire_ = fire;
+    if (ft_.enabled && fresh) supervise(fire);
+    mark_delivery_once(core.id(), core.clock(), fire);
+    if (!fresh) return;
     // Broadcast to the other worker cores (bounded by num_workers_).
     core.consume(core.costs().ipi_send);
     const Cycles sent = core.clock();
@@ -113,12 +159,99 @@ void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
       // delivery counters.
       tr->instant(core.id(), "ipi.send", sent, vector_, num_workers_ - 1);
     }
+    if (ft_.enabled && degraded_) {
+      // Degraded mode: probe IPIs still go out (they are the evidence
+      // recovery is judged on), but delivery no longer depends on them —
+      // each worker gets a software poll at fire + poll_latency, deduped
+      // against the probe in mark_delivery_once.
+      for (unsigned c = 1; c < num_workers_; ++c) {
+        machine_->post_ipi(c, vector_, sent);
+        auto& target = machine_->core(c);
+        target.post_callback(sent + ft_.poll_latency, [this, &target, fire] {
+          target.consume(ft_.poll_cost);
+          if (mark_delivery_once(target.id(), target.clock(), fire)) {
+            ++polled_beats_;
+            if (auto* mx = machine_->metrics()) {
+              mx->add(obs::names::kFaultsPolledBeats);
+            }
+          }
+        });
+      }
+      return;
+    }
     for (unsigned c = 1; c < num_workers_; ++c) {
-      machine_->core(c).post_irq(sent + core.costs().ipi_latency, vector_,
-                                 sent, /*ipi=*/true);
+      if (reliable_ != nullptr) {
+        reliable_->post(core, c, vector_, sent);
+      } else {
+        machine_->post_ipi(c, vector_, sent);
+      }
     }
   });
   timer_->periodic(period);
+}
+
+void NautilusHeartbeat::supervise(Cycles fire) {
+  // Score the round that just ended. prev_fire_ == 0 means there is no
+  // previous round yet (the first LAPIC fire is always at t > 0).
+  if (prev_fire_ != 0) {
+    unsigned missing = 0;
+    const auto threshold =
+        ft_.gap_factor * static_cast<double>(period_);
+    for (unsigned c = 1; c < num_workers_; ++c) {
+      const auto& s = states_[c];
+      const Cycles gap = s.has_delivered ? fire - s.last_delivery : fire;
+      if (static_cast<double>(gap) > threshold) {
+        ++missed_beats_;
+        if (auto* mx = machine_->metrics()) {
+          mx->add(obs::names::kFaultsMissedBeats);
+        }
+        if (auto* tr = machine_->tracer()) {
+          tr->instant(c, "heartbeat.missed", fire);
+        }
+      }
+      if (ipi_seen_[c] != prev_fire_) ++missing;
+    }
+    if (!degraded_) {
+      bad_rounds_ = missing > 0 ? bad_rounds_ + 1 : 0;
+      if (bad_rounds_ >= ft_.degrade_after) enter_degraded(fire);
+    } else {
+      good_rounds_ = missing == 0 ? good_rounds_ + 1 : 0;
+      if (good_rounds_ >= ft_.recover_after) leave_degraded(fire);
+    }
+  }
+  prev_fire_ = fire;
+}
+
+void NautilusHeartbeat::enter_degraded(Cycles fire) {
+  degraded_ = true;
+  bad_rounds_ = 0;
+  good_rounds_ = 0;
+  ++degraded_entries_;
+  mark_resumed();
+  if (auto* mx = machine_->metrics()) {
+    mx->add(obs::names::kFaultsDegradedEntries);
+  }
+  if (auto* tr = machine_->tracer()) {
+    tr->instant(0, "heartbeat.degrade", fire);
+  }
+}
+
+void NautilusHeartbeat::leave_degraded(Cycles fire) {
+  degraded_ = false;
+  bad_rounds_ = 0;
+  good_rounds_ = 0;
+  ++recoveries_;
+  mark_resumed();
+  if (auto* mx = machine_->metrics()) {
+    mx->add(obs::names::kFaultsRecoveries);
+  }
+  if (auto* tr = machine_->tracer()) {
+    tr->instant(0, "heartbeat.recover", fire);
+  }
+}
+
+void NautilusHeartbeat::mark_resumed() {
+  for (unsigned c = 1; c < num_workers_; ++c) states_[c].resumed = true;
 }
 
 void NautilusHeartbeat::stop() {

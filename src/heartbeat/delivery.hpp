@@ -9,6 +9,16 @@
 // master thread (one tgkill per worker, serialized on the master) or via
 // per-thread timers (kernel expiry work on every CPU). Delivery is µs-
 // scale, heavy-tailed, and "unsteady" — the figure's word for it.
+//
+// Fault tolerance (Nautilus path): when a FaultPlan makes the IPI fabric
+// lossy, the CPU 0 supervisor — which already runs every period inside
+// the LAPIC handler — watches whether each worker saw the previous
+// round's IPI. After `degrade_after` consecutive lossy rounds it falls
+// back to software-polled delivery (probe IPIs still go out so it can
+// notice the fault window ending); after `recover_after` clean rounds it
+// returns to pure interrupt-driven delivery. Both transitions mark the
+// workers' BeatState `resumed` so the first gap of the new regime is not
+// folded into the steady-state inter-beat statistics.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +29,7 @@
 #include "common/types.hpp"
 #include "hwsim/lapic.hpp"
 #include "hwsim/machine.hpp"
+#include "nautilus/irq.hpp"
 #include "obs/metrics.hpp"
 #include "linuxmodel/signals.hpp"
 #include "linuxmodel/timers.hpp"
@@ -37,6 +48,13 @@ struct BeatState {
   /// Virtual time the pending beat's timer fired (LAPIC fire for the
   /// Nautilus path, timer expiry for Linux). Feeds fire→poll latency.
   Cycles last_origin{0};
+  /// Set when delivery just switched regime (interrupt ↔ polled): the
+  /// next gap spans the transition and would poison the steady-state
+  /// inter-beat stats, so it is recorded only in the beat_gap histogram.
+  bool resumed{false};
+  /// Redeliveries suppressed because a beat for the same fire window
+  /// already landed (duplicated IPI, spurious re-fire, probe+poll race).
+  std::uint64_t duplicates_suppressed{0};
   OnlineStats interbeat;  // gaps between deliveries (cycles)
 };
 
@@ -75,11 +93,43 @@ class HeartbeatBackend {
   /// time the beat's timer fired (kNever = same as now).
   void mark_delivery(CoreId core, Cycles now, Cycles origin = kNever);
 
+  /// Like mark_delivery, but at most one beat per fire window: if the
+  /// worker already delivered a beat for this `origin`, the call is a
+  /// no-op (counted in BeatState::duplicates_suppressed). This is the
+  /// dedupe point that keeps duplicated IPIs, spurious re-fires, and the
+  /// degraded mode's probe+poll pair from double-counting. Returns true
+  /// if the beat was recorded.
+  bool mark_delivery_once(CoreId core, Cycles now, Cycles origin);
+
   /// Observability sinks (may be null in unit tests).
   hwsim::Machine* machine_{nullptr};
   /// Metric name for the fire→poll latency (backend-specific source).
   const char* fire_to_poll_metric_{obs::names::kLapicFireToPollConsumed};
   std::vector<BeatState> states_;
+};
+
+/// Fault-tolerance policy for the Nautilus heartbeat. Disabled by
+/// default: the supervisor, dedupe, and polling machinery add no work
+/// (and no trace/metric records) to a fault-free configuration.
+struct FaultToleranceConfig {
+  bool enabled{false};
+  /// Missed-beat detector: at each fire, a worker whose last delivery is
+  /// more than gap_factor * period old has missed a beat.
+  double gap_factor{1.5};
+  /// Consecutive lossy rounds (some worker did not see the round's IPI)
+  /// before degrading to software-polled delivery.
+  unsigned degrade_after{3};
+  /// Consecutive clean rounds (all probe IPIs seen) before recovering to
+  /// interrupt-driven delivery.
+  unsigned recover_after{3};
+  /// Worker cycles consumed by each software poll in degraded mode.
+  Cycles poll_cost{300};
+  /// Fire-to-poll delay in degraded mode (software polling is slower
+  /// than the IPI latency — that is the "graceful" in the degradation).
+  Cycles poll_latency{2'000};
+  /// Resend IPIs the fabric reports dropped (bounded backoff). Papers
+  /// over isolated drops; the polling fallback handles persistent loss.
+  bool ipi_retry{false};
 };
 
 /// Nautilus: LAPIC on CPU 0, IPI broadcast to workers (Fig. 2 left).
@@ -89,14 +139,49 @@ class NautilusHeartbeat final : public HeartbeatBackend {
   void start(Cycles period, unsigned num_workers) override;
   void stop() override;
 
+  /// Install the fault-tolerance policy. Call before start().
+  void set_fault_tolerance(const FaultToleranceConfig& cfg);
+
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] std::uint64_t missed_beats() const { return missed_beats_; }
+  [[nodiscard]] std::uint64_t polled_beats() const { return polled_beats_; }
+  [[nodiscard]] std::uint64_t degraded_entries() const {
+    return degraded_entries_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] const nautilus::ReliableIpi* reliable_ipi() const {
+    return reliable_.get();
+  }
+
  private:
+  /// CPU 0 supervisor, run once per fresh LAPIC fire: score the round
+  /// that just ended and drive the degrade/recover state machine.
+  void supervise(Cycles fire);
+  void enter_degraded(Cycles fire);
+  void leave_degraded(Cycles fire);
+  void mark_resumed();
+
   int vector_;
   unsigned num_workers_{0};
+  Cycles period_{0};
   /// Virtual time of the most recent LAPIC fire (set by the CPU 0
   /// handler before the IPI fan-out; the DES runs handlers in causal
   /// order, so worker deliveries always see the fire that caused them).
   Cycles last_fire_{0};
   std::unique_ptr<hwsim::LapicTimer> timer_;
+
+  FaultToleranceConfig ft_;
+  std::unique_ptr<nautilus::ReliableIpi> reliable_;
+  /// Per-worker: the fire whose IPI (or probe) this worker last saw.
+  std::vector<Cycles> ipi_seen_;
+  Cycles prev_fire_{0};
+  bool degraded_{false};
+  unsigned bad_rounds_{0};
+  unsigned good_rounds_{0};
+  std::uint64_t missed_beats_{0};
+  std::uint64_t polled_beats_{0};
+  std::uint64_t degraded_entries_{0};
+  std::uint64_t recoveries_{0};
 };
 
 enum class LinuxHeartbeatMode {

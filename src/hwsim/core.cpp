@@ -34,6 +34,25 @@ void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
   ev.vector = vector;
   ev.origin = origin == kNever ? t : origin;
   ev.ipi = ipi;
+  // Spurious-fire injection: a non-IPI interrupt (LAPIC fire, device
+  // vector) may grow a ghost copy that lands slightly later. The copy is
+  // enqueued directly — it must not re-enter the fault draw, or a rate
+  // of 1.0 would recurse forever. IPIs get their faults in post_ipi.
+  auto& faults = machine_.fault_injector();
+  if (!ipi && faults.enabled()) {
+    if (const Cycles lag = faults.spurious_irq_lag(t); lag != 0) {
+      IrqEvent ghost = ev;
+      ghost.time = t + lag;
+      ghost.seq = machine_.next_seq();
+      irq_inbox_.push(ghost);
+      if (auto* tr = machine_.tracer()) {
+        tr->instant(id_, "fault.spurious_irq", t + lag, vector);
+      }
+      if (auto* mx = machine_.metrics()) {
+        mx->add(obs::names::kFaultsSpuriousIrqs);
+      }
+    }
+  }
   irq_inbox_.push(ev);
   mark_schedule_dirty();
 }
@@ -50,10 +69,26 @@ void Core::post_callback(Cycles t, std::function<void()> fn) {
 void Core::post_timer(Cycles t, TimerSink* sink, std::uint64_t gen) {
   IW_ASSERT(sink != nullptr);
   CoreEvent ev;
-  ev.time = t;
   ev.seq = machine_.next_seq();
   ev.timer = sink;
   ev.gen = gen;
+  // Timer perturbation: drift shifts the fire's *ideal* time (which the
+  // sink re-arms from, so it accumulates into cadence slip); jitter only
+  // delays when the core recognizes the fire, leaving the ideal — and
+  // hence the cadence — untouched.
+  ev.ideal = t;
+  ev.time = t;
+  auto& faults = machine_.fault_injector();
+  if (faults.enabled()) {
+    const FaultInjector::TimerFate fate = faults.timer_fate(t);
+    ev.ideal = t + fate.drift;
+    ev.time = ev.ideal + fate.jitter;
+    if ((fate.drift != 0 || fate.jitter != 0)) {
+      if (auto* tr = machine_.tracer()) {
+        tr->instant(id_, "fault.timer_perturb", ev.time);
+      }
+    }
+  }
   callback_inbox_.push(std::move(ev));
   mark_schedule_dirty();
 }
@@ -70,7 +105,9 @@ unsigned Core::deliver_due_events() {
     if (cb_t <= irq_t) {
       CoreEvent ev = callback_inbox_.pop();
       if (ev.timer != nullptr) {
-        ev.timer->on_timer(*this, ev.time, ev.gen);
+        // The sink sees the ideal fire time (== ev.time unless a fault
+        // plan jittered recognition), keeping absolute cadences exact.
+        ev.timer->on_timer(*this, ev.ideal, ev.gen);
       } else {
         ev.fn();
       }
@@ -132,6 +169,22 @@ void Core::advance() {
   }
   deliver_due_events();
   if (runnable()) {
+    // Transient stall injection: the fault plan may steal cycles from a
+    // step (SMI, thermal throttle, a hypervisor preemption) — the core
+    // simply runs late; interrupts queue up behind the stall.
+    auto& faults = machine_.fault_injector();
+    if (faults.enabled()) {
+      if (const Cycles stolen = faults.stall_cycles(clock_); stolen != 0) {
+        const Cycles from = clock_;
+        consume(stolen);
+        if (auto* tr = machine_.tracer()) {
+          tr->span(id_, "fault.stall", from, clock_);
+        }
+        if (auto* mx = machine_.metrics()) {
+          mx->add(obs::names::kFaultsStalls);
+        }
+      }
+    }
     const Cycles before = clock_;
     driver_->step(*this);
     IW_ASSERT_MSG(clock_ > before, "driver step must consume cycles");

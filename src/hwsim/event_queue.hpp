@@ -59,6 +59,12 @@ struct CoreEvent {
   std::uint64_t seq{0};
   TimerSink* timer{nullptr};
   std::uint64_t gen{0};
+  /// For timer fires: the unperturbed fire time handed back to the sink.
+  /// Fault-injected jitter delays `time` (when the core recognizes the
+  /// fire) without touching `ideal`, so absolute-cadence timers (LAPIC)
+  /// re-arm from the ideal and jitter never accumulates into drift.
+  /// Equal to `time` whenever no fault plan is active.
+  Cycles ideal{0};
   std::function<void()> fn;
 };
 

@@ -1,0 +1,186 @@
+#include "hwsim/fault_plan.hpp"
+
+#include <cstdlib>
+
+namespace iw::hwsim {
+
+namespace {
+
+/// "key=value" item splitter; returns false if '=' is missing.
+bool split_item(const std::string& item, std::string* key,
+                std::string* value) {
+  const auto eq = item.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = item.substr(0, eq);
+  *value = item.substr(eq + 1);
+  return true;
+}
+
+bool parse_prob(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_cycles(const std::string& s, Cycles* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = static_cast<Cycles>(v);
+  return true;
+}
+
+/// "P:C" — probability with a cycle magnitude. `cycles_required` items
+/// reject a bare probability (a rate without a magnitude does nothing).
+bool parse_prob_cycles(const std::string& s, double* p, Cycles* c,
+                       bool cycles_required) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) {
+    return !cycles_required && parse_prob(s, p);
+  }
+  return parse_prob(s.substr(0, colon), p) &&
+         parse_cycles(s.substr(colon + 1), c);
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& spec, FaultPlan* out,
+                      std::string* err) {
+  FaultPlan plan;
+  plan.enabled = true;
+  unsigned items = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    std::string key;
+    std::string value;
+    bool ok = split_item(item, &key, &value);
+    if (ok) {
+      if (key == "drop") {
+        ok = parse_prob(value, &plan.ipi_drop_rate);
+      } else if (key == "delay") {
+        ok = parse_prob_cycles(value, &plan.ipi_delay_rate,
+                               &plan.ipi_delay_max,
+                               /*cycles_required=*/true);
+      } else if (key == "dup") {
+        ok = parse_prob_cycles(value, &plan.ipi_dup_rate,
+                               &plan.ipi_dup_lag_max,
+                               /*cycles_required=*/false);
+      } else if (key == "jitter") {
+        ok = parse_prob_cycles(value, &plan.timer_jitter_rate,
+                               &plan.timer_jitter_max,
+                               /*cycles_required=*/true);
+      } else if (key == "drift") {
+        ok = parse_cycles(value, &plan.timer_drift);
+      } else if (key == "spurious") {
+        ok = parse_prob_cycles(value, &plan.spurious_irq_rate,
+                               &plan.spurious_lag_max,
+                               /*cycles_required=*/false);
+      } else if (key == "stall") {
+        ok = parse_prob_cycles(value, &plan.stall_rate, &plan.stall_max,
+                               /*cycles_required=*/true);
+      } else if (key == "vector") {
+        Cycles v = 0;
+        ok = parse_cycles(value, &v) && v < 256;
+        if (ok) plan.vector_filter = static_cast<int>(v);
+      } else if (key == "window") {
+        const auto dash = value.find('-');
+        FaultWindow w;
+        ok = dash != std::string::npos &&
+             parse_cycles(value.substr(0, dash), &w.begin) &&
+             parse_cycles(value.substr(dash + 1), &w.end) &&
+             w.begin < w.end;
+        if (ok) plan.windows.push_back(w);
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      if (err != nullptr) *err = "bad fault spec item: '" + item + "'";
+      return false;
+    }
+    ++items;
+  }
+  if (items == 0) {
+    if (err != nullptr) *err = "empty fault spec";
+    return false;
+  }
+  *out = plan;
+  return true;
+}
+
+void FaultInjector::configure(const FaultPlan& plan,
+                              std::uint64_t machine_seed,
+                              std::uint64_t fault_seed) {
+  plan_ = plan;
+  n_ = Counters{};
+  // A dedicated stream: the machine's own Rng is never touched, so an
+  // enabled plan perturbs only what it injects (downstream Rng::split
+  // consumers see the exact same draws as a fault-free run).
+  std::uint64_t s =
+      fault_seed != 0 ? fault_seed : (machine_seed ^ 0xFA017'1A9E5ULL);
+  rng_ = Rng(splitmix64(s));
+}
+
+FaultInjector::IpiFate FaultInjector::ipi_fate(int vector, Cycles sent) {
+  IpiFate f;
+  if (!active_at(sent)) return f;
+  if (plan_.vector_filter >= 0 && vector != plan_.vector_filter) return f;
+  if (plan_.ipi_drop_rate > 0.0 && rng_.chance(plan_.ipi_drop_rate)) {
+    f.drop = true;
+    ++n_.ipis_dropped;
+    return f;  // a dropped IPI cannot also be delayed or duplicated
+  }
+  if (plan_.ipi_delay_rate > 0.0 && plan_.ipi_delay_max > 0 &&
+      rng_.chance(plan_.ipi_delay_rate)) {
+    f.extra_delay = rng_.uniform(1, plan_.ipi_delay_max);
+    ++n_.ipis_delayed;
+  }
+  if (plan_.ipi_dup_rate > 0.0 && plan_.ipi_dup_lag_max > 0 &&
+      rng_.chance(plan_.ipi_dup_rate)) {
+    f.duplicate = true;
+    f.dup_lag = rng_.uniform(1, plan_.ipi_dup_lag_max);
+    ++n_.ipis_duplicated;
+  }
+  return f;
+}
+
+FaultInjector::TimerFate FaultInjector::timer_fate(Cycles ideal) {
+  TimerFate f;
+  if (!active_at(ideal)) return f;
+  f.drift = plan_.timer_drift;
+  if (plan_.timer_jitter_rate > 0.0 && plan_.timer_jitter_max > 0 &&
+      rng_.chance(plan_.timer_jitter_rate)) {
+    f.jitter = rng_.uniform(1, plan_.timer_jitter_max);
+  }
+  if (f.drift != 0 || f.jitter != 0) ++n_.timer_perturbed;
+  return f;
+}
+
+Cycles FaultInjector::spurious_irq_lag(Cycles t) {
+  if (!active_at(t)) return 0;
+  if (plan_.spurious_irq_rate <= 0.0 || plan_.spurious_lag_max == 0) {
+    return 0;
+  }
+  if (!rng_.chance(plan_.spurious_irq_rate)) return 0;
+  ++n_.spurious_irqs;
+  return rng_.uniform(1, plan_.spurious_lag_max);
+}
+
+Cycles FaultInjector::stall_cycles(Cycles now) {
+  if (!active_at(now)) return 0;
+  if (plan_.stall_rate <= 0.0 || plan_.stall_max == 0) return 0;
+  if (!rng_.chance(plan_.stall_rate)) return 0;
+  const Cycles stolen = rng_.uniform(1, plan_.stall_max);
+  ++n_.stalls;
+  n_.stall_cycles_total += stolen;
+  return stolen;
+}
+
+}  // namespace iw::hwsim

@@ -1,0 +1,146 @@
+// Deterministic fault injection for the simulated machine.
+//
+// The paper's central quantitative claim (Fig. 2) is about what happens
+// when heartbeat delivery is *not* perfect — the Linux path is unsteady,
+// heavy-tailed, and occasionally loses cadence. A FaultPlan lets any
+// experiment perturb the event stream at well-defined points — drop,
+// delay, or duplicate IPIs; jitter, drift, or spuriously repeat timer
+// fires; transiently stall cores — while staying bit-reproducible: all
+// fault decisions draw from a dedicated Rng derived from the machine
+// seed, never from the machine's own stream, so
+//  * a disabled plan (the default) draws nothing and every trace is
+//    bit-identical to a build without this layer, and
+//  * the same seed and plan produce the same fault schedule under both
+//    DES schedulers (the golden-trace equivalence tests run faulted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace iw::hwsim {
+
+/// Half-open virtual-time window [begin, end) during which faults act.
+struct FaultWindow {
+  Cycles begin{0};
+  Cycles end{kNever};
+};
+
+/// Declarative fault configuration, attached to MachineConfig. All rates
+/// are per-opportunity probabilities in [0, 1]; all magnitudes are in
+/// cycles. With `enabled == false` (the default) the injector is inert
+/// and zero-cost.
+struct FaultPlan {
+  bool enabled{false};
+
+  // --- IPI fabric faults (per delivery attempt, at post_ipi) ---
+  double ipi_drop_rate{0.0};
+  double ipi_delay_rate{0.0};
+  Cycles ipi_delay_max{0};  // extra latency drawn uniform in [1, max]
+  double ipi_dup_rate{0.0};
+  Cycles ipi_dup_lag_max{400};  // duplicate arrives uniform [1, max] later
+  /// Restrict IPI faults to one vector (-1 = all vectors).
+  int vector_filter{-1};
+
+  // --- timer faults (LAPIC and POSIX fires, at post_timer) ---
+  double timer_jitter_rate{0.0};
+  Cycles timer_jitter_max{0};  // late delivery, uniform [1, max]; does not
+                               // accumulate (cadence stays absolute)
+  Cycles timer_drift{0};       // per-fire cadence slip; accumulates
+
+  // --- spurious interrupts (non-IPI vectors, at post_irq) ---
+  double spurious_irq_rate{0.0};
+  Cycles spurious_lag_max{500};  // ghost copy lands uniform [1, max] later
+
+  // --- transient core stalls (per driver step, at Core::advance) ---
+  double stall_rate{0.0};
+  Cycles stall_max{0};  // stolen cycles, uniform [1, max]
+
+  /// Scripted activity windows; empty = always active while enabled.
+  std::vector<FaultWindow> windows;
+
+  [[nodiscard]] bool active_at(Cycles t) const {
+    if (!enabled) return false;
+    if (windows.empty()) return true;
+    for (const auto& w : windows) {
+      if (t >= w.begin && t < w.end) return true;
+    }
+    return false;
+  }
+
+  /// Parse a `--faults=` spec: comma-separated items of
+  ///   drop=P            IPI drop probability
+  ///   delay=P:C         IPI delay probability : max extra cycles
+  ///   dup=P[:C]         IPI duplicate probability [: max lag, default 400]
+  ///   jitter=P:C        timer jitter probability : max late cycles
+  ///   drift=C           per-fire timer cadence slip (cycles)
+  ///   spurious=P[:C]    spurious IRQ probability [: max lag, default 500]
+  ///   stall=P:C         per-step stall probability : max stolen cycles
+  ///   vector=N          restrict IPI faults to vector N
+  ///   window=A-B        active window [A, B) cycles; repeatable
+  /// Returns false (with *err set) on malformed input; on success *out
+  /// has enabled=true.
+  static bool parse(const std::string& spec, FaultPlan* out,
+                    std::string* err);
+};
+
+/// Runtime side of a FaultPlan: owns the dedicated fault Rng and the
+/// injection counters. One per Machine; consulted from the hwsim choke
+/// points (post_ipi / post_timer / post_irq / advance).
+class FaultInjector {
+ public:
+  /// Bind a plan. `machine_seed` feeds the fault stream unless the plan
+  /// owner supplies an explicit `fault_seed` (nonzero).
+  void configure(const FaultPlan& plan, std::uint64_t machine_seed,
+                 std::uint64_t fault_seed = 0);
+
+  [[nodiscard]] bool enabled() const { return plan_.enabled; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool active_at(Cycles t) const {
+    return plan_.active_at(t);
+  }
+
+  /// Fate of one IPI delivery attempt posted at virtual time `sent`.
+  struct IpiFate {
+    bool drop{false};
+    Cycles extra_delay{0};
+    bool duplicate{false};
+    Cycles dup_lag{0};
+  };
+  IpiFate ipi_fate(int vector, Cycles sent);
+
+  /// Perturbation of one timer fire scheduled for `ideal`.
+  struct TimerFate {
+    Cycles jitter{0};  // late delivery only; cadence unaffected
+    Cycles drift{0};   // cadence slip, accumulates through re-arms
+  };
+  TimerFate timer_fate(Cycles ideal);
+
+  /// Lag of a spurious ghost copy of a non-IPI IRQ posted at `t`
+  /// (0 = no spurious copy this time).
+  Cycles spurious_irq_lag(Cycles t);
+
+  /// Cycles stolen from a driver step starting at `now` (0 = no stall).
+  Cycles stall_cycles(Cycles now);
+
+  struct Counters {
+    std::uint64_t ipis_dropped{0};
+    std::uint64_t ipis_delayed{0};
+    std::uint64_t ipis_duplicated{0};
+    std::uint64_t timer_perturbed{0};
+    std::uint64_t spurious_irqs{0};
+    std::uint64_t stalls{0};
+    Cycles stall_cycles_total{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return n_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  Counters n_;
+};
+
+}  // namespace iw::hwsim

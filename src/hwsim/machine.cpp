@@ -11,6 +11,7 @@ namespace iw::hwsim {
 
 Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   IW_ASSERT(cfg.num_cores >= 1);
+  faults_.configure(cfg.faults, cfg.seed, cfg.fault_seed);
   cores_.reserve(cfg.num_cores);
   for (unsigned i = 0; i < cfg.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(*this, i));
@@ -20,17 +21,50 @@ Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   refresh_frontier();
 }
 
-void Machine::send_ipi(Core& from, CoreId to, int vector) {
+IpiStatus Machine::post_ipi(CoreId to, int vector, Cycles sent) {
+  IW_ASSERT_MSG(to < cores_.size(), "post_ipi: target core out of range");
+  ++total_ipis_;  // counts attempts, so fault-free totals are unchanged
+  Cycles latency = cfg_.costs.ipi_latency;
+  IpiStatus status = IpiStatus::kQueued;
+  if (faults_.enabled()) {
+    const FaultInjector::IpiFate fate = faults_.ipi_fate(vector, sent);
+    if (fate.drop) {
+      if (auto* tr = tracer()) {
+        tr->instant(to, "fault.ipi_drop", sent, vector);
+      }
+      if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDropped);
+      return IpiStatus::kDropped;
+    }
+    if (fate.extra_delay != 0) {
+      latency += fate.extra_delay;
+      status = IpiStatus::kQueuedDelayed;
+      if (auto* tr = tracer()) {
+        tr->instant(to, "fault.ipi_delay", sent, vector);
+      }
+      if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDelayed);
+    }
+    if (fate.duplicate) {
+      cores_[to]->post_irq(sent + latency + fate.dup_lag, vector, sent,
+                           /*ipi=*/true);
+      if (auto* tr = tracer()) {
+        tr->instant(to, "fault.ipi_dup", sent, vector);
+      }
+      if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDuplicated);
+    }
+  }
+  cores_[to]->post_irq(sent + latency, vector, sent, /*ipi=*/true);
+  return status;
+}
+
+IpiStatus Machine::send_ipi(Core& from, CoreId to, int vector) {
   IW_ASSERT(to < cores_.size());
   from.consume(cfg_.costs.ipi_send);
   const Cycles sent = from.clock();
   if (auto* tr = tracer()) tr->instant(from.id(), "ipi.send", sent, vector);
-  cores_[to]->post_irq(sent + cfg_.costs.ipi_latency, vector, sent,
-                       /*ipi=*/true);
-  ++total_ipis_;
+  return post_ipi(to, vector, sent);
 }
 
-void Machine::broadcast_ipi(Core& from, int vector) {
+unsigned Machine::broadcast_ipi(Core& from, int vector) {
   // A single ICR write with destination shorthand "all excluding self":
   // one send cost, fan-out in the fabric. The single trace instant
   // carries the fan-out count so trace sums reconcile with total_ipis().
@@ -40,11 +74,32 @@ void Machine::broadcast_ipi(Core& from, int vector) {
   if (auto* tr = tracer()) {
     tr->instant(from.id(), "ipi.send", sent, vector, fanout);
   }
+  unsigned queued = 0;
   for (auto& c : cores_) {
     if (c->id() == from.id()) continue;
-    c->post_irq(sent + cfg_.costs.ipi_latency, vector, sent, /*ipi=*/true);
+    if (post_ipi(c->id(), vector, sent) != IpiStatus::kDropped) ++queued;
   }
-  total_ipis_ += fanout;
+  return queued;
+}
+
+void Machine::dump_state(std::FILE* out) {
+  std::fprintf(out,
+               "=== machine state: now=%llu advances=%llu ipis=%llu ===\n",
+               static_cast<unsigned long long>(now()),
+               static_cast<unsigned long long>(advances_),
+               static_cast<unsigned long long>(total_ipis_));
+  for (auto& c : cores_) {
+    std::fprintf(
+        out,
+        "  core %-3u clock=%-12llu %s irq_%s pending_irqs=%llu "
+        "steps=%llu irqs_delivered=%llu\n",
+        c->id(), static_cast<unsigned long long>(c->clock()),
+        c->runnable() ? "runnable" : "idle    ",
+        c->interrupts_enabled() ? "on " : "off",
+        static_cast<unsigned long long>(c->pending_irqs()),
+        static_cast<unsigned long long>(c->steps_executed()),
+        static_cast<unsigned long long>(c->irqs_delivered()));
+  }
 }
 
 void Machine::schedule_at(Cycles t, std::function<void()> fn) {

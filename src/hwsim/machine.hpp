@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "hwsim/core.hpp"
 #include "hwsim/cost_model.hpp"
 #include "hwsim/event_queue.hpp"
+#include "hwsim/fault_plan.hpp"
 
 namespace iw::obs {
 class TraceRecorder;
@@ -35,6 +37,15 @@ namespace iw::hwsim {
 enum class SchedulerKind : std::uint8_t {
   kFrontier,    // O(log N) incremental frontier index (default)
   kLinearScan,  // O(N) per-advance scan (seed reference semantics)
+};
+
+/// Outcome of one IPI delivery attempt. Callers that need reliable
+/// delivery (nautilus::ReliableIpi) retry on kDropped; kQueuedDelayed is
+/// a delivered-but-late attempt (the fault plan stretched the fabric).
+enum class IpiStatus : std::uint8_t {
+  kQueued,
+  kQueuedDelayed,
+  kDropped,
 };
 
 struct MachineConfig {
@@ -50,6 +61,12 @@ struct MachineConfig {
   /// abort on divergence. O(N) per advance — a debugging aid for driver
   /// invalidation bugs, not for production runs.
   bool paranoid_frontier{false};
+  /// Deterministic fault injection (disabled by default: zero draws,
+  /// traces bit-identical to a fault-free build).
+  FaultPlan faults;
+  /// Explicit seed for the fault stream (0 = derive from `seed`). Lets a
+  /// sweep vary the fault schedule while the workload stays fixed.
+  std::uint64_t fault_seed{0};
 };
 
 class Machine {
@@ -91,13 +108,23 @@ class Machine {
 
   /// Send an inter-processor interrupt from `from`'s current time.
   /// Pays the send cost on the sender and latency in the fabric.
-  void send_ipi(Core& from, CoreId to, int vector);
+  /// Returns the fabric's verdict on the delivery attempt.
+  IpiStatus send_ipi(Core& from, CoreId to, int vector);
 
   /// Broadcast an IPI to every core except the sender (the paper's
   /// heartbeat path: LAPIC fire on CPU 0, IPI broadcast to workers).
   /// Traced as one ipi.send instant whose count argument carries the
   /// fan-out, matching the per-destination total_ipis() accounting.
-  void broadcast_ipi(Core& from, int vector);
+  /// Returns how many destinations were actually queued (all of them
+  /// unless the fault plan dropped some).
+  unsigned broadcast_ipi(Core& from, int vector);
+
+  /// Deliver one IPI into `to`'s inbox from virtual time `sent` (the
+  /// sender already paid its send cost). The single fabric choke point:
+  /// every IPI — unicast, broadcast fan-out, heartbeat fan-out, retry —
+  /// passes through here, where the fault plan may drop, delay, or
+  /// duplicate it. Asserts `to` is in range.
+  IpiStatus post_ipi(CoreId to, int vector, Cycles sent);
 
   /// Schedule a machine-level callback at absolute time `t`.
   void schedule_at(Cycles t, std::function<void()> fn);
@@ -116,6 +143,16 @@ class Machine {
   /// (fewer means the machine went quiescent). No watchdogs, no stop
   /// predicate — the microbenchmark entry point.
   std::uint64_t advance_n(std::uint64_t n);
+
+  // --- fault injection ---
+  [[nodiscard]] FaultInjector& fault_injector() { return faults_; }
+  [[nodiscard]] const FaultInjector& fault_injector() const {
+    return faults_;
+  }
+
+  /// Human-readable core-state dump (clocks, masks, inbox depths) for
+  /// panic paths — e.g. a barrier timeout with a stalled participant.
+  void dump_state(std::FILE* out);
 
   // accounting
   [[nodiscard]] std::uint64_t total_ipis() const { return total_ipis_; }
@@ -168,6 +205,7 @@ class Machine {
   /// longer matches the core's current cached next_action_time.
   std::vector<FrontierEntry> frontier_;
   std::vector<CoreId> dirty_cores_;
+  FaultInjector faults_;
   Rng rng_;
   std::uint64_t seq_{0};
   std::uint64_t total_ipis_{0};

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace iw::nautilus {
@@ -39,6 +40,116 @@ unsigned IrqSteering::quiet_cores() const {
     if (!n) ++quiet;
   }
   return quiet;
+}
+
+// --- ReliableIpi ---
+
+ReliableIpi::ReliableIpi(hwsim::Machine& machine, Config cfg)
+    : machine_(machine), cfg_(cfg) {}
+
+hwsim::IpiStatus ReliableIpi::send(hwsim::Core& from, CoreId to, int vector) {
+  const hwsim::IpiStatus status = machine_.send_ipi(from, to, vector);
+  if (status == hwsim::IpiStatus::kDropped) handle_drop(from, to, vector);
+  return status;
+}
+
+hwsim::IpiStatus ReliableIpi::post(hwsim::Core& from, CoreId to, int vector,
+                                   Cycles sent) {
+  const hwsim::IpiStatus status = machine_.post_ipi(to, vector, sent);
+  if (status == hwsim::IpiStatus::kDropped) handle_drop(from, to, vector);
+  return status;
+}
+
+void ReliableIpi::handle_drop(hwsim::Core& from, CoreId to, int vector) {
+  if (cfg_.max_attempts > 1) {
+    schedule_retry(from, to, vector, /*attempt=*/1);
+  } else {
+    ++exhausted_;
+    if (auto* mx = machine_.metrics()) {
+      mx->add(obs::names::kFaultsIpiRetryExhausted);
+    }
+  }
+}
+
+void ReliableIpi::schedule_retry(hwsim::Core& from, CoreId to, int vector,
+                                 unsigned attempt) {
+  // Exponential backoff: backoff, 2*backoff, 4*backoff, ... — the same
+  // spacing a kernel would use waiting out a transient fabric brown-out.
+  const Cycles delay = cfg_.backoff << (attempt - 1);
+  hwsim::Core* sender = &from;
+  from.post_callback(from.clock() + delay, [this, sender, to, vector,
+                                            attempt] {
+    ++retries_;
+    if (auto* mx = machine_.metrics()) {
+      mx->add(obs::names::kFaultsIpiRetries);
+    }
+    if (auto* tr = machine_.tracer()) {
+      tr->instant(sender->id(), "ipi.retry", sender->clock(), vector);
+    }
+    const hwsim::IpiStatus st = machine_.send_ipi(*sender, to, vector);
+    if (st != hwsim::IpiStatus::kDropped) return;
+    if (attempt + 1 < cfg_.max_attempts) {
+      schedule_retry(*sender, to, vector, attempt + 1);
+    } else {
+      ++exhausted_;
+      if (auto* mx = machine_.metrics()) {
+        mx->add(obs::names::kFaultsIpiRetryExhausted);
+      }
+      if (auto* tr = machine_.tracer()) {
+        tr->instant(sender->id(), "ipi.retry_exhausted", sender->clock(),
+                    vector);
+      }
+    }
+  });
+}
+
+// --- CoreWatchdog ---
+
+CoreWatchdog::CoreWatchdog(hwsim::Machine& machine, Cycles period, Alarm alarm)
+    : machine_(machine), period_(period), alarm_(std::move(alarm)) {
+  last_.resize(machine_.num_cores());
+}
+
+void CoreWatchdog::snapshot_all() {
+  for (CoreId c = 0; c < machine_.num_cores(); ++c) {
+    auto& core = machine_.core(c);
+    last_[c] = {core.clock(), core.steps_executed(), core.irqs_delivered()};
+  }
+}
+
+void CoreWatchdog::arm() {
+  armed_ = true;
+  const std::uint64_t gen = ++gen_;
+  snapshot_all();
+  const Cycles at = machine_.now() + period_;
+  machine_.schedule_at(at, [this, gen, at] { check(at, gen); });
+}
+
+void CoreWatchdog::check(Cycles at, std::uint64_t gen) {
+  if (!armed_ || gen != gen_) return;  // disarmed: let the machine drain
+  for (CoreId c = 0; c < machine_.num_cores(); ++c) {
+    auto& core = machine_.core(c);
+    const Snapshot now{core.clock(), core.steps_executed(),
+                       core.irqs_delivered()};
+    const Snapshot& was = last_[c];
+    const bool no_progress = now.clock == was.clock &&
+                             now.steps == was.steps && now.irqs == was.irqs;
+    // Stuck = frozen *while holding undelivered interrupts*. A core that
+    // is merely idle with an empty inbox is healthy (HLT), not hung.
+    if (no_progress && core.pending_irqs() > 0) {
+      ++fires_;
+      if (auto* mx = machine_.metrics()) {
+        mx->add(obs::names::kFaultsWatchdogFires);
+      }
+      if (auto* tr = machine_.tracer()) {
+        tr->instant(c, "watchdog.fire", at);
+      }
+      if (alarm_) alarm_(c, at);
+    }
+    last_[c] = now;
+  }
+  const Cycles next = at + period_;
+  machine_.schedule_at(next, [this, gen, next] { check(next, gen); });
 }
 
 }  // namespace iw::nautilus

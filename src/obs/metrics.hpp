@@ -34,6 +34,25 @@ inline constexpr const char* kOmpBarrierWait = "omp.barrier.wait";
 inline constexpr const char* kCtxSwitch = "nk.ctx_switch";
 inline constexpr const char* kFiberSwitch = "fiber.switch";
 inline constexpr const char* kTaskQueueWait = "nk.task.queue_wait";
+/// Gap between consecutive beats on one worker (histogram; includes
+/// fault-inflated gaps — the fault_sweep p99 is read from here).
+inline constexpr const char* kHeartbeatBeatGap = "heartbeat.beat_gap";
+// The faults.* family: injected faults and the recovery machinery's
+// reactions. Counters unless noted.
+inline constexpr const char* kFaultsIpiDropped = "faults.ipi_dropped";
+inline constexpr const char* kFaultsIpiDelayed = "faults.ipi_delayed";
+inline constexpr const char* kFaultsIpiDuplicated = "faults.ipi_duplicated";
+inline constexpr const char* kFaultsSpuriousIrqs = "faults.spurious_irqs";
+inline constexpr const char* kFaultsStalls = "faults.stalls";
+inline constexpr const char* kFaultsIpiRetries = "faults.ipi_retries";
+inline constexpr const char* kFaultsIpiRetryExhausted =
+    "faults.ipi_retry_exhausted";
+inline constexpr const char* kFaultsWatchdogFires = "faults.watchdog_fires";
+inline constexpr const char* kFaultsMissedBeats = "faults.missed_beats";
+inline constexpr const char* kFaultsPolledBeats = "faults.polled_beats";
+inline constexpr const char* kFaultsDegradedEntries =
+    "faults.degraded_entries";
+inline constexpr const char* kFaultsRecoveries = "faults.recoveries";
 }  // namespace names
 
 class MetricsRegistry {

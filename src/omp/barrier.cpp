@@ -1,6 +1,24 @@
 #include "omp/barrier.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "hwsim/machine.hpp"
+
 namespace iw::omp {
+
+void SpinBarrier::check_timeout(hwsim::Core& core, Cycles entered) const {
+  if (timeout_ == 0) return;
+  const Cycles now = core.clock();
+  if (now <= entered || now - entered <= timeout_) return;
+  std::fprintf(stderr,
+               "PANIC: omp barrier timeout on core %u: waited %llu cycles "
+               "(limit %llu), %u/%u arrived\n",
+               core.id(), static_cast<unsigned long long>(now - entered),
+               static_cast<unsigned long long>(timeout_), count_, parties_);
+  core.machine().dump_state(stderr);
+  std::abort();
+}
 
 std::uint64_t SpinBarrier::arrive(hwsim::Core& core) {
   core.consume(core.costs().atomic_rmw);

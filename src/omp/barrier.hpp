@@ -33,6 +33,17 @@ class SpinBarrier {
   /// Cycles one spin-poll costs (load + pause).
   [[nodiscard]] static constexpr Cycles spin_cost() { return 40; }
 
+  /// Arm the hang detector: a spinner that has waited more than
+  /// `timeout` cycles panics with a full machine-state dump (a worker
+  /// that never arrives — lost beat, wedged core — would otherwise spin
+  /// silently forever). 0 disables (the default).
+  void set_timeout(Cycles timeout) { timeout_ = timeout; }
+  [[nodiscard]] Cycles timeout() const { return timeout_; }
+
+  /// Spin-loop check: `entered` is the spinner's barrier-arrival time on
+  /// `core`'s clock. Panics (dump + abort) when the timeout is exceeded.
+  void check_timeout(hwsim::Core& core, Cycles entered) const;
+
   void reset(unsigned parties) {
     parties_ = parties;
     count_ = 0;
@@ -42,6 +53,7 @@ class SpinBarrier {
   unsigned parties_;
   unsigned count_{0};
   std::uint64_t generation_{0};
+  Cycles timeout_{0};
 };
 
 class FutexBarrier {

@@ -267,6 +267,7 @@ nautilus::StepResult worker_step(ThreadedRun& run, unsigned wid,
     }
     case S::kSpinWait: {
       charge += SpinBarrier::spin_cost();
+      run.spin_barrier->check_timeout(ctx.core, ws.barrier_enter);
       if (run.spin_barrier->passed(ws.barrier_gen)) {
         if (run.cfg.metrics != nullptr) {
           const Cycles now = ctx.core.clock() + charge;
@@ -352,6 +353,7 @@ OmpResult run_threaded(const workloads::MiniApp& app, const OmpConfig& cfg) {
         std::make_unique<FutexBarrier>(*futex, 0xBA221E2, cfg.num_threads);
   } else {
     run.spin_barrier = std::make_unique<SpinBarrier>(cfg.num_threads);
+    run.spin_barrier->set_timeout(cfg.barrier_timeout);
   }
   if (cfg.mode == OmpMode::kLinux) arm_linux_noise(m, cfg);
 

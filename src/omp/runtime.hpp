@@ -54,6 +54,11 @@ struct OmpConfig {
   /// Barrier wait policy on Linux: libomp's default is active spinning
   /// (KMP_BLOCKTIME); passive waiting goes through the futex path.
   bool linux_passive_wait{false};
+  /// Spin-barrier hang detector: a worker spinning longer than this
+  /// panics with a machine-state dump (0 = off). A lost heartbeat or a
+  /// wedged core turns into a loud, attributable failure instead of an
+  /// infinite silent spin.
+  Cycles barrier_timeout{0};
   /// Fraction of workers found parked at a region start (they exceeded
   /// the active-spin window) and the serial per-wake cost the master
   /// pays to bring each back — the fork-join cost kernel-level

@@ -1,0 +1,293 @@
+// Recovery-path properties under injected faults: the resumed-gap
+// bookkeeping, per-fire-window dedupe, missed-beat detection, graceful
+// degradation to polled delivery (and recovery when the fault window
+// ends), bounded-backoff IPI retries, the per-core progress watchdog,
+// and the OMP spin-barrier hang detector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "heartbeat/delivery.hpp"
+#include "hwsim/machine.hpp"
+#include "nautilus/irq.hpp"
+#include "obs/metrics.hpp"
+#include "omp/barrier.hpp"
+
+namespace iw::heartbeat {
+namespace {
+
+/// Minimal backend exposing the protected delivery hooks so the
+/// bookkeeping can be driven directly, without a machine.
+class TestBackend : public HeartbeatBackend {
+ public:
+  explicit TestBackend(unsigned workers) { states_.resize(workers); }
+  void start(Cycles, unsigned) override {}
+  void stop() override {}
+  using HeartbeatBackend::mark_delivery;
+  using HeartbeatBackend::mark_delivery_once;
+  BeatState& mutable_state(CoreId c) { return states_[c]; }
+};
+
+// ------------------------------------------------- resumed-gap skipping
+
+TEST(FaultRecovery, ResumedFlagStartsFreshGap) {
+  TestBackend hb(1);
+  hb.mark_delivery(0, 1'000);
+  hb.mark_delivery(0, 2'000);  // normal gap: 1000
+  // Simulate a degradation-window transition: the next gap spans the
+  // regime change and must not enter the steady-state stats.
+  hb.mutable_state(0).resumed = true;
+  hb.mark_delivery(0, 9'000);  // transition gap: 7000 — skipped
+  hb.mark_delivery(0, 10'000);  // fresh regime gap: 1000
+  const BeatState& s = hb.state(0);
+  EXPECT_EQ(s.delivered, 4u);
+  EXPECT_FALSE(s.resumed);  // consumed by the transition delivery
+  ASSERT_EQ(s.interbeat.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.interbeat.mean(), 1'000.0);
+}
+
+TEST(FaultRecovery, MarkDeliveryOnceDedupesByFireWindow) {
+  TestBackend hb(1);
+  EXPECT_TRUE(hb.mark_delivery_once(0, 1'050, /*origin=*/1'000));
+  // Same fire window, later arrival (duplicated IPI / probe+poll race).
+  EXPECT_FALSE(hb.mark_delivery_once(0, 1'400, /*origin=*/1'000));
+  EXPECT_FALSE(hb.mark_delivery_once(0, 1'500, /*origin=*/1'000));
+  // A new fire window delivers again.
+  EXPECT_TRUE(hb.mark_delivery_once(0, 2'050, /*origin=*/2'000));
+  const BeatState& s = hb.state(0);
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.duplicates_suppressed, 2u);
+}
+
+// --------------------------------------------- machine-level harnesses
+
+/// Busy spin work so heartbeat IRQs are recognized at step boundaries.
+class BusyDriver final : public hwsim::CoreDriver {
+ public:
+  bool runnable(hwsim::Core&) override { return true; }
+  void step(hwsim::Core& core) override { core.consume(200); }
+};
+
+constexpr Cycles kPeriod = 20'000;
+
+struct Harness {
+  hwsim::Machine machine;
+  obs::MetricsRegistry metrics;
+  BusyDriver driver;
+  NautilusHeartbeat hb;
+
+  Harness(unsigned cores, const hwsim::FaultPlan& plan,
+          const FaultToleranceConfig& ft)
+      : machine([&] {
+          hwsim::MachineConfig mc;
+          mc.num_cores = cores;
+          mc.max_advances = 100'000'000;
+          mc.faults = plan;
+          return mc;
+        }()),
+        hb(machine) {
+    machine.set_metrics(&metrics);
+    for (unsigned c = 0; c < cores; ++c) {
+      machine.core(c).set_driver(&driver);
+    }
+    hb.set_fault_tolerance(ft);
+  }
+
+  void run_rounds(std::uint64_t rounds) {
+    hb.start(kPeriod, machine.num_cores());
+    ASSERT_TRUE(machine.run_until(rounds * kPeriod));
+    hb.stop();
+  }
+};
+
+TEST(FaultRecovery, NoBeatDoubleCountedUnderDuplicationFaults) {
+  hwsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.ipi_dup_rate = 1.0;  // every fan-out IPI is duplicated
+  FaultToleranceConfig ft;
+  ft.enabled = true;
+  Harness h(4, plan, ft);
+  h.run_rounds(50);
+  // Each worker may see at most one beat per fire window even though
+  // the fabric delivered every IPI twice.
+  const std::uint64_t fires = h.hb.state(0).delivered;
+  ASSERT_GT(fires, 10u);
+  std::uint64_t suppressed = 0;
+  for (unsigned c = 1; c < 4; ++c) {
+    EXPECT_LE(h.hb.state(c).delivered, fires) << "worker " << c;
+    suppressed += h.hb.state(c).duplicates_suppressed;
+  }
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(FaultRecovery, MissedBeatsDetectedIffGapExceedsThreshold) {
+  // Fault-free: the supervisor must stay silent.
+  {
+    FaultToleranceConfig ft;
+    ft.enabled = true;
+    Harness h(4, hwsim::FaultPlan{}, ft);
+    h.run_rounds(50);
+    EXPECT_EQ(h.hb.missed_beats(), 0u);
+    EXPECT_EQ(h.hb.degraded_entries(), 0u);
+  }
+  // Total loss inside a scripted window: every worker's gap exceeds
+  // k*period for every round the window covers; the supervisor must
+  // record the misses.
+  {
+    hwsim::FaultPlan plan;
+    plan.enabled = true;
+    plan.ipi_drop_rate = 1.0;
+    plan.windows.push_back({5 * kPeriod, 12 * kPeriod});
+    FaultToleranceConfig ft;
+    ft.enabled = true;
+    ft.degrade_after = 100;  // isolate the detector from mode switches
+    Harness h(4, plan, ft);
+    h.run_rounds(50);
+    // 3 workers x ~6 detectable rounds in the window (the first lost
+    // round is still within k*period at the next fire).
+    EXPECT_GE(h.hb.missed_beats(), 12u);
+    EXPECT_LE(h.hb.missed_beats(), 24u);
+  }
+}
+
+TEST(FaultRecovery, DegradesUnderLossThenRecoversAfterWindow) {
+  // Fault-free reference p99 for the inflation bound.
+  std::uint64_t baseline_p99 = 0;
+  {
+    FaultToleranceConfig ft;
+    ft.enabled = true;
+    Harness h(8, hwsim::FaultPlan{}, ft);
+    h.run_rounds(200);
+    baseline_p99 = h.metrics.histogram(obs::names::kHeartbeatBeatGap)
+                       .value_at_percentile(99.0);
+    ASSERT_GT(baseline_p99, 0u);
+  }
+  // 10% IPI drop for the first 100 rounds, clean afterwards.
+  hwsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.ipi_drop_rate = 0.10;
+  plan.windows.push_back({0, 100 * kPeriod});
+  FaultToleranceConfig ft;
+  ft.enabled = true;
+  Harness h(8, plan, ft);
+  h.run_rounds(200);
+  // Degraded into polled delivery during the window...
+  EXPECT_GE(h.hb.degraded_entries(), 1u);
+  EXPECT_GT(h.hb.polled_beats(), 0u);
+  // ...and recovered to interrupt-driven delivery after it ended.
+  EXPECT_GE(h.hb.recoveries(), 1u);
+  EXPECT_FALSE(h.hb.degraded());
+  // Degraded-mode polling keeps the tail bounded: p99 within 3x the
+  // fault-free p99 (the acceptance bound the fault_sweep bench ships).
+  const std::uint64_t p99 =
+      h.metrics.histogram(obs::names::kHeartbeatBeatGap)
+          .value_at_percentile(99.0);
+  EXPECT_LT(p99, 3 * baseline_p99);
+  // Supervisor reactions are visible in the faults.* metrics family.
+  EXPECT_GT(h.metrics.counter(obs::names::kFaultsIpiDropped), 0u);
+  EXPECT_EQ(h.metrics.counter(obs::names::kFaultsDegradedEntries),
+            h.hb.degraded_entries());
+}
+
+// ------------------------------------------------------- ReliableIpi
+
+TEST(FaultRecovery, ReliableIpiRetriesThroughDropWindow) {
+  // All sends inside [0, 1000) are dropped; the first backoff lands
+  // outside the window, so exactly one retry delivers the IPI.
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  mc.faults.enabled = true;
+  mc.faults.ipi_drop_rate = 1.0;
+  mc.faults.windows.push_back({0, 1'000});
+  hwsim::Machine m(mc);
+  int delivered = 0;
+  m.core(1).set_irq_handler(0x30, [&](hwsim::Core&, int) { ++delivered; });
+  nautilus::ReliableIpi rel(m);
+  EXPECT_EQ(rel.send(m.core(0), 1, 0x30), hwsim::IpiStatus::kDropped);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rel.retries(), 1u);
+  EXPECT_EQ(rel.exhausted(), 0u);
+}
+
+TEST(FaultRecovery, ReliableIpiGivesUpAfterMaxAttempts) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  mc.faults.enabled = true;
+  mc.faults.ipi_drop_rate = 1.0;  // permanent loss
+  hwsim::Machine m(mc);
+  int delivered = 0;
+  m.core(1).set_irq_handler(0x30, [&](hwsim::Core&, int) { ++delivered; });
+  nautilus::ReliableIpi rel(m);
+  EXPECT_EQ(rel.send(m.core(0), 1, 0x30), hwsim::IpiStatus::kDropped);
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rel.retries(), 3u);  // attempts 2..4 of max_attempts=4
+  EXPECT_EQ(rel.exhausted(), 1u);
+}
+
+// ------------------------------------------------------- CoreWatchdog
+
+TEST(FaultRecovery, WatchdogFiresOnlyForStuckCoreWithPendingIrqs) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  hwsim::Machine m(mc);
+  // Core 1 masks interrupts and then receives one: frozen clock, a
+  // pending IRQ it will never take. Core 0 is merely idle (healthy).
+  m.core(1).set_interrupts_enabled(false);
+  m.core(1).post_irq(10, 0x30);
+  std::vector<CoreId> alarms;
+  nautilus::CoreWatchdog wd(m, /*period=*/5'000,
+                            [&](CoreId c, Cycles) { alarms.push_back(c); });
+  wd.arm();
+  ASSERT_TRUE(m.run_until(20'000));
+  wd.disarm();
+  EXPECT_TRUE(m.run());  // disarmed chain lets the machine quiesce
+  ASSERT_GE(wd.fires(), 2u);
+  for (const CoreId c : alarms) EXPECT_EQ(c, 1u);
+}
+
+TEST(FaultRecovery, WatchdogSilentOnHealthyMachine) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  hwsim::Machine m(mc);
+  bool fired = false;
+  nautilus::CoreWatchdog wd(m, 5'000, [&](CoreId, Cycles) { fired = true; });
+  wd.arm();
+  ASSERT_TRUE(m.run_until(20'000));
+  wd.disarm();
+  EXPECT_TRUE(m.run());
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wd.fires(), 0u);
+}
+
+// --------------------------------------------------- barrier timeout
+
+using FaultRecoveryDeathTest = ::testing::Test;
+
+TEST(FaultRecoveryDeathTest, SpinBarrierTimeoutPanicsWithStateDump) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 2;
+  hwsim::Machine m(mc);
+  omp::SpinBarrier b(2);
+  b.set_timeout(1'000);
+  b.arrive(m.core(0));  // party 2 of 2 never arrives
+  m.core(0).consume(5'000);
+  EXPECT_DEATH(b.check_timeout(m.core(0), /*entered=*/0),
+               "barrier timeout");
+}
+
+TEST(FaultRecovery, SpinBarrierTimeoutDisabledByDefault) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 1;
+  hwsim::Machine m(mc);
+  omp::SpinBarrier b(2);
+  b.arrive(m.core(0));
+  m.core(0).consume(1'000'000'000);
+  b.check_timeout(m.core(0), 0);  // no timeout armed: must not abort
+  EXPECT_EQ(b.timeout(), 0u);
+}
+
+}  // namespace
+}  // namespace iw::heartbeat
