@@ -11,14 +11,13 @@
 #include <string>
 
 #include "heartbeat/tpal.hpp"
-#include "obs_flags.hpp"
+#include "harness.hpp"
 
 using namespace iw;
 
 namespace {
 
-bench::ObsFlags obs_flags;
-bench::FaultFlags fault_flags;
+bench::Harness harness;
 
 struct RowResult {
   double worst_rate_khz;
@@ -32,9 +31,9 @@ RowResult run(const char* stack, const char* mech, double target_us,
   mc.num_cores = cpus;
   mc.costs = hwsim::CostModel::knl();
   mc.max_advances = 2'000'000'000ULL;
-  fault_flags.apply(mc);
+  harness.apply(mc);
   hwsim::Machine m(mc);
-  obs_flags.attach(m, std::string(stack) + "/" + mech + " @" +
+  harness.attach(m, std::string(stack) + "/" + mech + " @" +
                           std::to_string(static_cast<int>(target_us)) +
                           "us");
 
@@ -46,7 +45,7 @@ RowResult run(const char* stack, const char* mech, double target_us,
     nk = std::make_unique<nautilus::Kernel>(m);
     k = nk.get();
     auto nhb = std::make_unique<heartbeat::NautilusHeartbeat>(m);
-    if (fault_flags.enabled()) {
+    if (harness.faults_enabled()) {
       heartbeat::FaultToleranceConfig ft;
       ft.enabled = true;
       nhb->set_fault_tolerance(ft);
@@ -84,8 +83,7 @@ RowResult run(const char* stack, const char* mech, double target_us,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!obs_flags.parse(argc, argv)) return 2;
-  if (!fault_flags.parse(argc, argv)) return 2;
+  if (!harness.parse(argc, argv)) return 2;
   std::printf(
       "== Fig. 3: achieved vs target heartbeat rate (16 CPUs, KNL) ==\n");
   std::printf("%-10s %-12s %9s %14s %14s %10s %8s\n", "stack", "mechanism",
@@ -110,5 +108,5 @@ int main(int argc, char** argv) {
       "\nshape check: nautilus hits both targets with ~0%% jitter;\n"
       "linux falls short at 20 us (relay saturates the master) and\n"
       "delivers with visible jitter even at 100 us.\n");
-  return obs_flags.finish() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }

@@ -4,11 +4,14 @@
 // machine by actual ping-pong execution.
 #include <cstdio>
 
+#include "harness.hpp"
 #include "timing/ctx_switch_model.hpp"
 
 using namespace iw;
 
-int main() {
+int main(int argc, char** argv) {
+  iw::bench::Harness harness;
+  if (!harness.parse(argc, argv)) return 2;
   const auto costs = hwsim::CostModel::knl();
   const auto all = timing::measure_fig4(costs);
 
@@ -53,5 +56,5 @@ int main() {
               nk_fp / fib_fp);
   std::printf("  granularity floor:             %6.0f cycles (<600)\n",
               fib_nofp);
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

@@ -7,27 +7,27 @@
 #include <vector>
 
 #include "common/stats.hpp"
-#include "obs_flags.hpp"
+#include "harness.hpp"
 #include "omp/runtime.hpp"
 
 using namespace iw;
 
 namespace {
-bench::ObsFlags obs_flags;
+bench::Harness harness;
 
 // run_miniapp creates its machine internally, so the sinks ride in on
-// the config rather than through ObsFlags::attach.
+// the config rather than through Harness::attach.
 omp::OmpResult run_app(const workloads::MiniApp& app, omp::OmpConfig cfg,
                        const std::string& label) {
-  obs_flags.begin_run(label);
-  cfg.tracer = obs_flags.tracer();
-  cfg.metrics = obs_flags.metrics();
+  harness.begin_run(label);
+  cfg.tracer = harness.tracer();
+  cfg.metrics = harness.metrics();
   return omp::run_miniapp(app, cfg);
 }
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!obs_flags.parse(argc, argv)) return 2;
+  if (!harness.parse(argc, argv)) return 2;
   const std::vector<unsigned> cpu_counts{1, 2, 4, 8, 16, 32, 64};
   std::vector<double> rtk_gains;
 
@@ -109,5 +109,5 @@ int main(int argc, char** argv) {
               100.0 * (geomean(std::span<const double>(gains8.data(),
                                                        gains8.size())) -
                        1.0));
-  return obs_flags.finish() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }

@@ -3,13 +3,19 @@
 // dual-socket 24-core machine model. The paper reports ~46% average
 // speedup and ~53% interconnect-energy reduction in its scenario.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "coherence/simulator.hpp"
+#include "harness.hpp"
 #include "common/stats.hpp"
 #include "workloads/pbbs_traces.hpp"
 
 using namespace iw;
+
+namespace {
+bench::Harness harness;
+}  // namespace
 
 namespace {
 
@@ -24,7 +30,8 @@ coherence::SimConfig cfg(bool deactivate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
   workloads::PbbsParams p;
   p.cores = 24;
   p.elements = 240'000;
@@ -37,9 +44,16 @@ int main() {
 
   std::vector<double> speedups, cuts;
   for (const auto& trace : workloads::pbbs_suite(p)) {
-    coherence::CoherenceSim base(cfg(false));
+    // Each kernel runs on its own substrate timeline: misses show up as
+    // spans per core under --trace, and coherence.* counters accumulate.
+    substrate::AnalyticSubstrate sub(p.cores, harness.seed(p.seed));
+    harness.attach(sub, std::string("fig7/") + trace.name);
+    coherence::CoherenceSim base(cfg(false), sub.rng_stream("coherence"));
+    base.bind_substrate(&sub);
     const auto b = base.run(trace);
-    coherence::CoherenceSim deact(cfg(true));
+    sub.reset_clocks();
+    coherence::CoherenceSim deact(cfg(true), sub.rng_stream("coherence"));
+    deact.bind_substrate(&sub);
     const auto d = deact.run(trace);
     const double speedup = static_cast<double>(b.total_latency) /
                            static_cast<double>(d.total_latency);
@@ -75,17 +89,22 @@ int main() {
     auto c0 = cfg(false);
     c0.num_cores = cores;
     c0.noc.num_cores = cores;
-    coherence::CoherenceSim base(c0);
+    substrate::AnalyticSubstrate sub(cores, harness.seed(sp.seed));
+    harness.attach(sub, "fig7/scale-" + std::to_string(cores));
+    coherence::CoherenceSim base(c0, sub.rng_stream("coherence"));
+    base.bind_substrate(&sub);
     const auto b = base.run(trace);
     auto c1 = cfg(true);
     c1.num_cores = cores;
     c1.noc.num_cores = cores;
-    coherence::CoherenceSim deact(c1);
+    sub.reset_clocks();
+    coherence::CoherenceSim deact(c1, sub.rng_stream("coherence"));
+    deact.bind_substrate(&sub);
     const auto d = deact.run(trace);
     std::printf("%-8u %8.2fx %11.1f%%\n", cores,
                 static_cast<double>(b.total_latency) /
                     static_cast<double>(d.total_latency),
                 100 * (1.0 - d.uncore_energy_pj() / b.uncore_energy_pj()));
   }
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

@@ -1,0 +1,90 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace iw::bench {
+
+bool Harness::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) {
+      trace_path_ = a + 8;
+    } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+      metrics_path_ = a + 15;
+    } else if (std::strncmp(a, "--faults=", 9) == 0) {
+      std::string err;
+      if (!hwsim::FaultPlan::parse(a + 9, &plan_, &err)) {
+        std::fprintf(stderr, "--faults: %s\n", err.c_str());
+        return false;
+      }
+    } else if (std::strncmp(a, "--fault-seed=", 13) == 0) {
+      fault_seed_ = std::strtoull(a + 13, nullptr, 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed_ = std::strtoull(a + 7, nullptr, 10);
+      seed_set_ = true;
+    } else if (std::strcmp(a, "--trace") == 0 ||
+               std::strcmp(a, "--metrics-json") == 0 ||
+               std::strcmp(a, "--faults") == 0 ||
+               std::strcmp(a, "--fault-seed") == 0 ||
+               std::strcmp(a, "--seed") == 0) {
+      std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
+      return false;
+    }
+  }
+  if (plan_.enabled) {
+    analytic_faults_.configure(plan_, seed_, fault_seed_);
+  }
+  return true;
+}
+
+void Harness::begin_run(const std::string& label) {
+  if (!trace_path_.empty()) tracer_.begin_process(label);
+}
+
+void Harness::attach(hwsim::Machine& m, const std::string& label) {
+  begin_run(label);
+  m.set_tracer(tracer());
+  m.set_metrics(metrics());
+}
+
+void Harness::attach(substrate::AnalyticSubstrate& sub,
+                     const std::string& label) {
+  begin_run(label);
+  sub.set_tracer(tracer());
+  sub.set_metrics(metrics());
+  if (plan_.enabled) sub.set_fault_injector(&analytic_faults_);
+}
+
+void Harness::apply(hwsim::MachineConfig& mc) const {
+  mc.faults = plan_;
+  mc.fault_seed = fault_seed_;
+  if (seed_set_) mc.seed = seed_;
+}
+
+bool Harness::finish() {
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    if (tracer_.save_chrome_json(trace_path_)) {
+      std::printf("trace: %llu events -> %s\n",
+                  static_cast<unsigned long long>(tracer_.total_events()),
+                  trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path_.c_str());
+      ok = false;
+    }
+  }
+  if (!metrics_path_.empty()) {
+    if (metrics_.save_json(metrics_path_)) {
+      std::printf("metrics: %s\n", metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot write %s\n",
+                   metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace iw::bench

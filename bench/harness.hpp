@@ -1,0 +1,86 @@
+// The shared bench harness: one flag surface for every fig*/tab_*
+// binary. Replaces the old header-only obs_flags.hpp.
+//
+//   --trace=FILE         Chrome trace of every attached run
+//   --metrics-json=FILE  metrics registry dump at exit
+//   --faults=SPEC        deterministic fault plan (fault_plan.hpp grammar)
+//   --fault-seed=N       explicit fault-stream seed (0 = derive)
+//   --seed=N             experiment seed (machines + analytic substrates)
+//
+// With no flags the benches run with null sinks, no faults, and their
+// built-in seeds — the default-off path the determinism guarantees are
+// stated against. All flags compose: a bench that attaches its machines
+// and substrates through the harness gets the full surface for free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hwsim/fault_plan.hpp"
+#include "hwsim/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "substrate/substrate.hpp"
+
+namespace iw::bench {
+
+class Harness {
+ public:
+  /// Consume the harness flags from argv (other arguments are ignored
+  /// so benches can keep their own). Returns false and prints a
+  /// diagnostic on a malformed flag.
+  bool parse(int argc, char** argv);
+
+  // --- observability sinks (null unless the matching flag was given) ---
+  [[nodiscard]] obs::TraceRecorder* tracer() {
+    return trace_path_.empty() ? nullptr : &tracer_;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return metrics_path_.empty() ? nullptr : &metrics_;
+  }
+
+  /// Mark the start of a logical run (one Chrome-trace process per
+  /// call). No-op unless tracing was requested.
+  void begin_run(const std::string& label);
+
+  /// Attach the requested sinks to a machine about to run.
+  void attach(hwsim::Machine& m, const std::string& label);
+
+  /// Attach sinks (and the parsed fault plan, if any) to an analytic
+  /// substrate: the tab_* benches' path onto the shared fabric.
+  void attach(substrate::AnalyticSubstrate& sub, const std::string& label);
+
+  // --- config plumbing ---
+  /// Install the fault plan, fault seed, and (only if --seed was given)
+  /// the experiment seed on a machine config.
+  void apply(hwsim::MachineConfig& mc) const;
+
+  /// Experiment seed: --seed=N, else `fallback` (the bench's default).
+  [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 42) const {
+    return seed_set_ ? seed_ : fallback;
+  }
+  [[nodiscard]] bool seed_overridden() const { return seed_set_; }
+
+  [[nodiscard]] bool faults_enabled() const { return plan_.enabled; }
+  [[nodiscard]] const hwsim::FaultPlan& fault_plan() const { return plan_; }
+
+  /// Write any requested output files; call once before exit.
+  /// Returns false if a write failed.
+  bool finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::TraceRecorder tracer_;
+  obs::MetricsRegistry metrics_;
+
+  hwsim::FaultPlan plan_;
+  std::uint64_t fault_seed_{0};
+  /// The injector handed to analytic substrates (machines own theirs).
+  hwsim::FaultInjector analytic_faults_;
+
+  std::uint64_t seed_{42};
+  bool seed_set_{false};
+};
+
+}  // namespace iw::bench

@@ -11,8 +11,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "coherence/simulator.hpp"
+#include "harness.hpp"
 #include "common/rng.hpp"
 #include "heartbeat/fork_join.hpp"
 #include "heartbeat/tpal.hpp"
@@ -27,6 +29,8 @@ using namespace iw;
 
 namespace {
 
+bench::Harness harness;
+
 void ablation_chunk() {
   std::printf("-- A. TPAL chunk size (8 workers, ♥=20us, KNL) --\n");
   std::printf("%8s %14s %12s %12s\n", "chunk", "beats_handled",
@@ -36,7 +40,9 @@ void ablation_chunk() {
     mc.num_cores = 8;
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
+    harness.apply(mc);
     hwsim::Machine m(mc);
+    harness.attach(m, "ablation-A/chunk-" + std::to_string(chunk));
     nautilus::Kernel k(m);
     k.attach();
     heartbeat::NautilusHeartbeat hb(m);
@@ -102,7 +108,10 @@ void ablation_deactivation_coverage() {
   cfg.noc.num_cores = 24;
   cfg.private_cache = coherence::CacheConfig{64 * 1024, 8, 64};
   cfg.selective_deactivation = false;
-  coherence::CoherenceSim base(cfg);
+  substrate::AnalyticSubstrate sub(24, harness.seed());
+  harness.attach(sub, "ablation-C/coverage");
+  coherence::CoherenceSim base(cfg, sub.rng_stream("coherence"));
+  base.bind_substrate(&sub);
   const auto b = base.run(base_trace);
 
   for (double coverage : {0.0, 0.25, 0.5, 0.75, 1.0}) {
@@ -118,7 +127,9 @@ void ablation_deactivation_coverage() {
     }
     auto dcfg = cfg;
     dcfg.selective_deactivation = true;
-    coherence::CoherenceSim sim(dcfg);
+    sub.reset_clocks();
+    coherence::CoherenceSim sim(dcfg, sub.rng_stream("coherence"));
+    sim.bind_substrate(&sub);
     const auto d = sim.run(trace);
     std::printf("%9.0f%% %9.2fx %11.1f%%\n", 100 * coverage,
                 static_cast<double>(b.total_latency) /
@@ -133,8 +144,11 @@ void ablation_pool_depth() {
   std::printf("-- D. virtine pool depth vs p99 startup (bursty load) --\n");
   std::printf("%6s %12s %12s\n", "pool", "p50_us", "p99_us");
   using namespace iw::virtine;
+  substrate::AnalyticSubstrate sub(1, harness.seed());
+  harness.attach(sub, "ablation-D/pool");
   for (unsigned depth : {0u, 2u, 4u, 8u}) {
     Wasp w;
+    w.bind_substrate(&sub, 0);
     const auto spec = ContextSpec::faas_handler();
     w.prepare_snapshot(spec);
     w.warm_pool(spec, depth);
@@ -173,7 +187,9 @@ void ablation_forkjoin_speedup() {
     mc.num_cores = w;
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
+    harness.apply(mc);
     hwsim::Machine m(mc);
+    harness.attach(m, "ablation-E/workers-" + std::to_string(w));
     nautilus::Kernel k(m);
     k.attach();
     heartbeat::NautilusHeartbeat hb(m);
@@ -216,7 +232,8 @@ void ablation_dynamic_schedule() {
               "defaults to static)\n");
 }
 
-int main() {
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
   std::printf("== design-choice ablations ==\n\n");
   ablation_chunk();
   ablation_timing_budget();
@@ -224,5 +241,5 @@ int main() {
   ablation_pool_depth();
   ablation_forkjoin_speedup();
   ablation_dynamic_schedule();
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

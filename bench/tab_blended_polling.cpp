@@ -4,12 +4,15 @@
 // interrupt path at comparable latency.
 #include <cstdio>
 
+#include "harness.hpp"
 #include "timing/device_polling.hpp"
 
 using namespace iw;
 using namespace iw::timing;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness;
+  if (!harness.parse(argc, argv)) return 2;
   std::printf("== blended drivers: interrupt-driven vs compiler-injected "
               "polling ==\n");
   std::printf("%-18s %10s %10s %10s %12s %12s\n", "mode", "p50_cyc",
@@ -43,5 +46,5 @@ int main() {
       "injected-check spacing chosen by the timing-placement pass, and a "
       "~1000-cycle spacing matches interrupt-mode latency while costing "
       "less overhead on the app core.\n");
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "carat/native_guards.hpp"
+#include "carat/runtime.hpp"
 #include "common/stats.hpp"
+#include "harness.hpp"
 #include "workloads/native_kernels.hpp"
 
 using namespace iw;
@@ -21,6 +23,8 @@ using carat::HoistedGuard;
 using carat::NoGuard;
 
 namespace {
+
+bench::Harness harness;
 
 volatile double g_sink;
 volatile std::uint64_t g_sink_u64;
@@ -73,7 +77,43 @@ KernelRow run_kernel(const char* name, F&& with_policy) {
 
 }  // namespace
 
-int main() {
+/// Simulated-cost companion to the native table: the same guard/move
+/// machinery running on the substrate, where costs are virtual cycles
+/// on a core clock and --trace/--metrics-json capture them.
+void simulated_substrate_section() {
+  substrate::AnalyticSubstrate sub(1, harness.seed());
+  harness.attach(sub, "carat/substrate");
+  carat::CaratRuntime rt;
+  rt.bind_substrate(&sub, 0);
+  std::vector<Addr> live;
+  Rng rng = sub.rng_stream("carat-bench");
+  for (int i = 0; i < 256; ++i) {
+    const auto a = rt.alloc(64 + rng.uniform(0, 960));
+    if (a) live.push_back(*a);
+  }
+  // Free every other allocation to fragment, touch the survivors
+  // through guards, then compact.
+  for (std::size_t i = 0; i < live.size(); i += 2) rt.free(live[i]);
+  for (std::size_t i = 1; i < live.size(); i += 2) {
+    rt.check_range(live[i]);
+    rt.check_access(live[i], 8, true);
+    rt.write(live[i], static_cast<std::int64_t>(i));
+  }
+  const double frag_before = rt.fragmentation();
+  const unsigned moved = rt.defragment();
+  std::printf(
+      "\n-- substrate replay: guards + compaction in virtual cycles --\n"
+      "guards %llu, moves %u, bytes moved %llu, frag %.2f -> %.2f, "
+      "core cycles %llu\n",
+      static_cast<unsigned long long>(rt.stats().guard_checks +
+                                      rt.stats().range_checks),
+      moved, static_cast<unsigned long long>(rt.stats().bytes_moved),
+      frag_before, rt.fragmentation(),
+      static_cast<unsigned long long>(sub.core_now(0)));
+}
+
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
   constexpr int kReps = 9;
   std::vector<KernelRow> rows;
 
@@ -171,5 +211,6 @@ int main() {
       "\ngeomean overhead: naive per-access guards %.1f%%, after CARAT "
       "aggregation+hoisting %.1f%%  (paper: <6%%)\n",
       100 * (naive_geo - 1), 100 * (opt_geo - 1));
-  return 0;
+  simulated_substrate_section();
+  return harness.finish() ? 0 : 1;
 }

@@ -7,11 +7,14 @@
 #include <cstdio>
 
 #include "coherence/consistency.hpp"
+#include "harness.hpp"
 
 using namespace iw;
 using namespace iw::coherence;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness;
+  if (!harness.parse(argc, argv)) return 2;
   std::printf("== selective fence relaxation (store-buffer model) ==\n");
   std::printf("(producer: tagged data stores + untagged bookkeeping burst, "
               "then publish)\n\n");
@@ -32,5 +35,5 @@ int main() {
       "\nshape: the TSO publication stall grows with unrelated traffic;\n"
       "the selective release's does not — ordering only what the\n"
       "language says needs ordering removes the stall almost entirely.\n");
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

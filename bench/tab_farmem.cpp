@@ -9,11 +9,14 @@
 
 #include "blending/farmem.hpp"
 #include "common/rng.hpp"
+#include "harness.hpp"
 
 using namespace iw;
 using namespace iw::blending;
 
 namespace {
+
+bench::Harness harness;
 
 struct Workload {
   const char* name;
@@ -46,7 +49,7 @@ Result run(const Workload& w, std::uint64_t local_bytes) {
   objs.reserve(kObjects);
   for (int i = 0; i < kObjects; ++i) objs.push_back(ofm.alloc(64));
 
-  Rng rng(42);
+  Rng rng(harness.seed());
   std::vector<int> hot;
   const int hot_n = std::max(1, static_cast<int>(kObjects * w.hot_fraction));
   for (int i = 0; i < hot_n; ++i) {
@@ -73,7 +76,8 @@ Result run(const Workload& w, std::uint64_t local_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
   std::printf("== far memory: page-granularity swap vs object-granularity "
               "blending ==\n");
   std::printf("(1 MiB of 64 B objects; avg access cycles and network fetch "
@@ -105,5 +109,5 @@ int main() {
       "skewed access (the hot set fits locally at object granularity but\n"
       "is diluted 64x by cold page-neighbors at page granularity), and\n"
       "fetch amplification drops by 1-2 orders of magnitude.\n");
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

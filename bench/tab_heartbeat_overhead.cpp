@@ -13,13 +13,13 @@
 #include "common/stats.hpp"
 #include "heartbeat/fork_join.hpp"
 #include "heartbeat/tpal.hpp"
-#include "obs_flags.hpp"
+#include "harness.hpp"
 
 using namespace iw;
 
 namespace {
 
-bench::ObsFlags obs_flags;
+bench::Harness harness;
 
 struct Workload {
   const char* name;
@@ -35,7 +35,7 @@ double mechanism_overhead(bool linux_stack, const Workload& w,
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
     hwsim::Machine m(mc);
-    obs_flags.attach(m, std::string(w.name) + "/" +
+    harness.attach(m, std::string(w.name) + "/" +
                             (linux_stack ? "linux" : "nautilus") +
                             (hb_on ? "/hb-on" : "/hb-off"));
     std::unique_ptr<linuxmodel::LinuxStack> lx;
@@ -76,7 +76,7 @@ double forkjoin_overhead(bool linux_stack, double target_us) {
     mc.costs = hwsim::CostModel::knl();
     mc.max_advances = 2'000'000'000ULL;
     hwsim::Machine m(mc);
-    obs_flags.attach(m, std::string("tree-sum/") +
+    harness.attach(m, std::string("tree-sum/") +
                             (linux_stack ? "linux" : "nautilus") +
                             (hb_on ? "/hb-on" : "/hb-off"));
     std::unique_ptr<linuxmodel::LinuxStack> lx;
@@ -111,7 +111,7 @@ double forkjoin_overhead(bool linux_stack, double target_us) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!obs_flags.parse(argc, argv)) return 2;
+  if (!harness.parse(argc, argv)) return 2;
   const std::vector<Workload> workloads = {
       {"fine-grain-loop", 18, 32},
       {"mid-grain-loop", 30, 64},
@@ -147,5 +147,5 @@ int main(int argc, char** argv) {
                                                  lin100.size())),
               100 * mean(std::span<const double>(nk100.data(),
                                                  nk100.size())));
-  return obs_flags.finish() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }

@@ -3,13 +3,17 @@
 // the full Edinburgh OpenMP microbenchmarks" — this table gives the
 // per-construct overheads that explain Fig. 6.
 #include <cstdio>
+#include <string>
 
+#include "harness.hpp"
 #include "omp/runtime.hpp"
 #include "omp/tasking.hpp"
 
 using namespace iw;
 
 namespace {
+
+bench::Harness harness;
 
 /// Barrier-dominated microbenchmark: tiny parallel regions repeated.
 double per_barrier_cycles(omp::OmpMode mode, unsigned threads,
@@ -20,6 +24,9 @@ double per_barrier_cycles(omp::OmpMode mode, unsigned threads,
   cfg.num_threads = threads;
   cfg.linux_passive_wait = passive;
   cfg.noise_gap_us = 0.0;  // isolate the construct overhead
+  harness.begin_run(std::string("epcc/") + omp::mode_name(mode));
+  cfg.tracer = harness.tracer();
+  cfg.metrics = harness.metrics();
   const auto res = omp::run_miniapp(app, cfg);
   // Subtract the pure work component.
   const Cycles work = app.serial_work() / threads;
@@ -30,7 +37,8 @@ double per_barrier_cycles(omp::OmpMode mode, unsigned threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
   std::printf("== EPCC-style sync overheads (cycles per construct) ==\n");
   std::printf("%-26s %8s %8s %8s %8s\n", "construct / mode", "P=2", "P=8",
               "P=16", "P=32");
@@ -74,5 +82,5 @@ int main() {
       "\nshape: in-kernel spin barriers stay flat with scale; the futex\n"
       "(passive) path grows with the serialized wake chain — the\n"
       "scalability mechanism behind Fig. 6.\n");
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

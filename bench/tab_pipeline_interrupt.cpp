@@ -4,12 +4,19 @@
 // branch... 100-1000x better".
 #include <cstdio>
 
+#include "harness.hpp"
 #include "pipeline/interrupt_delivery.hpp"
 
 using namespace iw;
 using namespace iw::pipeline;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness;
+  if (!harness.parse(argc, argv)) return 2;
+  // The whole sweep replays on one analytic core: --trace shows every
+  // delivered interrupt as a span, --seed steers the branchy stream.
+  substrate::AnalyticSubstrate sub(1, harness.seed());
+  harness.attach(sub, "pipeline-interrupts");
   PipelineConfig cfg;
 
   std::printf("== pipeline interrupts: dispatch latency (cycles) ==\n");
@@ -24,7 +31,7 @@ int main() {
       exp.mechanism = mech;
       exp.total_instructions = 1'000'000;
       exp.interrupt_period = period;
-      const auto res = run_pipeline(cfg, exp);
+      const auto res = run_pipeline(cfg, exp, &sub, 0);
       (mech == DeliveryMechanism::kClassicIdt ? classic : inject) = res;
       std::printf("%-14s %12llu %8llu %8llu %8.1f %8.2f %8llu\n",
                   mech == DeliveryMechanism::kClassicIdt ? "classic-idt"
@@ -46,5 +53,5 @@ int main() {
   std::printf(
       "\npaper: classic dispatch ~1000 cycles; injection 100-1000x "
       "better.\n");
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

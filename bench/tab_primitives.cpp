@@ -10,13 +10,13 @@
 #include "linuxmodel/linux_stack.hpp"
 #include "nautilus/event.hpp"
 #include "nautilus/kernel.hpp"
-#include "obs_flags.hpp"
+#include "harness.hpp"
 
 using namespace iw;
 
 namespace {
 
-bench::ObsFlags obs_flags;
+bench::Harness harness;
 
 struct Primitives {
   double thread_create;
@@ -35,7 +35,7 @@ Primitives measure(bool linux_stack) {
   mc.max_advances = 100'000'000;
   const std::string stack_name = linux_stack ? "linux" : "nautilus";
   hwsim::Machine m(mc);
-  obs_flags.attach(m, stack_name + "/create+wake");
+  harness.attach(m, stack_name + "/create+wake");
   std::unique_ptr<linuxmodel::LinuxStack> lx;
   std::unique_ptr<nautilus::Kernel> nk;
   nautilus::Kernel* k;
@@ -108,7 +108,7 @@ Primitives measure(bool linux_stack) {
   // switch path cost here from a 200-switch ping-pong.
   {
     hwsim::Machine m2(mc);
-    obs_flags.attach(m2, stack_name + "/ctx-switch");
+    harness.attach(m2, stack_name + "/ctx-switch");
     std::unique_ptr<linuxmodel::LinuxStack> lx2;
     std::unique_ptr<nautilus::Kernel> nk2;
     nautilus::Kernel* k2;
@@ -136,7 +136,7 @@ Primitives measure(bool linux_stack) {
   }
   if (linux_stack) {
     hwsim::Machine m3(mc);
-    obs_flags.attach(m3, stack_name + "/crossing");
+    harness.attach(m3, stack_name + "/crossing");
     linuxmodel::LinuxStack lx3(m3);
     const Cycles before = m3.core(0).clock();
     lx3.syscall(m3.core(0));
@@ -150,7 +150,7 @@ Primitives measure(bool linux_stack) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!obs_flags.parse(argc, argv)) return 2;
+  if (!harness.parse(argc, argv)) return 2;
   const auto linux = measure(true);
   const auto naut = measure(false);
   std::printf("== kernel primitives (cycles, KNL model) ==\n");
@@ -168,5 +168,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: thread management and event signaling 'orders of magnitude "
       "faster'; no kernel/user boundary exists in Nautilus at all.\n");
-  return obs_flags.finish() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }

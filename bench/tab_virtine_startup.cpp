@@ -2,12 +2,16 @@
 // bespoke context specs. Paper: "start-up overheads as low as 100 µs".
 #include <cstdio>
 
+#include "harness.hpp"
 #include "virtine/wasp.hpp"
 
 using namespace iw;
 using namespace iw::virtine;
 
 namespace {
+
+bench::Harness harness;
+substrate::AnalyticSubstrate* g_sub = nullptr;
 
 GuestFn fib_guest(int n) {
   return [n](GuestEnv& env) -> GuestResult {
@@ -33,6 +37,7 @@ GuestFn echo_guest() {
 void run_spec(const char* fn_name, const GuestFn& fn,
               const char* spec_name, const ContextSpec& spec) {
   Wasp w;
+  w.bind_substrate(g_sub, 0);
   w.prepare_snapshot(spec);
   w.warm_pool(spec, 4);
   const auto cold = w.invoke(spec, SpawnPath::kCold, fn);
@@ -46,7 +51,11 @@ void run_spec(const char* fn_name, const GuestFn& fn,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!harness.parse(argc, argv)) return 2;
+  substrate::AnalyticSubstrate sub(1, harness.seed());
+  harness.attach(sub, "virtine-startup");
+  g_sub = &sub;
   std::printf("== virtine start-up latency (us, 1 GHz cost reference) ==\n");
   std::printf("%-6s %-10s %10s %10s %10s   %s\n", "fn", "context",
               "cold_us", "pooled_us", "snap_us", "spec");
@@ -63,6 +72,7 @@ int main() {
   // Pool-depth ablation: repeated invocations through a small pool.
   std::printf("\n-- sustained invocations through a pool of 4 --\n");
   Wasp w;
+  w.bind_substrate(g_sub, 0);
   const auto spec = ContextSpec::faas_handler();
   w.warm_pool(spec, 4);
   w.prepare_snapshot(spec);
@@ -72,5 +82,5 @@ int main() {
                 w.startup_us(inv.startup_cycles),
                 i < 4 ? "pool hit" : "pool miss -> cold");
   }
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

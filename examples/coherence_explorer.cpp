@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     cfg.noc.num_cores = cores;
     cfg.private_cache = coherence::CacheConfig{64 * 1024, 8, 64};
     cfg.selective_deactivation = deact == 1;
-    coherence::CoherenceSim sim(cfg);
+    coherence::CoherenceSim sim(cfg, Rng(42));
     stats[deact] = sim.run(trace);
   }
 

@@ -3,10 +3,29 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace iw::carat {
 
 CaratRuntime::CaratRuntime(CaratConfig cfg) : cfg_(cfg) {}
+
+void CaratRuntime::bind_substrate(substrate::StackSubstrate* sub,
+                                  CoreId core) {
+  sub_ = sub;
+  core_ = core;
+  cells_ = MetricCells{};
+  if (sub_ == nullptr) return;
+  IW_ASSERT_MSG(core < sub_->num_cores(), "CARAT bound to out-of-range core");
+  if (obs::MetricsRegistry* m = sub_->metrics()) {
+    cells_.guard_checks = &m->counter(obs::names::kCaratGuardChecks);
+    cells_.range_checks = &m->counter(obs::names::kCaratRangeChecks);
+    cells_.violations = &m->counter(obs::names::kCaratViolations);
+    cells_.moves = &m->counter(obs::names::kCaratMoves);
+    cells_.bytes_moved = &m->counter(obs::names::kCaratBytesMoved);
+    cells_.pointers_patched = &m->counter(obs::names::kCaratPointersPatched);
+    cells_.defrags = &m->counter(obs::names::kCaratDefrags);
+  }
+}
 
 std::optional<Addr> CaratRuntime::find_free_range(std::uint64_t bytes) const {
   // First-fit over the gaps between tracked allocations (byte-granular:
@@ -44,11 +63,16 @@ void CaratRuntime::free(Addr base) {
 
 bool CaratRuntime::check_access(Addr a, std::uint64_t size, bool is_write) {
   ++stats_.guard_checks;
+  if (sub_ != nullptr) {
+    sub_->charge(core_, cfg_.costs.guard_check);
+    if (cells_.guard_checks != nullptr) ++*cells_.guard_checks;
+  }
   const Allocation* alloc = map_.find(a);
   const bool ok = alloc != nullptr && alloc->contains_range(a, size) &&
                   prot_.check(alloc->id, is_write);
   if (!ok) {
     ++stats_.violations;
+    if (cells_.violations != nullptr) ++*cells_.violations;
     IW_ASSERT_MSG(!cfg_.fatal_violations, "CARAT protection violation");
   }
   return ok;
@@ -56,10 +80,15 @@ bool CaratRuntime::check_access(Addr a, std::uint64_t size, bool is_write) {
 
 bool CaratRuntime::check_range(Addr base) {
   ++stats_.range_checks;
+  if (sub_ != nullptr) {
+    sub_->charge(core_, cfg_.costs.range_check);
+    if (cells_.range_checks != nullptr) ++*cells_.range_checks;
+  }
   const Allocation* alloc = map_.find(base);
   const bool ok = alloc != nullptr;
   if (!ok) {
     ++stats_.violations;
+    if (cells_.violations != nullptr) ++*cells_.violations;
     IW_ASSERT_MSG(!cfg_.fatal_violations, "CARAT range-check violation");
   }
   return ok;
@@ -118,6 +147,7 @@ bool CaratRuntime::move_allocation(Addr base, Addr new_base) {
   map_.rebase(base, new_base);
 
   // Patch every escape slot whose *value* pointed into the old range.
+  const std::uint64_t patched_before = stats_.pointers_patched;
   const std::int64_t delta = static_cast<std::int64_t>(new_base) -
                              static_cast<std::int64_t>(base);
   for (Addr slot : escapes_) {
@@ -132,10 +162,24 @@ bool CaratRuntime::move_allocation(Addr base, Addr new_base) {
 
   ++stats_.moves;
   stats_.bytes_moved += size;
+  if (sub_ != nullptr) {
+    const std::uint64_t patched = stats_.pointers_patched - patched_before;
+    const Cycles cost = cfg_.costs.move_fixed +
+                        (size / 8) * cfg_.costs.per_word_moved +
+                        patched * cfg_.costs.per_pointer_patch;
+    sub_->charge_span(core_, "carat.move", cost);
+    if (cells_.moves != nullptr) ++*cells_.moves;
+    if (cells_.bytes_moved != nullptr) *cells_.bytes_moved += size;
+    if (cells_.pointers_patched != nullptr) {
+      *cells_.pointers_patched += patched;
+    }
+  }
   return true;
 }
 
 unsigned CaratRuntime::defragment() {
+  const Cycles defrag_begin = sub_ != nullptr ? sub_->core_now(core_) : 0;
+  if (sub_ != nullptr) sub_->charge(core_, cfg_.costs.defrag_fixed);
   unsigned moved = 0;
   Addr cursor = cfg_.arena_base;
   // Address-order slide-down: each allocation moves to the lowest free
@@ -155,6 +199,13 @@ unsigned CaratRuntime::defragment() {
       ++moved;
     }
     cursor += size;
+  }
+  if (sub_ != nullptr) {
+    // The span encloses the fixed sweep cost plus every slide-down
+    // move's charge: one "carat.defrag" box over its "carat.move" kids.
+    sub_->trace_span(core_, "carat.defrag", defrag_begin,
+                     sub_->core_now(core_));
+    if (cells_.defrags != nullptr) ++*cells_.defrags;
   }
   return moved;
 }

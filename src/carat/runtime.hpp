@@ -15,6 +15,7 @@
 #include "carat/protection.hpp"
 #include "common/types.hpp"
 #include "ir/interp.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::carat {
 
@@ -27,16 +28,36 @@ struct RuntimeStats {
   std::uint64_t pointers_patched{0};
 };
 
+/// Cycle costs the runtime charges to its substrate core when bound.
+/// Calibrated to the paper's measured regimes: guards are a few cycles
+/// of inlined compare work; moves pay a per-word copy plus a patch scan.
+struct CaratCosts {
+  Cycles guard_check{2};
+  Cycles range_check{1};
+  Cycles per_word_moved{1};
+  Cycles per_pointer_patch{4};
+  Cycles move_fixed{120};
+  Cycles defrag_fixed{400};
+};
+
 struct CaratConfig {
   Addr arena_base{0x1'0000'0000};
   std::uint64_t arena_size{1ULL << 24};  // 16 MiB of simulated heap
   /// Abort (assert) on violation instead of counting.
   bool fatal_violations{false};
+  CaratCosts costs{};
 };
 
 class CaratRuntime {
  public:
   explicit CaratRuntime(CaratConfig cfg = {});
+
+  /// Run this runtime on a stack substrate: guard/range checks and moves
+  /// charge CaratCosts to `core`'s clock, carat.* counters stream to the
+  /// registry, and moves/defrags appear as spans on the shared timeline.
+  /// Unbound (the default), behavior is the standalone one: stats only.
+  void bind_substrate(substrate::StackSubstrate* sub, CoreId core);
+  [[nodiscard]] substrate::StackSubstrate* substrate() const { return sub_; }
 
   // --- allocation (first-fit arena; byte-granular, movable) ---
   std::optional<Addr> alloc(std::uint64_t bytes);
@@ -87,6 +108,21 @@ class CaratRuntime {
   RuntimeStats stats_;
   std::unordered_map<Addr, std::int64_t> mem_;  // 8-byte words
   std::set<Addr> escapes_;
+
+  substrate::StackSubstrate* sub_{nullptr};
+  CoreId core_{0};
+  /// Cached registry cells (bind-time lookups; guards are hot). Null
+  /// while unbound or metrics are off.
+  struct MetricCells {
+    std::uint64_t* guard_checks{nullptr};
+    std::uint64_t* range_checks{nullptr};
+    std::uint64_t* violations{nullptr};
+    std::uint64_t* moves{nullptr};
+    std::uint64_t* bytes_moved{nullptr};
+    std::uint64_t* pointers_patched{nullptr};
+    std::uint64_t* defrags{nullptr};
+  };
+  MetricCells cells_;
 };
 
 }  // namespace iw::carat

@@ -3,16 +3,58 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace iw::coherence {
 
-CoherenceSim::CoherenceSim(SimConfig cfg)
-    : cfg_(cfg), dir_(cfg.num_cores), noc_(cfg.noc) {
+CoherenceSim::CoherenceSim(SimConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), dir_(cfg.num_cores), noc_(cfg.noc) {
   IW_ASSERT(cfg.num_cores >= 1 && cfg.num_cores <= 64);
   cfg_.noc.num_cores = cfg.num_cores;
   for (unsigned c = 0; c < cfg.num_cores; ++c) {
     caches_.push_back(std::make_unique<PrivateCache>(cfg.private_cache));
   }
+}
+
+void CoherenceSim::bind_substrate(substrate::StackSubstrate* sub) {
+  sub_ = sub;
+  cells_ = MetricCells{};
+  if (sub_ == nullptr) return;
+  IW_ASSERT_MSG(sub_->num_cores() >= cfg_.num_cores,
+                "substrate has fewer cores than the coherence model");
+  if (auto* mx = sub_->metrics()) {
+    // Bind-time name lookups; access() must never touch the map.
+    cells_.accesses = &mx->counter(obs::names::kCoherenceAccesses);
+    cells_.private_hits = &mx->counter(obs::names::kCoherencePrivateHits);
+    cells_.directory_lookups =
+        &mx->counter(obs::names::kCoherenceDirectoryLookups);
+    cells_.directory_updates =
+        &mx->counter(obs::names::kCoherenceDirectoryUpdates);
+    cells_.invalidations = &mx->counter(obs::names::kCoherenceInvalidations);
+    cells_.three_hop = &mx->counter(obs::names::kCoherenceThreeHopTransfers);
+    cells_.memory_fetches =
+        &mx->counter(obs::names::kCoherenceMemoryFetches);
+    cells_.handoff_flushes =
+        &mx->counter(obs::names::kCoherenceHandoffFlushes);
+    cells_.access_latency =
+        &mx->histogram(obs::names::kCoherenceAccessLatency);
+  }
+}
+
+void CoherenceSim::publish_delta(const SimStats& before, Cycles lat) {
+  if (cells_.accesses == nullptr) return;
+  *cells_.accesses += stats_.accesses - before.accesses;
+  *cells_.private_hits += stats_.private_hits - before.private_hits;
+  *cells_.directory_lookups +=
+      stats_.directory_lookups - before.directory_lookups;
+  *cells_.directory_updates +=
+      stats_.directory_updates - before.directory_updates;
+  *cells_.invalidations += stats_.invalidations - before.invalidations;
+  *cells_.three_hop +=
+      stats_.three_hop_transfers - before.three_hop_transfers;
+  *cells_.memory_fetches += stats_.memory_fetches - before.memory_fetches;
+  *cells_.handoff_flushes += stats_.handoff_flushes - before.handoff_flushes;
+  if (lat > 0) cells_.access_latency->add(lat);
 }
 
 bool CoherenceSim::deactivated(const Region& r) const {
@@ -215,29 +257,62 @@ Cycles CoherenceSim::coherent_access(const Access& a, const Region& region) {
 }
 
 Cycles CoherenceSim::access(const Access& a, const Region& region) {
+  SimStats before;
+  if (sub_ != nullptr) before = stats_;
   ++stats_.accesses;
-  const Cycles lat = deactivated(region) ? incoherent_access(a, region)
-                                         : coherent_access(a, region);
+  Cycles lat = deactivated(region) ? incoherent_access(a, region)
+                                   : coherent_access(a, region);
+  if (cfg_.access_jitter_max > 0) {
+    lat += rng_.uniform(0, cfg_.access_jitter_max);
+  }
   stats_.total_latency += lat;
   stats_.noc = noc_.stats();
+  if (sub_ != nullptr) {
+    // The interweaving step: the access's price lands on the owning
+    // core's clock, so everything scheduled after it on that core (the
+    // next heartbeat poll, the next driver step) genuinely waits.
+    const Cycles begin = sub_->core_now(a.core);
+    sub_->charge(a.core, lat);
+    // Span misses only — private hits at trace granularity would drown
+    // the timeline (they still stream into the metrics).
+    if (lat > cfg_.lat.private_hit) {
+      sub_->trace_span(a.core, "coherence.miss", begin, begin + lat);
+    }
+    publish_delta(before, lat);
+  }
   return lat;
 }
 
 void CoherenceSim::handoff(const Handoff& h, const Trace& trace) {
+  SimStats before;
+  if (sub_ != nullptr) before = stats_;
   const Region& r = trace.region_of(h.region);
   if (!deactivated(r)) return;  // coherent regions need no flush
+  Cycles flush_cost = 0;
   auto& cache = *caches_[h.from_core];
   for (const CacheLine& line : cache.lines_in_region(h.region)) {
     // Dirty lines write back to home; clean ones just drop. The new
     // owner fetches fresh copies on demand.
     if (line.dirty) {
       noc_.message(h.from_core, noc_.home_of(line.tag), true);
-      stats_.total_latency += cfg_.lat.flush_line;
+      flush_cost += cfg_.lat.flush_line;
     }
     cache.invalidate(line.tag);
     ++stats_.handoff_flushes;
   }
+  stats_.total_latency += flush_cost;
   stats_.noc = noc_.stats();
+  if (sub_ != nullptr) {
+    const Cycles begin = sub_->core_now(h.from_core);
+    if (flush_cost > 0) {
+      sub_->charge(h.from_core, flush_cost);
+      sub_->trace_span(h.from_core, "coherence.handoff_flush", begin,
+                       begin + flush_cost);
+    } else {
+      sub_->trace_instant(h.from_core, "coherence.handoff", begin);
+    }
+    publish_delta(before, 0);
+  }
 }
 
 SimStats CoherenceSim::run(const Trace& trace) {

@@ -20,6 +20,9 @@
 #include "coherence/directory.hpp"
 #include "coherence/interconnect.hpp"
 #include "coherence/trace.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::coherence {
 
@@ -41,6 +44,11 @@ struct SimConfig {
   bool selective_deactivation{false};
   /// Treat kReadOnly regions as deactivatable too (no sharer tracking).
   bool deactivate_read_only{true};
+  /// Opt-in uncore contention jitter: each access adds uniform
+  /// [0, access_jitter_max] extra cycles drawn from the simulator's
+  /// explicit RNG. 0 (the default) draws nothing — see the determinism
+  /// contract on CoherenceSim.
+  Cycles access_jitter_max{0};
 };
 
 struct SimStats {
@@ -71,9 +79,28 @@ struct SimStats {
   }
 };
 
+/// Determinism contract: the protocol model is a pure function of
+/// (config, access/handoff order) — it draws no randomness of its own.
+/// All stochastic behavior goes through the explicitly seeded Rng the
+/// constructor *requires* (no internal/default seeding), and only the
+/// opt-in access_jitter_max feature consumes draws; with it at 0 (the
+/// default) the RNG is never advanced and same-config runs are
+/// bit-identical regardless of seed. Callers on a substrate should pass
+/// substrate->rng_stream("coherence") so one seed flag steers every
+/// layer's streams coherently.
 class CoherenceSim {
  public:
-  explicit CoherenceSim(SimConfig cfg);
+  /// `rng` is the simulator's only randomness source. Pass an Rng seeded
+  /// from your experiment's seed (or a substrate rng_stream).
+  CoherenceSim(SimConfig cfg, Rng rng);
+
+  /// Run every access and handoff on the stack substrate: latencies are
+  /// charged to the owning core's clock, coherence.* metrics stream to
+  /// the registry, and misses/handoffs appear as spans on the shared
+  /// trace timeline. Unbound (the default), the simulator keeps its
+  /// standalone analytic behavior: identical stats, no sinks, no clocks.
+  void bind_substrate(substrate::StackSubstrate* sub);
+  [[nodiscard]] substrate::StackSubstrate* substrate() const { return sub_; }
 
   /// Run a full annotated trace (accesses + handoffs, in order).
   SimStats run(const Trace& trace);
@@ -94,13 +121,32 @@ class CoherenceSim {
   Cycles coherent_access(const Access& a, const Region& region);
   Cycles incoherent_access(const Access& a, const Region& region);
   void evict(unsigned core, const CacheLine& line);
+  /// Stream the per-access stats delta into the bound registry.
+  void publish_delta(const SimStats& before, Cycles lat);
 
   SimConfig cfg_;
+  Rng rng_;
   std::unordered_set<Addr> llc_seen_;
   std::vector<std::unique_ptr<PrivateCache>> caches_;
   Directory dir_;
   Interconnect noc_;
   SimStats stats_;
+
+  substrate::StackSubstrate* sub_{nullptr};
+  /// Cached registry cells (bind-time lookups; hot paths must not pay
+  /// the map). Null while unbound or metrics are off.
+  struct MetricCells {
+    std::uint64_t* accesses{nullptr};
+    std::uint64_t* private_hits{nullptr};
+    std::uint64_t* directory_lookups{nullptr};
+    std::uint64_t* directory_updates{nullptr};
+    std::uint64_t* invalidations{nullptr};
+    std::uint64_t* three_hop{nullptr};
+    std::uint64_t* memory_fetches{nullptr};
+    std::uint64_t* handoff_flushes{nullptr};
+    LatencyHistogram* access_latency{nullptr};
+  };
+  MetricCells cells_;
 };
 
 }  // namespace iw::coherence

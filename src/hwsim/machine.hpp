@@ -26,6 +26,7 @@
 #include "hwsim/cost_model.hpp"
 #include "hwsim/event_queue.hpp"
 #include "hwsim/fault_plan.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::obs {
 class TraceRecorder;
@@ -69,14 +70,19 @@ struct MachineConfig {
   std::uint64_t fault_seed{0};
 };
 
-class Machine {
+/// The machine IS a stack substrate (the paper's point, made literal):
+/// the DES's core clocks, observability sinks, RNG streams, and fault
+/// injector are the one fabric every higher-layer model runs on. Final
+/// so the hot-path accessors (now, tracer) devirtualize at call sites
+/// that hold a Machine.
+class Machine final : public substrate::StackSubstrate {
  public:
   explicit Machine(MachineConfig cfg);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  [[nodiscard]] unsigned num_cores() const {
+  [[nodiscard]] unsigned num_cores() const override {
     return static_cast<unsigned>(cores_.size());
   }
   [[nodiscard]] Core& core(CoreId id) { return *cores_[id]; }
@@ -84,23 +90,45 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  // --- StackSubstrate: virtual time ---
+  [[nodiscard]] Cycles core_now(CoreId core) const override {
+    return cores_[core]->clock();
+  }
+  /// Charging a core moves its simulated clock exactly as driver work
+  /// does: a coherence miss or CARAT sweep charged here delays every
+  /// later event on that core (the interweaving the silo models lacked).
+  void charge(CoreId core, Cycles c) override { cores_[core]->consume(c); }
+
+  // --- StackSubstrate: randomness ---
+  /// Streams derive from the machine seed, independent of the machine's
+  /// own rng_ and of the fault stream: attaching a model draws nothing
+  /// from the schedule-visible generators.
+  [[nodiscard]] Rng rng_stream(const char* name) const override {
+    return Rng(substrate::derive_stream_seed(cfg_.seed, name));
+  }
+
+  // --- StackSubstrate: fault hook ---
+  [[nodiscard]] FaultInjector* fault_hook() override { return &faults_; }
+
   /// Attach observability sinks (null = off, the default). Recording is
   /// free in virtual time and draws no RNG, so a traced run executes a
   /// bit-identical schedule to an untraced one.
   void set_tracer(obs::TraceRecorder* t) { tracer_ = t; }
   void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
-  [[nodiscard]] obs::TraceRecorder* tracer() const {
+  [[nodiscard]] obs::TraceRecorder* tracer() const override {
 #ifdef IW_TRACE_COMPILED_OUT
     return nullptr;
 #else
     return tracer_;
 #endif
   }
-  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return metrics_;
+  }
 
   /// Global simulated time = max over core clocks (the frontier). O(1):
   /// clocks are monotone, so cores maintain the max incrementally.
-  [[nodiscard]] Cycles now() const { return now_cache_; }
+  [[nodiscard]] Cycles now() const override { return now_cache_; }
 
   /// Earliest pending action time across the machine queue and all
   /// cores; kNever when quiescent. Amortized O(log N) in frontier mode.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace iw::mem {
 
@@ -33,6 +34,31 @@ std::optional<Addr> NumaDomain::alloc_on(unsigned zone, std::uint64_t bytes) {
 
 void NumaDomain::free(Addr addr) {
   zones_[zone_of_addr(addr)]->free(addr);
+}
+
+void NumaDomain::bind_substrate(substrate::StackSubstrate* sub) {
+  sub_ = sub;
+  local_cell_ = nullptr;
+  remote_cell_ = nullptr;
+  if (sub_ == nullptr) return;
+  if (obs::MetricsRegistry* m = sub_->metrics()) {
+    local_cell_ = &m->counter(obs::names::kMemNumaLocal);
+    remote_cell_ = &m->counter(obs::names::kMemNumaRemote);
+  }
+}
+
+Cycles NumaDomain::charge_access(CoreId core, Addr addr) {
+  const bool local = is_local(core, addr);
+  const Cycles cost = local ? cfg_.local_access : cfg_.remote_access;
+  if (sub_ != nullptr) {
+    sub_->charge(core, cost);
+    if (local) {
+      if (local_cell_ != nullptr) ++*local_cell_;
+    } else if (remote_cell_ != nullptr) {
+      ++*remote_cell_;
+    }
+  }
+  return cost;
 }
 
 }  // namespace iw::mem

@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "mem/buddy_allocator.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::mem {
 
@@ -20,6 +21,10 @@ struct NumaConfig {
   std::uint64_t zone_size{1ULL << 30};  // bytes per zone (power of two)
   unsigned cores_per_zone{8};
   std::uint64_t min_block{64};
+  /// Memory access costs charged through charge_access (KNL-flavored
+  /// near/far latencies; remote pays the cross-socket hop).
+  Cycles local_access{90};
+  Cycles remote_access{145};
 };
 
 class NumaDomain {
@@ -53,11 +58,27 @@ class NumaDomain {
     return zone_of_core(core) == zone_of_addr(addr);
   }
 
+  /// Run this domain on a stack substrate: charge_access charges the
+  /// local/remote cost to the accessing core's clock and streams
+  /// mem.numa_* counters. Unbound (the default): pure cost lookup.
+  void bind_substrate(substrate::StackSubstrate* sub);
+  [[nodiscard]] substrate::StackSubstrate* substrate() const { return sub_; }
+
+  /// Cost of `core` touching `addr` (local or remote zone). When bound,
+  /// the cost is also charged to `core`'s clock on the substrate.
+  Cycles charge_access(CoreId core, Addr addr);
+
   [[nodiscard]] const NumaConfig& config() const { return cfg_; }
 
  private:
   NumaConfig cfg_;
   std::vector<std::unique_ptr<BuddyAllocator>> zones_;
+
+  substrate::StackSubstrate* sub_{nullptr};
+  /// Cached registry cells (accesses are hot). Null while unbound or
+  /// metrics are off.
+  std::uint64_t* local_cell_{nullptr};
+  std::uint64_t* remote_cell_{nullptr};
 };
 
 }  // namespace iw::mem

@@ -1,10 +1,24 @@
 #include "mem/tlb.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace iw::mem {
 
 Tlb::Tlb(TlbConfig cfg) : cfg_(cfg) { IW_ASSERT(cfg.entries >= 1); }
+
+void Tlb::bind_substrate(substrate::StackSubstrate* sub, CoreId core) {
+  sub_ = sub;
+  core_ = core;
+  hit_cell_ = nullptr;
+  miss_cell_ = nullptr;
+  if (sub_ == nullptr) return;
+  IW_ASSERT_MSG(core < sub_->num_cores(), "TLB bound to out-of-range core");
+  if (obs::MetricsRegistry* m = sub_->metrics()) {
+    hit_cell_ = &m->counter(obs::names::kMemTlbHits);
+    miss_cell_ = &m->counter(obs::names::kMemTlbMisses);
+  }
+}
 
 Cycles Tlb::access(Addr addr) {
   const std::uint64_t page = addr / cfg_.page_size;
@@ -12,6 +26,10 @@ Cycles Tlb::access(Addr addr) {
   if (it != map_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    if (sub_ != nullptr) {
+      sub_->charge(core_, cfg_.hit_cost);
+      if (hit_cell_ != nullptr) ++*hit_cell_;
+    }
     return cfg_.hit_cost;
   }
   ++misses_;
@@ -21,6 +39,12 @@ Cycles Tlb::access(Addr addr) {
   }
   lru_.push_front(page);
   map_[page] = lru_.begin();
+  if (sub_ != nullptr) {
+    // A walk is long enough to matter on the timeline: record it as a
+    // span so miss storms are visible next to whatever triggered them.
+    sub_->charge_span(core_, "mem.tlb_walk", cfg_.miss_walk_cost);
+    if (miss_cell_ != nullptr) ++*miss_cell_;
+  }
   return cfg_.miss_walk_cost;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::mem {
 
@@ -25,6 +26,12 @@ struct TlbConfig {
 class Tlb {
  public:
   explicit Tlb(TlbConfig cfg);
+
+  /// Run this TLB on a stack substrate: every translation's cost is
+  /// charged to `core`'s clock and mem.tlb_* counters stream to the
+  /// registry. Unbound (the default): the caller owns the cycles.
+  void bind_substrate(substrate::StackSubstrate* sub, CoreId core);
+  [[nodiscard]] substrate::StackSubstrate* substrate() const { return sub_; }
 
   /// Translate an access to `addr`; returns the cycle cost (hit or walk)
   /// and updates LRU state.
@@ -48,6 +55,13 @@ class Tlb {
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
   std::uint64_t hits_{0};
   std::uint64_t misses_{0};
+
+  substrate::StackSubstrate* sub_{nullptr};
+  CoreId core_{0};
+  /// Cached registry cells (translations are hot). Null while unbound or
+  /// metrics are off.
+  std::uint64_t* hit_cell_{nullptr};
+  std::uint64_t* miss_cell_{nullptr};
 };
 
 }  // namespace iw::mem

@@ -1,7 +1,10 @@
 #include "obs/metrics.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <ostream>
+
+#include "common/assert.hpp"
 
 namespace iw::obs {
 
@@ -18,17 +21,38 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+namespace families {
+
+bool is_registered(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == 0 || dot == std::string::npos) return false;
+  for (const char* fam : kKnown) {
+    if (dot == std::strlen(fam) && name.compare(0, dot, fam) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace families
+
 std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  IW_ASSERT_MSG(families::is_registered(name),
+                "metric name outside a registered dotted family");
   return counters_[name];
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  IW_ASSERT_MSG(families::is_registered(name),
+                "metric name outside a registered dotted family");
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 OnlineStats& MetricsRegistry::stats(const std::string& name) {
+  IW_ASSERT_MSG(families::is_registered(name),
+                "metric name outside a registered dotted family");
   auto& slot = stats_[name];
   if (!slot) slot = std::make_unique<OnlineStats>();
   return *slot;

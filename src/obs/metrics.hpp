@@ -53,7 +53,74 @@ inline constexpr const char* kFaultsPolledBeats = "faults.polled_beats";
 inline constexpr const char* kFaultsDegradedEntries =
     "faults.degraded_entries";
 inline constexpr const char* kFaultsRecoveries = "faults.recoveries";
+// The coherence.* family: the directory-MESI model running on the
+// substrate (charges flow to core clocks; these count protocol events).
+inline constexpr const char* kCoherenceAccesses = "coherence.accesses";
+inline constexpr const char* kCoherencePrivateHits =
+    "coherence.private_hits";
+inline constexpr const char* kCoherenceDirectoryLookups =
+    "coherence.directory_lookups";
+inline constexpr const char* kCoherenceDirectoryUpdates =
+    "coherence.directory_updates";
+inline constexpr const char* kCoherenceInvalidations =
+    "coherence.invalidations";
+inline constexpr const char* kCoherenceThreeHopTransfers =
+    "coherence.three_hop_transfers";
+inline constexpr const char* kCoherenceMemoryFetches =
+    "coherence.memory_fetches";
+inline constexpr const char* kCoherenceHandoffFlushes =
+    "coherence.handoff_flushes";
+/// Per-access latency distribution (histogram).
+inline constexpr const char* kCoherenceAccessLatency =
+    "coherence.access_latency";
+// The carat.* family: runtime guard/mobility events.
+inline constexpr const char* kCaratGuardChecks = "carat.guard_checks";
+inline constexpr const char* kCaratRangeChecks = "carat.range_checks";
+inline constexpr const char* kCaratViolations = "carat.violations";
+inline constexpr const char* kCaratMoves = "carat.moves";
+inline constexpr const char* kCaratBytesMoved = "carat.bytes_moved";
+inline constexpr const char* kCaratPointersPatched =
+    "carat.pointers_patched";
+inline constexpr const char* kCaratDefrags = "carat.defrags";
+// The virtine.* family: spawn paths and the startup distribution.
+inline constexpr const char* kVirtineSpawns = "virtine.spawns";
+inline constexpr const char* kVirtineColdSpawns = "virtine.cold_spawns";
+inline constexpr const char* kVirtinePooledSpawns =
+    "virtine.pooled_spawns";
+inline constexpr const char* kVirtineSnapshotSpawns =
+    "virtine.snapshot_spawns";
+inline constexpr const char* kVirtineHypercalls = "virtine.hypercalls";
+/// Startup latency distribution (histogram, cycles).
+inline constexpr const char* kVirtineStartup = "virtine.startup_cycles";
+// The pipeline.* family: interrupt delivery replayed on the substrate.
+inline constexpr const char* kPipelineInstructions =
+    "pipeline.instructions";
+inline constexpr const char* kPipelineInterrupts = "pipeline.interrupts";
+/// Arrival -> first handler instruction (histogram, cycles).
+inline constexpr const char* kPipelineDispatchLatency =
+    "pipeline.dispatch_latency";
+// The mem.* family: TLB and NUMA charges.
+inline constexpr const char* kMemTlbHits = "mem.tlb_hits";
+inline constexpr const char* kMemTlbMisses = "mem.tlb_misses";
+inline constexpr const char* kMemNumaLocal = "mem.numa_local";
+inline constexpr const char* kMemNumaRemote = "mem.numa_remote";
 }  // namespace names
+
+/// Metric names are namespaced into dotted families ("faults.*",
+/// "coherence.*"): the first dot-separated segment must be one of the
+/// registered families below. MetricsRegistry enforces this at creation
+/// time (IW_ASSERT), so a typo'd or convention-breaking name fails fast
+/// in every build instead of silently forking a new family.
+namespace families {
+/// Every registered family prefix (without the trailing dot).
+inline constexpr const char* kKnown[] = {
+    "ipi",     "lapic",     "timer",   "heartbeat", "omp",
+    "nk",      "fiber",     "faults",  "coherence", "carat",
+    "virtine", "pipeline",  "mem",     "substrate", "bench",
+};
+/// Does `name` start with a registered family followed by a dot?
+[[nodiscard]] bool is_registered(const std::string& name);
+}  // namespace families
 
 class MetricsRegistry {
  public:

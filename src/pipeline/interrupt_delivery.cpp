@@ -1,12 +1,20 @@
 #include "pipeline/interrupt_delivery.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace iw::pipeline {
 
-PipelineResult run_pipeline(const PipelineConfig& cfg,
-                            const InterruptExperiment& exp) {
+namespace {
+
+/// Shared core loop. `sub` may be null (standalone analytic run); when
+/// bound, `origin` anchors the run on `core`'s clock so spans land where
+/// the core actually was when the replay started.
+PipelineResult run_impl(const PipelineConfig& cfg,
+                        const InterruptExperiment& exp, Rng rng,
+                        substrate::StackSubstrate* sub, CoreId core) {
   PipelineResult res;
   GsharePredictor predictor;
-  Rng rng(cfg.seed);
+  const Cycles origin = sub != nullptr ? sub->core_now(core) : 0;
 
   std::uint64_t cycle = 0;
   std::uint64_t retired = 0;
@@ -49,7 +57,14 @@ PipelineResult run_pipeline(const PipelineConfig& cfg,
         cycle += cfg.msr_return_cost;  // MSR-mediated return
         cycle += 1;                    // redirect back
       }
-      res.dispatch_latency.add(handler_entry - pending_since);
+      const std::uint64_t dispatch = handler_entry - pending_since;
+      res.dispatch_latency.add(dispatch);
+      if (sub != nullptr) {
+        sub->trace_span(core, "pipeline.interrupt", origin + pending_since,
+                        origin + cycle,
+                        static_cast<int>(exp.mechanism));
+        sub->metric_record(obs::names::kPipelineDispatchLatency, dispatch);
+      }
       irq_pending = false;
       next_irq = cycle + next_gap();
       continue;
@@ -72,7 +87,27 @@ PipelineResult run_pipeline(const PipelineConfig& cfg,
   res.cycles = cycle;
   res.instructions = retired;
   res.predictor_accuracy = predictor.accuracy();
+  if (sub != nullptr) {
+    sub->charge(core, cycle);
+    sub->metric_add(obs::names::kPipelineInstructions, retired);
+    sub->metric_add(obs::names::kPipelineInterrupts,
+                    res.interrupts_delivered);
+  }
   return res;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineConfig& cfg,
+                            const InterruptExperiment& exp) {
+  return run_impl(cfg, exp, Rng(cfg.seed), nullptr, 0);
+}
+
+PipelineResult run_pipeline(const PipelineConfig& cfg,
+                            const InterruptExperiment& exp,
+                            substrate::StackSubstrate* sub, CoreId core) {
+  if (sub == nullptr) return run_pipeline(cfg, exp);
+  return run_impl(cfg, exp, sub->rng_stream("pipeline"), sub, core);
 }
 
 }  // namespace iw::pipeline

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "pipeline/branch_predictor.hpp"
+#include "substrate/substrate.hpp"
 
 namespace iw::pipeline {
 
@@ -61,5 +62,15 @@ struct PipelineResult {
 
 PipelineResult run_pipeline(const PipelineConfig& cfg,
                             const InterruptExperiment& exp);
+
+/// Substrate replay: the same experiment, but the instruction stream's
+/// randomness comes from the substrate's "pipeline" RNG stream (cfg.seed
+/// is ignored), every delivered interrupt appears as a span on `core`'s
+/// timeline (arrival -> handler return, vector = mechanism), the total
+/// run is charged to `core`'s clock, and pipeline.* metrics stream to
+/// the registry. Passing sub == nullptr degrades to the standalone run.
+PipelineResult run_pipeline(const PipelineConfig& cfg,
+                            const InterruptExperiment& exp,
+                            substrate::StackSubstrate* sub, CoreId core);
 
 }  // namespace iw::pipeline

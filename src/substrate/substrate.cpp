@@ -1,0 +1,79 @@
+#include "substrate/substrate.hpp"
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace iw::substrate {
+
+void StackSubstrate::trace_span(CoreId core, const char* name, Cycles begin,
+                                Cycles end, int vector) {
+  if (auto* tr = tracer()) tr->span(core, name, begin, end, vector);
+}
+
+void StackSubstrate::trace_instant(CoreId core, const char* name, Cycles at,
+                                   int vector) {
+  if (auto* tr = tracer()) tr->instant(core, name, at, vector);
+}
+
+void StackSubstrate::metric_add(const char* name, std::uint64_t n) {
+  if (auto* mx = metrics()) mx->add(name, n);
+}
+
+void StackSubstrate::metric_record(const char* name, std::uint64_t value) {
+  if (auto* mx = metrics()) mx->record(name, value);
+}
+
+Cycles StackSubstrate::charge_span(CoreId core, const char* name, Cycles cost,
+                                   int vector) {
+  const Cycles begin = core_now(core);
+  charge(core, cost);
+  const Cycles end = begin + cost;
+  trace_span(core, name, begin, end, vector);
+  return end;
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t seed, const char* name) {
+  // FNV-1a over the stream name...
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  // ...folded into the substrate seed and diffused. The xor constant
+  // keeps stream 0 ("" at seed 0) away from the raw seed, which the
+  // machine's own scheduler stream is derived from.
+  std::uint64_t state = seed ^ h ^ 0x9e2d'5f4a'c31b'7e95ULL;
+  return splitmix64(state);
+}
+
+AnalyticSubstrate::AnalyticSubstrate(unsigned num_cores, std::uint64_t seed)
+    : clocks_(num_cores, 0), seed_(seed) {
+  IW_ASSERT(num_cores >= 1);
+}
+
+Cycles AnalyticSubstrate::core_now(CoreId core) const {
+  IW_ASSERT(core < clocks_.size());
+  return clocks_[core];
+}
+
+void AnalyticSubstrate::charge(CoreId core, Cycles c) {
+  IW_ASSERT(core < clocks_.size());
+  clocks_[core] += c;
+  if (clocks_[core] > now_) now_ = clocks_[core];
+}
+
+void AnalyticSubstrate::advance_core_to(CoreId core, Cycles t) {
+  IW_ASSERT(core < clocks_.size());
+  if (t > clocks_[core]) {
+    clocks_[core] = t;
+    if (t > now_) now_ = t;
+  }
+}
+
+void AnalyticSubstrate::reset_clocks() {
+  clocks_.assign(clocks_.size(), 0);
+  now_ = 0;
+}
+
+}  // namespace iw::substrate

@@ -3,11 +3,21 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace iw::virtine {
 
 Wasp::Wasp(WaspConfig cfg) : cfg_(cfg) {
   IW_ASSERT(cfg.heap_bytes % cfg.page_bytes == 0);
+}
+
+void Wasp::bind_substrate(substrate::StackSubstrate* sub, CoreId core) {
+  if (sub != nullptr) {
+    IW_ASSERT_MSG(core < sub->num_cores(),
+                  "Wasp bound to out-of-range core");
+  }
+  sub_ = sub;
+  core_ = core;
 }
 
 std::int64_t GuestEnv::hypercall(std::uint32_t nr, std::int64_t arg) {
@@ -53,12 +63,18 @@ void Wasp::warm_pool(const ContextSpec& spec, unsigned n) {
 Wasp::Invocation Wasp::invoke(const ContextSpec& spec, SpawnPath path,
                               const GuestFn& fn) {
   ++stats_.spawns;
+  // Metric bumps mirror the stats_ increments site-for-site (spawn rates
+  // are low; the null-safe map-lookup path is fine here). A pool miss
+  // recurses as a cold spawn: both frames count a spawn, matching
+  // stats_.spawns exactly.
+  if (sub_ != nullptr) sub_->metric_add(obs::names::kVirtineSpawns);
   Cycles startup = 0;
   Vm vm;
 
   switch (path) {
     case SpawnPath::kCold: {
       ++stats_.cold_spawns;
+      if (sub_ != nullptr) sub_->metric_add(obs::names::kVirtineColdSpawns);
       vm = make_vm();
       startup += cfg_.vm_create + cfg_.vcpu_create;
       startup += image_pages(spec) * cfg_.per_page_load;
@@ -71,6 +87,9 @@ Wasp::Invocation Wasp::invoke(const ContextSpec& spec, SpawnPath path,
         return invoke(spec, SpawnPath::kCold, fn);
       }
       ++stats_.pooled_spawns;
+      if (sub_ != nullptr) {
+        sub_->metric_add(obs::names::kVirtinePooledSpawns);
+      }
       vm = std::move(pool_.front());
       pool_.pop_front();
       startup += cfg_.reset_registers;
@@ -83,6 +102,9 @@ Wasp::Invocation Wasp::invoke(const ContextSpec& spec, SpawnPath path,
                     "prepare_snapshot before snapshot spawns");
       IW_ASSERT(snapshot_features_ == spec.features);
       ++stats_.snapshot_spawns;
+      if (sub_ != nullptr) {
+        sub_->metric_add(obs::names::kVirtineSnapshotSpawns);
+      }
       vm = make_vm();
       vm.heap = snapshot_->heap;
       const std::uint64_t pages = snapshot_->boot_dirty_pages;
@@ -106,6 +128,18 @@ Wasp::Invocation Wasp::invoke(const ContextSpec& spec, SpawnPath path,
       startup + res.cycles + env.hypercall_cycles() + cfg_.vm_exit;
   inv.isolation_faults = env.faults();
   stats_.startup_cycles.add(startup);
+  if (sub_ != nullptr) {
+    // Startup replays as a span with the spawn path as its arg; guest
+    // body, hypercall round trips, and the final vm_exit are charged
+    // after it (they happen on the same core, in order).
+    sub_->charge_span(core_, "virtine.spawn", startup,
+                      static_cast<int>(path));
+    sub_->charge(core_, res.cycles + env.hypercall_cycles() + cfg_.vm_exit);
+    sub_->metric_record(obs::names::kVirtineStartup, startup);
+    if (env.hypercalls() > 0) {
+      sub_->metric_add(obs::names::kVirtineHypercalls, env.hypercalls());
+    }
+  }
   return inv;
 }
 

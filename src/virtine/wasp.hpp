@@ -23,6 +23,7 @@
 
 #include "common/histogram.hpp"
 #include "common/types.hpp"
+#include "substrate/substrate.hpp"
 #include "virtine/context.hpp"
 
 namespace iw::virtine {
@@ -121,6 +122,13 @@ class Wasp {
  public:
   explicit Wasp(WaspConfig cfg = {});
 
+  /// Run invocations on a stack substrate: each spawn's startup replays
+  /// as a "virtine.spawn" span on `core`'s timeline (guest body and
+  /// final vm_exit charged after it), and virtine.* metrics stream to
+  /// the registry. Unbound (the default): standalone stats only.
+  void bind_substrate(substrate::StackSubstrate* sub, CoreId core);
+  [[nodiscard]] substrate::StackSubstrate* substrate() const { return sub_; }
+
   /// Run `fn` as a virtine of `spec` via `path`. Returns the function
   /// result plus the startup latency actually paid.
   struct Invocation {
@@ -175,6 +183,9 @@ class Wasp {
   };
   std::optional<Snapshot> snapshot_;
   std::uint32_t snapshot_features_{0};
+
+  substrate::StackSubstrate* sub_{nullptr};
+  CoreId core_{0};
 };
 
 }  // namespace iw::virtine

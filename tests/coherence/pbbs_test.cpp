@@ -92,9 +92,9 @@ TEST_P(PbbsDeactivationTest, DeactivationWinsOnEveryKernel) {
   const auto suite = pbbs_suite(p);
   const auto& trace = suite[static_cast<std::size_t>(GetParam())];
 
-  CoherenceSim base(sim_cfg(p.cores, false));
+  CoherenceSim base(sim_cfg(p.cores, false), Rng(p.seed));
   const auto base_stats = base.run(trace);
-  CoherenceSim deact(sim_cfg(p.cores, true));
+  CoherenceSim deact(sim_cfg(p.cores, true), Rng(p.seed));
   const auto deact_stats = deact.run(trace);
 
   const double speedup = static_cast<double>(base_stats.total_latency) /
@@ -128,9 +128,9 @@ TEST(PbbsSuiteAggregate, AverageSpeedupAndEnergyInPaperBand) {
   std::vector<double> speedups;
   std::vector<double> energy_cuts;
   for (const auto& trace : suite) {
-    CoherenceSim base(sim_cfg(p.cores, false));
+    CoherenceSim base(sim_cfg(p.cores, false), Rng(p.seed));
     const auto b = base.run(trace);
-    CoherenceSim deact(sim_cfg(p.cores, true));
+    CoherenceSim deact(sim_cfg(p.cores, true), Rng(p.seed));
     const auto d = deact.run(trace);
     speedups.push_back(static_cast<double>(b.total_latency) /
                        static_cast<double>(d.total_latency));

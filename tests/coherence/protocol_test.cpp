@@ -49,7 +49,7 @@ TEST(PrivateCacheUnit, LruEvictionReturnsVictim) {
 }
 
 TEST(Protocol, ReadMissThenHit) {
-  CoherenceSim sim(small_cfg(false));
+  CoherenceSim sim(small_cfg(false), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   const Cycles miss = sim.access({0, AccessType::kRead, r.base, 0}, r);
@@ -60,7 +60,7 @@ TEST(Protocol, ReadMissThenHit) {
 }
 
 TEST(Protocol, WriteInvalidatesSharers) {
-  CoherenceSim sim(small_cfg(false));
+  CoherenceSim sim(small_cfg(false), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   // Three readers, then one writer.
@@ -76,7 +76,7 @@ TEST(Protocol, WriteInvalidatesSharers) {
 }
 
 TEST(Protocol, DirtyReadIsThreeHop) {
-  CoherenceSim sim(small_cfg(false));
+  CoherenceSim sim(small_cfg(false), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   sim.access({0, AccessType::kWrite, r.base, 0}, r);  // core 0: M
@@ -89,7 +89,7 @@ TEST(Protocol, DirtyReadIsThreeHop) {
 }
 
 TEST(Protocol, WriteAfterWriteMigratesOwnership) {
-  CoherenceSim sim(small_cfg(false));
+  CoherenceSim sim(small_cfg(false), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   sim.access({0, AccessType::kWrite, r.base, 0}, r);
@@ -99,7 +99,7 @@ TEST(Protocol, WriteAfterWriteMigratesOwnership) {
 }
 
 TEST(Protocol, ExclusiveUpgradeIsSilent) {
-  CoherenceSim sim(small_cfg(false));
+  CoherenceSim sim(small_cfg(false), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   sim.access({0, AccessType::kRead, r.base, 0}, r);  // E (sole reader)
@@ -111,7 +111,7 @@ TEST(Protocol, ExclusiveUpgradeIsSilent) {
 }
 
 TEST(Deactivation, PrivateRegionBypassesDirectory) {
-  CoherenceSim sim(small_cfg(true));
+  CoherenceSim sim(small_cfg(true), Rng(42));
   Trace t = one_region_trace(RegionClass::kTaskPrivate);
   const Region& r = t.regions[0];
   sim.access({0, AccessType::kWrite, r.base, 0}, r);
@@ -122,7 +122,7 @@ TEST(Deactivation, PrivateRegionBypassesDirectory) {
 }
 
 TEST(Deactivation, SharedRegionStaysCoherent) {
-  CoherenceSim sim(small_cfg(true));
+  CoherenceSim sim(small_cfg(true), Rng(42));
   Trace t = one_region_trace(RegionClass::kShared);
   const Region& r = t.regions[0];
   for (unsigned c = 0; c < 3; ++c) {
@@ -134,7 +134,7 @@ TEST(Deactivation, SharedRegionStaysCoherent) {
 }
 
 TEST(Deactivation, HandoffFlushesIncoherentLines) {
-  CoherenceSim sim(small_cfg(true));
+  CoherenceSim sim(small_cfg(true), Rng(42));
   Trace t = one_region_trace(RegionClass::kTaskPrivate);
   const Region& r = t.regions[0];
   for (int i = 0; i < 8; ++i) {
@@ -152,7 +152,7 @@ TEST(Deactivation, MigrationCheaperThanCoherentMigration) {
   // core 1 (task migration). Baseline: invalidations + 3-hop transfers.
   // Deactivated: flush + refetch, no directory traffic.
   auto run = [](bool deactivate) {
-    CoherenceSim sim(small_cfg(deactivate));
+    CoherenceSim sim(small_cfg(deactivate), Rng(42));
     Trace t = one_region_trace(deactivate ? RegionClass::kTaskPrivate
                                           : RegionClass::kShared);
     const Region& r = t.regions[0];

@@ -86,7 +86,7 @@ TEST_P(SwmrTest, InvariantHoldsThroughRandomTrace) {
   cfg.noc.num_cores = cores;
   cfg.private_cache = CacheConfig{4 * 1024, 2, 64};  // small: evictions!
   cfg.selective_deactivation = deactivate;
-  CoherenceSim sim(cfg);
+  CoherenceSim sim(cfg, Rng(42));
 
   unsigned p0_owner = 0, p1_owner = 1;
   for (std::uint64_t step = 0; step < 3'000; ++step) {

@@ -10,22 +10,22 @@ namespace {
 
 TEST(MetricsRegistry, CountersCreateOnFirstUseAndAccumulate) {
   MetricsRegistry mx;
-  EXPECT_FALSE(mx.has_counter("polls"));
-  mx.add("polls");
-  mx.add("polls", 9);
-  EXPECT_TRUE(mx.has_counter("polls"));
-  EXPECT_EQ(mx.counter("polls"), 10u);
+  EXPECT_FALSE(mx.has_counter("nk.polls"));
+  mx.add("nk.polls");
+  mx.add("nk.polls", 9);
+  EXPECT_TRUE(mx.has_counter("nk.polls"));
+  EXPECT_EQ(mx.counter("nk.polls"), 10u);
 }
 
 TEST(MetricsRegistry, HistogramReferenceSurvivesLaterInserts) {
   MetricsRegistry mx;
-  LatencyHistogram& h = mx.histogram("a");
+  LatencyHistogram& h = mx.histogram("omp.a");
   h.add(100);
   // Creating many more histograms must not invalidate the reference.
-  for (int i = 0; i < 64; ++i) mx.histogram("pad" + std::to_string(i));
+  for (int i = 0; i < 64; ++i) mx.histogram("omp.pad" + std::to_string(i));
   h.add(200);
-  EXPECT_EQ(mx.histogram("a").count(), 2u);
-  EXPECT_EQ(mx.histogram("a").min(), 100u);
+  EXPECT_EQ(mx.histogram("omp.a").count(), 2u);
+  EXPECT_EQ(mx.histogram("omp.a").min(), 100u);
 }
 
 TEST(MetricsRegistry, RecordFeedsNamedHistogram) {
@@ -41,26 +41,26 @@ TEST(MetricsRegistry, RecordFeedsNamedHistogram) {
 
 TEST(MetricsRegistry, StatsAccumulatorWorks) {
   MetricsRegistry mx;
-  mx.stats("gap").add(10.0);
-  mx.stats("gap").add(30.0);
-  EXPECT_EQ(mx.stats("gap").count(), 2u);
-  EXPECT_DOUBLE_EQ(mx.stats("gap").mean(), 20.0);
+  mx.stats("heartbeat.gap").add(10.0);
+  mx.stats("heartbeat.gap").add(30.0);
+  EXPECT_EQ(mx.stats("heartbeat.gap").count(), 2u);
+  EXPECT_DOUBLE_EQ(mx.stats("heartbeat.gap").mean(), 20.0);
 }
 
 TEST(MetricsRegistry, JsonExportHasAllSectionsAndPercentiles) {
   MetricsRegistry mx;
-  mx.add("ipis", 3);
+  mx.add("ipi.sends", 3);
   for (std::uint64_t v = 1; v <= 100; ++v) {
     mx.record(names::kIpiSendToHandlerEntry, v * 10);
   }
-  mx.stats("gap").add(5.0);
+  mx.stats("heartbeat.gap").add(5.0);
   std::ostringstream os;
   mx.write_json(os);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"stats\""), std::string::npos);
-  EXPECT_NE(json.find("\"ipis\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"ipi.sends\": 3"), std::string::npos);
   // The UTF-8 arrow in the canonical name survives export.
   EXPECT_NE(json.find(names::kIpiSendToHandlerEntry), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
@@ -70,21 +70,21 @@ TEST(MetricsRegistry, JsonExportHasAllSectionsAndPercentiles) {
 
 TEST(MetricsRegistry, EmptyHistogramExportsNoPercentiles) {
   MetricsRegistry mx;
-  mx.histogram("never_recorded");
+  mx.histogram("omp.never_recorded");
   std::ostringstream os;
   mx.write_json(os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("never_recorded"), std::string::npos);
+  EXPECT_NE(json.find("omp.never_recorded"), std::string::npos);
   EXPECT_EQ(json.find("\"p50\""), std::string::npos);
 }
 
 TEST(MetricsRegistry, ClearResetsEverything) {
   MetricsRegistry mx;
-  mx.add("c");
-  mx.record("h", 1);
+  mx.add("nk.c");
+  mx.record("nk.h", 1);
   mx.clear();
-  EXPECT_FALSE(mx.has_counter("c"));
-  EXPECT_FALSE(mx.has_histogram("h"));
+  EXPECT_FALSE(mx.has_counter("nk.c"));
+  EXPECT_FALSE(mx.has_histogram("nk.h"));
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// Dotted-family enforcement: every metric name must live inside a
+// registered family ("coherence.*", "mem.*", ...). The registry rejects
+// anything else at creation time so a typo'd name fails fast in every
+// build instead of silently forking a new family.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace iw::obs {
+namespace {
+
+TEST(MetricFamilies, EveryKnownFamilyPrefixIsAccepted) {
+  for (const char* fam : families::kKnown) {
+    EXPECT_TRUE(families::is_registered(std::string(fam) + ".anything"))
+        << fam;
+  }
+}
+
+TEST(MetricFamilies, NamesUsedByThePortedModelsAreRegistered) {
+  for (const char* name :
+       {names::kCoherenceAccesses, names::kCoherenceAccessLatency,
+        names::kCaratGuardChecks, names::kCaratBytesMoved,
+        names::kVirtineSpawns, names::kVirtineStartup,
+        names::kPipelineInstructions, names::kPipelineDispatchLatency,
+        names::kMemTlbHits, names::kMemNumaRemote,
+        names::kHeartbeatBeatGap, names::kFaultsIpiDropped}) {
+    EXPECT_TRUE(families::is_registered(name)) << name;
+  }
+}
+
+TEST(MetricFamilies, RejectsConventionBreakingNames) {
+  EXPECT_FALSE(families::is_registered(""));
+  EXPECT_FALSE(families::is_registered("coherence"));    // no dot
+  EXPECT_FALSE(families::is_registered("coherence_x"));  // no dot
+  EXPECT_FALSE(families::is_registered(".accesses"));    // empty family
+  EXPECT_FALSE(families::is_registered("bogus.count"));  // unknown family
+  EXPECT_FALSE(families::is_registered("Coherence.accesses"));  // case
+  // A registered family must be followed by a dot, not merely prefix
+  // the name.
+  EXPECT_FALSE(families::is_registered("memx.tlb_hits"));
+}
+
+using MetricFamiliesDeathTest = ::testing::Test;
+
+TEST(MetricFamiliesDeathTest, UnregisteredCounterNameAborts) {
+  MetricsRegistry r;
+  EXPECT_DEATH(r.counter("bogus.count"), "registered dotted family");
+}
+
+TEST(MetricFamiliesDeathTest, UnregisteredHistogramNameAborts) {
+  MetricsRegistry r;
+  EXPECT_DEATH(r.histogram("typo_latency"), "registered dotted family");
+}
+
+TEST(MetricFamiliesDeathTest, UnregisteredStatsNameAborts) {
+  MetricsRegistry r;
+  EXPECT_DEATH(r.stats("coherence_accesses"), "registered dotted family");
+}
+
+TEST(MetricFamilies, RegisteredNamesCreateNormally) {
+  MetricsRegistry r;
+  r.add(names::kCoherenceAccesses, 3);
+  EXPECT_EQ(r.counter(names::kCoherenceAccesses), 3u);
+  r.record(names::kVirtineStartup, 1'000);
+  EXPECT_TRUE(r.has_histogram(names::kVirtineStartup));
+}
+
+}  // namespace
+}  // namespace iw::obs
