@@ -13,11 +13,12 @@
 //   --metrics-json=FILE  every layer's counters in one registry dump
 //   --faults=SPEC  deterministic fault plan on the same fabric
 //
-// The bench always runs the same seed on both SchedulerKinds and
-// compares a digest of the full observable state (core clocks, beat
-// ledgers, coherence stats); exit status 1 on divergence. Same-seed
-// reruns are bit-identical — the determinism contract the golden-trace
-// tests (tests/substrate/) pin down byte-for-byte.
+// The bench always runs the same seed on every SchedulerKind (frontier,
+// linear, and the epoch-parallel scheduler) and compares a digest of the
+// full observable state (core clocks, beat ledgers, coherence stats);
+// exit status 1 on divergence. Same-seed reruns are bit-identical — the
+// determinism contract the golden-trace tests (tests/substrate/) pin
+// down byte-for-byte.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -94,9 +95,12 @@ RunResult run_one(const Params& p, hwsim::SchedulerKind sched,
                   const char* label) {
   hwsim::MachineConfig mc;
   mc.num_cores = p.cores;
-  mc.scheduler = sched;
   mc.max_advances = 2'000'000'000ULL;
   harness.apply(mc);
+  // After apply(): this bench sweeps the schedulers itself, so the
+  // cross-scheduler digest check stays meaningful even if a
+  // --scheduler= flag is passed.
+  mc.scheduler = sched;
   hwsim::Machine m(mc);
   harness.attach(m, label);
 
@@ -214,10 +218,15 @@ int main(int argc, char** argv) {
     hwsim::SchedulerKind kind;
     const char* name;
   };
-  RunResult res[2];
-  const Sched scheds[2] = {{hwsim::SchedulerKind::kFrontier, "frontier"},
-                           {hwsim::SchedulerKind::kLinearScan, "linear"}};
-  for (int s = 0; s < 2; ++s) {
+  // The heartbeat mutates worker state across cores, so the parallel
+  // scheduler runs its (default) single-group shard policy here.
+  constexpr int kScheds = 3;
+  RunResult res[kScheds];
+  const Sched scheds[kScheds] = {
+      {hwsim::SchedulerKind::kFrontier, "frontier"},
+      {hwsim::SchedulerKind::kLinearScan, "linear"},
+      {hwsim::SchedulerKind::kParallelEpoch, "parallel"}};
+  for (int s = 0; s < kScheds; ++s) {
     const std::string label = std::string("composed/") + scheds[s].name;
     res[s] = run_one(p, scheds[s].kind, label.c_str());
     std::printf("%-10s %12llu %10llu %8llu %9llu %8llu %9.1f %018llx\n",
@@ -231,7 +240,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res[s].digest));
   }
 
-  const bool identical = res[0].digest == res[1].digest;
+  const bool identical = res[0].digest == res[1].digest &&
+                         res[0].digest == res[2].digest;
   std::printf("\nscheduler determinism: %s\n",
               identical ? "bit-identical state digests"
                         : "DIGESTS DIVERGE (DES ordering bug)");

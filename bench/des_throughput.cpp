@@ -1,17 +1,27 @@
 // Wall-clock throughput of the DES scheduling core: simulated events per
 // second under an IPI+LAPIC-heavy heartbeat workload (the fig3 interrupt
-// pattern) at 2/8/64/256 cores, for both schedulers:
-//   frontier — the O(log N) incremental frontier index (default), and
-//   linear   — the seed O(N)-scan reference.
-// The two must execute bit-identical schedules (asserted here via the
-// virtual end state, and bit-for-bit in tests/hwsim/determinism_test);
-// only the wall clock may differ.
+// pattern) at 2/8/64/256 cores, for every scheduler:
+//   frontier — the O(log N) incremental frontier index (default),
+//   linear   — the seed O(N)-scan reference,
+//   parallel — the epoch-synchronized conservative parallel DES
+//              (ShardPolicy::kPerCore; host threads via --threads), and
+//   auto     — the construction-time linear/frontier pick (its 2-core
+//              row is the small-machine regression guard: it must not
+//              lose to the linear baseline).
+// All schedulers must execute bit-identical schedules (asserted here via
+// the virtual end state, and bit-for-bit in tests/hwsim); only the wall
+// clock may differ. The parallel speedup has two sources: lookahead
+// batching (per-core drains replace per-event global scheduling — this
+// holds even at --threads=1) and host parallelism on multi-core hosts.
 //
-// Usage: des_throughput [--smoke] [--out=FILE]
-//   --smoke     ~10x shorter runs (CI artifact mode)
-//   --out=FILE  JSON output path (default BENCH_des_throughput.json)
+// Usage: des_throughput [--smoke] [--out=FILE] [--threads=N]
+//   --smoke      ~10x shorter runs (CI artifact mode)
+//   --out=FILE   JSON output path (default BENCH_des_throughput.json)
+//   --threads=N  host worker threads for the parallel series (default 1,
+//                the reproducible baseline; CI may pass its core count)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -32,8 +42,20 @@ struct Row {
   double events_per_sec{0.0};
 };
 
-Row run_one(unsigned cores, hwsim::SchedulerKind sched, Cycles sim_cycles) {
-  bench::DesWorkload w = bench::make_des_workload(cores, sched);
+const char* sched_label(hwsim::SchedulerKind sched) {
+  switch (sched) {
+    case hwsim::SchedulerKind::kFrontier: return "frontier";
+    case hwsim::SchedulerKind::kLinearScan: return "linear";
+    case hwsim::SchedulerKind::kParallelEpoch: return "parallel";
+    case hwsim::SchedulerKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Row run_one(unsigned cores, hwsim::SchedulerKind sched, Cycles sim_cycles,
+            unsigned threads) {
+  bench::DesWorkload w =
+      bench::make_des_workload(cores, sched, 200, 20'000, threads);
   const auto t0 = std::chrono::steady_clock::now();
   const bool ok = w.machine->run_until(sim_cycles);
   const auto t1 = std::chrono::steady_clock::now();
@@ -43,10 +65,9 @@ Row run_one(unsigned cores, hwsim::SchedulerKind sched, Cycles sim_cycles) {
   }
   Row r;
   r.cores = cores;
-  r.scheduler =
-      sched == hwsim::SchedulerKind::kFrontier ? "frontier" : "linear";
+  r.scheduler = sched_label(sched);
   r.advances = w.machine->total_advances();
-  r.irqs = *w.irqs_handled;
+  r.irqs = w.total_irqs();
   r.sim_time = w.machine->now();
   r.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -61,20 +82,35 @@ Row run_one(unsigned cores, hwsim::SchedulerKind sched, Cycles sim_cycles) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out = "BENCH_des_throughput.json";
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(
+          std::strtoul(argv[i] + 10, nullptr, 10));
+      if (threads == 0) threads = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=FILE] [--threads=N]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   const std::vector<unsigned> core_counts{2, 8, 64, 256};
+  const std::vector<hwsim::SchedulerKind> scheds{
+      hwsim::SchedulerKind::kFrontier,
+      hwsim::SchedulerKind::kLinearScan,
+      hwsim::SchedulerKind::kParallelEpoch,
+      hwsim::SchedulerKind::kAuto,
+  };
   std::vector<Row> rows;
-  std::vector<double> speedups;  // frontier/linear per core count
+  std::vector<double> speedup_frontier;  // frontier/linear per core count
+  std::vector<double> speedup_parallel;  // parallel/frontier per core count
+  std::vector<double> speedup_auto;      // auto/linear per core count
 
   std::printf("%-6s %-9s %12s %10s %10s %12s\n", "cores", "sched",
               "advances", "irqs", "wall_ms", "events/s");
@@ -84,32 +120,48 @@ int main(int argc, char** argv) {
     // roughly with cores x sim_time / step.
     const Cycles sim = std::max<Cycles>(400'000'000 / cores, 1'000'000) /
                        (smoke ? 10 : 1);
-    const Row f = run_one(cores, hwsim::SchedulerKind::kFrontier, sim);
-    const Row l = run_one(cores, hwsim::SchedulerKind::kLinearScan, sim);
-    // Equivalence guard: both schedulers must have executed the same
-    // virtual-time schedule.
-    if (f.advances != l.advances || f.irqs != l.irqs ||
-        f.sim_time != l.sim_time) {
-      std::fprintf(stderr,
-                   "des_throughput: scheduler divergence at %u cores "
-                   "(advances %llu vs %llu, irqs %llu vs %llu)\n",
-                   cores, static_cast<unsigned long long>(f.advances),
-                   static_cast<unsigned long long>(l.advances),
-                   static_cast<unsigned long long>(f.irqs),
-                   static_cast<unsigned long long>(l.irqs));
-      return 1;
+    std::vector<Row> group;
+    for (const hwsim::SchedulerKind sched : scheds) {
+      group.push_back(run_one(cores, sched, sim, threads));
     }
-    for (const Row& r : {f, l}) {
+    // Equivalence guard: every scheduler must have executed the same
+    // virtual-time schedule.
+    const Row& f = group[0];
+    for (const Row& r : group) {
+      if (r.advances != f.advances || r.irqs != f.irqs ||
+          r.sim_time != f.sim_time) {
+        std::fprintf(stderr,
+                     "des_throughput: scheduler divergence at %u cores "
+                     "(%s vs %s: advances %llu vs %llu, irqs %llu vs "
+                     "%llu)\n",
+                     cores, r.scheduler, f.scheduler,
+                     static_cast<unsigned long long>(r.advances),
+                     static_cast<unsigned long long>(f.advances),
+                     static_cast<unsigned long long>(r.irqs),
+                     static_cast<unsigned long long>(f.irqs));
+        return 1;
+      }
       std::printf("%-6u %-9s %12llu %10llu %10.1f %12.0f\n", r.cores,
                   r.scheduler, static_cast<unsigned long long>(r.advances),
                   static_cast<unsigned long long>(r.irqs), r.wall_ms,
                   r.events_per_sec);
       rows.push_back(r);
     }
-    const double speedup =
+    const Row& l = group[1];
+    const Row& p = group[2];
+    const Row& a = group[3];
+    const double sf =
         l.events_per_sec > 0.0 ? f.events_per_sec / l.events_per_sec : 0.0;
-    speedups.push_back(speedup);
-    std::printf("%-6u speedup   %.2fx\n", cores, speedup);
+    const double sp =
+        f.events_per_sec > 0.0 ? p.events_per_sec / f.events_per_sec : 0.0;
+    const double sa =
+        l.events_per_sec > 0.0 ? a.events_per_sec / l.events_per_sec : 0.0;
+    speedup_frontier.push_back(sf);
+    speedup_parallel.push_back(sp);
+    speedup_auto.push_back(sa);
+    std::printf("%-6u speedup   frontier/linear %.2fx  parallel/frontier "
+                "%.2fx  auto/linear %.2fx\n",
+                cores, sf, sp, sa);
   }
 
   std::FILE* fp = std::fopen(out.c_str(), "w");
@@ -121,8 +173,9 @@ int main(int argc, char** argv) {
                "{\n  \"bench\": \"des_throughput\",\n"
                "  \"workload\": \"ipi+lapic heartbeat broadcast, 200-cycle "
                "spin steps, 20k-cycle period\",\n"
-               "  \"smoke\": %s,\n  \"results\": [\n",
-               smoke ? "true" : "false");
+               "  \"smoke\": %s,\n  \"host_threads\": %u,\n"
+               "  \"results\": [\n",
+               smoke ? "true" : "false", threads);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(fp,
@@ -135,12 +188,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.sim_time), r.wall_ms,
                  r.events_per_sec, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(fp, "  ],\n  \"speedup_frontier_vs_linear\": {");
-  for (std::size_t i = 0; i < core_counts.size(); ++i) {
-    std::fprintf(fp, "%s\"%u\": %.2f", i ? ", " : "", core_counts[i],
-                 speedups[i]);
-  }
-  std::fprintf(fp, "}\n}\n");
+  const auto write_map = [&](const char* name,
+                             const std::vector<double>& v) {
+    std::fprintf(fp, "  \"%s\": {", name);
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+      std::fprintf(fp, "%s\"%u\": %.2f", i ? ", " : "", core_counts[i],
+                   v[i]);
+    }
+    std::fprintf(fp, "}");
+  };
+  std::fprintf(fp, "  ],\n");
+  write_map("speedup_frontier_vs_linear", speedup_frontier);
+  std::fprintf(fp, ",\n");
+  write_map("speedup_parallel_vs_frontier", speedup_parallel);
+  std::fprintf(fp, ",\n");
+  write_map("speedup_auto_vs_linear", speedup_auto);
+  std::fprintf(fp, "\n}\n");
   std::fclose(fp);
   std::printf("wrote %s\n", out.c_str());
   return 0;

@@ -4,6 +4,11 @@
 // core, over cores kept busy with fixed-cost spin steps. This is the
 // fig3/heartbeat interrupt pattern at benchmark intensity — the regime
 // where per-event scheduler cost dominates the simulator's wall clock.
+//
+// The workload is shard-safe: all cross-core traffic is the broadcast
+// through the IPI fabric, and the IRQ accounting is per-core (padded
+// cells, each written only by its own core's handler), so it runs under
+// every scheduler including kParallelEpoch with ShardPolicy::kPerCore.
 #pragma once
 
 #include <cstdint>
@@ -27,37 +32,54 @@ class SpinForeverDriver final : public hwsim::CoreDriver {
   Cycles step_;
 };
 
+/// Cache-line-private IRQ counter cell (one per core: handlers on
+/// different shards must not share a line).
+struct alignas(64) IrqCell {
+  std::uint64_t v{0};
+};
+
 struct DesWorkload {
   std::unique_ptr<hwsim::Machine> machine;
   std::unique_ptr<SpinForeverDriver> driver;
   std::unique_ptr<hwsim::LapicTimer> timer;
-  /// Heap cell so the handler closures stay valid across moves of this
-  /// struct.
-  std::shared_ptr<std::uint64_t> irqs_handled =
-      std::make_shared<std::uint64_t>(0);
+  /// Heap storage so the handler closures stay valid across moves of
+  /// this struct; cell i is written only by core i's handler.
+  std::shared_ptr<std::vector<IrqCell>> irqs_by_core;
+
+  [[nodiscard]] std::uint64_t total_irqs() const {
+    std::uint64_t n = 0;
+    for (const auto& c : *irqs_by_core) n += c.v;
+    return n;
+  }
 };
 
 /// Build the workload: `period`-cycle heartbeat broadcast + `step`-cycle
 /// spin steps on every core. The machine never quiesces; drive it with
-/// run_until or advance_n.
+/// run_until or advance_n. `threads` is the host worker pool for
+/// kParallelEpoch (ignored by the sequential schedulers), which runs
+/// this workload with ShardPolicy::kPerCore.
 inline DesWorkload make_des_workload(unsigned cores,
                                      hwsim::SchedulerKind sched,
                                      Cycles step = 200,
-                                     Cycles period = 20'000) {
+                                     Cycles period = 20'000,
+                                     unsigned threads = 1) {
   DesWorkload w;
   hwsim::MachineConfig mc;
   mc.num_cores = cores;
   mc.scheduler = sched;
+  mc.shard_policy = hwsim::ShardPolicy::kPerCore;
+  mc.threads = threads;
   w.machine = std::make_unique<hwsim::Machine>(mc);
   w.driver = std::make_unique<SpinForeverDriver>(step);
+  w.irqs_by_core = std::make_shared<std::vector<IrqCell>>(cores);
 
-  auto counter = w.irqs_handled;
+  auto cells = w.irqs_by_core;
   for (unsigned i = 0; i < cores; ++i) {
     auto& core = w.machine->core(i);
     core.set_driver(w.driver.get());
-    core.set_irq_handler(0x40, [counter](hwsim::Core& c, int) {
+    core.set_irq_handler(0x40, [cells](hwsim::Core& c, int) {
       c.consume(120);  // handler body: promotion-flag write + return
-      ++*counter;
+      ++(*cells)[c.id()].v;
       if (c.id() == 0) c.machine().broadcast_ipi(c, 0x40);
     });
   }

@@ -6,6 +6,31 @@
 
 namespace iw::bench {
 
+bool Harness::parse_scheduler(const char* name, hwsim::SchedulerKind* out) {
+  if (std::strcmp(name, "frontier") == 0) {
+    *out = hwsim::SchedulerKind::kFrontier;
+  } else if (std::strcmp(name, "linear") == 0) {
+    *out = hwsim::SchedulerKind::kLinearScan;
+  } else if (std::strcmp(name, "parallel") == 0) {
+    *out = hwsim::SchedulerKind::kParallelEpoch;
+  } else if (std::strcmp(name, "auto") == 0) {
+    *out = hwsim::SchedulerKind::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* Harness::scheduler_name(hwsim::SchedulerKind k) {
+  switch (k) {
+    case hwsim::SchedulerKind::kFrontier: return "frontier";
+    case hwsim::SchedulerKind::kLinearScan: return "linear";
+    case hwsim::SchedulerKind::kParallelEpoch: return "parallel";
+    case hwsim::SchedulerKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
 bool Harness::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -24,11 +49,30 @@ bool Harness::parse(int argc, char** argv) {
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       seed_ = std::strtoull(a + 7, nullptr, 10);
       seed_set_ = true;
+    } else if (std::strncmp(a, "--scheduler=", 12) == 0) {
+      if (!parse_scheduler(a + 12, &scheduler_)) {
+        std::fprintf(stderr,
+                     "--scheduler: unknown value '%s' (expected frontier, "
+                     "linear, parallel, or auto)\n",
+                     a + 12);
+        return false;
+      }
+      scheduler_set_ = true;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(a + 10, &end, 10);
+      if (end == a + 10 || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "--threads: expected a positive integer\n");
+        return false;
+      }
+      threads_ = static_cast<unsigned>(v);
     } else if (std::strcmp(a, "--trace") == 0 ||
                std::strcmp(a, "--metrics-json") == 0 ||
                std::strcmp(a, "--faults") == 0 ||
                std::strcmp(a, "--fault-seed") == 0 ||
-               std::strcmp(a, "--seed") == 0) {
+               std::strcmp(a, "--seed") == 0 ||
+               std::strcmp(a, "--scheduler") == 0 ||
+               std::strcmp(a, "--threads") == 0) {
       std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
       return false;
     }
@@ -61,6 +105,10 @@ void Harness::apply(hwsim::MachineConfig& mc) const {
   mc.faults = plan_;
   mc.fault_seed = fault_seed_;
   if (seed_set_) mc.seed = seed_;
+  // Only override what the flags actually set: benches that sweep
+  // schedulers themselves assign mc.scheduler before/after apply().
+  if (scheduler_set_) mc.scheduler = scheduler_;
+  mc.threads = threads_;
 }
 
 bool Harness::finish() {

@@ -6,6 +6,9 @@
 //   --faults=SPEC        deterministic fault plan (fault_plan.hpp grammar)
 //   --fault-seed=N       explicit fault-stream seed (0 = derive)
 //   --seed=N             experiment seed (machines + analytic substrates)
+//   --scheduler=NAME     DES scheduler: frontier | linear | parallel | auto
+//                        (unknown names are a usage error)
+//   --threads=N          host worker threads for --scheduler=parallel
 //
 // With no flags the benches run with null sinks, no faults, and their
 // built-in seeds — the default-off path the determinism guarantees are
@@ -64,6 +67,20 @@ class Harness {
   [[nodiscard]] bool faults_enabled() const { return plan_.enabled; }
   [[nodiscard]] const hwsim::FaultPlan& fault_plan() const { return plan_; }
 
+  /// --scheduler=NAME, else `fallback` (the bench's default).
+  [[nodiscard]] hwsim::SchedulerKind scheduler(
+      hwsim::SchedulerKind fallback) const {
+    return scheduler_set_ ? scheduler_ : fallback;
+  }
+  [[nodiscard]] bool scheduler_overridden() const { return scheduler_set_; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Parse a scheduler name ("frontier" | "linear" | "parallel" |
+  /// "auto"); returns false on anything else. Shared by every bench
+  /// that takes scheduler names positionally.
+  static bool parse_scheduler(const char* name, hwsim::SchedulerKind* out);
+  [[nodiscard]] static const char* scheduler_name(hwsim::SchedulerKind k);
+
   /// Write any requested output files; call once before exit.
   /// Returns false if a write failed.
   bool finish();
@@ -81,6 +98,10 @@ class Harness {
 
   std::uint64_t seed_{42};
   bool seed_set_{false};
+
+  hwsim::SchedulerKind scheduler_{hwsim::SchedulerKind::kFrontier};
+  bool scheduler_set_{false};
+  unsigned threads_{1};
 };
 
 }  // namespace iw::bench

@@ -28,6 +28,9 @@ void Core::set_interrupts_enabled(bool enabled) {
 }
 
 void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
+  IW_ASSERT_MSG(machine_.shard_guard_ok(id_),
+                "cross-shard post_irq during a per-core parallel drain "
+                "(route cross-core IRQs through the IPI fabric)");
   IrqEvent ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
@@ -40,7 +43,8 @@ void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
   // of 1.0 would recurse forever. IPIs get their faults in post_ipi.
   auto& faults = machine_.fault_injector();
   if (!ipi && faults.enabled()) {
-    if (const Cycles lag = faults.spurious_irq_lag(t); lag != 0) {
+    if (const Cycles lag = faults.spurious_irq_lag(machine_.exec_source(), t);
+        lag != 0) {
       IrqEvent ghost = ev;
       ghost.time = t + lag;
       ghost.seq = machine_.next_seq();
@@ -58,6 +62,9 @@ void Core::post_irq(Cycles t, int vector, Cycles origin, bool ipi) {
 }
 
 void Core::post_callback(Cycles t, std::function<void()> fn) {
+  IW_ASSERT_MSG(machine_.shard_guard_ok(id_),
+                "cross-shard post_callback during a per-core parallel "
+                "drain");
   CoreEvent ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
@@ -68,6 +75,8 @@ void Core::post_callback(Cycles t, std::function<void()> fn) {
 
 void Core::post_timer(Cycles t, TimerSink* sink, std::uint64_t gen) {
   IW_ASSERT(sink != nullptr);
+  IW_ASSERT_MSG(machine_.shard_guard_ok(id_),
+                "cross-shard post_timer during a per-core parallel drain");
   CoreEvent ev;
   ev.seq = machine_.next_seq();
   ev.timer = sink;
@@ -80,7 +89,8 @@ void Core::post_timer(Cycles t, TimerSink* sink, std::uint64_t gen) {
   ev.time = t;
   auto& faults = machine_.fault_injector();
   if (faults.enabled()) {
-    const FaultInjector::TimerFate fate = faults.timer_fate(t);
+    const FaultInjector::TimerFate fate =
+        faults.timer_fate(machine_.exec_source(), t);
     ev.ideal = t + fate.drift;
     ev.time = ev.ideal + fate.jitter;
     if ((fate.drift != 0 || fate.jitter != 0)) {
@@ -174,7 +184,10 @@ void Core::advance() {
     // simply runs late; interrupts queue up behind the stall.
     auto& faults = machine_.fault_injector();
     if (faults.enabled()) {
-      if (const Cycles stolen = faults.stall_cycles(clock_); stolen != 0) {
+      // Stalls always strike the advancing core, so the draw comes from
+      // its own stream regardless of which scheduler is running.
+      if (const Cycles stolen = faults.stall_cycles(id_ + 1, clock_);
+          stolen != 0) {
         const Cycles from = clock_;
         consume(stolen);
         if (auto* tr = machine_.tracer()) {

@@ -165,6 +165,15 @@ class Core {
  private:
   friend class Machine;
 
+  /// Push a fully-formed IRQ event (sequence number and fault fate
+  /// already drawn in the sender's context) into the inbox. The fabric
+  /// delivery tail: called by Machine::enqueue_ipi directly or at an
+  /// epoch barrier when the delivery was buffered in a sender outbox.
+  void enqueue_irq(const IrqEvent& ev) {
+    irq_inbox_.push(ev);
+    mark_schedule_dirty();
+  }
+
   [[nodiscard]] Cycles compute_next_action_time();
   /// Out-of-line slow path: registers with the machine's frontier.
   void notify_machine_dirty();
@@ -178,7 +187,10 @@ class Core {
   }
 
   Machine& machine_;
-  Cycles* machine_now_;  // Machine::now_cache_, updated on clock movement
+  /// Destination of clock-movement publication: Machine::now_cache_ in
+  /// the sequential schedulers, this core's private slot in per-core
+  /// parallel mode (repointed by the Machine constructor).
+  Cycles* machine_now_;
   CoreId id_;
   Cycles clock_{0};
   bool irq_enabled_{true};

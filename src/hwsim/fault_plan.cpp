@@ -117,70 +117,93 @@ bool FaultPlan::parse(const std::string& spec, FaultPlan* out,
 
 void FaultInjector::configure(const FaultPlan& plan,
                               std::uint64_t machine_seed,
-                              std::uint64_t fault_seed) {
+                              std::uint64_t fault_seed, unsigned num_streams) {
   plan_ = plan;
-  n_ = Counters{};
-  // A dedicated stream: the machine's own Rng is never touched, so an
+  if (num_streams == 0) num_streams = 1;
+  streams_ = std::vector<Stream>(num_streams);
+  // Dedicated streams: the machine's own Rng is never touched, so an
   // enabled plan perturbs only what it injects (downstream Rng::split
-  // consumers see the exact same draws as a fault-free run).
+  // consumers see the exact same draws as a fault-free run). Each
+  // stream is seeded from one splitmix64 chain off the base seed, so
+  // stream i's draw sequence depends only on (base seed, i).
   std::uint64_t s =
       fault_seed != 0 ? fault_seed : (machine_seed ^ 0xFA017'1A9E5ULL);
-  rng_ = Rng(splitmix64(s));
+  for (auto& st : streams_) st.rng = Rng(splitmix64(s));
 }
 
-FaultInjector::IpiFate FaultInjector::ipi_fate(int vector, Cycles sent) {
+FaultInjector::IpiFate FaultInjector::ipi_fate(unsigned stream_idx,
+                                               int vector, Cycles sent) {
   IpiFate f;
   if (!active_at(sent)) return f;
   if (plan_.vector_filter >= 0 && vector != plan_.vector_filter) return f;
-  if (plan_.ipi_drop_rate > 0.0 && rng_.chance(plan_.ipi_drop_rate)) {
+  Stream& st = stream(stream_idx);
+  if (plan_.ipi_drop_rate > 0.0 && st.rng.chance(plan_.ipi_drop_rate)) {
     f.drop = true;
-    ++n_.ipis_dropped;
+    ++st.n.ipis_dropped;
     return f;  // a dropped IPI cannot also be delayed or duplicated
   }
   if (plan_.ipi_delay_rate > 0.0 && plan_.ipi_delay_max > 0 &&
-      rng_.chance(plan_.ipi_delay_rate)) {
-    f.extra_delay = rng_.uniform(1, plan_.ipi_delay_max);
-    ++n_.ipis_delayed;
+      st.rng.chance(plan_.ipi_delay_rate)) {
+    f.extra_delay = st.rng.uniform(1, plan_.ipi_delay_max);
+    ++st.n.ipis_delayed;
   }
   if (plan_.ipi_dup_rate > 0.0 && plan_.ipi_dup_lag_max > 0 &&
-      rng_.chance(plan_.ipi_dup_rate)) {
+      st.rng.chance(plan_.ipi_dup_rate)) {
     f.duplicate = true;
-    f.dup_lag = rng_.uniform(1, plan_.ipi_dup_lag_max);
-    ++n_.ipis_duplicated;
+    f.dup_lag = st.rng.uniform(1, plan_.ipi_dup_lag_max);
+    ++st.n.ipis_duplicated;
   }
   return f;
 }
 
-FaultInjector::TimerFate FaultInjector::timer_fate(Cycles ideal) {
+FaultInjector::TimerFate FaultInjector::timer_fate(unsigned stream_idx,
+                                                   Cycles ideal) {
   TimerFate f;
   if (!active_at(ideal)) return f;
+  Stream& st = stream(stream_idx);
   f.drift = plan_.timer_drift;
   if (plan_.timer_jitter_rate > 0.0 && plan_.timer_jitter_max > 0 &&
-      rng_.chance(plan_.timer_jitter_rate)) {
-    f.jitter = rng_.uniform(1, plan_.timer_jitter_max);
+      st.rng.chance(plan_.timer_jitter_rate)) {
+    f.jitter = st.rng.uniform(1, plan_.timer_jitter_max);
   }
-  if (f.drift != 0 || f.jitter != 0) ++n_.timer_perturbed;
+  if (f.drift != 0 || f.jitter != 0) ++st.n.timer_perturbed;
   return f;
 }
 
-Cycles FaultInjector::spurious_irq_lag(Cycles t) {
+Cycles FaultInjector::spurious_irq_lag(unsigned stream_idx, Cycles t) {
   if (!active_at(t)) return 0;
   if (plan_.spurious_irq_rate <= 0.0 || plan_.spurious_lag_max == 0) {
     return 0;
   }
-  if (!rng_.chance(plan_.spurious_irq_rate)) return 0;
-  ++n_.spurious_irqs;
-  return rng_.uniform(1, plan_.spurious_lag_max);
+  Stream& st = stream(stream_idx);
+  if (!st.rng.chance(plan_.spurious_irq_rate)) return 0;
+  ++st.n.spurious_irqs;
+  return st.rng.uniform(1, plan_.spurious_lag_max);
 }
 
-Cycles FaultInjector::stall_cycles(Cycles now) {
+Cycles FaultInjector::stall_cycles(unsigned stream_idx, Cycles now) {
   if (!active_at(now)) return 0;
   if (plan_.stall_rate <= 0.0 || plan_.stall_max == 0) return 0;
-  if (!rng_.chance(plan_.stall_rate)) return 0;
-  const Cycles stolen = rng_.uniform(1, plan_.stall_max);
-  ++n_.stalls;
-  n_.stall_cycles_total += stolen;
+  Stream& st = stream(stream_idx);
+  if (!st.rng.chance(plan_.stall_rate)) return 0;
+  const Cycles stolen = st.rng.uniform(1, plan_.stall_max);
+  ++st.n.stalls;
+  st.n.stall_cycles_total += stolen;
   return stolen;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  Counters total;
+  for (const auto& st : streams_) {
+    total.ipis_dropped += st.n.ipis_dropped;
+    total.ipis_delayed += st.n.ipis_delayed;
+    total.ipis_duplicated += st.n.ipis_duplicated;
+    total.timer_perturbed += st.n.timer_perturbed;
+    total.spurious_irqs += st.n.spurious_irqs;
+    total.stalls += st.n.stalls;
+    total.stall_cycles_total += st.n.stall_cycles_total;
+  }
+  return total;
 }
 
 }  // namespace iw::hwsim

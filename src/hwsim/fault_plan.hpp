@@ -6,12 +6,20 @@
 // experiment perturb the event stream at well-defined points — drop,
 // delay, or duplicate IPIs; jitter, drift, or spuriously repeat timer
 // fires; transiently stall cores — while staying bit-reproducible: all
-// fault decisions draw from a dedicated Rng derived from the machine
-// seed, never from the machine's own stream, so
+// fault decisions draw from dedicated Rng streams derived from the
+// machine seed, never from the machine's own stream, so
 //  * a disabled plan (the default) draws nothing and every trace is
 //    bit-identical to a build without this layer, and
-//  * the same seed and plan produce the same fault schedule under both
-//    DES schedulers (the golden-trace equivalence tests run faulted).
+//  * the same seed and plan produce the same fault schedule under every
+//    DES scheduler (the golden-trace equivalence tests run faulted).
+//
+// The injector keeps one independent stream per *execution context*
+// (one per simulated core plus one for machine-level/setup code), and
+// every draw is made eagerly in the acting context, in that context's
+// local execution order. A context's draw sequence is therefore a pure
+// function of its own event stream — independent of how the scheduler
+// interleaves contexts — which is what lets the parallel epoch
+// scheduler replay the exact fault schedule of the sequential ones.
 #pragma once
 
 #include <cstdint>
@@ -87,15 +95,20 @@ struct FaultPlan {
                     std::string* err);
 };
 
-/// Runtime side of a FaultPlan: owns the dedicated fault Rng and the
-/// injection counters. One per Machine; consulted from the hwsim choke
-/// points (post_ipi / post_timer / post_irq / advance).
+/// Runtime side of a FaultPlan: owns the per-context fault Rng streams
+/// and the injection counters. One per Machine; consulted from the
+/// hwsim choke points (post_ipi / post_timer / post_irq / advance).
+/// Draw methods take the acting context's stream index (0 = machine /
+/// setup context, core c = stream c + 1); the single-argument overloads
+/// draw from stream 0 for standalone users (AnalyticSubstrate).
 class FaultInjector {
  public:
-  /// Bind a plan. `machine_seed` feeds the fault stream unless the plan
-  /// owner supplies an explicit `fault_seed` (nonzero).
+  /// Bind a plan. `machine_seed` feeds the fault streams unless the
+  /// plan owner supplies an explicit `fault_seed` (nonzero).
+  /// `num_streams` is the number of independent decision streams
+  /// (Machine passes num_cores + 1; standalone users take the default).
   void configure(const FaultPlan& plan, std::uint64_t machine_seed,
-                 std::uint64_t fault_seed = 0);
+                 std::uint64_t fault_seed = 0, unsigned num_streams = 1);
 
   [[nodiscard]] bool enabled() const { return plan_.enabled; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
@@ -110,21 +123,27 @@ class FaultInjector {
     bool duplicate{false};
     Cycles dup_lag{0};
   };
-  IpiFate ipi_fate(int vector, Cycles sent);
+  IpiFate ipi_fate(unsigned stream, int vector, Cycles sent);
+  IpiFate ipi_fate(int vector, Cycles sent) {
+    return ipi_fate(0, vector, sent);
+  }
 
   /// Perturbation of one timer fire scheduled for `ideal`.
   struct TimerFate {
     Cycles jitter{0};  // late delivery only; cadence unaffected
     Cycles drift{0};   // cadence slip, accumulates through re-arms
   };
-  TimerFate timer_fate(Cycles ideal);
+  TimerFate timer_fate(unsigned stream, Cycles ideal);
+  TimerFate timer_fate(Cycles ideal) { return timer_fate(0, ideal); }
 
   /// Lag of a spurious ghost copy of a non-IPI IRQ posted at `t`
   /// (0 = no spurious copy this time).
-  Cycles spurious_irq_lag(Cycles t);
+  Cycles spurious_irq_lag(unsigned stream, Cycles t);
+  Cycles spurious_irq_lag(Cycles t) { return spurious_irq_lag(0, t); }
 
   /// Cycles stolen from a driver step starting at `now` (0 = no stall).
-  Cycles stall_cycles(Cycles now);
+  Cycles stall_cycles(unsigned stream, Cycles now);
+  Cycles stall_cycles(Cycles now) { return stall_cycles(0, now); }
 
   struct Counters {
     std::uint64_t ipis_dropped{0};
@@ -135,12 +154,23 @@ class FaultInjector {
     std::uint64_t stalls{0};
     Cycles stall_cycles_total{0};
   };
-  [[nodiscard]] const Counters& counters() const { return n_; }
+  /// Aggregate counters, summed across streams (by value: per-stream
+  /// cells are private so concurrent contexts never share a line).
+  [[nodiscard]] Counters counters() const;
 
  private:
+  /// One decision stream: an independent Rng plus its own counter
+  /// cells, cache-line-sized so concurrent contexts do not false-share.
+  struct alignas(64) Stream {
+    Rng rng;
+    Counters n;
+  };
+  [[nodiscard]] Stream& stream(unsigned idx) {
+    return streams_[idx < streams_.size() ? idx : 0];
+  }
+
   FaultPlan plan_;
-  Rng rng_;
-  Counters n_;
+  std::vector<Stream> streams_ = std::vector<Stream>(1);
 };
 
 }  // namespace iw::hwsim

@@ -4,33 +4,102 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "hwsim/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace iw::hwsim {
 
+namespace {
+/// Below this core count the frontier heap is bypassed for a direct
+/// scan over the cached per-core next-action values: the committed
+/// des_throughput calibration shows heap maintenance losing to the
+/// scan at 2 cores (0.84x vs linear) and winning by 8 (1.42x).
+constexpr std::size_t kFrontierDirectScanMax = 4;
+}  // namespace
+
+Machine::ExecCtx& Machine::exec_ctx() {
+  static thread_local ExecCtx ctx;
+  return ctx;
+}
+
 Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   IW_ASSERT(cfg.num_cores >= 1);
-  faults_.configure(cfg.faults, cfg.seed, cfg.fault_seed);
+  // Source ids pack into the low 16 bits of event sequence numbers.
+  IW_ASSERT_MSG(cfg.num_cores < 0xFFFF, "too many cores for source ids");
+  sched_ = cfg.scheduler;
+  if (sched_ == SchedulerKind::kAuto) {
+    sched_ = cfg.num_cores <= kFrontierDirectScanMax
+                 ? SchedulerKind::kLinearScan
+                 : SchedulerKind::kFrontier;
+  }
+  faults_.configure(cfg.faults, cfg.seed, cfg.fault_seed,
+                    /*num_streams=*/cfg.num_cores + 1);
+  seq_by_source_.resize(cfg.num_cores + 1);
+  ipis_by_source_.resize(cfg.num_cores + 1);
   cores_.reserve(cfg.num_cores);
   for (unsigned i = 0; i < cfg.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(*this, i));
+  }
+  if (sched_ == SchedulerKind::kParallelEpoch &&
+      cfg.shard_policy == ShardPolicy::kPerCore) {
+    // Give every core a cache-line-private clock slot so concurrent
+    // shard drains never contend on the global now cache; now() folds
+    // the slots instead.
+    per_core_now_.resize(cfg.num_cores);
+    for (unsigned i = 0; i < cfg.num_cores; ++i) {
+      cores_[i]->machine_now_ = &per_core_now_[i].v;
+    }
   }
   // Cores are born dirty but could not register while cores_ was still
   // being filled; seed the frontier index now.
   refresh_frontier();
 }
 
+Machine::~Machine() = default;
+
+void Machine::set_tracer(obs::TraceRecorder* t) {
+  tracer_ = t;
+  // Pre-size the per-core buffers: shard-local recording during a
+  // per-core epoch drain must never grow the outer vector.
+  if (t != nullptr) t->ensure_cores(num_cores());
+}
+
+void Machine::enqueue_ipi(CoreId to, const IrqEvent& ev) {
+  const ExecCtx& ctx = exec_ctx();
+  if (ctx.machine == this && ctx.outbox != nullptr) {
+    // Per-core epoch drain: the delivery is final (fate and sequence
+    // number drawn above, in the sender's context); it lands in the
+    // target inbox at the barrier. The lookahead bound guarantees its
+    // arrival time is at or past the epoch horizon, so deferring the
+    // push cannot reorder it relative to anything the target processes
+    // this epoch.
+    ctx.outbox->push_back(PendingIpi{to, ev});
+    return;
+  }
+  cores_[to]->enqueue_irq(ev);
+}
+
 IpiStatus Machine::post_ipi(CoreId to, int vector, Cycles sent) {
   IW_ASSERT_MSG(to < cores_.size(), "post_ipi: target core out of range");
-  ++total_ipis_;  // counts attempts, so fault-free totals are unchanged
+  const unsigned src = exec_source();
+  ++ipis_by_source_[src].v;  // attempts, so fault-free totals unchanged
+  // Fault instants are recorded against the acting core when one is
+  // executing (its own trace buffer — race-free under per-core drains),
+  // else against the target (machine-context posts run with shards
+  // parked).
+  const CoreId fcore = src == 0 ? to : static_cast<CoreId>(src - 1);
   Cycles latency = cfg_.costs.ipi_latency;
   IpiStatus status = IpiStatus::kQueued;
+  IrqEvent ev;
+  ev.vector = vector;
+  ev.origin = sent;
+  ev.ipi = true;
   if (faults_.enabled()) {
-    const FaultInjector::IpiFate fate = faults_.ipi_fate(vector, sent);
+    const FaultInjector::IpiFate fate = faults_.ipi_fate(src, vector, sent);
     if (fate.drop) {
       if (auto* tr = tracer()) {
-        tr->instant(to, "fault.ipi_drop", sent, vector);
+        tr->instant(fcore, "fault.ipi_drop", sent, vector);
       }
       if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDropped);
       return IpiStatus::kDropped;
@@ -39,20 +108,26 @@ IpiStatus Machine::post_ipi(CoreId to, int vector, Cycles sent) {
       latency += fate.extra_delay;
       status = IpiStatus::kQueuedDelayed;
       if (auto* tr = tracer()) {
-        tr->instant(to, "fault.ipi_delay", sent, vector);
+        tr->instant(fcore, "fault.ipi_delay", sent, vector);
       }
       if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDelayed);
     }
     if (fate.duplicate) {
-      cores_[to]->post_irq(sent + latency + fate.dup_lag, vector, sent,
-                           /*ipi=*/true);
+      // The duplicate's sequence number is drawn before the original's
+      // (matching delivery construction order under every scheduler).
+      IrqEvent dup = ev;
+      dup.time = sent + latency + fate.dup_lag;
+      dup.seq = next_seq();
+      enqueue_ipi(to, dup);
       if (auto* tr = tracer()) {
-        tr->instant(to, "fault.ipi_dup", sent, vector);
+        tr->instant(fcore, "fault.ipi_dup", sent, vector);
       }
       if (auto* mx = metrics()) mx->add(obs::names::kFaultsIpiDuplicated);
     }
   }
-  cores_[to]->post_irq(sent + latency, vector, sent, /*ipi=*/true);
+  ev.time = sent + latency;
+  ev.seq = next_seq();
+  enqueue_ipi(to, ev);
   return status;
 }
 
@@ -87,7 +162,7 @@ void Machine::dump_state(std::FILE* out) {
                "=== machine state: now=%llu advances=%llu ipis=%llu ===\n",
                static_cast<unsigned long long>(now()),
                static_cast<unsigned long long>(advances_),
-               static_cast<unsigned long long>(total_ipis_));
+               static_cast<unsigned long long>(total_ipis()));
   for (auto& c : cores_) {
     std::fprintf(
         out,
@@ -103,6 +178,9 @@ void Machine::dump_state(std::FILE* out) {
 }
 
 void Machine::schedule_at(Cycles t, std::function<void()> fn) {
+  IW_ASSERT_MSG(!per_core_drain_active_ || exec_source() == 0,
+                "schedule_at from a core context during a per-core "
+                "parallel drain (the machine queue is coordinator-owned)");
   Event ev;
   ev.time = t;
   ev.seq = next_seq();
@@ -111,9 +189,9 @@ void Machine::schedule_at(Cycles t, std::function<void()> fn) {
 }
 
 void Machine::frontier_enqueue_dirty(CoreId id) {
-  // In linear mode nothing drains the list; the dirty flag alone keeps
-  // the per-core cache coherent for anyone who reads it.
-  if (cfg_.scheduler != SchedulerKind::kFrontier) return;
+  // In linear/parallel modes nothing drains the list; the dirty flag
+  // alone keeps the per-core cache coherent for anyone who reads it.
+  if (sched_ != SchedulerKind::kFrontier) return;
   dirty_cores_.push_back(id);
 }
 
@@ -137,6 +215,18 @@ void Machine::refresh_frontier() {
 }
 
 Machine::Pick Machine::frontier_peek() {
+  if (cores_.size() <= kFrontierDirectScanMax) {
+    // Small-machine path: skip the heap entirely and take the min over
+    // the cached per-core values (recomputed lazily where dirty). Same
+    // tie-breaks as the heap: lowest core id, machine queue first.
+    dirty_cores_.clear();
+    Pick best{machine_queue_.peek_time(), nullptr};
+    for (auto& c : cores_) {
+      const Cycles t = c->next_action_time();
+      if (t < best.time) best = {t, c.get()};
+    }
+    return best;
+  }
   // Re-index every core whose schedule changed since the last peek.
   for (const CoreId id : dirty_cores_) {
     const Cycles t = cores_[id]->next_action_time();  // recomputes + cleans
@@ -169,23 +259,25 @@ Machine::Pick Machine::linear_peek() {
 }
 
 Cycles Machine::next_event_time() {
-  return cfg_.scheduler == SchedulerKind::kFrontier ? frontier_peek().time
-                                                    : linear_peek().time;
+  return sched_ == SchedulerKind::kFrontier ? frontier_peek().time
+                                            : linear_peek().time;
 }
 
 void Machine::execute(const Pick& pick) {
   ++advances_;
   if (pick.core == nullptr) {
+    ExecScope scope(*this, 0);
     Event ev = machine_queue_.pop();
     ev.fn();
   } else {
+    ExecScope scope(*this, pick.core->id() + 1);
     pick.core->advance();
   }
 }
 
 bool Machine::advance_once() {
   Pick pick;
-  if (cfg_.scheduler == SchedulerKind::kFrontier) {
+  if (sched_ == SchedulerKind::kFrontier) {
     pick = frontier_peek();
     if (cfg_.paranoid_frontier) {
       const Pick ref = linear_peek();
@@ -202,7 +294,10 @@ bool Machine::advance_once() {
 }
 
 bool Machine::run(const std::function<bool()>& stop) {
-  if (cfg_.scheduler == SchedulerKind::kFrontier) {
+  if (sched_ == SchedulerKind::kParallelEpoch) {
+    return parallel_run(stop, kNever);
+  }
+  if (sched_ == SchedulerKind::kFrontier) {
     // Driver/workload state may have been mutated between runs without
     // invalidation; rebuilding once per run (not per iteration) keeps
     // external setup code oblivious to the frontier index.
@@ -226,6 +321,9 @@ bool Machine::run(const std::function<bool()>& stop) {
 }
 
 bool Machine::run_until(Cycles t) {
+  if (sched_ == SchedulerKind::kParallelEpoch) {
+    return parallel_run(nullptr, t);
+  }
   // Stop once every actionable entity is at/after t. next_event_time()
   // is the frontier min in O(log N) (or the reference O(N) scan in
   // linear mode).

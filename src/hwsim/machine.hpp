@@ -3,17 +3,44 @@
 // min-timestamp DES loop.
 //
 // Scheduling: the loop always advances the entity (core or machine
-// queue) with the globally smallest next-action timestamp. Two
+// queue) with the globally smallest next-action timestamp. The
 // interchangeable schedulers produce bit-identical event orderings:
 //  * kFrontier (default) — an incrementally-maintained lazy min-heap
 //    over per-core cached next_action_time values. Cores re-register
 //    through dirty-marking invalidation hooks, so one simulated event
-//    costs O(log N) instead of an O(N) rescan.
+//    costs O(log N) instead of an O(N) rescan. Below a calibrated core
+//    count the heap is bypassed for a direct scan over the cached
+//    values (heap maintenance costs more than the scan at small N).
 //  * kLinearScan — the original reference scheduler: a full uncached
 //    scan per advance. Kept as the golden semantics for equivalence
 //    tests and as the baseline for bench/des_throughput.
+//  * kParallelEpoch — conservative parallel discrete-event simulation:
+//    virtual time advances in epochs bounded by the minimum cross-core
+//    communication latency (the IPI fabric latency is the lookahead;
+//    fault plans only ever ADD latency, so the bound is safe under
+//    injection). Within an epoch every core's events are independent
+//    by construction, so shards drain without synchronization and all
+//    cross-core traffic is buffered and merged deterministically at
+//    the epoch barrier. Traces, metrics counters, fault schedules and
+//    final machine state are bit-identical to the sequential
+//    schedulers (see src/hwsim/parallel.cpp for the argument).
+//  * kAuto — resolves at construction to kLinearScan or kFrontier by
+//    core count, using the calibration committed in
+//    BENCH_des_throughput.json (the frontier index loses to the O(N)
+//    scan below ~4 cores).
+//
+// Determinism across schedulers rests on two provenance rules:
+//  1. Event sequence numbers encode (per-source counter, source id)
+//     rather than a global creation order, so an inbox's pop order for
+//     same-time events is a pure function of *which context posted
+//     what* — never of how the scheduler interleaved contexts.
+//  2. Fault-plan RNG draws come from per-source streams and are drawn
+//     eagerly in the acting context (see FaultInjector).
+// "Source" is the executing entity: 0 for the machine queue and any
+// code outside the DES loop (setup), core c + 1 for core c.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -35,9 +62,31 @@ class MetricsRegistry;
 
 namespace iw::hwsim {
 
+class ParallelEngine;
+
 enum class SchedulerKind : std::uint8_t {
-  kFrontier,    // O(log N) incremental frontier index (default)
-  kLinearScan,  // O(N) per-advance scan (seed reference semantics)
+  kFrontier,       // O(log N) incremental frontier index (default)
+  kLinearScan,     // O(N) per-advance scan (seed reference semantics)
+  kParallelEpoch,  // epoch-synchronized conservative parallel DES
+  kAuto,           // pick kLinearScan/kFrontier by core count (calibrated)
+};
+
+/// How kParallelEpoch partitions cores into independently-drained
+/// shards. Orthogonal to the host thread count: the determinism
+/// guarantee holds for every (policy, threads) combination.
+enum class ShardPolicy : std::uint8_t {
+  /// All cores in one shard (default): the epoch loop degenerates to
+  /// the sequential pick order, chunked by the lookahead horizon. Safe
+  /// for every workload — including drivers that mutate other cores'
+  /// state directly (heartbeat degraded mode, cross-core callbacks) —
+  /// and bit-identical to kFrontier/kLinearScan by construction.
+  kSingleGroup,
+  /// One shard per core: the true parallel engine. Requires shard-safe
+  /// workloads: during an epoch drain a core context may post events
+  /// only to itself; cross-core traffic must go through the IPI fabric
+  /// (send_ipi/broadcast_ipi/post_ipi), which is buffered and merged
+  /// at the barrier. Violations are caught by IW_ASSERT.
+  kPerCore,
 };
 
 /// Outcome of one IPI delivery attempt. Callers that need reliable
@@ -49,6 +98,14 @@ enum class IpiStatus : std::uint8_t {
   kDropped,
 };
 
+/// A fabric delivery buffered during a per-core epoch drain: the IRQ
+/// event is fully formed in the sender's context (sequence number and
+/// fault fate already drawn) and lands in `to`'s inbox at the barrier.
+struct PendingIpi {
+  CoreId to{0};
+  IrqEvent ev;
+};
+
 struct MachineConfig {
   unsigned num_cores{16};
   CostModel costs{CostModel::knl()};
@@ -58,6 +115,12 @@ struct MachineConfig {
   /// Hard stop: abort after this many core advances (0 = unlimited).
   std::uint64_t max_advances{0};
   SchedulerKind scheduler{SchedulerKind::kFrontier};
+  /// Core partitioning for kParallelEpoch (ignored otherwise).
+  ShardPolicy shard_policy{ShardPolicy::kSingleGroup};
+  /// Host worker threads for kParallelEpoch with ShardPolicy::kPerCore
+  /// (clamped to [1, num_cores]; 1 = drain all shards on the calling
+  /// thread, spawning nothing). Thread count never affects results.
+  unsigned threads{1};
   /// Cross-check every frontier decision against a full linear scan and
   /// abort on divergence. O(N) per advance — a debugging aid for driver
   /// invalidation bugs, not for production runs.
@@ -65,7 +128,7 @@ struct MachineConfig {
   /// Deterministic fault injection (disabled by default: zero draws,
   /// traces bit-identical to a fault-free build).
   FaultPlan faults;
-  /// Explicit seed for the fault stream (0 = derive from `seed`). Lets a
+  /// Explicit seed for the fault streams (0 = derive from `seed`). Lets a
   /// sweep vary the fault schedule while the workload stays fixed.
   std::uint64_t fault_seed{0};
 };
@@ -78,6 +141,7 @@ struct MachineConfig {
 class Machine final : public substrate::StackSubstrate {
  public:
   explicit Machine(MachineConfig cfg);
+  ~Machine() override;
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -88,6 +152,9 @@ class Machine final : public substrate::StackSubstrate {
   [[nodiscard]] Core& core(CoreId id) { return *cores_[id]; }
   [[nodiscard]] const CostModel& costs() const { return cfg_.costs; }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  /// The scheduler actually in effect (kAuto is resolved at
+  /// construction; config().scheduler keeps what the caller asked for).
+  [[nodiscard]] SchedulerKind scheduler() const { return sched_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
   // --- StackSubstrate: virtual time ---
@@ -97,11 +164,14 @@ class Machine final : public substrate::StackSubstrate {
   /// Charging a core moves its simulated clock exactly as driver work
   /// does: a coherence miss or CARAT sweep charged here delays every
   /// later event on that core (the interweaving the silo models lacked).
+  /// In per-core parallel mode the charge lands on the core's own
+  /// cache-line-private clock slot, so shards charge concurrently
+  /// without sharing a line.
   void charge(CoreId core, Cycles c) override { cores_[core]->consume(c); }
 
   // --- StackSubstrate: randomness ---
   /// Streams derive from the machine seed, independent of the machine's
-  /// own rng_ and of the fault stream: attaching a model draws nothing
+  /// own rng_ and of the fault streams: attaching a model draws nothing
   /// from the schedule-visible generators.
   [[nodiscard]] Rng rng_stream(const char* name) const override {
     return Rng(substrate::derive_stream_seed(cfg_.seed, name));
@@ -112,8 +182,10 @@ class Machine final : public substrate::StackSubstrate {
 
   /// Attach observability sinks (null = off, the default). Recording is
   /// free in virtual time and draws no RNG, so a traced run executes a
-  /// bit-identical schedule to an untraced one.
-  void set_tracer(obs::TraceRecorder* t) { tracer_ = t; }
+  /// bit-identical schedule to an untraced one. set_tracer pre-sizes
+  /// the recorder's per-core buffers so shard-local recording under the
+  /// parallel scheduler never reallocates shared state.
+  void set_tracer(obs::TraceRecorder* t);
   void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
   [[nodiscard]] obs::TraceRecorder* tracer() const override {
 #ifdef IW_TRACE_COMPILED_OUT
@@ -122,13 +194,29 @@ class Machine final : public substrate::StackSubstrate {
     return tracer_;
 #endif
   }
+  /// The registry instrumentation should record into *right now*:
+  /// during a per-core epoch drain this is the acting core's private
+  /// scratch registry (merged deterministically at run end); otherwise
+  /// the attached registry.
   [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    const ExecCtx& ctx = exec_ctx();
+    if (ctx.machine == this && ctx.scratch != nullptr) return ctx.scratch;
     return metrics_;
   }
 
-  /// Global simulated time = max over core clocks (the frontier). O(1):
-  /// clocks are monotone, so cores maintain the max incrementally.
-  [[nodiscard]] Cycles now() const override { return now_cache_; }
+  /// Global simulated time = max over core clocks (the frontier). O(1)
+  /// in the sequential schedulers (clocks are monotone, so cores
+  /// maintain the max incrementally); O(num_cores) in per-core parallel
+  /// mode (folds the per-core clock slots — only meaningful between
+  /// epochs, so it is never on a hot path there).
+  [[nodiscard]] Cycles now() const override {
+    if (!per_core_now_.empty()) {
+      Cycles m = now_cache_;
+      for (const auto& s : per_core_now_) m = std::max(m, s.v);
+      return m;
+    }
+    return now_cache_;
+  }
 
   /// Earliest pending action time across the machine queue and all
   /// cores; kNever when quiescent. Amortized O(log N) in frontier mode.
@@ -151,25 +239,47 @@ class Machine final : public substrate::StackSubstrate {
   /// sender already paid its send cost). The single fabric choke point:
   /// every IPI — unicast, broadcast fan-out, heartbeat fan-out, retry —
   /// passes through here, where the fault plan may drop, delay, or
-  /// duplicate it. Asserts `to` is in range.
+  /// duplicate it. During a per-core epoch drain the delivery is
+  /// buffered in the sender's outbox (its fate and sequence number
+  /// already final) and merged at the barrier. Asserts `to` is in range.
   IpiStatus post_ipi(CoreId to, int vector, Cycles sent);
 
-  /// Schedule a machine-level callback at absolute time `t`.
+  /// Schedule a machine-level callback at absolute time `t`. Illegal
+  /// from a core context during a per-core epoch drain (the machine
+  /// queue is coordinator-owned there).
   void schedule_at(Cycles t, std::function<void()> fn);
 
-  /// Next global sequence number (shared by core inboxes for stable order).
-  std::uint64_t next_seq() { return seq_++; }
+  /// Next event sequence number for the current execution context:
+  /// (per-source counter << 16) | source. Same-time events order by
+  /// provenance, identically under every scheduler.
+  std::uint64_t next_seq() {
+    const unsigned src = exec_source();
+    return (seq_by_source_[src].v++ << 16) | src;
+  }
+
+  /// The current execution context's source id: 0 for the machine
+  /// queue / setup code (including nested foreign-machine contexts),
+  /// core c + 1 while executing core c.
+  [[nodiscard]] unsigned exec_source() const {
+    const ExecCtx& ctx = exec_ctx();
+    return ctx.machine == this ? ctx.source : 0;
+  }
 
   /// Run until `stop()` returns true or no work remains.
-  /// Returns false if a hard-stop watchdog fired.
+  /// Returns false if a hard-stop watchdog fired. Under kParallelEpoch
+  /// with ShardPolicy::kPerCore, `stop` and the watchdogs are evaluated
+  /// at epoch barriers only (the sequential schedulers and kSingleGroup
+  /// check per advance).
   bool run(const std::function<bool()>& stop = nullptr);
 
   /// Run until virtual time `t` has been reached on the frontier.
+  /// Exact under every scheduler: precisely the events before `t` run.
   bool run_until(Cycles t);
 
   /// Execute at most `n` DES iterations; returns how many actually ran
   /// (fewer means the machine went quiescent). No watchdogs, no stop
-  /// predicate — the microbenchmark entry point.
+  /// predicate — the microbenchmark entry point. Always sequential
+  /// (kParallelEpoch falls back to the linear-scan pick order here).
   std::uint64_t advance_n(std::uint64_t n);
 
   // --- fault injection ---
@@ -182,12 +292,51 @@ class Machine final : public substrate::StackSubstrate {
   /// panic paths — e.g. a barrier timeout with a stalled participant.
   void dump_state(std::FILE* out);
 
-  // accounting
-  [[nodiscard]] std::uint64_t total_ipis() const { return total_ipis_; }
+  // accounting (cold: summed over per-source cells on read)
+  [[nodiscard]] std::uint64_t total_ipis() const {
+    std::uint64_t n = 0;
+    for (const auto& c : ipis_by_source_) n += c.v;
+    return n;
+  }
   [[nodiscard]] std::uint64_t total_advances() const { return advances_; }
 
  private:
+  struct ExecCtx {
+    const Machine* machine{nullptr};
+    unsigned source{0};
+    obs::MetricsRegistry* scratch{nullptr};
+    std::vector<PendingIpi>* outbox{nullptr};
+  };
+  /// One thread-local context cell shared by all machines (scoped per
+  /// machine via the `machine` field; see ExecScope).
+  static ExecCtx& exec_ctx();
+
+ public:
+  /// RAII execution-context scope: binds the calling host thread to a
+  /// simulated source (0 = machine, core c = c + 1) and, in per-core
+  /// parallel mode, to that core's scratch metrics and IPI outbox. Set
+  /// by the DES loop around every event execution; nests (restores the
+  /// previous context on destruction) so foreign-machine and setup code
+  /// resolve to source 0.
+  class ExecScope {
+   public:
+    ExecScope(const Machine& m, unsigned source,
+              obs::MetricsRegistry* scratch = nullptr,
+              std::vector<PendingIpi>* outbox = nullptr)
+        : prev_(exec_ctx()) {
+      exec_ctx() = ExecCtx{&m, source, scratch, outbox};
+    }
+    ~ExecScope() { exec_ctx() = prev_; }
+    ExecScope(const ExecScope&) = delete;
+    ExecScope& operator=(const ExecScope&) = delete;
+
+   private:
+    ExecCtx prev_;
+  };
+
+ private:
   friend class Core;
+  friend class ParallelEngine;
 
   /// The scheduler's choice for one DES iteration: the earliest
   /// actionable entity. core == nullptr means the machine queue (which
@@ -202,6 +351,15 @@ class Machine final : public substrate::StackSubstrate {
     CoreId core{0};
   };
 
+  /// Cache-line-private counter cell (per-source arrays are indexed by
+  /// concurrently-executing shard contexts in per-core parallel mode).
+  struct alignas(64) PaddedCount {
+    std::uint64_t v{0};
+  };
+  struct alignas(64) PaddedCycles {
+    Cycles v{0};
+  };
+
   /// One iteration of the DES loop. Returns false when no work remains.
   bool advance_once();
   void execute(const Pick& pick);
@@ -211,6 +369,29 @@ class Machine final : public substrate::StackSubstrate {
   /// driver-state mutation performed outside the loop safe even if the
   /// owner forgot to mark the core dirty.
   void refresh_frontier();
+
+  // kParallelEpoch entry points (src/hwsim/parallel.cpp).
+  bool parallel_run(const std::function<bool()>& stop, Cycles until);
+  bool parallel_run_single_group(const std::function<bool()>& stop,
+                                 Cycles until);
+  bool parallel_run_per_core(const std::function<bool()>& stop,
+                             Cycles until);
+  /// Lookahead: the minimum fabric latency any cross-core interaction
+  /// pays (fault plans only add on top of it).
+  [[nodiscard]] Cycles lookahead() const { return cfg_.costs.ipi_latency; }
+
+  /// Fabric delivery: buffer in the sender's outbox during a per-core
+  /// drain, else push straight into the target inbox.
+  void enqueue_ipi(CoreId to, const IrqEvent& ev);
+
+  /// Shard-safety check for event posts targeting `target`'s inboxes:
+  /// during a per-core epoch drain only the owning core context (or the
+  /// machine context, which runs with shards parked) may touch them.
+  [[nodiscard]] bool shard_guard_ok(CoreId target) const {
+    if (!per_core_drain_active_) return true;
+    const unsigned src = exec_source();
+    return src == 0 || static_cast<CoreId>(src - 1) == target;
+  }
 
   // Core-facing hooks.
   Cycles* now_cell() { return &now_cache_; }
@@ -223,7 +404,12 @@ class Machine final : public substrate::StackSubstrate {
   void frontier_pop();
 
   MachineConfig cfg_;
+  SchedulerKind sched_{SchedulerKind::kFrontier};  // kAuto resolved away
   Cycles now_cache_{0};
+  /// Per-core clock slots, used instead of now_cache_ when per-core
+  /// parallel mode is configured (each core's on_clock_moved writes its
+  /// own slot; now() folds the max). Empty otherwise.
+  std::vector<PaddedCycles> per_core_now_;
   std::vector<std::unique_ptr<Core>> cores_;
   obs::TraceRecorder* tracer_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
@@ -235,9 +421,15 @@ class Machine final : public substrate::StackSubstrate {
   std::vector<CoreId> dirty_cores_;
   FaultInjector faults_;
   Rng rng_;
-  std::uint64_t seq_{0};
-  std::uint64_t total_ipis_{0};
+  /// Per-source event sequence counters (index 0 = machine context).
+  std::vector<PaddedCount> seq_by_source_;
+  /// Per-source IPI attempt counters (same indexing).
+  std::vector<PaddedCount> ipis_by_source_;
   std::uint64_t advances_{0};
+  /// True while a per-core epoch drain could be executing shard
+  /// contexts (set for the duration of a per-core parallel run).
+  bool per_core_drain_active_{false};
+  std::unique_ptr<ParallelEngine> parallel_;
 };
 
 }  // namespace iw::hwsim

@@ -1,0 +1,254 @@
+// kParallelEpoch: epoch-synchronized conservative parallel DES.
+//
+// Why the result is bit-identical to the sequential schedulers:
+//
+//  * Lookahead. Every cross-core interaction goes through the IPI
+//    fabric and pays at least cfg.costs.ipi_latency (L) cycles; fault
+//    plans only ever ADD latency (delay, duplicate lag). An epoch
+//    starting at E = min next-action time therefore cannot deliver any
+//    cross-core effect before E + L, so all events strictly before the
+//    horizon H = min(E + L, machine-queue head, run target) are
+//    shard-local: each core's drain up to H is exactly the sequence of
+//    picks the sequential loop would have made for that core, in the
+//    same order.
+//  * Provenance sequencing. Event sequence numbers are
+//    (per-source counter << 16) | source, and fault RNG draws come from
+//    per-source streams, both drawn eagerly in the acting context — so
+//    neither depends on how contexts interleave across epochs or host
+//    threads. An inbox's pop order for same-time events is a pure
+//    function of its contents.
+//  * Deterministic merge. Buffered IPIs are flushed at the barrier in
+//    core-id order; since every buffered delivery's (time, seq) key was
+//    fixed at send time and all arrivals are at/past H, insertion order
+//    cannot affect any pop the target performs afterwards.
+//  * Coordinator-owned machine queue. Machine-level callbacks run with
+//    all shards parked, at exactly the points the sequential loop would
+//    run them (the queue head bounds the horizon, and the queue wins
+//    time ties, matching the seed scheduler).
+//
+// ShardPolicy::kSingleGroup keeps the same epoch structure but drains
+// the one shard with the sequential pick loop itself — safe for
+// workloads that mutate other cores' state directly, and trivially
+// bit-identical.
+#include "hwsim/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace iw::hwsim {
+
+namespace {
+
+/// Brief spin before yielding: keeps epoch handoff latency low on idle
+/// multi-core hosts without live-locking oversubscribed ones (CI
+/// containers may give the whole pool a single CPU).
+constexpr int kSpinsBeforeYield = 200;
+
+Cycles saturating_add(Cycles a, Cycles b) {
+  return a > kNever - b ? kNever : a + b;
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Machine& machine, unsigned threads)
+    : machine_(machine) {
+  const unsigned cores = machine.num_cores();
+  threads_ = std::max(1u, std::min(threads, cores));
+  lanes_.resize(cores);
+  workers_.reserve(threads_ - 1);
+  for (unsigned b = 1; b < threads_; ++b) {
+    workers_.emplace_back([this, b] { worker_main(b); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelEngine::set_scratch_enabled(bool on) {
+  for (auto& lane : lanes_) {
+    if (on && lane.scratch == nullptr) {
+      lane.scratch = std::make_unique<obs::MetricsRegistry>();
+    } else if (!on) {
+      lane.scratch.reset();
+    }
+  }
+}
+
+void ParallelEngine::drain_core(unsigned core, Cycles horizon) {
+  Core& c = machine_.core(core);
+  Lane& lane = lanes_[core];
+  Machine::ExecScope scope(machine_, core + 1, lane.scratch.get(),
+                           &lane.outbox);
+  while (c.next_action_time_uncached() < horizon) {
+    c.advance();
+    ++lane.advances;
+  }
+}
+
+void ParallelEngine::drain_block(unsigned block, Cycles horizon) {
+  const unsigned cores = machine_.num_cores();
+  const unsigned base = cores / threads_;
+  const unsigned rem = cores % threads_;
+  const unsigned lo = block * base + std::min(block, rem);
+  const unsigned hi = lo + base + (block < rem ? 1 : 0);
+  for (unsigned i = lo; i < hi; ++i) drain_core(i, horizon);
+}
+
+void ParallelEngine::worker_main(unsigned block) {
+  std::uint64_t last_epoch = 0;
+  for (;;) {
+    std::uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == last_epoch) {
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+    }
+    last_epoch = e;
+    drain_block(block, horizon_);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+std::uint64_t ParallelEngine::drain_epoch(Cycles horizon) {
+  if (threads_ == 1) {
+    // Threadless path: the coordinator drains every shard itself — no
+    // atomics, no barrier, still the same shard-local event order.
+    for (unsigned i = 0; i < machine_.num_cores(); ++i) {
+      drain_core(i, horizon);
+    }
+  } else {
+    horizon_ = horizon;
+    ++epochs_issued_;
+    epoch_.store(epochs_issued_, std::memory_order_release);
+    drain_block(0, horizon);
+    const std::uint64_t expect = epochs_issued_ * (threads_ - 1);
+    int spins = 0;
+    while (done_.load(std::memory_order_acquire) != expect) {
+      if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+    }
+  }
+  std::uint64_t advances = 0;
+  for (auto& lane : lanes_) {
+    advances += lane.advances;
+    lane.advances = 0;
+  }
+  return advances;
+}
+
+void ParallelEngine::merge_outboxes() {
+  // Core-id order: deterministic and thread-count-independent. The
+  // coordinator has no outbox in scope here, so enqueue_ipi pushes
+  // straight into the target inboxes.
+  for (auto& lane : lanes_) {
+    for (const PendingIpi& p : lane.outbox) {
+      machine_.enqueue_ipi(p.to, p.ev);
+    }
+    lane.outbox.clear();
+  }
+}
+
+void ParallelEngine::merge_scratch_metrics(obs::MetricsRegistry* into) {
+  for (auto& lane : lanes_) {
+    if (lane.scratch == nullptr) continue;
+    if (into != nullptr) into->merge_from(*lane.scratch);
+    lane.scratch->clear();
+  }
+}
+
+bool Machine::parallel_run(const std::function<bool()>& stop, Cycles until) {
+  return cfg_.shard_policy == ShardPolicy::kPerCore
+             ? parallel_run_per_core(stop, until)
+             : parallel_run_single_group(stop, until);
+}
+
+bool Machine::parallel_run_single_group(const std::function<bool()>& stop,
+                                        Cycles until) {
+  const Cycles la = std::max<Cycles>(1, lookahead());
+  const bool time_watchdog = cfg_.max_time != 0;
+  const bool advance_watchdog = cfg_.max_advances != 0;
+  for (;;) {
+    if (stop && stop()) return true;
+    const Pick first = linear_peek();
+    if (first.time == kNever || first.time >= until) return true;
+    const Cycles horizon = std::min(until, saturating_add(first.time, la));
+    // One shard: the sequential pick loop, chunked by the horizon. The
+    // machine queue participates directly (linear_peek gives it time
+    // ties), so this is the sequential schedule verbatim.
+    for (;;) {
+      if (stop && stop()) return true;
+      if (time_watchdog && now() > cfg_.max_time) {
+        IW_LOG_WARN("machine watchdog: virtual time limit %llu exceeded",
+                    static_cast<unsigned long long>(cfg_.max_time));
+        return false;
+      }
+      if (advance_watchdog && advances_ > cfg_.max_advances) {
+        IW_LOG_WARN("machine watchdog: advance limit exceeded");
+        return false;
+      }
+      const Pick p = linear_peek();
+      if (p.time >= horizon) break;  // epoch exhausted
+      execute(p);
+    }
+  }
+}
+
+bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
+                                    Cycles until) {
+  IW_ASSERT_MSG(cfg_.costs.ipi_latency >= 1,
+                "per-core parallel mode needs a nonzero IPI latency for "
+                "its lookahead bound");
+  if (parallel_ == nullptr) {
+    parallel_ = std::make_unique<ParallelEngine>(*this, cfg_.threads);
+  }
+  parallel_->set_scratch_enabled(metrics_ != nullptr);
+  const Cycles la = lookahead();
+  const bool time_watchdog = cfg_.max_time != 0;
+  const bool advance_watchdog = cfg_.max_advances != 0;
+  per_core_drain_active_ = true;
+  bool ok = true;
+  for (;;) {
+    // Stop predicate and watchdogs are barrier-granular in this mode.
+    if (stop && stop()) break;
+    if (time_watchdog && now() > cfg_.max_time) {
+      IW_LOG_WARN("machine watchdog: virtual time limit %llu exceeded",
+                  static_cast<unsigned long long>(cfg_.max_time));
+      ok = false;
+      break;
+    }
+    if (advance_watchdog && advances_ > cfg_.max_advances) {
+      IW_LOG_WARN("machine watchdog: advance limit exceeded");
+      ok = false;
+      break;
+    }
+    Cycles e = kNever;
+    for (auto& c : cores_) {
+      e = std::min(e, c->next_action_time_uncached());
+    }
+    // Machine-queue turn (queue wins time ties, seed semantics): run
+    // due machine events with every shard parked. They may post core
+    // events or move clocks, so loop back to re-evaluate afterwards.
+    Cycles mq_t = machine_queue_.peek_time();
+    if (mq_t != kNever && mq_t < until && mq_t <= e) {
+      ExecScope scope(*this, 0);
+      ++advances_;
+      Event ev = machine_queue_.pop();
+      ev.fn();
+      continue;
+    }
+    if (e == kNever || e >= until) break;  // quiescent / target reached
+    const Cycles horizon =
+        std::min({until, mq_t, saturating_add(e, la)});
+    advances_ += parallel_->drain_epoch(horizon);
+    parallel_->merge_outboxes();
+  }
+  per_core_drain_active_ = false;
+  parallel_->merge_scratch_metrics(metrics_);
+  return ok;
+}
+
+}  // namespace iw::hwsim

@@ -1,0 +1,91 @@
+// Epoch-synchronized conservative-parallel execution engine for
+// hwsim::Machine (SchedulerKind::kParallelEpoch with
+// ShardPolicy::kPerCore).
+//
+// The engine owns a persistent host worker pool and the per-core lanes
+// (IPI outbox, scratch metrics registry, advance counter) that make an
+// epoch drain shard-local. Machine::parallel_run_per_core drives it:
+// compute the epoch horizon from the lookahead bound, fan the drain out
+// across the pool, then merge lane outboxes deterministically at the
+// barrier. See parallel.cpp for the determinism argument.
+//
+// Host-thread handshake: a monotone epoch counter published with
+// release semantics, acknowledged through a cumulative done counter.
+// Workers spin briefly then yield, so the engine stays live-lock-free
+// when the pool oversubscribes the host (CI runners, 1-CPU containers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hwsim/machine.hpp"
+
+namespace iw::obs {
+class MetricsRegistry;
+}  // namespace iw::obs
+
+namespace iw::hwsim {
+
+class ParallelEngine {
+ public:
+  /// `threads` is the total host threads used per epoch, including the
+  /// coordinator (clamped to [1, num_cores]); `threads - 1` workers are
+  /// spawned and parked until the first epoch.
+  ParallelEngine(Machine& machine, unsigned threads);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Allocate (or drop) the per-core scratch metrics registries. Called
+  /// at the start of every parallel run so a registry attached between
+  /// runs takes effect.
+  void set_scratch_enabled(bool on);
+
+  /// Drain every core of events strictly before `horizon`, fanned out
+  /// across the pool (the calling thread drains block 0). Returns the
+  /// total advances performed. On return all shards are parked.
+  std::uint64_t drain_epoch(Cycles horizon);
+
+  /// Flush per-core outboxes into the target inboxes, iterating lanes
+  /// in core-id order — a deterministic, thread-count-independent
+  /// merge. Coordinator-only, between epochs.
+  void merge_outboxes();
+
+  /// Fold the per-core scratch registries into `into`, in core-id
+  /// order, and clear them. Coordinator-only, at run end.
+  void merge_scratch_metrics(obs::MetricsRegistry* into);
+
+ private:
+  /// Per-core lane: everything a shard context writes during a drain,
+  /// cache-line-aligned so neighboring shards never share a line.
+  struct alignas(64) Lane {
+    std::vector<PendingIpi> outbox;
+    std::unique_ptr<obs::MetricsRegistry> scratch;
+    std::uint64_t advances{0};
+  };
+
+  void drain_core(unsigned core, Cycles horizon);
+  void drain_block(unsigned block, Cycles horizon);
+  void worker_main(unsigned block);
+
+  Machine& machine_;
+  unsigned threads_{1};
+  std::vector<Lane> lanes_;  // one per core
+
+  // Epoch handshake (workers_ == threads_ - 1 spawned threads).
+  Cycles horizon_{0};  // published-before epoch_ store
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> done_{0};  // cumulative worker acks
+  std::atomic<bool> shutdown_{false};
+  std::uint64_t epochs_issued_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace iw::hwsim

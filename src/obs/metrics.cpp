@@ -64,6 +64,18 @@ void MetricsRegistry::clear() {
   stats_.clear();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name) += value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge(*h);
+  }
+  for (const auto& [name, s] : other.stats_) {
+    stats(name).merge(*s);
+  }
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;

@@ -153,6 +153,15 @@ class MetricsRegistry {
 
   void clear();
 
+  /// Fold another registry into this one: counters add, histograms
+  /// merge bucket-wise, stats merge via OnlineStats::merge. Used by the
+  /// parallel DES scheduler, where each simulated core records into a
+  /// private scratch registry and the scratches are merged in core
+  /// order at the end of the run — integer sums and bucket counts are
+  /// order-independent, so the merged export is bit-identical to a
+  /// sequential run's.
+  void merge_from(const MetricsRegistry& other);
+
   /// JSON object: {"counters": {...}, "histograms": {name: {count, min,
   /// max, mean, p50, p90, p99}}, "stats": {name: {count, mean, stddev}}}.
   void write_json(std::ostream& os) const;

@@ -43,7 +43,13 @@ int TraceRecorder::begin_process(std::string name) {
   return cur_pid_;
 }
 
+void TraceRecorder::ensure_cores(unsigned cores) {
+  if (cores > per_core_.size()) per_core_.resize(cores);
+}
+
 std::vector<TraceEvent>& TraceRecorder::buffer_for(CoreId core) {
+  // Serial growth path only: concurrent recorders must have called
+  // ensure_cores first so this branch never fires mid-run.
   if (core >= per_core_.size()) per_core_.resize(core + 1);
   return per_core_[core];
 }
@@ -58,9 +64,10 @@ void TraceRecorder::span(CoreId core, const char* name, Cycles begin,
   ev.vector = vector;
   ev.begin = begin;
   ev.end = end < begin ? begin : end;
-  ev.seq = next_seq_++;
   ev.pid = cur_pid_;
-  buffer_for(core).push_back(ev);
+  auto& buf = buffer_for(core);
+  ev.seq = buf.size();
+  buf.push_back(ev);
 }
 
 void TraceRecorder::instant(CoreId core, const char* name, Cycles at,
@@ -74,9 +81,10 @@ void TraceRecorder::instant(CoreId core, const char* name, Cycles at,
   ev.count = count;
   ev.begin = at;
   ev.end = at;
-  ev.seq = next_seq_++;
   ev.pid = cur_pid_;
-  buffer_for(core).push_back(ev);
+  auto& buf = buffer_for(core);
+  ev.seq = buf.size();
+  buf.push_back(ev);
 }
 
 std::uint64_t TraceRecorder::total_events() const {
@@ -98,7 +106,9 @@ std::vector<TraceEvent> TraceRecorder::find(const char* name) const {
     }
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.begin != b.begin ? a.begin < b.begin : a.seq < b.seq;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.core != b.core) return a.core < b.core;
+    return a.seq < b.seq;
   });
   return out;
 }
@@ -107,15 +117,19 @@ void TraceRecorder::clear() {
   per_core_.clear();
   process_names_.clear();
   cur_pid_ = 0;
-  next_seq_ = 0;
 }
 
 std::vector<TraceEvent> TraceRecorder::merged() const {
   std::vector<TraceEvent> all;
   all.reserve(total_events());
   for (const auto& b : per_core_) all.insert(all.end(), b.begin(), b.end());
+  // (begin, core, seq) is a total order — (core, seq) is unique — and a
+  // pure function of what each core recorded, never of the host-thread
+  // interleaving that recorded it.
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.begin != b.begin ? a.begin < b.begin : a.seq < b.seq;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.core != b.core) return a.core < b.core;
+    return a.seq < b.seq;
   });
   return all;
 }

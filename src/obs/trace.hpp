@@ -11,8 +11,13 @@
 //    null tracer is a single predictable branch. A compile-time kill
 //    switch (-DIW_TRACE_COMPILED_OUT) removes even that;
 //  * append-only per-core buffers — events are recorded in core-local
-//    order and merged (stably, by begin time then record seq) only at
-//    export time.
+//    order and merged (by begin time, then core, then the core-local
+//    record seq) only at export time. Sequence numbers are per-core
+//    record indices, so recording is shard-local: under the parallel
+//    DES scheduler each worker appends to the buffers of the cores it
+//    owns with no shared counter, and the export order — hence the
+//    byte-identical-trace guarantee — is independent of how recording
+//    was interleaved across host threads.
 //
 // Export formats: Chrome trace_event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) and a plain text dump for grepping.
@@ -46,8 +51,9 @@ struct TraceEvent {
   std::uint32_t count{1};
   Cycles begin{0};
   Cycles end{0};  // == begin for instants
-  /// Recorder-local sequence number (NOT the machine event seq): stable
-  /// tie-break for same-cycle events without perturbing the DES.
+  /// Core-local record index (NOT the machine event seq): stable
+  /// tie-break for same-cycle events on one core without perturbing the
+  /// DES, and without any cross-core shared counter.
   std::uint64_t seq{0};
   /// Process id: distinguishes successive Machine runs in one bench.
   int pid{0};
@@ -67,6 +73,12 @@ class TraceRecorder {
   /// Start attributing subsequent records to a new logical process
   /// (one per Machine run in multi-run benches). Returns the pid.
   int begin_process(std::string name);
+
+  /// Pre-size the per-core buffers so recording against cores
+  /// [0, cores) never reallocates the outer vector. Required before
+  /// concurrent shard-local recording (Machine::set_tracer calls this);
+  /// harmless otherwise.
+  void ensure_cores(unsigned cores);
 
   /// Record a [begin, end] span on `core`'s timeline.
   void span(CoreId core, const char* name, Cycles begin, Cycles end,
@@ -100,7 +112,6 @@ class TraceRecorder {
   [[nodiscard]] std::vector<TraceEvent> merged() const;
 
   bool enabled_{true};
-  std::uint64_t next_seq_{0};
   std::vector<std::vector<TraceEvent>> per_core_;
   std::vector<std::string> process_names_;  // index = pid
   int cur_pid_{0};

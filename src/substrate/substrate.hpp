@@ -53,7 +53,11 @@ class StackSubstrate {
   /// Current virtual time on `core`'s clock.
   [[nodiscard]] virtual Cycles core_now(CoreId core) const = 0;
 
-  /// Charge `c` cycles of work to `core`'s clock.
+  /// Charge `c` cycles of work to `core`'s clock. Implementations must
+  /// keep this shard-safe: under hwsim's per-core parallel scheduler
+  /// concurrent shard contexts charge different cores simultaneously,
+  /// so a charge may only touch state owned by `core` (the Machine
+  /// gives each core a cache-line-private clock slot for this).
   virtual void charge(CoreId core, Cycles c) = 0;
 
   /// Global frontier: max over core clocks.

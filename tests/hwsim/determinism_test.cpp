@@ -112,6 +112,37 @@ TEST(SchedulerEquivalence, HeartbeatFrontierMatchesLinearScan) {
   }
 }
 
+TEST(SchedulerEquivalence, HeartbeatParallelEpochMatchesFrontier) {
+  // The heartbeat workload mutates worker state across cores (degraded
+  // mode, promotion flags), so it runs kParallelEpoch under the default
+  // single-group shard policy — the epoch loop must still be
+  // bit-identical. (Shard-safe workloads cover kPerCore in
+  // parallel_epoch_test.cpp.)
+  for (const unsigned cores : {2u, 4u, 16u}) {
+    const HeartbeatRun frontier =
+        run_heartbeat(cores, hwsim::SchedulerKind::kFrontier);
+    const HeartbeatRun parallel =
+        run_heartbeat(cores, hwsim::SchedulerKind::kParallelEpoch);
+    EXPECT_EQ(frontier.hash, parallel.hash) << "cores=" << cores;
+    EXPECT_EQ(frontier.advances, parallel.advances) << "cores=" << cores;
+    EXPECT_EQ(frontier.ipis, parallel.ipis) << "cores=" << cores;
+    EXPECT_EQ(frontier.end_time, parallel.end_time) << "cores=" << cores;
+  }
+}
+
+TEST(SchedulerEquivalence, HeartbeatAutoMatchesFrontier) {
+  // kAuto resolves to linear below the calibrated threshold and to the
+  // frontier above it; either way the schedule must be unchanged.
+  for (const unsigned cores : {2u, 16u}) {
+    const HeartbeatRun frontier =
+        run_heartbeat(cores, hwsim::SchedulerKind::kFrontier);
+    const HeartbeatRun aut =
+        run_heartbeat(cores, hwsim::SchedulerKind::kAuto);
+    EXPECT_EQ(frontier.hash, aut.hash) << "cores=" << cores;
+    EXPECT_EQ(frontier.advances, aut.advances) << "cores=" << cores;
+  }
+}
+
 TEST(SchedulerEquivalence, HeartbeatRepeatRunsAreDeterministic) {
   const HeartbeatRun a = run_heartbeat(8, hwsim::SchedulerKind::kFrontier);
   const HeartbeatRun b = run_heartbeat(8, hwsim::SchedulerKind::kFrontier);
@@ -156,6 +187,22 @@ TEST(SchedulerEquivalence, OmpModesFrontierMatchesLinearScan) {
     EXPECT_EQ(h_frontier, h_linear) << omp::mode_name(mode);
     EXPECT_EQ(mk_frontier, mk_linear) << omp::mode_name(mode);
     EXPECT_NE(mk_frontier, 0u) << omp::mode_name(mode);
+  }
+}
+
+TEST(SchedulerEquivalence, OmpModesParallelEpochMatchesFrontier) {
+  // Full kernel-stack workload (threads, barriers, futexes/timers)
+  // under the epoch scheduler's default single-group policy.
+  for (const omp::OmpMode mode :
+       {omp::OmpMode::kRTK, omp::OmpMode::kCCK, omp::OmpMode::kLinux}) {
+    Cycles mk_frontier = 0;
+    Cycles mk_parallel = 0;
+    const std::uint64_t h_frontier =
+        run_omp(mode, hwsim::SchedulerKind::kFrontier, &mk_frontier);
+    const std::uint64_t h_parallel =
+        run_omp(mode, hwsim::SchedulerKind::kParallelEpoch, &mk_parallel);
+    EXPECT_EQ(h_frontier, h_parallel) << omp::mode_name(mode);
+    EXPECT_EQ(mk_frontier, mk_parallel) << omp::mode_name(mode);
   }
 }
 

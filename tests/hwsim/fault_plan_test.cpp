@@ -296,7 +296,7 @@ std::uint64_t run_faulted_heartbeat(SchedulerKind sched, double drop,
   return trace_hash(tr);
 }
 
-TEST(FaultDeterminism, MatrixSameSeedSameTraceBothSchedulers) {
+TEST(FaultDeterminism, MatrixSameSeedSameTraceAllSchedulers) {
   for (const double drop : {0.0, 0.01, 0.10}) {
     for (const Cycles delay : {Cycles{0}, Cycles{14'000}}) {
       const std::uint64_t f1 =
@@ -305,9 +305,13 @@ TEST(FaultDeterminism, MatrixSameSeedSameTraceBothSchedulers) {
           run_faulted_heartbeat(SchedulerKind::kFrontier, drop, delay);
       const std::uint64_t l =
           run_faulted_heartbeat(SchedulerKind::kLinearScan, drop, delay);
+      const std::uint64_t p =
+          run_faulted_heartbeat(SchedulerKind::kParallelEpoch, drop, delay);
       EXPECT_EQ(f1, f2) << "repeat run diverged: drop=" << drop
                         << " delay=" << delay;
       EXPECT_EQ(f1, l) << "schedulers diverged: drop=" << drop
+                       << " delay=" << delay;
+      EXPECT_EQ(f1, p) << "parallel diverged: drop=" << drop
                        << " delay=" << delay;
     }
   }

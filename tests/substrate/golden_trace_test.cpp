@@ -1,6 +1,6 @@
 // Golden-trace determinism for the ported models, mirroring the
 // fault-plan matrix: the same seed must produce bit-identical traces on
-// repeat runs and across both DES schedulers — with the coherence model
+// repeat runs and across every DES scheduler — with the coherence model
 // charging the machine's core clocks, with the pipeline replayed on an
 // analytic substrate, and for the fully composed stack (heartbeat +
 // coherence on one machine, faulted and fault-free). Also pins the
@@ -75,7 +75,7 @@ std::uint64_t run_coherence_on_machine(hwsim::SchedulerKind sched,
   return trace_hash(tr);
 }
 
-TEST(GoldenTrace, CoherenceMatrixSameSeedSameTraceBothSchedulers) {
+TEST(GoldenTrace, CoherenceMatrixSameSeedSameTraceAllSchedulers) {
   std::set<std::uint64_t> distinct;
   for (const std::uint64_t seed : {1ULL, 7ULL}) {
     for (const bool faulted : {false, true}) {
@@ -85,8 +85,12 @@ TEST(GoldenTrace, CoherenceMatrixSameSeedSameTraceBothSchedulers) {
           hwsim::SchedulerKind::kFrontier, seed, faulted);
       const auto linear = run_coherence_on_machine(
           hwsim::SchedulerKind::kLinearScan, seed, faulted);
+      const auto parallel = run_coherence_on_machine(
+          hwsim::SchedulerKind::kParallelEpoch, seed, faulted);
       EXPECT_EQ(frontier, again) << "seed=" << seed << " faulted=" << faulted;
       EXPECT_EQ(frontier, linear) << "seed=" << seed << " faulted=" << faulted;
+      EXPECT_EQ(frontier, parallel)
+          << "seed=" << seed << " faulted=" << faulted;
       distinct.insert(frontier);
     }
   }
@@ -195,14 +199,17 @@ std::uint64_t run_composed(hwsim::SchedulerKind sched, std::uint64_t seed,
   return trace_hash(tr);
 }
 
-TEST(GoldenTrace, ComposedStackSameTraceBothSchedulers) {
+TEST(GoldenTrace, ComposedStackSameTraceAllSchedulers) {
   for (const bool faulted : {false, true}) {
-    obs::TraceRecorder tf, tl;
+    obs::TraceRecorder tf, tl, tp;
     const auto frontier =
         run_composed(hwsim::SchedulerKind::kFrontier, 11, faulted, tf);
     const auto linear =
         run_composed(hwsim::SchedulerKind::kLinearScan, 11, faulted, tl);
+    const auto parallel =
+        run_composed(hwsim::SchedulerKind::kParallelEpoch, 11, faulted, tp);
     EXPECT_EQ(frontier, linear) << "faulted=" << faulted;
+    EXPECT_EQ(frontier, parallel) << "faulted=" << faulted;
 
     // The acceptance shape: one trace, three layers, one cycle axis —
     // hwsim fabric events, heartbeat deliveries, and coherence misses.

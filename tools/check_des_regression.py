@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""DES throughput regression guard for CI.
+
+Compares a freshly-measured des_throughput JSON (typically a --smoke run
+on a CI box of unknown speed) against the committed baseline
+BENCH_des_throughput.json. Absolute events/s are machine-dependent, so
+the guard checks the *speedup ratios* — frontier/linear,
+parallel/frontier, auto/linear per core count — which cancel host speed:
+a ratio collapsing means a scheduler regressed relative to the others in
+the same binary on the same box.
+
+Exit 0 if every ratio present in both files is within the tolerance of
+the committed value; exit 1 (listing the offenders) otherwise.
+
+Usage: check_des_regression.py FRESH.json BASELINE.json [--tolerance=0.25]
+"""
+
+import json
+import sys
+
+GUARDED_MAPS = (
+    "speedup_frontier_vs_linear",
+    "speedup_parallel_vs_frontier",
+    "speedup_auto_vs_linear",
+)
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        fresh = json.load(f)
+    with open(paths[1]) as f:
+        base = json.load(f)
+
+    failures = []
+    checked = 0
+    for name in GUARDED_MAPS:
+        fresh_map = fresh.get(name)
+        base_map = base.get(name)
+        if not isinstance(fresh_map, dict) or not isinstance(base_map, dict):
+            continue
+        for cores, committed in sorted(base_map.items(), key=lambda kv: int(kv[0])):
+            if cores not in fresh_map:
+                failures.append(f"{name}[{cores} cores]: missing from fresh run")
+                continue
+            measured = fresh_map[cores]
+            floor = committed * (1.0 - tolerance)
+            checked += 1
+            status = "ok" if measured >= floor else "REGRESSION"
+            print(
+                f"{name}[{cores} cores]: measured {measured:.2f}x, "
+                f"committed {committed:.2f}x, floor {floor:.2f}x -> {status}"
+            )
+            if measured < floor:
+                failures.append(
+                    f"{name}[{cores} cores]: {measured:.2f}x < floor "
+                    f"{floor:.2f}x (committed {committed:.2f}x)"
+                )
+
+    if checked == 0:
+        print("error: no comparable speedup maps between the two files",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} ratios within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
