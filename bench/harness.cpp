@@ -66,13 +66,23 @@ bool Harness::parse(int argc, char** argv) {
         return false;
       }
       threads_ = static_cast<unsigned>(v);
+    } else if (std::strncmp(a, "--steal=", 8) == 0) {
+      if (std::strcmp(a + 8, "on") == 0) {
+        steal_ = true;
+      } else if (std::strcmp(a + 8, "off") == 0) {
+        steal_ = false;
+      } else {
+        std::fprintf(stderr, "--steal: expected on or off\n");
+        return false;
+      }
     } else if (std::strcmp(a, "--trace") == 0 ||
                std::strcmp(a, "--metrics-json") == 0 ||
                std::strcmp(a, "--faults") == 0 ||
                std::strcmp(a, "--fault-seed") == 0 ||
                std::strcmp(a, "--seed") == 0 ||
                std::strcmp(a, "--scheduler") == 0 ||
-               std::strcmp(a, "--threads") == 0) {
+               std::strcmp(a, "--threads") == 0 ||
+               std::strcmp(a, "--steal") == 0) {
       std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
       return false;
     }
@@ -109,6 +119,7 @@ void Harness::apply(hwsim::MachineConfig& mc) const {
   // schedulers themselves assign mc.scheduler before/after apply().
   if (scheduler_set_) mc.scheduler = scheduler_;
   mc.threads = threads_;
+  mc.work_stealing = steal_;
 }
 
 bool Harness::finish() {

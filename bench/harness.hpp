@@ -9,6 +9,8 @@
 //   --scheduler=NAME     DES scheduler: frontier | linear | parallel | auto
 //                        (unknown names are a usage error)
 //   --threads=N          host worker threads for --scheduler=parallel
+//   --steal=on|off       work-stealing shard scheduling for the parallel
+//                        engine (default on; off pins static blocks)
 //
 // With no flags the benches run with null sinks, no faults, and their
 // built-in seeds — the default-off path the determinism guarantees are
@@ -74,6 +76,7 @@ class Harness {
   }
   [[nodiscard]] bool scheduler_overridden() const { return scheduler_set_; }
   [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] bool work_stealing() const { return steal_; }
 
   /// Parse a scheduler name ("frontier" | "linear" | "parallel" |
   /// "auto"); returns false on anything else. Shared by every bench
@@ -102,6 +105,7 @@ class Harness {
   hwsim::SchedulerKind scheduler_{hwsim::SchedulerKind::kFrontier};
   bool scheduler_set_{false};
   unsigned threads_{1};
+  bool steal_{true};
 };
 
 }  // namespace iw::bench

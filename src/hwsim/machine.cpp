@@ -58,6 +58,14 @@ Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 
 Machine::~Machine() = default;
 
+unsigned Machine::parallel_pool_threads() const {
+  return parallel_ == nullptr ? 0 : parallel_->threads();
+}
+
+std::uint64_t Machine::parallel_steals() const {
+  return parallel_ == nullptr ? 0 : parallel_->steals();
+}
+
 void Machine::set_tracer(obs::TraceRecorder* t) {
   tracer_ = t;
   // Pre-size the per-core buffers: shard-local recording during a

@@ -121,6 +121,12 @@ struct MachineConfig {
   /// (clamped to [1, num_cores]; 1 = drain all shards on the calling
   /// thread, spawning nothing). Thread count never affects results.
   unsigned threads{1};
+  /// Work-stealing shard scheduling for kParallelEpoch/kPerCore: idle
+  /// host threads steal shards from loaded ones within an epoch instead
+  /// of idling behind a static block partition. Stealing changes only
+  /// which host thread drains a shard, never the results (see
+  /// parallel.cpp); false pins the static blocks for A/B comparison.
+  bool work_stealing{true};
   /// Cross-check every frontier decision against a full linear scan and
   /// abort on divergence. O(N) per advance — a debugging aid for driver
   /// invalidation bugs, not for production runs.
@@ -275,6 +281,21 @@ class Machine final : public substrate::StackSubstrate {
   /// Run until virtual time `t` has been reached on the frontier.
   /// Exact under every scheduler: precisely the events before `t` run.
   bool run_until(Cycles t);
+
+  /// Reconfigure the host-thread count for subsequent kParallelEpoch
+  /// per-core runs. The worker pool is rebuilt at the next parallel run
+  /// if its shape no longer matches (results are thread-count-invariant
+  /// either way; this only changes host parallelism).
+  void set_threads(unsigned threads) { cfg_.threads = threads; }
+  /// Reconfigure shard work-stealing for subsequent per-core runs (same
+  /// rebuild-on-next-run semantics as set_threads).
+  void set_work_stealing(bool on) { cfg_.work_stealing = on; }
+  /// Host threads in the currently-built parallel worker pool (0 when
+  /// no pool has been built). Observability/test hook.
+  [[nodiscard]] unsigned parallel_pool_threads() const;
+  /// Successful shard steals performed by the current pool (0 when no
+  /// pool). Host-schedule-dependent; results never are.
+  [[nodiscard]] std::uint64_t parallel_steals() const;
 
   /// Execute at most `n` DES iterations; returns how many actually ran
   /// (fewer means the machine went quiescent). No watchdogs, no stop

@@ -25,6 +25,14 @@
 //    all shards parked, at exactly the points the sequential loop would
 //    run them (the queue head bounds the horizon, and the queue wins
 //    time ties, matching the seed scheduler).
+//  * Work stealing moves nothing observable. The deques assign each
+//    shard to exactly one claimant per epoch (Chase–Lev take/steal are
+//    mutually exclusive), and a shard's drain writes only core-keyed
+//    state: its lane outbox/advance counter, its scratch registry, its
+//    per-core trace buffer, and its own per-source sequence and fault
+//    RNG counters. The barrier merges all of those in core-id order.
+//    So WHICH host thread drained a shard — the only thing stealing
+//    changes — is invisible to traces, metrics, and machine state.
 //
 // ShardPolicy::kSingleGroup keeps the same epoch structure but drains
 // the one shard with the sequential pick loop itself — safe for
@@ -53,11 +61,13 @@ Cycles saturating_add(Cycles a, Cycles b) {
 
 }  // namespace
 
-ParallelEngine::ParallelEngine(Machine& machine, unsigned threads)
-    : machine_(machine) {
+ParallelEngine::ParallelEngine(Machine& machine, unsigned threads,
+                               bool steal)
+    : machine_(machine), steal_enabled_(steal) {
   const unsigned cores = machine.num_cores();
   threads_ = std::max(1u, std::min(threads, cores));
   lanes_.resize(cores);
+  deques_ = std::make_unique<ShardDeque[]>(threads_);
   workers_.reserve(threads_ - 1);
   for (unsigned b = 1; b < threads_; ++b) {
     workers_.emplace_back([this, b] { worker_main(b); });
@@ -79,27 +89,69 @@ void ParallelEngine::set_scratch_enabled(bool on) {
   }
 }
 
-void ParallelEngine::drain_core(unsigned core, Cycles horizon) {
+bool ParallelEngine::drain_core(unsigned core, Cycles horizon) {
   Core& c = machine_.core(core);
   Lane& lane = lanes_[core];
   Machine::ExecScope scope(machine_, core + 1, lane.scratch.get(),
                            &lane.outbox);
+  if (budget_limit_ == 0) {
+    while (c.next_action_time_uncached() < horizon) {
+      c.advance();
+      ++lane.advances;
+    }
+    return true;
+  }
+  // Watchdog-bounded epoch: claim a budget slot before every advance.
+  // fetch_add hands out at most budget_limit_ sub-limit slots across
+  // all threads, so the epoch executes at most that many events no
+  // matter how shards are distributed.
   while (c.next_action_time_uncached() < horizon) {
+    if (budget_used_.fetch_add(1, std::memory_order_relaxed) >=
+        budget_limit_) {
+      return false;
+    }
     c.advance();
     ++lane.advances;
   }
+  return true;
 }
 
-void ParallelEngine::drain_block(unsigned block, Cycles horizon) {
-  const unsigned cores = machine_.num_cores();
-  const unsigned base = cores / threads_;
-  const unsigned rem = cores % threads_;
-  const unsigned lo = block * base + std::min(block, rem);
-  const unsigned hi = lo + base + (block < rem ? 1 : 0);
-  for (unsigned i = lo; i < hi; ++i) drain_core(i, horizon);
+void ParallelEngine::drain_pool(unsigned self, Cycles horizon) {
+  // Own block first (locality: a thread re-touches the same cores every
+  // epoch while the load is balanced).
+  ShardDeque& own = deques_[self];
+  for (;;) {
+    const int s = own.take();
+    if (s < 0) break;
+    if (!drain_core(static_cast<unsigned>(s), horizon)) return;
+  }
+  if (!steal_enabled_) return;
+  // Steal sweep: keep claiming from any victim that still has shards;
+  // finish only after a full sweep that neither claimed a shard nor
+  // lost a race (a lost race means someone else claimed — re-sweep so
+  // no shard is left behind).
+  for (;;) {
+    bool claimed = false;
+    bool contended = false;
+    for (unsigned k = 1; k < threads_; ++k) {
+      ShardDeque& victim = deques_[(self + k) % threads_];
+      for (;;) {
+        const int s = victim.steal();
+        if (s == ShardDeque::kEmpty) break;
+        if (s == ShardDeque::kAbort) {
+          contended = true;
+          break;
+        }
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        claimed = true;
+        if (!drain_core(static_cast<unsigned>(s), horizon)) return;
+      }
+    }
+    if (!claimed && !contended) return;
+  }
 }
 
-void ParallelEngine::worker_main(unsigned block) {
+void ParallelEngine::worker_main(unsigned self) {
   std::uint64_t last_epoch = 0;
   for (;;) {
     std::uint64_t e;
@@ -109,23 +161,37 @@ void ParallelEngine::worker_main(unsigned block) {
       if (++spins > kSpinsBeforeYield) std::this_thread::yield();
     }
     last_epoch = e;
-    drain_block(block, horizon_);
+    drain_pool(self, horizon_);
     done_.fetch_add(1, std::memory_order_release);
   }
 }
 
-std::uint64_t ParallelEngine::drain_epoch(Cycles horizon) {
+std::uint64_t ParallelEngine::drain_epoch(Cycles horizon,
+                                          std::uint64_t max_advances) {
+  budget_limit_ = max_advances;
+  budget_used_.store(0, std::memory_order_relaxed);
   if (threads_ == 1) {
     // Threadless path: the coordinator drains every shard itself — no
-    // atomics, no barrier, still the same shard-local event order.
+    // deques, no barrier, still the same shard-local event order.
     for (unsigned i = 0; i < machine_.num_cores(); ++i) {
-      drain_core(i, horizon);
+      if (!drain_core(i, horizon)) break;
     }
   } else {
+    // Seed the deques with the static block partition; stealing
+    // rebalances from there. Workers are parked (previous epoch fully
+    // acked), and the release-store of epoch_ below publishes the
+    // reset before any worker claims.
+    const unsigned cores = machine_.num_cores();
+    const unsigned base = cores / threads_;
+    const unsigned rem = cores % threads_;
+    for (unsigned b = 0; b < threads_; ++b) {
+      const unsigned lo = b * base + std::min(b, rem);
+      deques_[b].reset(lo, base + (b < rem ? 1 : 0));
+    }
     horizon_ = horizon;
     ++epochs_issued_;
     epoch_.store(epochs_issued_, std::memory_order_release);
-    drain_block(0, horizon);
+    drain_pool(0, horizon);
     const std::uint64_t expect = epochs_issued_ * (threads_ - 1);
     int spins = 0;
     while (done_.load(std::memory_order_acquire) != expect) {
@@ -202,8 +268,17 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
   IW_ASSERT_MSG(cfg_.costs.ipi_latency >= 1,
                 "per-core parallel mode needs a nonzero IPI latency for "
                 "its lookahead bound");
-  if (parallel_ == nullptr) {
-    parallel_ = std::make_unique<ParallelEngine>(*this, cfg_.threads);
+  // (Re)build the worker pool when the requested shape changed: the
+  // thread count and steal mode may be reconfigured between runs
+  // (set_threads / set_work_stealing), and silently reusing the old
+  // pool would pin the machine to a stale configuration.
+  const unsigned want_threads =
+      std::max(1u, std::min(cfg_.threads, num_cores()));
+  if (parallel_ == nullptr || parallel_->threads() != want_threads ||
+      parallel_->steal_enabled() != cfg_.work_stealing) {
+    parallel_.reset();  // join the old pool before spawning the new one
+    parallel_ = std::make_unique<ParallelEngine>(*this, cfg_.threads,
+                                                 cfg_.work_stealing);
   }
   parallel_->set_scratch_enabled(metrics_ != nullptr);
   const Cycles la = lookahead();
@@ -241,9 +316,26 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
       continue;
     }
     if (e == kNever || e >= until) break;  // quiescent / target reached
-    const Cycles horizon =
-        std::min({until, mq_t, saturating_add(e, la)});
-    advances_ += parallel_->drain_epoch(horizon);
+    Cycles horizon = std::min({until, mq_t, saturating_add(e, la)});
+    if (time_watchdog) {
+      // Keep an epoch from sailing past the virtual-time budget: with
+      // a large lookahead one unclamped epoch could advance every core
+      // arbitrarily far beyond max_time before the barrier check. The
+      // clamp changes only where the barriers fall, never which events
+      // run, so results stay bit-identical. The max() keeps at least
+      // the earliest event (at time e) eligible, guaranteeing progress
+      // so the watchdog can observe now() crossing the limit.
+      horizon = std::min(horizon, saturating_add(cfg_.max_time, 1));
+      horizon = std::max(horizon, saturating_add(e, 1));
+    }
+    // Advance budget for this epoch: the watchdog fires at advances_ >
+    // max_advances, so cap the epoch at the advances still allowed
+    // (overshoot of at most one barrier's worth of in-flight claims
+    // instead of an entire unbounded epoch). advances_ <= max here, so
+    // the budget is always >= 1 and progress is guaranteed.
+    std::uint64_t budget = 0;
+    if (advance_watchdog) budget = cfg_.max_advances + 1 - advances_;
+    advances_ += parallel_->drain_epoch(horizon, budget);
     parallel_->merge_outboxes();
   }
   per_core_drain_active_ = false;

@@ -9,6 +9,17 @@
 // across the pool, then merge lane outboxes deterministically at the
 // barrier. See parallel.cpp for the determinism argument.
 //
+// Shard scheduling inside an epoch is work-stealing (HVM2-style): each
+// host thread owns a Chase–Lev deque of shard ids seeded with a static
+// block at epoch start; when a thread's own deque runs dry it steals
+// shards from loaded victims, so one hot shard no longer serializes the
+// epoch. Stealing moves only *which host thread* drains a shard — every
+// shard-side effect is keyed by core id (lane outbox, scratch registry,
+// per-core trace buffer, per-source sequence/RNG streams) and merged in
+// core-id order at the barrier, so results are independent of the
+// claim interleaving. MachineConfig::work_stealing=false pins shards to
+// their static blocks (the pre-stealing behavior) for A/B comparison.
+//
 // Host-thread handshake: a monotone epoch counter published with
 // release semantics, acknowledged through a cumulative done counter.
 // Workers spin briefly then yield, so the engine stays live-lock-free
@@ -30,18 +41,84 @@ class MetricsRegistry;
 
 namespace iw::hwsim {
 
+/// Per-thread shard queue: a Chase–Lev work-stealing deque specialized
+/// to the epoch engine's lifecycle. The backing "array" is the dense
+/// shard-id range [base, base + size) written once per epoch while all
+/// workers are parked, and nothing pushes during a drain — so only the
+/// owner's take() and thieves' steal() are needed, and there is no
+/// array growth or ABA hazard. take() claims from the high-index end
+/// (the owner walks its block), steal() from the low-index end; the
+/// last-element race is resolved by the classic CAS on top.
+struct alignas(64) ShardDeque {
+  static constexpr int kEmpty = -1;  ///< nothing left to claim
+  static constexpr int kAbort = -2;  ///< lost a steal race; retry later
+
+  std::uint32_t base{0};
+  std::uint32_t size{0};
+  std::atomic<std::int64_t> top{0};     // thieves claim index top
+  std::atomic<std::int64_t> bottom{0};  // owner claims index bottom-1
+
+  /// Re-seed with a fresh shard block. Workers must be parked (the
+  /// epoch publish that follows orders this store for them).
+  void reset(std::uint32_t b, std::uint32_t n) {
+    base = b;
+    size = n;
+    top.store(0, std::memory_order_relaxed);
+    bottom.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  }
+
+  /// Owner-only: claim the next shard id, or kEmpty.
+  int take() {
+    std::int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+    bottom.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top.load(std::memory_order_relaxed);
+    if (t > b) {  // already drained by thieves
+      bottom.store(b + 1, std::memory_order_relaxed);
+      return kEmpty;
+    }
+    if (t == b) {  // last element: race the thieves for it
+      const bool won = top.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom.store(b + 1, std::memory_order_relaxed);
+      if (!won) return kEmpty;
+    }
+    return static_cast<int>(base + static_cast<std::uint32_t>(b));
+  }
+
+  /// Thief: claim one shard id from the top, or kEmpty / kAbort.
+  int steal() {
+    std::int64_t t = top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom.load(std::memory_order_acquire);
+    if (t >= b) return kEmpty;
+    if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      return kAbort;
+    }
+    return static_cast<int>(base + static_cast<std::uint32_t>(t));
+  }
+};
+
 class ParallelEngine {
  public:
   /// `threads` is the total host threads used per epoch, including the
   /// coordinator (clamped to [1, num_cores]); `threads - 1` workers are
-  /// spawned and parked until the first epoch.
-  ParallelEngine(Machine& machine, unsigned threads);
+  /// spawned and parked until the first epoch. `steal` enables
+  /// cross-deque shard stealing (off = static blocks).
+  ParallelEngine(Machine& machine, unsigned threads, bool steal);
   ~ParallelEngine();
 
   ParallelEngine(const ParallelEngine&) = delete;
   ParallelEngine& operator=(const ParallelEngine&) = delete;
 
   [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] bool steal_enabled() const { return steal_enabled_; }
+  /// Successful shard steals since construction (observability only;
+  /// the count is host-schedule-dependent, results never are).
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
   /// Allocate (or drop) the per-core scratch metrics registries. Called
   /// at the start of every parallel run so a registry attached between
@@ -49,9 +126,13 @@ class ParallelEngine {
   void set_scratch_enabled(bool on);
 
   /// Drain every core of events strictly before `horizon`, fanned out
-  /// across the pool (the calling thread drains block 0). Returns the
-  /// total advances performed. On return all shards are parked.
-  std::uint64_t drain_epoch(Cycles horizon);
+  /// across the pool via the work-stealing deques. `max_advances`
+  /// bounds the advances performed this epoch (0 = unbounded): when the
+  /// shared budget is exhausted every thread stops claiming and
+  /// draining, so a watchdog-bounded run overshoots by at most the
+  /// in-flight events. Returns the total advances performed. On return
+  /// all shards are parked.
+  std::uint64_t drain_epoch(Cycles horizon, std::uint64_t max_advances = 0);
 
   /// Flush per-core outboxes into the target inboxes, iterating lanes
   /// in core-id order — a deterministic, thread-count-independent
@@ -71,13 +152,28 @@ class ParallelEngine {
     std::uint64_t advances{0};
   };
 
-  void drain_core(unsigned core, Cycles horizon);
-  void drain_block(unsigned block, Cycles horizon);
-  void worker_main(unsigned block);
+  /// Drain one shard; returns false when the epoch advance budget ran
+  /// out mid-drain (callers stop claiming shards).
+  bool drain_core(unsigned core, Cycles horizon);
+  /// One thread's share of an epoch: drain the own deque, then steal.
+  void drain_pool(unsigned self, Cycles horizon);
+  void worker_main(unsigned self);
 
   Machine& machine_;
   unsigned threads_{1};
+  bool steal_enabled_{true};
   std::vector<Lane> lanes_;  // one per core
+  /// One deque per host thread (array: ShardDeque holds atomics and is
+  /// neither movable nor copyable).
+  std::unique_ptr<ShardDeque[]> deques_;
+
+  // Per-epoch advance budget (0 = unlimited). budget_used_ is a shared
+  // pre-claim counter: a thread advances only after claiming a slot
+  // below the limit, so at most `max_advances` events run epoch-wide.
+  std::uint64_t budget_limit_{0};
+  std::atomic<std::uint64_t> budget_used_{0};
+
+  std::atomic<std::uint64_t> steals_{0};
 
   // Epoch handshake (workers_ == threads_ - 1 spawned threads).
   Cycles horizon_{0};  // published-before epoch_ store

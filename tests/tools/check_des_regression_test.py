@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_des_regression.py.
+
+Regression focus: the guard used to `continue` past any guarded map
+missing from either file, so a fresh run that stopped emitting most of
+its speedup maps still passed on whichever map remained — a vacuous
+pass. The guard must now hard-fail on missing maps, missing entries,
+and zero comparisons, and apply host-aware floors to the thread-scaling
+matrix.
+
+Usage: check_des_regression_test.py PATH_TO_GUARD_SCRIPT
+Stdlib only; exits nonzero listing failed cases.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_guard(script, fresh, base, *extra):
+    with tempfile.TemporaryDirectory() as td:
+        fresh_path = os.path.join(td, "fresh.json")
+        base_path = os.path.join(td, "base.json")
+        with open(fresh_path, "w") as f:
+            json.dump(fresh, f)
+        with open(base_path, "w") as f:
+            json.dump(base, f)
+        proc = subprocess.run(
+            [sys.executable, script, fresh_path, base_path, *extra],
+            capture_output=True,
+            text=True,
+        )
+    return proc
+
+
+def full_doc(host_cpus=8):
+    return {
+        "host_cpus": host_cpus,
+        "speedup_frontier_vs_linear": {"64": 30.0, "256": 100.0},
+        "speedup_parallel_vs_frontier": {"64": 4.0, "256": 5.0},
+        "speedup_auto_vs_linear": {"64": 120.0, "256": 500.0},
+        "speedup_threads_vs_1": {
+            "1024": {"2": 1.9, "4": 3.6, "8": 6.0},
+            "4096": {"2": 1.8, "4": 3.4, "8": 5.5},
+        },
+    }
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    script = argv[1]
+    failures = []
+
+    def check(name, proc, want_rc, want_stderr=None):
+        ok = proc.returncode == want_rc
+        if ok and want_stderr is not None:
+            ok = want_stderr in proc.stderr
+        if not ok:
+            failures.append(
+                f"{name}: rc={proc.returncode} (want {want_rc})"
+                f"\n  stdout: {proc.stdout.strip()}"
+                f"\n  stderr: {proc.stderr.strip()}"
+            )
+        else:
+            print(f"ok: {name}")
+
+    # 1. Identical fresh/baseline: clean pass.
+    check("identical files pass", run_guard(script, full_doc(), full_doc()), 0)
+
+    # 2. A collapsed flat ratio is caught.
+    fresh = full_doc()
+    fresh["speedup_parallel_vs_frontier"]["256"] = 1.0
+    check("flat-map regression fails", run_guard(script, fresh, full_doc()), 1)
+
+    # 3. A collapsed thread-scaling ratio is caught (host has the CPUs).
+    fresh = full_doc()
+    fresh["speedup_threads_vs_1"]["1024"]["4"] = 1.0
+    check("thread-matrix regression fails",
+          run_guard(script, fresh, full_doc()), 1)
+
+    # 4. THE vacuous-pass bug: fresh run silently lost one guarded map
+    # while the remaining maps are healthy. The old guard skipped the
+    # missing map and exited 0.
+    fresh = full_doc()
+    del fresh["speedup_parallel_vs_frontier"]
+    check("missing one guarded map fails",
+          run_guard(script, fresh, full_doc()), 1, "missing")
+
+    # 5. Fresh run with NO guarded maps at all must fail, not pass.
+    check("no guarded maps fails",
+          run_guard(script, {"host_cpus": 8}, full_doc()), 1)
+
+    # 6. Baseline entry absent from the fresh run (core count dropped
+    # from the sweep) must fail.
+    fresh = full_doc()
+    del fresh["speedup_threads_vs_1"]["4096"]["8"]
+    check("missing matrix entry fails",
+          run_guard(script, fresh, full_doc()), 1, "missing")
+
+    # 7. Host-aware floor: a 1-CPU runner measuring ~1x scaling against
+    # a committed 6x must pass (clamped floor), because the hardware
+    # cannot express the speedup.
+    fresh = full_doc(host_cpus=1)
+    for cores in fresh["speedup_threads_vs_1"]:
+        for t in fresh["speedup_threads_vs_1"][cores]:
+            fresh["speedup_threads_vs_1"][cores][t] = 0.95
+    check("1-cpu host passes flat scaling",
+          run_guard(script, fresh, full_doc()), 0)
+
+    # 8. ...but even a 1-CPU runner fails if oversubscription collapses
+    # throughput below the clamped floor.
+    fresh = full_doc(host_cpus=1)
+    fresh["speedup_threads_vs_1"]["1024"]["8"] = 0.3
+    check("1-cpu host still catches collapse",
+          run_guard(script, fresh, full_doc()), 1)
+
+    # 9. Tolerance flag is honored: 10% dip passes at default 25%, fails
+    # at --tolerance=0.05.
+    fresh = full_doc()
+    fresh["speedup_auto_vs_linear"]["64"] = 108.0
+    check("10% dip within default tolerance",
+          run_guard(script, fresh, full_doc()), 0)
+    check("10% dip outside tight tolerance",
+          run_guard(script, fresh, full_doc(), "--tolerance=0.05"), 1)
+
+    if failures:
+        print(f"\n{len(failures)} case(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,12 +5,24 @@ Compares a freshly-measured des_throughput JSON (typically a --smoke run
 on a CI box of unknown speed) against the committed baseline
 BENCH_des_throughput.json. Absolute events/s are machine-dependent, so
 the guard checks the *speedup ratios* — frontier/linear,
-parallel/frontier, auto/linear per core count — which cancel host speed:
-a ratio collapsing means a scheduler regressed relative to the others in
-the same binary on the same box.
+parallel/frontier, auto/linear per core count, and the work-stealing
+engine's thread-scaling matrix (parallel at T host threads vs 1) — which
+cancel host speed: a ratio collapsing means a scheduler regressed
+relative to the others in the same binary on the same box.
 
-Exit 0 if every ratio present in both files is within the tolerance of
-the committed value; exit 1 (listing the offenders) otherwise.
+Every guarded map must be present (as a dict) in BOTH files, and every
+baseline entry must be measured in the fresh run; a bench that silently
+stops emitting a map is itself a regression, not a skip. Zero
+comparisons is always a hard failure.
+
+Thread-scaling floors are host-aware: scaling beyond the physical CPU
+count is not expected, so when the fresh run reports host_cpus < T the
+committed ratio is clamped to min(committed, host_cpus) before the
+tolerance floor is applied. A 1-CPU runner therefore only asserts that
+oversubscription does not collapse throughput.
+
+Exit 0 if every ratio is within the tolerance of its committed value;
+exit 1 (listing the offenders) otherwise; exit 2 on usage/shape errors.
 
 Usage: check_des_regression.py FRESH.json BASELINE.json [--tolerance=0.25]
 """
@@ -22,7 +34,30 @@ GUARDED_MAPS = (
     "speedup_frontier_vs_linear",
     "speedup_parallel_vs_frontier",
     "speedup_auto_vs_linear",
+    "speedup_threads_vs_1",
 )
+
+
+def flatten(tree, prefix=()):
+    """Flatten {"1024": {"2": 1.9}} into {("1024", "2"): 1.9}; flat maps
+    become single-element keys. Ratio maps are numbers at the leaves."""
+    out = {}
+    for key, value in tree.items():
+        if isinstance(value, dict):
+            out.update(flatten(value, prefix + (key,)))
+        else:
+            out[prefix + (key,)] = value
+    return out
+
+
+def key_label(name, key):
+    if name == "speedup_threads_vs_1" and len(key) == 2:
+        return f"{name}[{key[0]} cores, {key[1]} threads]"
+    return f"{name}[{'/'.join(key)} cores]"
+
+
+def sort_key(key):
+    return tuple(int(part) for part in key)
 
 
 def main(argv):
@@ -41,35 +76,56 @@ def main(argv):
     with open(paths[1]) as f:
         base = json.load(f)
 
+    host_cpus = fresh.get("host_cpus", 0)
+
     failures = []
     checked = 0
     for name in GUARDED_MAPS:
         fresh_map = fresh.get(name)
         base_map = base.get(name)
-        if not isinstance(fresh_map, dict) or not isinstance(base_map, dict):
+        # A guarded map vanishing from either side means the bench (or
+        # the baseline) stopped measuring something it used to — fail
+        # loudly instead of skipping the comparisons.
+        bad = False
+        if not isinstance(fresh_map, dict):
+            failures.append(f"{name}: missing or not a map in fresh run")
+            bad = True
+        if not isinstance(base_map, dict):
+            failures.append(f"{name}: missing or not a map in baseline")
+            bad = True
+        if bad:
             continue
-        for cores, committed in sorted(base_map.items(), key=lambda kv: int(kv[0])):
-            if cores not in fresh_map:
-                failures.append(f"{name}[{cores} cores]: missing from fresh run")
+        fresh_flat = flatten(fresh_map)
+        for key, committed in sorted(flatten(base_map).items(),
+                                     key=lambda kv: sort_key(kv[0])):
+            label = key_label(name, key)
+            if key not in fresh_flat:
+                failures.append(f"{label}: missing from fresh run")
                 continue
-            measured = fresh_map[cores]
+            measured = fresh_flat[key]
+            note = ""
+            if name == "speedup_threads_vs_1":
+                threads = int(key[-1])
+                if 0 < host_cpus < threads and committed > host_cpus:
+                    committed = float(host_cpus)
+                    note = f" (clamped to {host_cpus} host cpus)"
             floor = committed * (1.0 - tolerance)
             checked += 1
             status = "ok" if measured >= floor else "REGRESSION"
             print(
-                f"{name}[{cores} cores]: measured {measured:.2f}x, "
-                f"committed {committed:.2f}x, floor {floor:.2f}x -> {status}"
+                f"{label}: measured {measured:.2f}x, "
+                f"committed {committed:.2f}x{note}, floor {floor:.2f}x "
+                f"-> {status}"
             )
             if measured < floor:
                 failures.append(
-                    f"{name}[{cores} cores]: {measured:.2f}x < floor "
-                    f"{floor:.2f}x (committed {committed:.2f}x)"
+                    f"{label}: {measured:.2f}x < floor "
+                    f"{floor:.2f}x (committed {committed:.2f}x{note})"
                 )
 
     if checked == 0:
-        print("error: no comparable speedup maps between the two files",
-              file=sys.stderr)
-        return 2
+        # Never pass vacuously, whatever shape the inputs had.
+        failures.append("no ratios compared between the two files")
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
