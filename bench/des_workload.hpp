@@ -22,11 +22,28 @@ namespace iw::bench {
 
 /// Endless spin work: every core always runnable, constant step cost.
 /// Keeps the frontier maximally contended (N candidates every advance).
+/// Certifies its steps for fast-forward: a spin step consumes step_
+/// cycles and touches nothing else, so the trajectory to any horizon is
+/// closed-form (the quiescent-region case the skip-ahead mode exists
+/// for — between heartbeats every core is doing exactly this).
 class SpinForeverDriver final : public hwsim::CoreDriver {
  public:
   explicit SpinForeverDriver(Cycles step) : step_(step) {}
   bool runnable(hwsim::Core&) override { return true; }
   void step(hwsim::Core& core) override { core.consume(step_); }
+
+  bool plan_fast_forward(hwsim::Core& core, Cycles horizon,
+                         hwsim::FastForwardPlan* plan) override {
+    // Stepping while clock < horizon executes ceil(gap / step_) steps,
+    // the last one carrying the clock to the first multiple at/past the
+    // horizon — exactly what the stepped loop would do.
+    const Cycles gap = horizon - core.clock();
+    const std::uint64_t steps = (gap + step_ - 1) / step_;
+    plan->end_clock = core.clock() + steps * step_;
+    plan->steps = steps;
+    return true;
+  }
+  // apply_fast_forward: nothing to commit (the spin has no state).
 
  private:
   Cycles step_;

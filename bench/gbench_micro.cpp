@@ -132,6 +132,82 @@ BENCHMARK(BM_MachineAdvanceOnce)
     ->Args({256, 0})
     ->Args({256, 1});
 
+// The frontier refresh scan reads every core's cached next-action time.
+// These two benches lock in the SoA hot-path slice: the machine now owns
+// the cached times as one dense Cycles array (BM_SchedScanDense) instead
+// of reading a 64B-padded cell inside each Core object
+// (BM_SchedScanScattered) — ~8x fewer cache lines per scan at width 8.
+void BM_SchedScanDense(benchmark::State& state) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  std::vector<Cycles> times(cores);
+  Rng rng(11);
+  for (auto& t : times) t = rng.uniform(0, 1'000'000);
+  for (auto _ : state) {
+    Cycles best = kNever;
+    for (const Cycles t : times) best = std::min(best, t);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cores));
+}
+BENCHMARK(BM_SchedScanDense)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SchedScanScattered(benchmark::State& state) {
+  struct alignas(64) PaddedTime {
+    Cycles t{0};
+  };
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  std::vector<PaddedTime> times(cores);
+  Rng rng(11);
+  for (auto& c : times) c.t = rng.uniform(0, 1'000'000);
+  for (auto _ : state) {
+    Cycles best = kNever;
+    for (const PaddedTime& c : times) best = std::min(best, c.t);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cores));
+}
+BENCHMARK(BM_SchedScanScattered)->Arg(64)->Arg(1024)->Arg(8192);
+
+// Cost of one quiet-window proof: the O(cores) scan fast-forward pays
+// before every skip. It must stay cheap enough that a failed proof
+// (plus the backoff) never shows up against event-stepped progress.
+void BM_ProveQuietUntil(benchmark::State& state) {
+  const auto cores = static_cast<unsigned>(state.range(0));
+  bench::DesWorkload w =
+      bench::make_des_workload(cores, hwsim::SchedulerKind::kFrontier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.machine->prove_quiet_until(kNever));
+  }
+}
+BENCHMARK(BM_ProveQuietUntil)->Arg(16)->Arg(256)->Arg(4096);
+
+// One 200k-cycle window of the long-quiet heartbeat workload (50-cycle
+// steps, 100k beat period), full fidelity vs analytic skip-ahead.
+// Args: {cores, ff}. The gap is the tentpole win at microbench scale;
+// bench/fastforward.cpp measures it at run scale.
+void BM_MachineRunWindow(benchmark::State& state) {
+  const auto cores = static_cast<unsigned>(state.range(0));
+  bench::DesWorkload w = bench::make_des_workload(
+      cores, hwsim::SchedulerKind::kFrontier, 50, 100'000);
+  hwsim::FastForwardPolicy pol;
+  pol.enabled = state.range(1) != 0;
+  w.machine->set_fast_forward(pol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.machine->run_until(w.machine->now() + 200'000));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(w.machine->total_advances()));
+}
+BENCHMARK(BM_MachineRunWindow)
+    ->ArgNames({"cores", "ff"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
 void BM_BuddyAllocFree(benchmark::State& state) {
   mem::BuddyAllocator buddy(0, 1 << 24, 64);
   Rng rng(3);

@@ -75,6 +75,15 @@ bool Harness::parse(int argc, char** argv) {
         std::fprintf(stderr, "--steal: expected on or off\n");
         return false;
       }
+    } else if (std::strncmp(a, "--ff=", 5) == 0) {
+      if (std::strcmp(a + 5, "on") == 0) {
+        ff_ = true;
+      } else if (std::strcmp(a + 5, "off") == 0) {
+        ff_ = false;
+      } else {
+        std::fprintf(stderr, "--ff: expected on or off\n");
+        return false;
+      }
     } else if (std::strcmp(a, "--trace") == 0 ||
                std::strcmp(a, "--metrics-json") == 0 ||
                std::strcmp(a, "--faults") == 0 ||
@@ -82,7 +91,8 @@ bool Harness::parse(int argc, char** argv) {
                std::strcmp(a, "--seed") == 0 ||
                std::strcmp(a, "--scheduler") == 0 ||
                std::strcmp(a, "--threads") == 0 ||
-               std::strcmp(a, "--steal") == 0) {
+               std::strcmp(a, "--steal") == 0 ||
+               std::strcmp(a, "--ff") == 0) {
       std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
       return false;
     }
@@ -120,6 +130,7 @@ void Harness::apply(hwsim::MachineConfig& mc) const {
   if (scheduler_set_) mc.scheduler = scheduler_;
   mc.threads = threads_;
   mc.work_stealing = steal_;
+  mc.fast_forward.enabled = ff_;
 }
 
 bool Harness::finish() {

@@ -11,6 +11,10 @@
 //   --threads=N          host worker threads for --scheduler=parallel
 //   --steal=on|off       work-stealing shard scheduling for the parallel
 //                        engine (default on; off pins static blocks)
+//   --ff=on|off          selectable-fidelity fast-forward: analytic
+//                        skip-ahead over proven-quiet windows (default
+//                        off; results are bit-identical either way —
+//                        this is purely a wall-clock knob)
 //
 // With no flags the benches run with null sinks, no faults, and their
 // built-in seeds — the default-off path the determinism guarantees are
@@ -77,6 +81,7 @@ class Harness {
   [[nodiscard]] bool scheduler_overridden() const { return scheduler_set_; }
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] bool work_stealing() const { return steal_; }
+  [[nodiscard]] bool fast_forward() const { return ff_; }
 
   /// Parse a scheduler name ("frontier" | "linear" | "parallel" |
   /// "auto"); returns false on anything else. Shared by every bench
@@ -106,6 +111,7 @@ class Harness {
   bool scheduler_set_{false};
   unsigned threads_{1};
   bool steal_{true};
+  bool ff_{false};
 };
 
 }  // namespace iw::bench

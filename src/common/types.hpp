@@ -42,4 +42,12 @@ struct ClockFreq {
 /// Sentinel for "no time" / "never".
 inline constexpr Cycles kNever = ~Cycles{0};
 
+/// Add cycle quantities without wrapping past kNever ("never plus
+/// anything is still never"). Horizon arithmetic everywhere — epoch
+/// lookahead bounds, watchdog clamps, fast-forward targets — goes
+/// through this so a kNever operand stays a sentinel.
+[[nodiscard]] inline constexpr Cycles saturating_add(Cycles a, Cycles b) {
+  return a > kNever - b ? kNever : a + b;
+}
+
 }  // namespace iw

@@ -164,6 +164,25 @@ Cycles Core::compute_next_action_time() {
   return std::max(t, clock_);
 }
 
+void Core::commit_fast_forward(const FastForwardPlan& plan) {
+  IW_ASSERT(driver_ != nullptr);
+  IW_ASSERT_MSG(plan.steps >= 1 && plan.end_clock > clock_,
+                "fast-forward plan must replay at least one step");
+  // steps_ counts the replayed steps so per-core accounting (and hence
+  // dump_state, digests, and the advance watchdog upstream) is
+  // bit-identical to having stepped the window.
+  steps_ += plan.steps;
+  // consume() is the charge path: Machine::charge delegates here, so
+  // the skip moves the clock exactly as charged work does — the now()
+  // cache and the dirty-marking invalidation both stay exact.
+  consume(plan.end_clock - clock_);
+  driver_->apply_fast_forward(*this, plan);
+  // The driver may have gone idle (or changed its runnable answer) at
+  // the committed state; consume() already invalidated, but be explicit
+  // in case a zero-delta future variant skips it.
+  mark_schedule_dirty();
+}
+
 void Core::advance() {
   ++steps_;
   if (!runnable()) {

@@ -35,6 +35,19 @@ class Core;
 /// Interrupt handler: called with the core at the time of dispatch.
 using IrqHandler = std::function<void(Core&, int vector)>;
 
+/// An analytic skip-ahead plan: the exact trajectory a core's driver
+/// steps would trace up to a proven-quiet horizon (see
+/// CoreDriver::plan_fast_forward and Machine's FastForwardPolicy).
+struct FastForwardPlan {
+  /// Clock after replaying the steps: the first stepped value at/past
+  /// the horizon (a step straddling the horizon completes — delivery
+  /// happens at clock >= event time, matching full fidelity), or
+  /// earlier if the driver goes idle inside the window.
+  Cycles end_clock{0};
+  /// Number of driver steps the plan replays analytically.
+  std::uint64_t steps{0};
+};
+
 /// Supplies work for a core. Implemented by the kernel substrates
 /// (nautilus::Kernel, linuxmodel::LinuxStack).
 class CoreDriver {
@@ -49,6 +62,37 @@ class CoreDriver {
   /// Execute one step; must advance core.clock() by at least one cycle
   /// (enforced by the machine loop to guarantee progress).
   virtual void step(Core& core) = 0;
+
+  /// Selectable-fidelity hook. Certify that every step this driver
+  /// would execute while core.clock() < `horizon` is *inert* — it
+  /// consumes cycles and mutates only this driver's own per-core state;
+  /// it posts no event, sends no IPI, draws no RNG or sequence number,
+  /// records no trace or metric, and touches no other core — and
+  /// predict the stepped trajectory exactly: plan->end_clock and
+  /// plan->steps must equal what step-by-step execution would produce
+  /// (the machine's paranoid mode re-runs sampled windows in full
+  /// fidelity and aborts on any mismatch). A driver that goes idle
+  /// inside the window reports the shorter trajectory (end_clock <
+  /// horizon, runnable() false at that clock). Must itself be
+  /// side-effect free; state is committed later via apply_fast_forward.
+  /// Return false to decline (the default): the DES then steps the
+  /// window cycle-accurately. Declining is always safe.
+  virtual bool plan_fast_forward(Core& core, Cycles horizon,
+                                 FastForwardPlan* plan) {
+    (void)core;
+    (void)horizon;
+    (void)plan;
+    return false;
+  }
+
+  /// Commit driver-internal state for a plan the machine is applying
+  /// (e.g. decrement a remaining-work counter by plan.steps). The
+  /// machine moves the core clock and the step/advance accounting
+  /// itself; this hook must not touch the core.
+  virtual void apply_fast_forward(Core& core, const FastForwardPlan& plan) {
+    (void)core;
+    (void)plan;
+  }
 };
 
 class Core {
@@ -107,6 +151,16 @@ class Core {
 
   [[nodiscard]] std::uint64_t pending_irqs() const { return irq_inbox_.size(); }
 
+  /// Earliest *deliverable* inbox event: callbacks unconditionally,
+  /// IRQs only while interrupts are enabled; kNever if none. The
+  /// fast-forward quiet proof reads this for runnable cores — a due
+  /// event bounds how far their steps can be skipped, because full
+  /// fidelity delivers it the moment a step carries the clock past it.
+  [[nodiscard]] Cycles earliest_deliverable() const {
+    const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
+    return std::min(callback_inbox_.peek_time(), irq_t);
+  }
+
   /// Deliver all events due at or before the current clock: callbacks
   /// unconditionally, IRQs only while interrupts are enabled. Each IRQ
   /// pays dispatch + return costs from the cost model.
@@ -127,13 +181,18 @@ class Core {
   ///  - its own clock if runnable,
   ///  - else the earliest *deliverable* inbox event time,
   ///  - kNever if idle with nothing deliverable.
-  /// Cached; recomputed only after an invalidation.
+  /// Cached; recomputed only after an invalidation. The cache cell
+  /// lives behind a pointer: dense machine-owned SoA arrays in the
+  /// sequential schedulers (so frontier scans and the fast-forward
+  /// quiet proof stream over contiguous memory), a private padded cell
+  /// in per-core parallel mode (concurrent shard writes must not share
+  /// a cache line). See Machine's constructor.
   [[nodiscard]] Cycles next_action_time() {
-    if (schedule_dirty_) {
-      cached_next_action_ = compute_next_action_time();
-      schedule_dirty_ = false;
+    if (*sched_dirty_ != 0) {
+      *sched_time_ = compute_next_action_time();
+      *sched_dirty_ = 0;
     }
-    return cached_next_action_;
+    return *sched_time_;
   }
 
   /// Uncached recompute (the seed linear-scan scheduler's view; also the
@@ -147,8 +206,8 @@ class Core {
   /// already dirty. Drivers must call this when their runnable() answer
   /// changes through a channel the simulator cannot observe.
   void mark_schedule_dirty() {
-    if (!schedule_dirty_) {
-      schedule_dirty_ = true;
+    if (*sched_dirty_ == 0) {
+      *sched_dirty_ = 1;
       notify_machine_dirty();
     }
   }
@@ -156,6 +215,12 @@ class Core {
   /// Execute one advance: deliver due events, then run one driver step
   /// (or jump the clock to the next event if idle).
   void advance();
+
+  /// Commit one analytic skip (machine-only: the quiet-window proof
+  /// lives in Machine::try_fast_forward). Moves the clock through the
+  /// same charging path stepping uses, accounts the replayed steps, and
+  /// lets the driver commit its internal state.
+  void commit_fast_forward(const FastForwardPlan& plan);
 
   // --- accounting ---
   [[nodiscard]] std::uint64_t irqs_delivered() const { return irqs_delivered_; }
@@ -194,8 +259,18 @@ class Core {
   CoreId id_;
   Cycles clock_{0};
   bool irq_enabled_{true};
-  bool schedule_dirty_{true};
-  Cycles cached_next_action_{0};
+  /// Scheduling-cache cell for this core, as one padded private block.
+  /// The slot pointers below default to it and are repointed into the
+  /// machine's dense SoA arrays by the sequential schedulers (same
+  /// pattern as machine_now_): dense for scan locality, private for
+  /// shard isolation.
+  struct alignas(64) SchedCell {
+    Cycles time{0};
+    std::uint8_t dirty{1};
+  };
+  SchedCell sched_cell_;
+  Cycles* sched_time_{&sched_cell_.time};
+  std::uint8_t* sched_dirty_{&sched_cell_.dirty};
   Cycles cur_irq_origin_{0};
   TimedQueue<IrqEvent> irq_inbox_;
   TimedQueue<CoreEvent> callback_inbox_;

@@ -1,5 +1,6 @@
 #include "hwsim/fault_plan.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace iw::hwsim {
@@ -113,6 +114,20 @@ bool FaultPlan::parse(const std::string& spec, FaultPlan* out,
   }
   *out = plan;
   return true;
+}
+
+Cycles FaultPlan::next_armed_stall_after(Cycles t) const {
+  // Mirrors the guards in FaultInjector::stall_cycles exactly: a draw
+  // happens only when the plan is enabled, the rate and magnitude are
+  // nonzero, and the step's start time is inside an active window.
+  if (!enabled || stall_rate <= 0.0 || stall_max == 0) return kNever;
+  if (windows.empty()) return t;  // always armed while enabled
+  Cycles earliest = kNever;
+  for (const auto& w : windows) {
+    if (w.end <= t) continue;  // window already over at t
+    earliest = std::min(earliest, std::max(t, w.begin));
+  }
+  return earliest;
 }
 
 void FaultInjector::configure(const FaultPlan& plan,

@@ -79,6 +79,18 @@ struct FaultPlan {
     return false;
   }
 
+  /// Lower bound on the next virtual time at/after `t` where this plan
+  /// could perturb a *driver step* (a transient stall draw), or kNever
+  /// if it never can. This is the fast-forward horizon bound: every
+  /// other fault site (IPI post, timer arm, spurious IRQ) draws inside
+  /// an event the skip-ahead proof already forbids before the horizon,
+  /// but stall draws happen on every step of a runnable core, so an
+  /// analytic skip must stop where one could be armed. Window
+  /// boundaries are honored exactly: a window beginning at W bounds the
+  /// horizon to W even when t < W (steps at clocks < W draw nothing —
+  /// the off-by-one the equivalence matrix pins down).
+  [[nodiscard]] Cycles next_armed_stall_after(Cycles t) const;
+
   /// Parse a `--faults=` spec: comma-separated items of
   ///   drop=P            IPI drop probability
   ///   delay=P:C         IPI delay probability : max extra cycles

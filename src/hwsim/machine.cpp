@@ -16,6 +16,14 @@ namespace {
 /// des_throughput calibration shows heap maintenance losing to the
 /// scan at 2 cores (0.84x vs linear) and winning by 8 (1.42x).
 constexpr std::size_t kFrontierDirectScanMax = 4;
+
+/// Fast-forward trigger backoff, in advances between attempts: a failed
+/// quiet proof costs an O(cores) scan, so a busy region must not pay it
+/// every iteration. Doubles from kFfMinBackoff to kFfMaxBackoff on
+/// failure, resets on success. Heuristic only — skips are semantically
+/// no-ops, so attempt placement can never change results.
+constexpr std::uint64_t kFfMinBackoff = 8;
+constexpr std::uint64_t kFfMaxBackoff = 512;
 }  // namespace
 
 Machine::ExecCtx& Machine::exec_ctx() {
@@ -45,10 +53,22 @@ Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
       cfg.shard_policy == ShardPolicy::kPerCore) {
     // Give every core a cache-line-private clock slot so concurrent
     // shard drains never contend on the global now cache; now() folds
-    // the slots instead.
+    // the slots instead. The scheduling caches stay in each core's
+    // private padded cell for the same reason.
     per_core_now_.resize(cfg.num_cores);
     for (unsigned i = 0; i < cfg.num_cores; ++i) {
       cores_[i]->machine_now_ = &per_core_now_[i].v;
+    }
+  } else {
+    // Sequential schedulers: repoint every core's scheduling-cache
+    // slots into dense SoA arrays, so the frontier scans and the
+    // fast-forward quiet proof read contiguous memory (one cache line
+    // covers 8 cores' times) instead of one padded cell per core.
+    sched_time_.assign(cfg.num_cores, 0);
+    sched_dirty_.assign(cfg.num_cores, 1);
+    for (unsigned i = 0; i < cfg.num_cores; ++i) {
+      cores_[i]->sched_time_ = &sched_time_[i];
+      cores_[i]->sched_dirty_ = &sched_dirty_[i];
     }
   }
   // Cores are born dirty but could not register while cores_ was still
@@ -203,8 +223,10 @@ void Machine::frontier_enqueue_dirty(CoreId id) {
   dirty_cores_.push_back(id);
 }
 
-void Machine::frontier_push(FrontierEntry e) {
-  frontier_.push_back(e);
+void Machine::frontier_push(Cycles t, CoreId core) {
+  IW_ASSERT_MSG(t < (Cycles{1} << (64 - kFrontierCoreBits)),
+                "virtual time overflows the packed frontier entry");
+  frontier_.push_back((t << kFrontierCoreBits) | core);
   std::push_heap(frontier_.begin(), frontier_.end(), entry_later);
 }
 
@@ -217,7 +239,7 @@ void Machine::refresh_frontier() {
   frontier_.clear();
   dirty_cores_.clear();
   for (auto& c : cores_) {
-    c->schedule_dirty_ = true;
+    *c->sched_dirty_ = 1;
     dirty_cores_.push_back(c->id());
   }
 }
@@ -238,7 +260,7 @@ Machine::Pick Machine::frontier_peek() {
   // Re-index every core whose schedule changed since the last peek.
   for (const CoreId id : dirty_cores_) {
     const Cycles t = cores_[id]->next_action_time();  // recomputes + cleans
-    if (t != kNever) frontier_push({t, id});
+    if (t != kNever) frontier_push(t, id);
   }
   dirty_cores_.clear();
   // Discard stale heap entries: an entry speaks for a core only while
@@ -246,15 +268,15 @@ Machine::Pick Machine::frontier_peek() {
   // value, if any, was pushed when the core was re-indexed above.
   while (!frontier_.empty()) {
     const FrontierEntry top = frontier_.front();
-    if (cores_[top.core]->cached_next_action_ == top.time) break;
+    if (sched_time_[entry_core(top)] == entry_time(top)) break;
     frontier_pop();
   }
   const Cycles mq_t = machine_queue_.peek_time();
   if (frontier_.empty()) return {mq_t, nullptr};
   const FrontierEntry top = frontier_.front();
   // The machine queue wins time ties (seed scheduler semantics).
-  if (mq_t <= top.time) return {mq_t, nullptr};
-  return {top.time, cores_[top.core].get()};
+  if (mq_t <= entry_time(top)) return {mq_t, nullptr};
+  return {entry_time(top), cores_[entry_core(top)].get()};
 }
 
 Machine::Pick Machine::linear_peek() {
@@ -301,18 +323,18 @@ bool Machine::advance_once() {
   return true;
 }
 
-bool Machine::run(const std::function<bool()>& stop) {
-  if (sched_ == SchedulerKind::kParallelEpoch) {
-    return parallel_run(stop, kNever);
-  }
-  if (sched_ == SchedulerKind::kFrontier) {
-    // Driver/workload state may have been mutated between runs without
-    // invalidation; rebuilding once per run (not per iteration) keeps
-    // external setup code oblivious to the frontier index.
-    refresh_frontier();
-  }
+bool Machine::run_loop(const std::function<bool()>& stop, Cycles until) {
   const bool time_watchdog = cfg_.max_time != 0;
   const bool advance_watchdog = cfg_.max_advances != 0;
+  const bool ff = cfg_.fast_forward.enabled;
+  // Skip horizons may not sail past the virtual-time budget: clamp to
+  // max_time + 1 so the watchdog still observes now() crossing the
+  // limit at the same advance a full-fidelity run would reach it (the
+  // same clamp the parallel epochs apply to their horizons).
+  Cycles ff_want = until;
+  if (time_watchdog) {
+    ff_want = std::min(ff_want, saturating_add(cfg_.max_time, 1));
+  }
   for (;;) {
     if (stop && stop()) return true;
     if (time_watchdog && now() > cfg_.max_time) {
@@ -324,24 +346,205 @@ bool Machine::run(const std::function<bool()>& stop) {
       IW_LOG_WARN("machine watchdog: advance limit exceeded");
       return false;
     }
+    if (ff) {
+      if (ff_cooldown_ == 0) {
+        if (try_fast_forward(ff_want)) {
+          ff_backoff_ = 0;
+          // Loop back: re-check the stop predicate and watchdogs at the
+          // committed state before stepping the boundary events.
+          continue;
+        }
+        ff_backoff_ = std::min(std::max(ff_backoff_ * 2, kFfMinBackoff),
+                               kFfMaxBackoff);
+        ff_cooldown_ = ff_backoff_;
+      } else {
+        --ff_cooldown_;
+      }
+    }
     if (!advance_once()) return true;  // quiescent
   }
+}
+
+bool Machine::run(const std::function<bool()>& stop) {
+  if (sched_ == SchedulerKind::kParallelEpoch) {
+    return parallel_run(stop, kNever);
+  }
+  if (sched_ == SchedulerKind::kFrontier) {
+    // Driver/workload state may have been mutated between runs without
+    // invalidation; rebuilding once per run (not per iteration) keeps
+    // external setup code oblivious to the frontier index.
+    refresh_frontier();
+  }
+  return run_loop(stop, kNever);
 }
 
 bool Machine::run_until(Cycles t) {
   if (sched_ == SchedulerKind::kParallelEpoch) {
     return parallel_run(nullptr, t);
   }
+  if (sched_ == SchedulerKind::kFrontier) refresh_frontier();
   // Stop once every actionable entity is at/after t. next_event_time()
   // is the frontier min in O(log N) (or the reference O(N) scan in
-  // linear mode).
-  return run([this, t] { return next_event_time() >= t; });
+  // linear mode). Passing t as `until` lets fast-forward take the whole
+  // remaining span in one proof when it is quiet.
+  return run_loop([this, t] { return next_event_time() >= t; }, t);
 }
 
 std::uint64_t Machine::advance_n(std::uint64_t n) {
   std::uint64_t done = 0;
   while (done < n && advance_once()) ++done;
   return done;
+}
+
+Machine::QuietProof Machine::quiet_proof(Cycles want) {
+  // Machine-side proof obligation (DESIGN.md §8): find the largest
+  // horizon h <= want with nothing able to act before h except inert
+  // runnable-driver steps. Every bound only ever lowers h, so the scan
+  // order cannot matter.
+  QuietProof p;
+  // (1) The machine queue: its head runs at its scheduled time, with
+  // shards untouched — nothing may be skipped past it. In-flight IPIs
+  // need no separate term: a posted IPI is already in some inbox (and
+  // bounds h below via earliest_deliverable), and per-core drains call
+  // this only between epochs, when sender outboxes are merged.
+  p.horizon = std::min(want, machine_queue_.peek_time());
+  for (auto& c : cores_) {
+    const Cycles t = c->next_action_time();
+    if (t >= p.horizon) continue;  // acts at/past the horizon already
+    if (!c->runnable()) {
+      // (2) Idle core: its next action IS a delivery (or a wake-up);
+      // full fidelity would execute it at t.
+      p.horizon = std::min(p.horizon, t);
+      continue;
+    }
+    // (3) Runnable core below the horizon: a skip candidate. Its due
+    // events still bound the proof — the stepped trajectory delivers
+    // them the moment a step carries the clock to/past their time.
+    p.skippable = true;
+    p.earliest_clock = std::min(p.earliest_clock, t);  // t == clock here
+    p.horizon = std::min(p.horizon, c->earliest_deliverable());
+  }
+  // (4) Armed fault-plan stalls: per-step draws are the one fault site
+  // inside a quiet window (every other site draws inside an event the
+  // bounds above already forbid). The earliest point at/after the
+  // earliest candidate clock where a stall could be armed caps h; a
+  // window beginning exactly at h is safe because replayed steps all
+  // start at clocks strictly below h.
+  if (p.skippable && faults_.enabled()) {
+    p.horizon = std::min(
+        p.horizon, faults_.plan().next_armed_stall_after(p.earliest_clock));
+  }
+  return p;
+}
+
+Cycles Machine::prove_quiet_until(Cycles want) {
+  return quiet_proof(want).horizon;
+}
+
+bool Machine::try_fast_forward(Cycles want) {
+  const FastForwardPolicy& pol = cfg_.fast_forward;
+  const QuietProof proof = quiet_proof(want);
+  if (!proof.skippable) return false;  // nothing to skip
+  const Cycles h = proof.horizon;
+  // kNever horizon means endless provable quiet — with no boundary
+  // event there is nothing to fast-forward *to*; the machine would spin
+  // forever either way, and the caller's watchdogs own that case.
+  if (h == kNever) return false;
+  // Profitability: the proof scan is O(cores); a window that replays
+  // only a few steps per core is cheaper to execute for real.
+  if (h <= saturating_add(proof.earliest_clock, pol.min_skip)) return false;
+  // Driver certification, the second half of the proof obligation:
+  // every runnable core below the horizon must certify its steps inert
+  // and supply the exact stepped trajectory. One decline aborts the
+  // whole window — that driver's steps could post events anywhere,
+  // invalidating every other core's plan.
+  ff_plans_.clear();
+  std::uint64_t total_steps = 0;
+  for (auto& c : cores_) {
+    if (c->clock() >= h || !c->runnable()) continue;
+    FastForwardPlan plan;
+    CoreDriver* d = c->driver();
+    if (d == nullptr || !d->plan_fast_forward(*c, h, &plan)) return false;
+    IW_ASSERT_MSG(plan.steps >= 1 && plan.end_clock > c->clock(),
+                  "fast-forward plan must replay at least one step");
+    total_steps += plan.steps;
+    ff_plans_.emplace_back(c.get(), plan);
+  }
+  if (ff_plans_.empty()) return false;
+  // Advance-budget equivalence: replayed steps count as advances, so a
+  // skip that would cross max_advances must fall back to stepping — the
+  // watchdog then fires at the identical advance it would in full
+  // fidelity.
+  if (cfg_.max_advances != 0 && advances_ + total_steps > cfg_.max_advances) {
+    return false;
+  }
+  ++ff_windows_;
+  if (pol.paranoid_interval != 0 &&
+      ff_windows_ % pol.paranoid_interval == 0) {
+    paranoid_replay(h);
+    return true;  // window consumed, in full fidelity
+  }
+  for (auto& [core, plan] : ff_plans_) {
+    const Cycles from = core->clock();
+    if (pol.trace_skips) trace_skip(core->id(), from, plan.end_clock);
+    core->commit_fast_forward(plan);
+    ff_cycles_ += core->clock() - from;
+  }
+  ff_steps_ += total_steps;
+  advances_ += total_steps;
+  return true;
+}
+
+void Machine::paranoid_replay(Cycles horizon) {
+  ++ff_paranoid_;
+  // Inertness witnesses: none of these may move while stepping a window
+  // the proof called quiet.
+  std::uint64_t seq_before = 0;
+  for (const auto& s : seq_by_source_) seq_before += s.v;
+  std::uint64_t ipis_before = 0;
+  for (const auto& s : ipis_by_source_) ipis_before += s.v;
+  std::uint64_t delivered_before = 0;
+  std::vector<std::uint64_t> steps_before(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    delivered_before += cores_[i]->irqs_delivered();
+    steps_before[i] = cores_[i]->steps_executed();
+  }
+  const std::uint64_t traced_before =
+      tracer() != nullptr ? tracer()->total_events() : 0;
+  const std::size_t mq_before = machine_queue_.size();
+  // Step the window in full fidelity. The frontier index keeps itself
+  // coherent through the normal dirty-marking; the other schedulers
+  // audit through the reference linear scan.
+  const bool frontier = sched_ == SchedulerKind::kFrontier;
+  for (;;) {
+    const Pick pick = frontier ? frontier_peek() : linear_peek();
+    if (pick.time >= horizon) break;
+    execute(pick);
+  }
+  // The plans must have predicted the stepped trajectory exactly.
+  for (const auto& [core, plan] : ff_plans_) {
+    IW_ASSERT_MSG(core->clock() == plan.end_clock,
+                  "fast-forward paranoid audit: analytic end clock "
+                  "diverges from the stepped trajectory");
+    IW_ASSERT_MSG(core->steps_executed() ==
+                      steps_before[core->id()] + plan.steps,
+                  "fast-forward paranoid audit: analytic step count "
+                  "diverges from the stepped trajectory");
+  }
+  std::uint64_t seq_after = 0;
+  for (const auto& s : seq_by_source_) seq_after += s.v;
+  std::uint64_t ipis_after = 0;
+  for (const auto& s : ipis_by_source_) ipis_after += s.v;
+  std::uint64_t delivered_after = 0;
+  for (const auto& c : cores_) delivered_after += c->irqs_delivered();
+  const std::uint64_t traced_after =
+      tracer() != nullptr ? tracer()->total_events() : 0;
+  IW_ASSERT_MSG(seq_after == seq_before && ipis_after == ipis_before &&
+                    delivered_after == delivered_before &&
+                    machine_queue_.size() == mq_before &&
+                    traced_after == traced_before,
+                "fast-forward paranoid audit: a window proven quiet "
+                "posted, delivered, or recorded something");
 }
 
 }  // namespace iw::hwsim

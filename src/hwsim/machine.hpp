@@ -106,6 +106,36 @@ struct PendingIpi {
   IrqEvent ev;
 };
 
+/// Selectable-fidelity fast-forward (the MosaicSim-style knob): when
+/// the machine can prove a window is quiet — no machine-queue event, no
+/// deliverable inbox entry, no in-flight IPI, and no armed fault-plan
+/// stall before a horizon T (prove_quiet_until) — and every runnable
+/// core's driver certifies its steps in the window as inert
+/// (CoreDriver::plan_fast_forward), the cores jump to T analytically in
+/// O(cores) instead of event-stepping. The skip is *exact*, not
+/// approximate: traces, metrics, fault schedules, per-core clocks and
+/// step counts, and the advance watchdog are all bit-identical with
+/// fast-forward on or off (tests/hwsim/fast_forward_test.cpp holds the
+/// equivalence matrix), so enabling it is purely a wall-clock choice.
+struct FastForwardPolicy {
+  bool enabled{false};
+  /// Minimum profitable window, measured past the earliest runnable
+  /// core's clock: smaller proven windows step normally (the proof scan
+  /// costs O(cores); skipping a handful of steps cannot repay it).
+  Cycles min_skip{256};
+  /// Emit an "ff.skip" span per skipped per-core window so Chrome
+  /// traces show the analytically-covered region explicitly. Off by
+  /// default: the spans are the one observable artifact skipping may
+  /// add, so digest comparisons run without them.
+  bool trace_skips{false};
+  /// Every Nth provable window is re-run in full fidelity instead of
+  /// skipped, asserting the analytic plans match the stepped trajectory
+  /// exactly and that the window was truly inert (no sequence or fault
+  /// draws, no deliveries, no machine events, no trace records).
+  /// 0 = off, 1 = audit every window (full fidelity + the proof cost).
+  std::uint64_t paranoid_interval{0};
+};
+
 struct MachineConfig {
   unsigned num_cores{16};
   CostModel costs{CostModel::knl()};
@@ -131,6 +161,9 @@ struct MachineConfig {
   /// abort on divergence. O(N) per advance — a debugging aid for driver
   /// invalidation bugs, not for production runs.
   bool paranoid_frontier{false};
+  /// Analytic skip-ahead over proven-quiet windows (off by default;
+  /// results are bit-identical either way — see FastForwardPolicy).
+  FastForwardPolicy fast_forward;
   /// Deterministic fault injection (disabled by default: zero draws,
   /// traces bit-identical to a fault-free build).
   FaultPlan faults;
@@ -282,6 +315,45 @@ class Machine final : public substrate::StackSubstrate {
   /// Exact under every scheduler: precisely the events before `t` run.
   bool run_until(Cycles t);
 
+  // --- selectable-fidelity fast-forward ---
+
+  /// Largest horizon T <= `want` such that no machine-queue event, no
+  /// deliverable inbox entry of any core, and no armed fault-plan stall
+  /// precedes T: the machine-side half of the skip-ahead proof
+  /// obligation (DESIGN.md §8). Driver certification is the other half
+  /// and happens per skip. Returns `want` itself when the whole span is
+  /// provably quiet; reads only cached next-action state (recomputing
+  /// lazily where dirty), so the query is cheap and side-effect-free on
+  /// the schedule.
+  [[nodiscard]] Cycles prove_quiet_until(Cycles want);
+
+  /// Reconfigure fast-forward between runs (benches A/B the same
+  /// machine; the policy is consulted at run entry).
+  void set_fast_forward(const FastForwardPolicy& p) {
+    cfg_.fast_forward = p;
+    ff_cooldown_ = 0;
+    ff_backoff_ = 0;
+  }
+
+  // Skip accounting: how much of the run was covered analytically.
+  // Stepped (full-fidelity) advances = total_advances() -
+  // fast_forwarded_steps(); total_advances() itself is bit-identical
+  // with fast-forward on or off.
+  /// Core-cycles advanced analytically (summed over cores and windows).
+  [[nodiscard]] Cycles fast_forwarded_cycles() const { return ff_cycles_; }
+  /// Driver steps replayed analytically instead of executed.
+  [[nodiscard]] std::uint64_t fast_forwarded_steps() const {
+    return ff_steps_;
+  }
+  /// Proven-quiet windows consumed (skipped or paranoid-audited).
+  [[nodiscard]] std::uint64_t fast_forward_windows() const {
+    return ff_windows_;
+  }
+  /// Windows re-run in full fidelity by the paranoid audit.
+  [[nodiscard]] std::uint64_t fast_forward_paranoid_checks() const {
+    return ff_paranoid_;
+  }
+
   /// Reconfigure the host-thread count for subsequent kParallelEpoch
   /// per-core runs. The worker pool is rebuilt at the next parallel run
   /// if its shape no longer matches (results are thread-count-invariant
@@ -367,10 +439,19 @@ class Machine final : public substrate::StackSubstrate {
     Core* core{nullptr};
   };
 
-  struct FrontierEntry {
-    Cycles time{0};
-    CoreId core{0};
-  };
+  /// Packed frontier heap entry: (time << 16) | core — one word, so
+  /// heap maintenance and the (time, id) tie-break are a single integer
+  /// compare and sift-down moves 8 bytes instead of 16. Virtual times
+  /// are asserted < 2^48 at push (~3 days of simulated time at 1 GHz);
+  /// core ids fit 16 bits (asserted at construction).
+  using FrontierEntry = std::uint64_t;
+  static constexpr unsigned kFrontierCoreBits = 16;
+  [[nodiscard]] static constexpr Cycles entry_time(FrontierEntry e) {
+    return e >> kFrontierCoreBits;
+  }
+  [[nodiscard]] static constexpr CoreId entry_core(FrontierEntry e) {
+    return static_cast<CoreId>(e & 0xFFFFu);
+  }
 
   /// Cache-line-private counter cell (per-source arrays are indexed by
   /// concurrently-executing shard contexts in per-core parallel mode).
@@ -383,7 +464,27 @@ class Machine final : public substrate::StackSubstrate {
 
   /// One iteration of the DES loop. Returns false when no work remains.
   bool advance_once();
+  /// The sequential run loop shared by run()/run_until(): stop
+  /// predicate, watchdogs, and the fast-forward trigger. `until` bounds
+  /// skip horizons (kNever for run()).
+  bool run_loop(const std::function<bool()>& stop, Cycles until);
   void execute(const Pick& pick);
+
+  /// Machine-side quiet proof over [earliest runnable clock, horizon).
+  struct QuietProof {
+    Cycles horizon{kNever};        ///< proven-quiet bound
+    Cycles earliest_clock{kNever}; ///< min clock among runnable cores
+    bool skippable{false};         ///< any runnable core below horizon
+  };
+  [[nodiscard]] QuietProof quiet_proof(Cycles want);
+  /// Attempt one analytic skip toward `want`. True = a window was
+  /// consumed (skipped, or audited in full fidelity by paranoid mode);
+  /// false = no profitable provable window, step normally.
+  bool try_fast_forward(Cycles want);
+  /// Paranoid audit: step the proven window [*, horizon) in full
+  /// fidelity and abort on any divergence from the collected plans or
+  /// any sign the window was not inert.
+  void paranoid_replay(Cycles horizon);
   [[nodiscard]] Pick frontier_peek();
   [[nodiscard]] Pick linear_peek();
   /// Rebuild the frontier index from scratch (run() entry): makes any
@@ -418,10 +519,11 @@ class Machine final : public substrate::StackSubstrate {
   Cycles* now_cell() { return &now_cache_; }
   void frontier_enqueue_dirty(CoreId id);
 
-  static bool entry_later(const FrontierEntry& a, const FrontierEntry& b) {
-    return a.time > b.time || (a.time == b.time && a.core > b.core);
+  /// Packed-integer order IS the (time, core-id) lexicographic order.
+  static constexpr bool entry_later(FrontierEntry a, FrontierEntry b) {
+    return a > b;
   }
-  void frontier_push(FrontierEntry e);
+  void frontier_push(Cycles t, CoreId core);
   void frontier_pop();
 
   MachineConfig cfg_;
@@ -435,11 +537,22 @@ class Machine final : public substrate::StackSubstrate {
   obs::TraceRecorder* tracer_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
   EventQueue machine_queue_;
-  /// Lazy min-heap of (time, core) candidates ordered by (time, id).
-  /// Entries may be stale; frontier_peek() discards any whose time no
-  /// longer matches the core's current cached next_action_time.
+  /// Lazy min-heap of packed (time, core) candidates ordered by
+  /// (time, id). Entries may be stale; frontier_peek() discards any
+  /// whose time no longer matches the core's current cached
+  /// next_action_time.
   std::vector<FrontierEntry> frontier_;
   std::vector<CoreId> dirty_cores_;
+  /// Dense SoA mirror of the per-core scheduling caches (cached
+  /// next-action time + dirty flag), indexed by core id. The sequential
+  /// schedulers point every core's cache-slot pointers here, so the
+  /// frontier direct scan, the heap staleness check, and the
+  /// fast-forward quiet proof stream over contiguous arrays instead of
+  /// chasing one pointer per core into padded Core objects. Empty in
+  /// per-core parallel mode (cores keep private padded cells there;
+  /// concurrent shard drains must not share cache lines).
+  std::vector<Cycles> sched_time_;
+  std::vector<std::uint8_t> sched_dirty_;
   FaultInjector faults_;
   Rng rng_;
   /// Per-source event sequence counters (index 0 = machine context).
@@ -451,6 +564,21 @@ class Machine final : public substrate::StackSubstrate {
   /// contexts (set for the duration of a per-core parallel run).
   bool per_core_drain_active_{false};
   std::unique_ptr<ParallelEngine> parallel_;
+
+  // --- fast-forward state ---
+  /// Scratch plan list for the window being proved (reused; the hot
+  /// path allocates nothing once warmed up).
+  std::vector<std::pair<Core*, FastForwardPlan>> ff_plans_;
+  Cycles ff_cycles_{0};
+  std::uint64_t ff_steps_{0};
+  std::uint64_t ff_windows_{0};
+  std::uint64_t ff_paranoid_{0};
+  /// Failed-attempt backoff: after a failed proof the trigger sleeps
+  /// for ff_cooldown_ advances (doubling up to a cap, reset on
+  /// success). Purely a wall-clock heuristic — a skip is semantically a
+  /// no-op, so WHEN one is attempted can never change results.
+  std::uint64_t ff_cooldown_{0};
+  std::uint64_t ff_backoff_{0};
 };
 
 }  // namespace iw::hwsim

@@ -55,10 +55,6 @@ namespace {
 /// containers may give the whole pool a single CPU).
 constexpr int kSpinsBeforeYield = 200;
 
-Cycles saturating_add(Cycles a, Cycles b) {
-  return a > kNever - b ? kNever : a + b;
-}
-
 }  // namespace
 
 ParallelEngine::ParallelEngine(Machine& machine, unsigned threads,
@@ -237,8 +233,17 @@ bool Machine::parallel_run_single_group(const std::function<bool()>& stop,
   const Cycles la = std::max<Cycles>(1, lookahead());
   const bool time_watchdog = cfg_.max_time != 0;
   const bool advance_watchdog = cfg_.max_advances != 0;
+  // Fast-forward target: between epochs the coordinator may take an
+  // analytic stride over a proven-quiet span. Unlike an epoch, the
+  // stride is NOT bounded by the lookahead — inert steps post nothing,
+  // so no cross-core effect exists for the lookahead to order.
+  Cycles ff_want = until;
+  if (time_watchdog) {
+    ff_want = std::min(ff_want, saturating_add(cfg_.max_time, 1));
+  }
   for (;;) {
     if (stop && stop()) return true;
+    if (cfg_.fast_forward.enabled && try_fast_forward(ff_want)) continue;
     const Pick first = linear_peek();
     if (first.time == kNever || first.time >= until) return true;
     const Cycles horizon = std::min(until, saturating_add(first.time, la));
@@ -284,6 +289,10 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
   const Cycles la = lookahead();
   const bool time_watchdog = cfg_.max_time != 0;
   const bool advance_watchdog = cfg_.max_advances != 0;
+  Cycles ff_want = until;
+  if (time_watchdog) {
+    ff_want = std::min(ff_want, saturating_add(cfg_.max_time, 1));
+  }
   per_core_drain_active_ = true;
   bool ok = true;
   for (;;) {
@@ -300,6 +309,14 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
       ok = false;
       break;
     }
+    // Analytic stride over a proven-quiet span: coordinator-only,
+    // between epochs — every worker is parked (the previous epoch's
+    // barrier acked) and all sender outboxes are merged, so the
+    // coordinator owns every inbox and scheduling cache it reads. The
+    // stride may exceed the lookahead: the skipped steps are certified
+    // inert, so there is no cross-core effect for the lookahead bound
+    // to order against.
+    if (cfg_.fast_forward.enabled && try_fast_forward(ff_want)) continue;
     Cycles e = kNever;
     for (auto& c : cores_) {
       e = std::min(e, c->next_action_time_uncached());

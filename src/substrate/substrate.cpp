@@ -33,6 +33,10 @@ Cycles StackSubstrate::charge_span(CoreId core, const char* name, Cycles cost,
   return end;
 }
 
+void StackSubstrate::trace_skip(CoreId core, Cycles from, Cycles to) {
+  trace_span(core, kFastForwardSpan, from, to);
+}
+
 std::uint64_t derive_stream_seed(std::uint64_t seed, const char* name) {
   // FNV-1a over the stream name...
   std::uint64_t h = 1469598103934665603ULL;
@@ -69,6 +73,15 @@ void AnalyticSubstrate::advance_core_to(CoreId core, Cycles t) {
     clocks_[core] = t;
     if (t > now_) now_ = t;
   }
+}
+
+void AnalyticSubstrate::fast_forward_core(CoreId core, Cycles t,
+                                          bool annotate) {
+  IW_ASSERT(core < clocks_.size());
+  const Cycles from = clocks_[core];
+  if (t <= from) return;
+  charge(core, t - from);
+  if (annotate) trace_skip(core, from, t);
 }
 
 void AnalyticSubstrate::reset_clocks() {

@@ -98,7 +98,18 @@ class StackSubstrate {
   /// [t0, t0 + cost] in one call. Returns the span's end time.
   Cycles charge_span(CoreId core, const char* name, Cycles cost,
                      int vector = -1);
+
+  /// Annotate an analytically-skipped window on `core`'s timeline: a
+  /// `kFastForwardSpan` span covering [from, to], so Chrome traces stay
+  /// contiguous when a substrate fast-forwards a quiet region instead
+  /// of event-stepping it (hwsim's FastForwardPolicy::trace_skips, the
+  /// analytic models' fast_forward_core). Free in virtual time.
+  void trace_skip(CoreId core, Cycles from, Cycles to);
 };
+
+/// Trace-span name for analytically-skipped windows (shared so tools
+/// filtering skip annotations out of a trace match every substrate).
+inline constexpr const char* kFastForwardSpan = "ff.skip";
 
 /// Derive the stream seed for rng_stream(name): FNV-1a over the name
 /// folded into the substrate seed, then diffused through splitmix64.
@@ -150,6 +161,14 @@ class AnalyticSubstrate final : public StackSubstrate {
   /// Move `core`'s clock forward to `t` (no-op if already past): lets a
   /// replayed model align its timeline with an external event.
   void advance_core_to(CoreId core, Cycles t);
+
+  /// Selectable-fidelity skip for analytic models: advance `core` to
+  /// `t` through the charging path and (optionally) annotate the
+  /// skipped window with a kFastForwardSpan span. The analytic
+  /// counterpart of hwsim's fast-forward — a model that knows a region
+  /// is uneventful jumps it in one call while its trace stays
+  /// contiguous. No-op if the clock is already at/past `t`.
+  void fast_forward_core(CoreId core, Cycles t, bool annotate = true);
 
   /// Reset all core clocks to zero (sinks stay attached): one substrate
   /// can host successive independent analytic runs.

@@ -127,6 +127,65 @@ def main(argv):
     check("10% dip outside tight tolerance",
           run_guard(script, fresh, full_doc(), "--tolerance=0.05"), 1)
 
+    # --- fastforward profile ---
+    def ff_doc():
+        return {
+            "host_cpus": 8,
+            "traces_identical": True,
+            "speedup_ff_vs_full": {
+                "frontier": {"16": 400.0, "64": 280.0},
+                "linear": {"16": 640.0, "64": 830.0},
+                "parallel": {"16": 95.0, "64": 90.0},
+            },
+        }
+
+    # 10. Healthy fastforward run passes (keys here are non-numeric
+    # scheduler names — the sort must not choke on them).
+    check("ff profile passes",
+          run_guard(script, ff_doc(), ff_doc(), "--profile=fastforward"), 0)
+
+    # 11. A collapsed skip-ahead ratio is caught.
+    fresh = ff_doc()
+    fresh["speedup_ff_vs_full"]["linear"]["64"] = 2.0
+    check("ff ratio collapse fails",
+          run_guard(script, fresh, ff_doc(), "--profile=fastforward"), 1)
+
+    # 12. A scheduler dropped from the fresh sweep must fail.
+    fresh = ff_doc()
+    del fresh["speedup_ff_vs_full"]["parallel"]
+    check("ff missing scheduler fails",
+          run_guard(script, fresh, ff_doc(), "--profile=fastforward"), 1,
+          "missing")
+
+    # 13. The map vanishing entirely must fail, never pass vacuously.
+    check("ff no guarded map fails",
+          run_guard(script, {"host_cpus": 8, "traces_identical": True},
+                    ff_doc(), "--profile=fastforward"), 1)
+
+    # 14. Speedup without re-verified trace equality is meaningless: a
+    # fresh run that lost (or failed) the digest comparison must fail
+    # even with healthy ratios.
+    fresh = ff_doc()
+    del fresh["traces_identical"]
+    check("ff missing trace verdict fails",
+          run_guard(script, fresh, ff_doc(), "--profile=fastforward"), 1,
+          "traces_identical")
+    fresh = ff_doc()
+    fresh["traces_identical"] = False
+    check("ff false trace verdict fails",
+          run_guard(script, fresh, ff_doc(), "--profile=fastforward"), 1,
+          "traces_identical")
+
+    # 15. The des profile ignores ff maps and vice versa: a des baseline
+    # checked under --profile=fastforward has no guarded map -> fail.
+    check("profiles select disjoint maps",
+          run_guard(script, full_doc(), full_doc(),
+                    "--profile=fastforward"), 1)
+
+    # 16. Unknown profile is a usage error.
+    check("unknown profile is usage error",
+          run_guard(script, ff_doc(), ff_doc(), "--profile=bogus"), 2)
+
     if failures:
         print(f"\n{len(failures)} case(s) failed:", file=sys.stderr)
         for f in failures:

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
 """DES throughput regression guard for CI.
 
-Compares a freshly-measured des_throughput JSON (typically a --smoke run
-on a CI box of unknown speed) against the committed baseline
-BENCH_des_throughput.json. Absolute events/s are machine-dependent, so
-the guard checks the *speedup ratios* — frontier/linear,
-parallel/frontier, auto/linear per core count, and the work-stealing
-engine's thread-scaling matrix (parallel at T host threads vs 1) — which
-cancel host speed: a ratio collapsing means a scheduler regressed
-relative to the others in the same binary on the same box.
+Compares a freshly-measured bench JSON (typically a --smoke run on a CI
+box of unknown speed) against the committed baseline. Absolute events/s
+are machine-dependent, so the guard checks *speedup ratios*, which
+cancel host speed: a ratio collapsing means one mode regressed relative
+to the other in the same binary on the same box.
+
+Two profiles select which ratio maps are guarded:
+  --profile=des (default) — des_throughput: frontier/linear,
+    parallel/frontier, auto/linear per core count, and the work-stealing
+    engine's thread-scaling matrix (parallel at T host threads vs 1);
+  --profile=fastforward — fastforward: wall-clock ratio of full-fidelity
+    vs analytic skip-ahead per scheduler x core count
+    (speedup_ff_vs_full), plus a hard requirement that the fresh run
+    re-verified trace equality (traces_identical == true; the speedup is
+    meaningless if the skipping run computed something else).
 
 Every guarded map must be present (as a dict) in BOTH files, and every
 baseline entry must be measured in the fresh run; a bench that silently
@@ -24,18 +31,22 @@ oversubscription does not collapse throughput.
 Exit 0 if every ratio is within the tolerance of its committed value;
 exit 1 (listing the offenders) otherwise; exit 2 on usage/shape errors.
 
-Usage: check_des_regression.py FRESH.json BASELINE.json [--tolerance=0.25]
+Usage: check_des_regression.py FRESH.json BASELINE.json
+           [--tolerance=0.25] [--profile=des|fastforward]
 """
 
 import json
 import sys
 
-GUARDED_MAPS = (
-    "speedup_frontier_vs_linear",
-    "speedup_parallel_vs_frontier",
-    "speedup_auto_vs_linear",
-    "speedup_threads_vs_1",
-)
+PROFILES = {
+    "des": (
+        "speedup_frontier_vs_linear",
+        "speedup_parallel_vs_frontier",
+        "speedup_auto_vs_linear",
+        "speedup_threads_vs_1",
+    ),
+    "fastforward": ("speedup_ff_vs_full",),
+}
 
 
 def flatten(tree, prefix=()):
@@ -53,19 +64,33 @@ def flatten(tree, prefix=()):
 def key_label(name, key):
     if name == "speedup_threads_vs_1" and len(key) == 2:
         return f"{name}[{key[0]} cores, {key[1]} threads]"
-    return f"{name}[{'/'.join(key)} cores]"
+    if name == "speedup_ff_vs_full" and len(key) == 2:
+        return f"{name}[{key[0]}, {key[1]} cores]"
+    return f"{name}[{'/'.join(key)}]"
 
 
 def sort_key(key):
-    return tuple(int(part) for part in key)
+    # Numeric parts sort numerically; scheduler names and other
+    # non-numeric parts sort lexically after them.
+    return tuple(
+        (0, int(part), "") if part.isdigit() else (1, 0, part)
+        for part in key
+    )
 
 
 def main(argv):
     tolerance = 0.25
+    profile = "des"
     paths = []
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
+        elif a.startswith("--profile="):
+            profile = a.split("=", 1)[1]
+            if profile not in PROFILES:
+                print(f"unknown profile {profile!r} (expected "
+                      f"{'|'.join(PROFILES)})", file=sys.stderr)
+                return 2
         else:
             paths.append(a)
     if len(paths) != 2:
@@ -80,7 +105,12 @@ def main(argv):
 
     failures = []
     checked = 0
-    for name in GUARDED_MAPS:
+    if profile == "fastforward" and fresh.get("traces_identical") is not True:
+        failures.append(
+            "traces_identical: fresh run did not re-verify ff/full trace "
+            "equality"
+        )
+    for name in PROFILES[profile]:
         fresh_map = fresh.get(name)
         base_map = base.get(name)
         # A guarded map vanishing from either side means the bench (or
