@@ -84,6 +84,15 @@ bool Harness::parse(int argc, char** argv) {
         std::fprintf(stderr, "--ff: expected on or off\n");
         return false;
       }
+    } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(a + 19, &end, 10);
+      if (end == a + 19 || *end != '\0' || v == 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-every: expected a positive cycle count\n");
+        return false;
+      }
+      checkpoint_every_ = v;
     } else if (std::strcmp(a, "--trace") == 0 ||
                std::strcmp(a, "--metrics-json") == 0 ||
                std::strcmp(a, "--faults") == 0 ||
@@ -92,7 +101,8 @@ bool Harness::parse(int argc, char** argv) {
                std::strcmp(a, "--scheduler") == 0 ||
                std::strcmp(a, "--threads") == 0 ||
                std::strcmp(a, "--steal") == 0 ||
-               std::strcmp(a, "--ff") == 0) {
+               std::strcmp(a, "--ff") == 0 ||
+               std::strcmp(a, "--checkpoint-every") == 0) {
       std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
       return false;
     }

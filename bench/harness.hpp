@@ -15,6 +15,9 @@
 //                        skip-ahead over proven-quiet windows (default
 //                        off; results are bit-identical either way —
 //                        this is purely a wall-clock knob)
+//   --checkpoint-every=N capture a deterministic snapshot every N cycles
+//                        into a checkpoint ring (tools/ttreplay,
+//                        tools/fault_bisect; 0 = off)
 //
 // With no flags the benches run with null sinks, no faults, and their
 // built-in seeds — the default-off path the determinism guarantees are
@@ -82,6 +85,10 @@ class Harness {
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] bool work_stealing() const { return steal_; }
   [[nodiscard]] bool fast_forward() const { return ff_; }
+  /// --checkpoint-every=N snapshot cadence in cycles (0 = disabled).
+  [[nodiscard]] std::uint64_t checkpoint_every() const {
+    return checkpoint_every_;
+  }
 
   /// Parse a scheduler name ("frontier" | "linear" | "parallel" |
   /// "auto"); returns false on anything else. Shared by every bench
@@ -112,6 +119,7 @@ class Harness {
   unsigned threads_{1};
   bool steal_{true};
   bool ff_{false};
+  std::uint64_t checkpoint_every_{0};
 };
 
 }  // namespace iw::bench

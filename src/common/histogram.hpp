@@ -35,6 +35,26 @@ class LatencyHistogram {
   [[nodiscard]] std::size_t bucket_index(std::uint64_t v) const;
   [[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t idx) const;
 
+  /// Full dynamic state, for checkpoint/restore. The bucketing scheme
+  /// (sub_) is structural and not part of it.
+  struct State {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total_count{0};
+    std::uint64_t min{~std::uint64_t{0}};
+    std::uint64_t max{0};
+    double sum{0.0};
+  };
+  [[nodiscard]] State state() const {
+    return {counts_, total_count_, min_, max_, sum_};
+  }
+  void set_state(const State& s) {
+    counts_ = s.counts;
+    total_count_ = s.total_count;
+    min_ = s.min;
+    max_ = s.max;
+    sum_ = s.sum;
+  }
+
  private:
   unsigned sub_;
   unsigned sub_shift_;  // log2(sub_)

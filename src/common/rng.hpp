@@ -50,6 +50,27 @@ class Rng {
   /// Derive an independent child stream (for per-core RNGs).
   Rng split();
 
+  /// Complete generator state, exposed so checkpoint/restore
+  /// (hwsim::Snapshot) can capture a stream mid-sequence. The cached
+  /// Box-Muller second value is part of the state: dropping it would
+  /// desynchronize the next normal() draw after a restore.
+  struct State {
+    std::uint64_t s[4]{0, 0, 0, 0};
+    double cached_normal{0.0};
+    bool has_cached_normal{false};
+  };
+
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_normal_,
+                 has_cached_normal_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_normal_{0.0};

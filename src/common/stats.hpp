@@ -35,6 +35,29 @@ class OnlineStats {
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Full accumulator state for checkpoint/restore (hwsim::Snapshot).
+  struct State {
+    std::size_t n{0};
+    double mean{0.0};
+    double m2{0.0};
+    double min{0.0};
+    double max{0.0};
+    double sum{0.0};
+  };
+
+  [[nodiscard]] State state() const {
+    return State{n_, mean_, m2_, min_, max_, sum_};
+  }
+
+  void set_state(const State& st) {
+    n_ = st.n;
+    mean_ = st.mean;
+    m2_ = st.m2;
+    min_ = st.min;
+    max_ = st.max;
+    sum_ = st.sum;
+  }
+
  private:
   std::size_t n_{0};
   double mean_{0.0};

@@ -71,6 +71,35 @@ void HeartbeatBackend::mark_delivery(CoreId core, Cycles now, Cycles origin) {
   }
 }
 
+void HeartbeatBackend::save_states(hwsim::SnapshotWriter& w) const {
+  w.u64(states_.size());
+  for (const BeatState& s : states_) {
+    w.b(s.pending);
+    w.b(s.has_delivered);
+    w.u64(s.delivered);
+    w.u64(s.last_delivery);
+    w.u64(s.last_origin);
+    w.b(s.resumed);
+    w.u64(s.duplicates_suppressed);
+    hwsim::save_stats(w, s.interbeat);
+  }
+}
+
+void HeartbeatBackend::restore_states(hwsim::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  states_.resize(n);
+  for (BeatState& s : states_) {
+    s.pending = r.b();
+    s.has_delivered = r.b();
+    s.delivered = r.u64();
+    s.last_delivery = r.u64();
+    s.last_origin = r.u64();
+    s.resumed = r.b();
+    s.duplicates_suppressed = r.u64();
+    hwsim::restore_stats(r, s.interbeat);
+  }
+}
+
 bool HeartbeatBackend::mark_delivery_once(CoreId core, Cycles now,
                                           Cycles origin) {
   IW_ASSERT_MSG(core < states_.size(),
@@ -107,6 +136,45 @@ double HeartbeatBackend::jitter_cv(CoreId core) const {
 NautilusHeartbeat::NautilusHeartbeat(hwsim::Machine& machine, int vector)
     : HeartbeatBackend(&machine), vector_(vector) {
   states_.resize(machine.num_cores());
+  machine.register_snapshot_participant(this);
+}
+
+NautilusHeartbeat::~NautilusHeartbeat() {
+  machine_->unregister_snapshot_participant(this);
+}
+
+void NautilusHeartbeat::save_state(hwsim::SnapshotWriter& w) const {
+  save_states(w);
+  w.u64(num_workers_);
+  w.u64(period_);
+  w.u64(last_fire_);
+  w.u64(ipi_seen_.size());
+  for (Cycles c : ipi_seen_) w.u64(c);
+  w.u64(prev_fire_);
+  w.b(degraded_);
+  w.u64(bad_rounds_);
+  w.u64(good_rounds_);
+  w.u64(missed_beats_);
+  w.u64(polled_beats_);
+  w.u64(degraded_entries_);
+  w.u64(recoveries_);
+}
+
+void NautilusHeartbeat::restore_state(hwsim::SnapshotReader& r) {
+  restore_states(r);
+  num_workers_ = static_cast<unsigned>(r.u64());
+  period_ = r.u64();
+  last_fire_ = r.u64();
+  ipi_seen_.resize(r.u64());
+  for (Cycles& c : ipi_seen_) c = r.u64();
+  prev_fire_ = r.u64();
+  degraded_ = r.b();
+  bad_rounds_ = static_cast<unsigned>(r.u64());
+  good_rounds_ = static_cast<unsigned>(r.u64());
+  missed_beats_ = r.u64();
+  polled_beats_ = r.u64();
+  degraded_entries_ = r.u64();
+  recoveries_ = r.u64();
 }
 
 void NautilusHeartbeat::set_fault_tolerance(const FaultToleranceConfig& cfg) {
@@ -268,6 +336,19 @@ LinuxHeartbeat::LinuxHeartbeat(linuxmodel::LinuxStack& stack,
       signals_(stack) {
   fire_to_poll_metric_ = obs::names::kTimerFireToPollConsumed;
   states_.resize(stack.machine().num_cores());
+  machine_->register_snapshot_participant(this);
+}
+
+LinuxHeartbeat::~LinuxHeartbeat() {
+  machine_->unregister_snapshot_participant(this);
+}
+
+void LinuxHeartbeat::save_state(hwsim::SnapshotWriter& w) const {
+  save_states(w);
+}
+
+void LinuxHeartbeat::restore_state(hwsim::SnapshotReader& r) {
+  restore_states(r);
 }
 
 void LinuxHeartbeat::start(Cycles period, unsigned num_workers) {

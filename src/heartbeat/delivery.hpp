@@ -29,6 +29,7 @@
 #include "common/types.hpp"
 #include "hwsim/lapic.hpp"
 #include "hwsim/machine.hpp"
+#include "hwsim/snapshot.hpp"
 #include "nautilus/irq.hpp"
 #include "obs/metrics.hpp"
 #include "linuxmodel/signals.hpp"
@@ -93,6 +94,12 @@ class HeartbeatBackend {
   /// time the beat's timer fired (kNever = same as now).
   void mark_delivery(CoreId core, Cycles now, Cycles origin = kNever);
 
+  /// Serialize/restore the per-worker BeatState vector (including the
+  /// running inter-beat stats) — shared by both backends' participant
+  /// implementations.
+  void save_states(hwsim::SnapshotWriter& w) const;
+  void restore_states(hwsim::SnapshotReader& r);
+
   /// Like mark_delivery, but at most one beat per fire window: if the
   /// worker already delivered a beat for this `origin`, the call is a
   /// no-op (counted in BeatState::duplicates_suppressed). This is the
@@ -133,9 +140,11 @@ struct FaultToleranceConfig {
 };
 
 /// Nautilus: LAPIC on CPU 0, IPI broadcast to workers (Fig. 2 left).
-class NautilusHeartbeat final : public HeartbeatBackend {
+class NautilusHeartbeat final : public HeartbeatBackend,
+                                public hwsim::SnapshotParticipant {
  public:
   explicit NautilusHeartbeat(hwsim::Machine& machine, int vector = 0x40);
+  ~NautilusHeartbeat() override;
   void start(Cycles period, unsigned num_workers) override;
   void stop() override;
 
@@ -152,6 +161,14 @@ class NautilusHeartbeat final : public HeartbeatBackend {
   [[nodiscard]] const nautilus::ReliableIpi* reliable_ipi() const {
     return reliable_.get();
   }
+
+  // SnapshotParticipant: the full supervisor state machine (degraded
+  // flag, round counters, per-worker ipi_seen evidence) plus the shared
+  // BeatState vector — a snapshot taken mid-degraded-mode restores
+  // straight back into degraded polling. The owned LapicTimer and
+  // ReliableIpi register themselves.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   /// CPU 0 supervisor, run once per fresh LAPIC fire: score the round
@@ -190,13 +207,20 @@ enum class LinuxHeartbeatMode {
 };
 
 /// Linux: POSIX timers + signal delivery (Fig. 2 right).
-class LinuxHeartbeat final : public HeartbeatBackend {
+class LinuxHeartbeat final : public HeartbeatBackend,
+                             public hwsim::SnapshotParticipant {
  public:
   LinuxHeartbeat(linuxmodel::LinuxStack& stack, LinuxHeartbeatMode mode);
+  ~LinuxHeartbeat() override;
   void start(Cycles period, unsigned num_workers) override;
   void stop() override;
 
   [[nodiscard]] linuxmodel::SignalPath& signals() { return signals_; }
+
+  // SnapshotParticipant: the BeatState vector. The owned PosixTimers
+  // and the SignalPath register themselves.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   linuxmodel::LinuxStack& stack_;

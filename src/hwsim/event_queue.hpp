@@ -96,6 +96,13 @@ class TimedQueue {
 
   void clear() { heap_.clear(); }
 
+  /// Raw heap storage, exposed for checkpoint digests (hwsim::Snapshot).
+  /// The array order is a heap layout, not time order — digest code must
+  /// sort by (time, seq) before hashing so that two machines with the
+  /// same *logical* queue contents (but different push interleavings,
+  /// e.g. sequential vs epoch-merged) hash identically.
+  [[nodiscard]] const std::vector<EventT>& raw() const { return heap_; }
+
  private:
   static bool later(const EventT& a, const EventT& b) {
     return a.time > b.time || (a.time == b.time && a.seq > b.seq);

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/assert.hpp"
+#include "hwsim/snapshot.hpp"
+
 namespace iw::hwsim {
 
 namespace {
+
+/// NaN-proof probability check: written as a positive range test so a
+/// NaN (for which every comparison is false) is rejected, not accepted.
+bool valid_prob(double p) { return p >= 0.0 && p <= 1.0; }
 
 /// "key=value" item splitter; returns false if '=' is missing.
 bool split_item(const std::string& item, std::string* key,
@@ -20,7 +27,9 @@ bool split_item(const std::string& item, std::string* key,
 bool parse_prob(const std::string& s, double* out) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  // valid_prob, not `v < 0.0 || v > 1.0`: strtod happily parses "nan",
+  // for which both comparisons are false.
+  if (end == s.c_str() || *end != '\0' || !valid_prob(v)) return false;
   *out = v;
   return true;
 }
@@ -116,6 +125,28 @@ bool FaultPlan::parse(const std::string& spec, FaultPlan* out,
   return true;
 }
 
+void FaultPlan::validate() const {
+  IW_ASSERT_MSG(valid_prob(ipi_drop_rate),
+                "FaultPlan: ipi_drop_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(valid_prob(ipi_delay_rate),
+                "FaultPlan: ipi_delay_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(valid_prob(ipi_dup_rate),
+                "FaultPlan: ipi_dup_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(valid_prob(timer_jitter_rate),
+                "FaultPlan: timer_jitter_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(valid_prob(spurious_irq_rate),
+                "FaultPlan: spurious_irq_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(valid_prob(stall_rate),
+                "FaultPlan: stall_rate must be in [0,1] (not NaN)");
+  IW_ASSERT_MSG(vector_filter >= -1 && vector_filter < 256,
+                "FaultPlan: vector_filter must be -1 or a vector in [0,256)");
+  for (const FaultWindow& w : windows) {
+    IW_ASSERT_MSG(w.begin < w.end,
+                  "FaultPlan: window must satisfy begin < end (non-empty, "
+                  "not inverted)");
+  }
+}
+
 Cycles FaultPlan::next_armed_stall_after(Cycles t) const {
   // Mirrors the guards in FaultInjector::stall_cycles exactly: a draw
   // happens only when the plan is enabled, the rate and magnitude are
@@ -133,7 +164,10 @@ Cycles FaultPlan::next_armed_stall_after(Cycles t) const {
 void FaultInjector::configure(const FaultPlan& plan,
                               std::uint64_t machine_seed,
                               std::uint64_t fault_seed, unsigned num_streams) {
+  plan.validate();
   plan_ = plan;
+  recording_ = false;
+  scripted_ = false;
   if (num_streams == 0) num_streams = 1;
   streams_ = std::vector<Stream>(num_streams);
   // Dedicated streams: the machine's own Rng is never touched, so an
@@ -148,63 +182,297 @@ void FaultInjector::configure(const FaultPlan& plan,
 
 FaultInjector::IpiFate FaultInjector::ipi_fate(unsigned stream_idx,
                                                int vector, Cycles sent) {
+  // The opportunity is counted before every early-out (window, filter,
+  // rates): the numbering must be a pure function of the event stream,
+  // not of the plan parameters, so that a recording run and a scripted
+  // replay with zeroed rates count identically.
+  Stream& st = stream(stream_idx);
+  const std::uint64_t op = st.ops[static_cast<unsigned>(FaultSite::kIpi)]++;
   IpiFate f;
+  if (scripted_) {
+    const FaultEvent* ev = next_scripted(st, FaultSite::kIpi, op);
+    if (ev == nullptr) return f;
+    if ((ev->effects & kFaultDrop) != 0) {
+      f.drop = true;
+      ++st.n.ipis_dropped;
+      return f;
+    }
+    if ((ev->effects & kFaultDelay) != 0) {
+      f.extra_delay = ev->magnitude;
+      ++st.n.ipis_delayed;
+    }
+    if ((ev->effects & kFaultDup) != 0) {
+      f.duplicate = true;
+      f.dup_lag = ev->dup_lag;
+      ++st.n.ipis_duplicated;
+    }
+    return f;
+  }
   if (!active_at(sent)) return f;
   if (plan_.vector_filter >= 0 && vector != plan_.vector_filter) return f;
-  Stream& st = stream(stream_idx);
   if (plan_.ipi_drop_rate > 0.0 && st.rng.chance(plan_.ipi_drop_rate)) {
     f.drop = true;
     ++st.n.ipis_dropped;
-    return f;  // a dropped IPI cannot also be delayed or duplicated
+  } else {
+    if (plan_.ipi_delay_rate > 0.0 && plan_.ipi_delay_max > 0 &&
+        st.rng.chance(plan_.ipi_delay_rate)) {
+      f.extra_delay = st.rng.uniform(1, plan_.ipi_delay_max);
+      ++st.n.ipis_delayed;
+    }
+    if (plan_.ipi_dup_rate > 0.0 && plan_.ipi_dup_lag_max > 0 &&
+        st.rng.chance(plan_.ipi_dup_rate)) {
+      f.duplicate = true;
+      f.dup_lag = st.rng.uniform(1, plan_.ipi_dup_lag_max);
+      ++st.n.ipis_duplicated;
+    }
   }
-  if (plan_.ipi_delay_rate > 0.0 && plan_.ipi_delay_max > 0 &&
-      st.rng.chance(plan_.ipi_delay_rate)) {
-    f.extra_delay = st.rng.uniform(1, plan_.ipi_delay_max);
-    ++st.n.ipis_delayed;
-  }
-  if (plan_.ipi_dup_rate > 0.0 && plan_.ipi_dup_lag_max > 0 &&
-      st.rng.chance(plan_.ipi_dup_rate)) {
-    f.duplicate = true;
-    f.dup_lag = st.rng.uniform(1, plan_.ipi_dup_lag_max);
-    ++st.n.ipis_duplicated;
+  if (recording_ && (f.drop || f.extra_delay != 0 || f.duplicate)) {
+    std::uint8_t effects = 0;
+    if (f.drop) effects |= kFaultDrop;
+    if (f.extra_delay != 0) effects |= kFaultDelay;
+    if (f.duplicate) effects |= kFaultDup;
+    st.rec.push_back(FaultEvent{static_cast<std::uint16_t>(stream_idx),
+                                FaultSite::kIpi, op, effects, f.extra_delay,
+                                f.dup_lag, sent, vector});
   }
   return f;
 }
 
 FaultInjector::TimerFate FaultInjector::timer_fate(unsigned stream_idx,
                                                    Cycles ideal) {
-  TimerFate f;
-  if (!active_at(ideal)) return f;
   Stream& st = stream(stream_idx);
+  const std::uint64_t op = st.ops[static_cast<unsigned>(FaultSite::kTimer)]++;
+  TimerFate f;
+  if (scripted_) {
+    // Drift is deterministic plan state (no draw), so it keeps acting
+    // in scripted mode — only the probabilistic jitter comes from the
+    // script.
+    if (active_at(ideal)) f.drift = plan_.timer_drift;
+    const FaultEvent* ev = next_scripted(st, FaultSite::kTimer, op);
+    if (ev != nullptr) f.jitter = ev->magnitude;
+    if (f.drift != 0 || f.jitter != 0) ++st.n.timer_perturbed;
+    return f;
+  }
+  if (!active_at(ideal)) return f;
   f.drift = plan_.timer_drift;
   if (plan_.timer_jitter_rate > 0.0 && plan_.timer_jitter_max > 0 &&
       st.rng.chance(plan_.timer_jitter_rate)) {
     f.jitter = st.rng.uniform(1, plan_.timer_jitter_max);
+    if (recording_) {
+      st.rec.push_back(FaultEvent{static_cast<std::uint16_t>(stream_idx),
+                                  FaultSite::kTimer, op, kFaultFire, f.jitter,
+                                  0, ideal, -1});
+    }
   }
   if (f.drift != 0 || f.jitter != 0) ++st.n.timer_perturbed;
   return f;
 }
 
 Cycles FaultInjector::spurious_irq_lag(unsigned stream_idx, Cycles t) {
+  Stream& st = stream(stream_idx);
+  const std::uint64_t op =
+      st.ops[static_cast<unsigned>(FaultSite::kSpurious)]++;
+  if (scripted_) {
+    const FaultEvent* ev = next_scripted(st, FaultSite::kSpurious, op);
+    if (ev == nullptr) return 0;
+    ++st.n.spurious_irqs;
+    return ev->magnitude;
+  }
   if (!active_at(t)) return 0;
   if (plan_.spurious_irq_rate <= 0.0 || plan_.spurious_lag_max == 0) {
     return 0;
   }
-  Stream& st = stream(stream_idx);
   if (!st.rng.chance(plan_.spurious_irq_rate)) return 0;
   ++st.n.spurious_irqs;
-  return st.rng.uniform(1, plan_.spurious_lag_max);
+  const Cycles lag = st.rng.uniform(1, plan_.spurious_lag_max);
+  if (recording_) {
+    st.rec.push_back(FaultEvent{static_cast<std::uint16_t>(stream_idx),
+                                FaultSite::kSpurious, op, kFaultFire, lag, 0,
+                                t, -1});
+  }
+  return lag;
 }
 
 Cycles FaultInjector::stall_cycles(unsigned stream_idx, Cycles now) {
+  Stream& st = stream(stream_idx);
+  const std::uint64_t op = st.ops[static_cast<unsigned>(FaultSite::kStall)]++;
+  if (scripted_) {
+    const FaultEvent* ev = next_scripted(st, FaultSite::kStall, op);
+    if (ev == nullptr) return 0;
+    ++st.n.stalls;
+    st.n.stall_cycles_total += ev->magnitude;
+    return ev->magnitude;
+  }
   if (!active_at(now)) return 0;
   if (plan_.stall_rate <= 0.0 || plan_.stall_max == 0) return 0;
-  Stream& st = stream(stream_idx);
   if (!st.rng.chance(plan_.stall_rate)) return 0;
   const Cycles stolen = st.rng.uniform(1, plan_.stall_max);
   ++st.n.stalls;
   st.n.stall_cycles_total += stolen;
+  if (recording_) {
+    st.rec.push_back(FaultEvent{static_cast<std::uint16_t>(stream_idx),
+                                FaultSite::kStall, op, kFaultFire, stolen, 0,
+                                now, -1});
+  }
   return stolen;
+}
+
+void FaultInjector::set_recording(bool on) {
+  IW_ASSERT_MSG(!scripted_ || !on,
+                "FaultInjector: cannot record while scripted");
+  recording_ = on;
+  if (on) {
+    for (auto& st : streams_) st.rec.clear();
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::recorded_events() const {
+  std::vector<FaultEvent> all;
+  for (const auto& st : streams_) {
+    all.insert(all.end(), st.rec.begin(), st.rec.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.stream != b.stream) return a.stream < b.stream;
+              if (a.site != b.site) return a.site < b.site;
+              return a.index < b.index;
+            });
+  return all;
+}
+
+void FaultInjector::set_script(const FaultPlan& base,
+                               std::vector<FaultEvent> events) {
+  FaultPlan p = base;
+  p.enabled = true;
+  // Zero every probabilistic rate: a scripted injector must never draw
+  // from an RNG. Deterministic parts (windows, vector filter, drift,
+  // magnitude caps) stay, so opportunity counting and drift behave
+  // exactly as in the run the script was recorded from.
+  p.ipi_drop_rate = 0.0;
+  p.ipi_delay_rate = 0.0;
+  p.ipi_dup_rate = 0.0;
+  p.timer_jitter_rate = 0.0;
+  p.spurious_irq_rate = 0.0;
+  p.stall_rate = 0.0;
+  p.validate();
+  plan_ = p;
+  recording_ = false;
+  scripted_ = true;
+  for (auto& st : streams_) {
+    st.rec.clear();
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+      st.script[s].clear();
+      st.cursor[s] = 0;
+    }
+  }
+  for (FaultEvent& ev : events) {
+    IW_ASSERT_MSG(ev.stream < streams_.size(),
+                  "fault script: stream index out of range");
+    streams_[ev.stream].script[static_cast<unsigned>(ev.site)].push_back(ev);
+  }
+  for (auto& st : streams_) {
+    for (auto& v : st.script) {
+      std::sort(v.begin(), v.end(),
+                [](const FaultEvent& a, const FaultEvent& b) {
+                  return a.index < b.index;
+                });
+      for (std::size_t i = 1; i < v.size(); ++i) {
+        IW_ASSERT_MSG(v[i - 1].index != v[i].index,
+                      "fault script: duplicate (stream, site, index)");
+      }
+    }
+  }
+}
+
+const FaultEvent* FaultInjector::next_scripted(Stream& st, FaultSite site,
+                                               std::uint64_t op) {
+  const auto s = static_cast<unsigned>(site);
+  auto& cur = st.cursor[s];
+  const auto& evs = st.script[s];
+  // Events whose opportunity already passed can never fire: under a
+  // delta-debugging subset the schedule legitimately shifts, and a
+  // leftover index below the current count is simply skipped.
+  while (cur < evs.size() && evs[cur].index < op) ++cur;
+  if (cur < evs.size() && evs[cur].index == op) return &evs[cur++];
+  return nullptr;
+}
+
+std::vector<std::uint64_t> FaultInjector::opportunity_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(streams_.size() * kNumFaultSites);
+  for (const auto& st : streams_) {
+    for (unsigned s = 0; s < kNumFaultSites; ++s) out.push_back(st.ops[s]);
+  }
+  return out;
+}
+
+Cycles FaultInjector::next_armed_stall_after(Cycles t) const {
+  if (scripted_) {
+    const auto s = static_cast<unsigned>(FaultSite::kStall);
+    for (const auto& st : streams_) {
+      if (st.cursor[s] < st.script[s].size()) return t;
+    }
+    return kNever;
+  }
+  return plan_.next_armed_stall_after(t);
+}
+
+void FaultInjector::save_state(SnapshotWriter& digested,
+                               SnapshotWriter& ephemeral) const {
+  IW_ASSERT_MSG(!recording_,
+                "FaultInjector: snapshot mid-recording is not supported "
+                "(the record buffers are not machine state)");
+  digested.u64(streams_.size());
+  for (const auto& st : streams_) {
+    const Rng::State rs = st.rng.state();
+    for (std::uint64_t w : rs.s) digested.u64(w);
+    digested.f64(rs.cached_normal);
+    digested.b(rs.has_cached_normal);
+    digested.u64(st.n.ipis_dropped);
+    digested.u64(st.n.ipis_delayed);
+    digested.u64(st.n.ipis_duplicated);
+    digested.u64(st.n.timer_perturbed);
+    digested.u64(st.n.spurious_irqs);
+    digested.u64(st.n.stalls);
+    digested.u64(st.n.stall_cycles_total);
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+      ephemeral.u64(st.ops[s]);
+      ephemeral.u64(st.cursor[s]);
+    }
+  }
+}
+
+void FaultInjector::restore_state(SnapshotReader& digested,
+                                  SnapshotReader& ephemeral) {
+  IW_ASSERT_MSG(digested.u64() == streams_.size(),
+                "FaultInjector: snapshot stream count mismatch");
+  for (auto& st : streams_) {
+    Rng::State rs;
+    for (std::uint64_t& w : rs.s) w = digested.u64();
+    rs.cached_normal = digested.f64();
+    rs.has_cached_normal = digested.b();
+    st.rng.set_state(rs);
+    st.n.ipis_dropped = digested.u64();
+    st.n.ipis_delayed = digested.u64();
+    st.n.ipis_duplicated = digested.u64();
+    st.n.timer_perturbed = digested.u64();
+    st.n.spurious_irqs = digested.u64();
+    st.n.stalls = digested.u64();
+    st.n.stall_cycles_total = digested.u64();
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+      st.ops[s] = ephemeral.u64();
+      // The saved cursor indexed the script installed at capture time;
+      // fault_bisect restores a checkpoint *after* swapping in a subset
+      // script, so recompute it from the restored opportunity count
+      // against whatever script is installed now.
+      (void)ephemeral.u64();
+      std::size_t cur = 0;
+      const auto& evs = st.script[s];
+      while (cur < evs.size() && evs[cur].index < st.ops[s]) ++cur;
+      st.cursor[s] = cur;
+    }
+  }
 }
 
 FaultInjector::Counters FaultInjector::counters() const {

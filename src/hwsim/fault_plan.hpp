@@ -22,6 +22,7 @@
 // scheduler replay the exact fault schedule of the sequential ones.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,6 +31,9 @@
 #include "common/types.hpp"
 
 namespace iw::hwsim {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 /// Half-open virtual-time window [begin, end) during which faults act.
 struct FaultWindow {
@@ -91,6 +95,14 @@ struct FaultPlan {
   /// the off-by-one the equivalence matrix pins down).
   [[nodiscard]] Cycles next_armed_stall_after(Cycles t) const;
 
+  /// Abort (IW_ASSERT, with the offending field named) on ill-formed
+  /// parameters: rates outside [0, 1] (NaN included — a NaN rate makes
+  /// every chance() draw silently false) and inverted or empty cycle
+  /// windows. FaultInjector::configure calls this, so every Machine
+  /// construction validates its plan; programmatic plan builders can
+  /// also call it directly.
+  void validate() const;
+
   /// Parse a `--faults=` spec: comma-separated items of
   ///   drop=P            IPI drop probability
   ///   delay=P:C         IPI delay probability : max extra cycles
@@ -105,6 +117,46 @@ struct FaultPlan {
   /// has enabled=true.
   static bool parse(const std::string& spec, FaultPlan* out,
                     std::string* err);
+};
+
+/// Identifies the choke point a fault decision was drawn at. Values are
+/// stable serialization/IDs (FaultEvent, snapshot ephemeral section).
+enum class FaultSite : std::uint8_t {
+  kIpi = 0,       // ipi_fate (post_ipi)
+  kTimer = 1,     // timer_fate (post_timer)
+  kSpurious = 2,  // spurious_irq_lag (post_irq, non-IPI)
+  kStall = 3,     // stall_cycles (Core::advance, per driver step)
+};
+inline constexpr unsigned kNumFaultSites = 4;
+
+/// FaultEvent::effects bits. For kIpi the drop/delay/dup bits combine
+/// exactly as IpiFate does (drop excludes the others); the other sites
+/// use kFaultFire.
+inline constexpr std::uint8_t kFaultDrop = 1;
+inline constexpr std::uint8_t kFaultDelay = 2;
+inline constexpr std::uint8_t kFaultDup = 4;
+inline constexpr std::uint8_t kFaultFire = 1;
+
+/// One materialized fault, identified by *provenance*, not wall time:
+/// (stream, site, index) names the index-th decision opportunity the
+/// given stream saw at that site. Opportunity counting is unconditional
+/// (every call counts, before any window/filter early-out), so the
+/// numbering is a pure function of the context's event stream — the
+/// property that lets a recorded schedule be replayed verbatim and lets
+/// delta-debugging subsets splice into a checkpointed clean run.
+struct FaultEvent {
+  std::uint16_t stream{0};
+  FaultSite site{FaultSite::kIpi};
+  std::uint64_t index{0};
+  std::uint8_t effects{0};
+  /// kIpi: extra delay; kTimer: jitter; kSpurious: ghost lag;
+  /// kStall: stolen cycles.
+  Cycles magnitude{0};
+  Cycles dup_lag{0};  // kIpi duplicates only
+  /// Virtual time observed when the decision was recorded. Diagnostic
+  /// only — replay matches on (stream, site, index).
+  Cycles time{0};
+  std::int32_t vector{-1};  // kIpi diagnostic
 };
 
 /// Runtime side of a FaultPlan: owns the per-context fault Rng streams
@@ -170,18 +222,81 @@ class FaultInjector {
   /// cells are private so concurrent contexts never share a line).
   [[nodiscard]] Counters counters() const;
 
+  // --- recording / scripted replay (tools/fault_bisect, ttreplay) ---
+
+  /// Capture every materialized fault as a FaultEvent in per-stream
+  /// buffers (race-free under parallel shards: a stream is only drawn
+  /// from by its own context). Turning recording on clears previous
+  /// buffers. Incompatible with scripted mode and with snapshotting
+  /// mid-recording.
+  void set_recording(bool on);
+  [[nodiscard]] bool recording() const { return recording_; }
+  /// Merged recorded schedule, sorted by (time, stream, site, index).
+  [[nodiscard]] std::vector<FaultEvent> recorded_events() const;
+
+  /// Replace probabilistic draws with an explicit event list: at each
+  /// decision opportunity the injector fires the scripted event whose
+  /// (stream, site, index) matches, and nothing else — zero RNG draws.
+  /// `base` supplies the deterministic parts that must keep acting
+  /// (windows, vector filter, timer_drift); its rates are zeroed here
+  /// so misuse is impossible. Replaying the full recorded schedule of a
+  /// probabilistic run is bit-identical to that run; replaying a subset
+  /// is the delta-debugging hypothetical "what if only these faults had
+  /// happened" (opportunities an event's index has already passed are
+  /// skipped — the schedule legitimately shifts under a subset).
+  /// Resets script cursors; opportunity counters are machine state and
+  /// are NOT reset (restore() rewinds them instead).
+  void set_script(const FaultPlan& base, std::vector<FaultEvent> events);
+  [[nodiscard]] bool scripted() const { return scripted_; }
+
+  /// Opportunity counters, stream-major: [stream * kNumFaultSites +
+  /// site]. A pure function of the machines's event stream — recorded
+  /// alongside checkpoints so fault_bisect can pick the latest
+  /// checkpoint at which every candidate event is still in the future.
+  [[nodiscard]] std::vector<std::uint64_t> opportunity_counts() const;
+
+  /// Fast-forward horizon bound (see FaultPlan::next_armed_stall_after)
+  /// that also covers scripted mode: while any scripted stall event is
+  /// unconsumed the machine must stay in full fidelity, because scripted
+  /// stalls are indexed by step opportunity and an analytic skip elides
+  /// steps.
+  [[nodiscard]] Cycles next_armed_stall_after(Cycles t) const;
+
+  /// Snapshot plumbing (Machine::snapshot/restore). RNG states and
+  /// fault counters go to `digested` (semantically observable,
+  /// scheduler/ff-invariant); opportunity and script cursors go to
+  /// `ephemeral` (exact-restore state that legitimately differs across
+  /// ff modes). Snapshotting mid-recording is refused.
+  void save_state(SnapshotWriter& digested, SnapshotWriter& ephemeral) const;
+  void restore_state(SnapshotReader& digested, SnapshotReader& ephemeral);
+
  private:
   /// One decision stream: an independent Rng plus its own counter
   /// cells, cache-line-sized so concurrent contexts do not false-share.
   struct alignas(64) Stream {
     Rng rng;
     Counters n;
+    /// Decision opportunities seen per site (counted unconditionally at
+    /// every call, before window/filter early-outs).
+    std::uint64_t ops[kNumFaultSites]{0, 0, 0, 0};
+    /// Recording buffer (recording mode only).
+    std::vector<FaultEvent> rec;
+    /// Scripted events per site, sorted by index, plus the replay
+    /// cursor (scripted mode only).
+    std::array<std::vector<FaultEvent>, kNumFaultSites> script;
+    std::array<std::size_t, kNumFaultSites> cursor{};
   };
   [[nodiscard]] Stream& stream(unsigned idx) {
     return streams_[idx < streams_.size() ? idx : 0];
   }
+  /// Scripted-mode lookup: consume and return the event scheduled for
+  /// opportunity `op` at `site`, or nullptr.
+  const FaultEvent* next_scripted(Stream& st, FaultSite site,
+                                  std::uint64_t op);
 
   FaultPlan plan_;
+  bool recording_{false};
+  bool scripted_{false};
   std::vector<Stream> streams_ = std::vector<Stream>(1);
 };
 

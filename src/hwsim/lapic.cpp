@@ -6,7 +6,27 @@
 
 namespace iw::hwsim {
 
-LapicTimer::LapicTimer(Core& core, int vector) : core_(core), vector_(vector) {}
+LapicTimer::LapicTimer(Core& core, int vector) : core_(core), vector_(vector) {
+  core_.machine().register_snapshot_participant(this);
+}
+
+LapicTimer::~LapicTimer() {
+  core_.machine().unregister_snapshot_participant(this);
+}
+
+void LapicTimer::save_state(SnapshotWriter& w) const {
+  w.b(armed_);
+  w.u64(period_);
+  w.u64(generation_);
+  w.u64(fires_);
+}
+
+void LapicTimer::restore_state(SnapshotReader& r) {
+  armed_ = r.b();
+  period_ = r.u64();
+  generation_ = r.u64();
+  fires_ = r.u64();
+}
 
 void LapicTimer::oneshot(Cycles delta) {
   core_.consume(core_.costs().lapic_program);

@@ -11,14 +11,16 @@
 
 #include "common/types.hpp"
 #include "hwsim/event_queue.hpp"
+#include "hwsim/snapshot.hpp"
 
 namespace iw::hwsim {
 
 class Core;
 
-class LapicTimer final : public TimerSink {
+class LapicTimer final : public TimerSink, public SnapshotParticipant {
  public:
   LapicTimer(Core& core, int vector);
+  ~LapicTimer();
 
   /// Arm a one-shot interrupt `delta` cycles from the core's clock.
   /// Pays the LAPIC programming cost on the core.
@@ -37,6 +39,15 @@ class LapicTimer final : public TimerSink {
 
   // TimerSink: a scheduled fire came due on the owning core.
   void on_timer(Core& core, Cycles at, std::uint64_t gen) override;
+
+  // SnapshotParticipant: arming mode and the generation counter. The
+  // in-flight fire events themselves live in the core's callback inbox,
+  // which the machine snapshot copies wholesale; restoring generation_
+  // alongside keeps their gen checks consistent, so a fire scheduled
+  // after the snapshot point (gen bumped post-snapshot) is correctly
+  // absent after restore and cannot resurrect.
+  void save_state(SnapshotWriter& w) const override;
+  void restore_state(SnapshotReader& r) override;
 
  private:
   void schedule_fire(Cycles at);

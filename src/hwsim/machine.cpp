@@ -430,9 +430,12 @@ Machine::QuietProof Machine::quiet_proof(Cycles want) {
   // earliest candidate clock where a stall could be armed caps h; a
   // window beginning exactly at h is safe because replayed steps all
   // start at clocks strictly below h.
+  // The injector-level query also covers scripted replay: a pending
+  // scripted stall pins the machine to full fidelity (scripted stalls
+  // are indexed by step opportunity, and a skip elides steps).
   if (p.skippable && faults_.enabled()) {
-    p.horizon = std::min(
-        p.horizon, faults_.plan().next_armed_stall_after(p.earliest_clock));
+    p.horizon = std::min(p.horizon,
+                         faults_.next_armed_stall_after(p.earliest_clock));
   }
   return p;
 }

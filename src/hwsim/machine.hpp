@@ -63,6 +63,8 @@ class MetricsRegistry;
 namespace iw::hwsim {
 
 class ParallelEngine;
+struct Snapshot;
+class SnapshotParticipant;
 
 enum class SchedulerKind : std::uint8_t {
   kFrontier,       // O(log N) incremental frontier index (default)
@@ -375,6 +377,41 @@ class Machine final : public substrate::StackSubstrate {
   /// (kParallelEpoch falls back to the linear-scan pick order here).
   std::uint64_t advance_n(std::uint64_t n);
 
+  // --- deterministic checkpoint/restore (src/hwsim/snapshot.cpp) ---
+
+  /// Capture the complete dynamic state. Legal only between runs (never
+  /// from inside this machine's own DES loop — queues are mid-mutation
+  /// there). The snapshot restores only into this same instance; see
+  /// snapshot.hpp for the contract and Snapshot::digest() for the
+  /// cross-machine-comparable part.
+  [[nodiscard]] Snapshot snapshot();
+
+  /// Rewind to a previously captured state. `restore(s); run_until(T)`
+  /// is bit-identical (traces, digests, fault schedules) to the
+  /// uninterrupted original run, under every scheduler × steal × ff
+  /// mode. Asserts the snapshot came from this machine shape (version,
+  /// fingerprint, core and participant counts) and that no run is in
+  /// progress. Scheduling caches are rebuilt (all cores marked dirty,
+  /// frontier refreshed) rather than restored — they are derived state.
+  void restore(const Snapshot& s);
+
+  /// Register dynamic state the machine cannot see (timer devices,
+  /// watchdogs, recovery layers, workload drivers). Registration order
+  /// is serialization order; participants must be registered by the
+  /// time of the first snapshot() and still registered (same order) at
+  /// restore(). Timer/recovery classes self-register in their
+  /// constructors; test and tool drivers register manually.
+  void register_snapshot_participant(SnapshotParticipant* p);
+  void unregister_snapshot_participant(SnapshotParticipant* p);
+  [[nodiscard]] std::size_t snapshot_participants() const {
+    return participants_.size();
+  }
+
+  /// Toggle the frontier/linear cross-check between runs (O(N) per
+  /// advance; tools/ttreplay turns it on while replaying a divergent
+  /// window in full fidelity).
+  void set_paranoid_frontier(bool on) { cfg_.paranoid_frontier = on; }
+
   // --- fault injection ---
   [[nodiscard]] FaultInjector& fault_injector() { return faults_; }
   [[nodiscard]] const FaultInjector& fault_injector() const {
@@ -564,6 +601,8 @@ class Machine final : public substrate::StackSubstrate {
   /// contexts (set for the duration of a per-core parallel run).
   bool per_core_drain_active_{false};
   std::unique_ptr<ParallelEngine> parallel_;
+  /// Registered snapshot participants, in registration order.
+  std::vector<SnapshotParticipant*> participants_;
 
   // --- fast-forward state ---
   /// Scratch plan list for the window being proved (reused; the hot

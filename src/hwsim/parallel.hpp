@@ -143,6 +143,17 @@ class ParallelEngine {
   /// order, and clear them. Coordinator-only, at run end.
   void merge_scratch_metrics(obs::MetricsRegistry* into);
 
+  /// True when every lane's IPI outbox is empty. Between runs this
+  /// always holds (merge_outboxes runs at every epoch barrier);
+  /// Machine::snapshot/restore assert it, since buffered fabric traffic
+  /// is not part of the snapshot format.
+  [[nodiscard]] bool quiescent() const {
+    for (const Lane& l : lanes_) {
+      if (!l.outbox.empty()) return false;
+    }
+    return true;
+  }
+
  private:
   /// Per-core lane: everything a shard context writes during a drain,
   /// cache-line-aligned so neighboring shards never share a line.

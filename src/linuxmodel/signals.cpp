@@ -5,7 +5,40 @@
 namespace iw::linuxmodel {
 
 SignalPath::SignalPath(LinuxStack& stack)
-    : stack_(stack), rng_(stack.machine().rng().split()) {}
+    : stack_(stack), rng_(stack.machine().rng().split()) {
+  stack_.machine().register_snapshot_participant(this);
+}
+
+SignalPath::~SignalPath() {
+  stack_.machine().unregister_snapshot_participant(this);
+}
+
+void SignalPath::save_state(hwsim::SnapshotWriter& w) const {
+  hwsim::save_rng(w, rng_);
+  w.u64(sent_);
+  w.u64(delivered_);
+  const LatencyHistogram::State hs = latency_hist_.state();
+  w.u64(hs.counts.size());
+  for (std::uint64_t c : hs.counts) w.u64(c);
+  w.u64(hs.total_count);
+  w.u64(hs.min);
+  w.u64(hs.max);
+  w.f64(hs.sum);
+}
+
+void SignalPath::restore_state(hwsim::SnapshotReader& r) {
+  hwsim::restore_rng(r, rng_);
+  sent_ = r.u64();
+  delivered_ = r.u64();
+  LatencyHistogram::State hs;
+  hs.counts.resize(r.u64());
+  for (std::uint64_t& c : hs.counts) c = r.u64();
+  hs.total_count = r.u64();
+  hs.min = r.u64();
+  hs.max = r.u64();
+  hs.sum = r.f64();
+  latency_hist_.set_state(hs);
+}
 
 Cycles SignalPath::draw_latency() {
   const auto& c = stack_.costs();

@@ -15,6 +15,7 @@
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "hwsim/snapshot.hpp"
 #include "linuxmodel/linux_stack.hpp"
 
 namespace iw::linuxmodel {
@@ -22,9 +23,10 @@ namespace iw::linuxmodel {
 /// Handler invoked on the target core at frame-entry time.
 using SignalHandler = std::function<void(hwsim::Core&)>;
 
-class SignalPath {
+class SignalPath final : public hwsim::SnapshotParticipant {
  public:
   explicit SignalPath(LinuxStack& stack);
+  ~SignalPath();
 
   /// Send a signal from `sender` to a thread on `target_core`. Charges
   /// the sender's kernel-side send path now and schedules the target's
@@ -45,6 +47,12 @@ class SignalPath {
   [[nodiscard]] const LatencyHistogram& latency_hist() const {
     return latency_hist_;
   }
+
+  // SnapshotParticipant: the latency Rng stream, counters, and the
+  // latency histogram. In-flight deliveries are closures in core
+  // callback inboxes, captured by the machine's queue copies.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   void deliver_at(Cycles queue_time, CoreId target_core,

@@ -8,7 +8,33 @@
 namespace iw::linuxmodel {
 
 PosixTimer::PosixTimer(LinuxStack& stack, CoreId core)
-    : stack_(stack), core_(core), rng_(stack.machine().rng().split()) {}
+    : stack_(stack), core_(core), rng_(stack.machine().rng().split()) {
+  stack_.machine().register_snapshot_participant(this);
+}
+
+PosixTimer::~PosixTimer() {
+  stack_.machine().unregister_snapshot_participant(this);
+}
+
+void PosixTimer::save_state(hwsim::SnapshotWriter& w) const {
+  hwsim::save_rng(w, rng_);
+  w.b(armed_);
+  w.u64(effective_period_);
+  w.u64(last_fire_);
+  w.u64(pending_ideal_);
+  w.u64(generation_);
+  w.u64(expiries_);
+}
+
+void PosixTimer::restore_state(hwsim::SnapshotReader& r) {
+  hwsim::restore_rng(r, rng_);
+  armed_ = r.b();
+  effective_period_ = r.u64();
+  last_fire_ = r.u64();
+  pending_ideal_ = r.u64();
+  generation_ = r.u64();
+  expiries_ = r.u64();
+}
 
 void PosixTimer::arm_periodic(Cycles requested_period, TimerCallback cb) {
   IW_ASSERT(requested_period > 0);

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "hwsim/event_queue.hpp"
+#include "hwsim/snapshot.hpp"
 #include "linuxmodel/linux_stack.hpp"
 
 namespace iw::linuxmodel {
@@ -20,9 +21,11 @@ namespace iw::linuxmodel {
 /// Expiry callback: runs as kernel work on the owning core.
 using TimerCallback = std::function<void(hwsim::Core&, Cycles expiry_time)>;
 
-class PosixTimer final : public hwsim::TimerSink {
+class PosixTimer final : public hwsim::TimerSink,
+                         public hwsim::SnapshotParticipant {
  public:
   PosixTimer(LinuxStack& stack, CoreId core);
+  ~PosixTimer();
 
   /// Arm with the requested period (cycles). The effective period is
   /// max(requested, per-CPU floor); each expiry lands with drawn slack.
@@ -36,6 +39,14 @@ class PosixTimer final : public hwsim::TimerSink {
 
   // TimerSink: the hrtimer expiry came due on the owning core.
   void on_timer(hwsim::Core& core, Cycles at, std::uint64_t gen) override;
+
+  // SnapshotParticipant: arming state, the hrtimer chain's generation
+  // and cursor, and the slack Rng stream (restoring it keeps the
+  // post-restore expiry slack draws identical to the uninterrupted
+  // run). The in-flight expiry event lives in the core's callback
+  // inbox, captured by the machine's queue copy; cb_ is structural.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   void schedule_next(Cycles ideal);

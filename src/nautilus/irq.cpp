@@ -45,7 +45,23 @@ unsigned IrqSteering::quiet_cores() const {
 // --- ReliableIpi ---
 
 ReliableIpi::ReliableIpi(hwsim::Machine& machine, Config cfg)
-    : machine_(machine), cfg_(cfg) {}
+    : machine_(machine), cfg_(cfg) {
+  machine_.register_snapshot_participant(this);
+}
+
+ReliableIpi::~ReliableIpi() {
+  machine_.unregister_snapshot_participant(this);
+}
+
+void ReliableIpi::save_state(hwsim::SnapshotWriter& w) const {
+  w.u64(retries_);
+  w.u64(exhausted_);
+}
+
+void ReliableIpi::restore_state(hwsim::SnapshotReader& r) {
+  retries_ = r.u64();
+  exhausted_ = r.u64();
+}
 
 hwsim::IpiStatus ReliableIpi::send(hwsim::Core& from, CoreId to, int vector) {
   const hwsim::IpiStatus status = machine_.send_ipi(from, to, vector);
@@ -108,6 +124,36 @@ void ReliableIpi::schedule_retry(hwsim::Core& from, CoreId to, int vector,
 CoreWatchdog::CoreWatchdog(hwsim::Machine& machine, Cycles period, Alarm alarm)
     : machine_(machine), period_(period), alarm_(std::move(alarm)) {
   last_.resize(machine_.num_cores());
+  machine_.register_snapshot_participant(this);
+}
+
+CoreWatchdog::~CoreWatchdog() {
+  machine_.unregister_snapshot_participant(this);
+}
+
+void CoreWatchdog::save_state(hwsim::SnapshotWriter& w) const {
+  w.b(armed_);
+  w.u64(gen_);
+  w.u64(fires_);
+  w.u64(last_.size());
+  for (const Snapshot& s : last_) {
+    w.u64(s.clock);
+    w.u64(s.steps);
+    w.u64(s.irqs);
+  }
+}
+
+void CoreWatchdog::restore_state(hwsim::SnapshotReader& r) {
+  armed_ = r.b();
+  gen_ = r.u64();
+  fires_ = r.u64();
+  const std::uint64_t n = r.u64();
+  last_.resize(n);
+  for (Snapshot& s : last_) {
+    s.clock = r.u64();
+    s.steps = r.u64();
+    s.irqs = r.u64();
+  }
 }
 
 void CoreWatchdog::snapshot_all() {

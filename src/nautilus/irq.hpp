@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "hwsim/core.hpp"
 #include "hwsim/machine.hpp"
+#include "hwsim/snapshot.hpp"
 
 namespace iw::nautilus {
 
@@ -57,11 +58,12 @@ struct ReliableIpiConfig {
   Cycles backoff{1'500};     // first retry delay; doubles per attempt
 };
 
-class ReliableIpi {
+class ReliableIpi final : public hwsim::SnapshotParticipant {
  public:
   using Config = ReliableIpiConfig;
 
   explicit ReliableIpi(hwsim::Machine& machine, Config cfg = {});
+  ~ReliableIpi();
 
   /// Send `vector` from `from` to `to`; on kDropped, schedules retries
   /// on the sender's timeline. Returns the *first* attempt's status (the
@@ -78,6 +80,14 @@ class ReliableIpi {
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   /// Sends abandoned after max_attempts consecutive drops.
   [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
+
+  // SnapshotParticipant: the counters. In-flight retry chains are
+  // closures in core callback inboxes; the machine snapshot value-copies
+  // those queues, so a retry scheduled before the snapshot survives a
+  // restore and one scheduled after does not — exactly the pre-snapshot
+  // delivery state.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   void handle_drop(hwsim::Core& from, CoreId to, int vector);
@@ -97,16 +107,26 @@ class ReliableIpi {
 /// (plus a faults.watchdog_fires count and a trace instant). The check
 /// chain keeps the machine non-quiescent while armed; disarm() lets the
 /// machine drain.
-class CoreWatchdog {
+class CoreWatchdog final : public hwsim::SnapshotParticipant {
  public:
   using Alarm = std::function<void(CoreId stuck, Cycles at)>;
 
   CoreWatchdog(hwsim::Machine& machine, Cycles period, Alarm alarm = {});
+  ~CoreWatchdog();
 
   void arm();
   void disarm() { armed_ = false; }
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] std::uint64_t fires() const { return fires_; }
+
+  // SnapshotParticipant: armed flag, generation counter, fire count,
+  // and the per-core progress probes. Restoring gen_ together with the
+  // machine's queue copy is the stale-fire defense: a check chain armed
+  // *after* the snapshot (gen_ = G+1) is absent from the restored
+  // queues, and the restored gen_ = G matches only the chain that was
+  // actually pending at capture time.
+  void save_state(hwsim::SnapshotWriter& w) const override;
+  void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   struct Snapshot {

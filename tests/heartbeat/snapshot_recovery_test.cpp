@@ -1,0 +1,133 @@
+// Checkpoint/restore through the heartbeat fault-tolerance state
+// machine: a snapshot taken while the supervisor is mid-degraded-mode
+// (software-polled delivery active, probe IPIs in flight) must restore
+// straight back into degraded polling and replay the recovery
+// bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "heartbeat/delivery.hpp"
+#include "hwsim/machine.hpp"
+#include "hwsim/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace iw::heartbeat {
+namespace {
+
+std::uint64_t trace_hash(const obs::TraceRecorder& tr) {
+  std::ostringstream os;
+  tr.write_text(os);
+  const std::string s = os.str();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class BusyDriver final : public hwsim::CoreDriver {
+ public:
+  bool runnable(hwsim::Core&) override { return true; }
+  void step(hwsim::Core& core) override { core.consume(200); }
+};
+
+constexpr Cycles kPeriod = 20'000;
+
+TEST(SnapshotRecovery, MidDegradedModeSnapshotRestoresPollingFallback) {
+  // Total IPI loss for the first 60 rounds: the supervisor degrades a
+  // few rounds in, polls through the window, and recovers after it.
+  hwsim::MachineConfig mc;
+  mc.num_cores = 8;
+  mc.max_advances = 100'000'000;
+  mc.faults.enabled = true;
+  mc.faults.ipi_drop_rate = 1.0;
+  mc.faults.windows.push_back({0, 60 * kPeriod});
+  hwsim::Machine m(mc);
+  BusyDriver driver;
+  for (unsigned c = 0; c < mc.num_cores; ++c) {
+    m.core(c).set_driver(&driver);
+  }
+  NautilusHeartbeat hb(m);
+  FaultToleranceConfig ft;
+  ft.enabled = true;
+  hb.set_fault_tolerance(ft);
+  hb.start(kPeriod, mc.num_cores);
+
+  // Snapshot mid-window, well after the degrade transition.
+  ASSERT_TRUE(m.run_until(20 * kPeriod));
+  ASSERT_TRUE(hb.degraded());
+  ASSERT_GT(hb.polled_beats(), 0u);
+  hwsim::Snapshot snap = m.snapshot();
+  const std::uint64_t polled_at_snap = hb.polled_beats();
+  const std::uint64_t entries_at_snap = hb.degraded_entries();
+
+  // Uninterrupted leg: poll through the rest of the window, recover,
+  // run interrupt-driven for a while.
+  obs::TraceRecorder t1;
+  m.set_tracer(&t1);
+  ASSERT_TRUE(m.run_until(120 * kPeriod));
+  EXPECT_FALSE(hb.degraded());
+  EXPECT_GE(hb.recoveries(), 1u);
+  const std::uint64_t hash = trace_hash(t1);
+  const std::uint64_t polled = hb.polled_beats();
+  const std::uint64_t missed = hb.missed_beats();
+  const std::uint64_t recoveries = hb.recoveries();
+  std::uint64_t delivered = 0;
+  for (unsigned c = 0; c < mc.num_cores; ++c) {
+    delivered += hb.state(c).delivered;
+  }
+
+  // Restore: straight back into degraded polling, counters rewound.
+  m.restore(snap);
+  EXPECT_TRUE(hb.degraded());
+  EXPECT_EQ(hb.polled_beats(), polled_at_snap);
+  EXPECT_EQ(hb.degraded_entries(), entries_at_snap);
+
+  // Replay leg: bit-identical recovery.
+  obs::TraceRecorder t2;
+  m.set_tracer(&t2);
+  ASSERT_TRUE(m.run_until(120 * kPeriod));
+  EXPECT_EQ(trace_hash(t2), hash);
+  EXPECT_EQ(hb.polled_beats(), polled);
+  EXPECT_EQ(hb.missed_beats(), missed);
+  EXPECT_EQ(hb.recoveries(), recoveries);
+  EXPECT_FALSE(hb.degraded());
+  std::uint64_t delivered_replay = 0;
+  for (unsigned c = 0; c < mc.num_cores; ++c) {
+    delivered_replay += hb.state(c).delivered;
+  }
+  EXPECT_EQ(delivered_replay, delivered);
+}
+
+TEST(SnapshotRecovery, InterbeatStatsSurviveRestoreExactly) {
+  hwsim::MachineConfig mc;
+  mc.num_cores = 4;
+  mc.max_advances = 100'000'000;
+  hwsim::Machine m(mc);
+  BusyDriver driver;
+  for (unsigned c = 0; c < mc.num_cores; ++c) {
+    m.core(c).set_driver(&driver);
+  }
+  NautilusHeartbeat hb(m);
+  hb.start(kPeriod, mc.num_cores);
+  ASSERT_TRUE(m.run_until(30 * kPeriod));
+  hwsim::Snapshot snap = m.snapshot();
+
+  ASSERT_TRUE(m.run_until(60 * kPeriod));
+  const double mean = hb.state(1).interbeat.mean();
+  const double sd = hb.state(1).interbeat.stddev();
+  const std::uint64_t n = hb.state(1).interbeat.count();
+
+  m.restore(snap);
+  ASSERT_TRUE(m.run_until(60 * kPeriod));
+  EXPECT_EQ(hb.state(1).interbeat.count(), n);
+  EXPECT_DOUBLE_EQ(hb.state(1).interbeat.mean(), mean);
+  EXPECT_DOUBLE_EQ(hb.state(1).interbeat.stddev(), sd);
+}
+
+}  // namespace
+}  // namespace iw::heartbeat

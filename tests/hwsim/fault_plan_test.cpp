@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +72,99 @@ TEST(FaultPlanParse, RejectsMalformedSpecs) {
     std::string err;
     EXPECT_FALSE(FaultPlan::parse(s, &p, &err)) << "spec: " << s;
     EXPECT_FALSE(err.empty()) << "spec: " << s;
+  }
+}
+
+TEST(FaultPlanParse, RejectsNonFiniteAndNegativeProbabilities) {
+  // NaN famously survives naive `v < 0 || v > 1` range checks (every
+  // comparison is false); the parser must reject it explicitly, along
+  // with negatives and infinities, for every rate key.
+  const char* bad[] = {
+      "drop=nan",      "drop=-0.1",     "drop=inf",
+      "delay=nan:500", "dup=-0.5",      "jitter=nan:300",
+      "spurious=-1",   "stall=nan:200",
+  };
+  for (const char* s : bad) {
+    FaultPlan p;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse(s, &p, &err)) << "spec: " << s;
+    EXPECT_FALSE(err.empty()) << "spec: " << s;
+  }
+}
+
+using FaultPlanValidateDeathTest = ::testing::Test;
+
+TEST(FaultPlanValidateDeathTest, NaNProbabilityAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.ipi_drop_rate = std::nan("");
+  EXPECT_DEATH(p.validate(), "ipi_drop_rate");
+}
+
+TEST(FaultPlanValidateDeathTest, NegativeProbabilityAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.spurious_irq_rate = -0.25;
+  EXPECT_DEATH(p.validate(), "spurious_irq_rate");
+}
+
+TEST(FaultPlanValidateDeathTest, ProbabilityAboveOneAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.stall_rate = 1.5;
+  EXPECT_DEATH(p.validate(), "stall_rate");
+}
+
+TEST(FaultPlanValidateDeathTest, InfiniteProbabilityAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.timer_jitter_rate = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(p.validate(), "timer_jitter_rate");
+}
+
+TEST(FaultPlanValidateDeathTest, InvertedWindowAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.windows.push_back({9'000, 3'000});
+  EXPECT_DEATH(p.validate(), "begin < end");
+}
+
+TEST(FaultPlanValidateDeathTest, EmptyWindowAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.windows.push_back({5'000, 5'000});
+  EXPECT_DEATH(p.validate(), "begin < end");
+}
+
+TEST(FaultPlanValidateDeathTest, OutOfRangeVectorFilterAborts) {
+  FaultPlan p;
+  p.enabled = true;
+  p.vector_filter = 400;
+  EXPECT_DEATH(p.validate(), "vector_filter");
+}
+
+TEST(FaultPlanValidateDeathTest, MachineConstructionValidatesPlan) {
+  // A programmatically-built bad plan must not survive to the first
+  // draw: Machine construction (FaultInjector::configure) validates.
+  MachineConfig cfg;
+  cfg.num_cores = 2;
+  cfg.faults.enabled = true;
+  cfg.faults.ipi_drop_rate = std::nan("");
+  EXPECT_DEATH({ Machine m(cfg); }, "ipi_drop_rate");
+}
+
+TEST(FaultPlanParse, ValidateAcceptsEveryParsedPlan) {
+  // parse() and validate() agree: anything parse accepts validates.
+  const char* good[] = {
+      "drop=0,dup=1",
+      "drop=0.1,delay=0.05:14000,dup=0.02:300,jitter=0.2:500,drift=7,"
+      "spurious=0.01:250,stall=0.001:900,vector=64,window=1000-2000",
+  };
+  for (const char* s : good) {
+    FaultPlan p;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse(s, &p, &err)) << err;
+    p.validate();  // must not abort
   }
 }
 

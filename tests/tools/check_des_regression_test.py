@@ -182,7 +182,53 @@ def main(argv):
           run_guard(script, full_doc(), full_doc(),
                     "--profile=fastforward"), 1)
 
-    # 16. Unknown profile is a usage error.
+    # --- bisect profile ---
+    def bisect_doc():
+        return {
+            "host_cpus": 8,
+            "minimal_sets_agree": True,
+            "minimal_still_fails": True,
+            "empty_script_passes": True,
+            "speedup_checkpoint_vs_scratch": {"ddmin": {"16": 6.0}},
+        }
+
+    # 17. Healthy bisect run passes.
+    check("bisect profile passes",
+          run_guard(script, bisect_doc(), bisect_doc(), "--profile=bisect"),
+          0)
+
+    # 18. Checkpoint-accelerated ddmin losing its edge over scratch is a
+    # regression (checkpoint placement or restore cost broke).
+    fresh = bisect_doc()
+    fresh["speedup_checkpoint_vs_scratch"]["ddmin"]["16"] = 0.9
+    check("bisect speedup collapse fails",
+          run_guard(script, fresh, bisect_doc(), "--profile=bisect"), 1)
+
+    # 19. The speedup is meaningless unless both ddmin modes converged on
+    # the same minimal set, the minimal set still fails, and the empty
+    # schedule passes — each verdict is individually required, whether
+    # missing or explicitly false.
+    for flag in ("minimal_sets_agree", "minimal_still_fails",
+                 "empty_script_passes"):
+        fresh = bisect_doc()
+        del fresh[flag]
+        check(f"bisect missing {flag} fails",
+              run_guard(script, fresh, bisect_doc(), "--profile=bisect"), 1,
+              flag)
+        fresh = bisect_doc()
+        fresh[flag] = False
+        check(f"bisect false {flag} fails",
+              run_guard(script, fresh, bisect_doc(), "--profile=bisect"), 1,
+              flag)
+
+    # 20. A bisect bench that stopped emitting its ratio map must fail,
+    # never pass vacuously.
+    fresh = bisect_doc()
+    del fresh["speedup_checkpoint_vs_scratch"]
+    check("bisect no guarded map fails",
+          run_guard(script, fresh, bisect_doc(), "--profile=bisect"), 1)
+
+    # 21. Unknown profile is a usage error.
     check("unknown profile is usage error",
           run_guard(script, ff_doc(), ff_doc(), "--profile=bogus"), 2)
 

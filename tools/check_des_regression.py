@@ -7,7 +7,7 @@ are machine-dependent, so the guard checks *speedup ratios*, which
 cancel host speed: a ratio collapsing means one mode regressed relative
 to the other in the same binary on the same box.
 
-Two profiles select which ratio maps are guarded:
+Profiles select which ratio maps are guarded:
   --profile=des (default) — des_throughput: frontier/linear,
     parallel/frontier, auto/linear per core count, and the work-stealing
     engine's thread-scaling matrix (parallel at T host threads vs 1);
@@ -15,7 +15,13 @@ Two profiles select which ratio maps are guarded:
     vs analytic skip-ahead per scheduler x core count
     (speedup_ff_vs_full), plus a hard requirement that the fresh run
     re-verified trace equality (traces_identical == true; the speedup is
-    meaningless if the skipping run computed something else).
+    meaningless if the skipping run computed something else);
+  --profile=bisect — fault_bisect: wall-clock ratio of from-scratch vs
+    checkpoint-accelerated ddmin (speedup_checkpoint_vs_scratch), plus
+    hard requirements that the fresh run's checkpoint and scratch modes
+    converged on the same minimal set, that the minimal set still fails,
+    and that the empty schedule passes — the speedup is meaningless if
+    the accelerated bisection computed a different answer.
 
 Every guarded map must be present (as a dict) in BOTH files, and every
 baseline entry must be measured in the fresh run; a bench that silently
@@ -32,7 +38,7 @@ Exit 0 if every ratio is within the tolerance of its committed value;
 exit 1 (listing the offenders) otherwise; exit 2 on usage/shape errors.
 
 Usage: check_des_regression.py FRESH.json BASELINE.json
-           [--tolerance=0.25] [--profile=des|fastforward]
+           [--tolerance=0.25] [--profile=des|fastforward|bisect]
 """
 
 import json
@@ -46,6 +52,18 @@ PROFILES = {
         "speedup_threads_vs_1",
     ),
     "fastforward": ("speedup_ff_vs_full",),
+    "bisect": ("speedup_checkpoint_vs_scratch",),
+}
+
+# Booleans the fresh run must assert true for the profile's ratios to
+# mean anything at all; missing counts as false.
+REQUIRED_FLAGS = {
+    "fastforward": ("traces_identical",),
+    "bisect": (
+        "minimal_sets_agree",
+        "minimal_still_fails",
+        "empty_script_passes",
+    ),
 }
 
 
@@ -65,6 +83,8 @@ def key_label(name, key):
     if name == "speedup_threads_vs_1" and len(key) == 2:
         return f"{name}[{key[0]} cores, {key[1]} threads]"
     if name == "speedup_ff_vs_full" and len(key) == 2:
+        return f"{name}[{key[0]}, {key[1]} cores]"
+    if name == "speedup_checkpoint_vs_scratch" and len(key) == 2:
         return f"{name}[{key[0]}, {key[1]} cores]"
     return f"{name}[{'/'.join(key)}]"
 
@@ -105,11 +125,12 @@ def main(argv):
 
     failures = []
     checked = 0
-    if profile == "fastforward" and fresh.get("traces_identical") is not True:
-        failures.append(
-            "traces_identical: fresh run did not re-verify ff/full trace "
-            "equality"
-        )
+    for flag in REQUIRED_FLAGS.get(profile, ()):
+        if fresh.get(flag) is not True:
+            failures.append(
+                f"{flag}: fresh run did not re-verify this invariant "
+                "(missing or false)"
+            )
     for name in PROFILES[profile]:
         fresh_map = fresh.get(name)
         base_map = base.get(name)
