@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "des_workload.hpp"
+#include "harness.hpp"
 #include "obs/trace.hpp"
 
 using namespace iw;
@@ -156,9 +157,16 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(
-          std::strtoul(argv[i] + 10, nullptr, 10));
-      if (threads == 0) threads = 1;
+      std::uint64_t v = 0;
+      if (!bench::Harness::parse_count(argv[i] + 10, &v) || v == 0 ||
+          v > 4096) {
+        std::fprintf(stderr,
+                     "--threads: expected a positive integer (<= 4096), "
+                     "got '%s'\n",
+                     argv[i] + 10);
+        return 2;
+      }
+      threads = static_cast<unsigned>(v);
     } else {
       std::fprintf(stderr, "usage: %s [--smoke] [--out=FILE] [--threads=N]\n",
                    argv[0]);

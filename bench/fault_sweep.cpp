@@ -13,17 +13,40 @@
 // retries on to show the layered defense (retries absorb isolated
 // drops so degradation never becomes necessary).
 //
-// Usage: fault_sweep [--smoke] [--out=FILE]
+// The sweep has two tiers. The classic tier (15 rows) keeps the
+// histogram-grade acceptance: full beat-gap distributions per (drop,
+// delay) cell with the recovery counters. The matrix tier is the first
+// scenario-server customer: drop x delay x dup x seed (1080 cells)
+// over the heartbeat replay workload, every cell hydrated from ONE
+// warmed snapshot-v2 image and diverging only through its installed
+// fault plan. The matrix runs twice — one worker, then a pool — and
+// the results must be byte-identical (digests_worker_count_invariant);
+// pool throughput lands in the JSON as scenarios_per_sec with the
+// host-speed-cancelling ratio speedup_workers_vs_1 for the CI guard
+// (check_des_regression.py --profile=scenarios).
+//
+// Usage: fault_sweep [--smoke] [--jobs=N] [--out=FILE]
 //   --smoke     ~10x shorter runs (CI artifact mode)
+//   --jobs=N    worker pool size for the scenario matrix (default:
+//               min(4, hardware threads); the 1-worker reference pass
+//               always runs for the invariance check)
 //   --out=FILE  JSON output path (default BENCH_fault_sweep.json)
 #include <cstdio>
 #include <cstring>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "des_workload.hpp"
+#include "harness.hpp"
 #include "heartbeat/delivery.hpp"
+#include "hwsim/snapshot.hpp"
 #include "obs/metrics.hpp"
+#include "scenarioserver/server.hpp"
+
+#include "../tools/replay_workload.hpp"
 
 using namespace iw;
 
@@ -127,18 +150,144 @@ void print_row(const Row& r, double baseline_p99) {
       r.degraded_final ? "degraded" : "ipi");
 }
 
+// --- scenario-server matrix tier -----------------------------------------
+
+class MatrixHarness final : public scenarioserver::ScenarioHarness {
+ public:
+  MatrixHarness(hwsim::Machine& m, Cycles period)
+      : workload_(m, period, /*fault_tolerant=*/true) {}
+  void collect(std::vector<std::pair<std::string, double>>& out) override {
+    out.emplace_back("max_gap_periods", workload_.max_gap_periods());
+    out.emplace_back(
+        "polled_beats",
+        static_cast<double>(workload_.heartbeat().polled_beats()));
+  }
+
+ private:
+  tools::ReplayWorkload workload_;
+};
+
+struct MatrixOutcome {
+  std::size_t cells{0};
+  unsigned workers{0};
+  double serial_rate{0.0};
+  double pooled_rate{0.0};
+  bool invariant{false};
+  std::size_t distinct_digests{0};
+};
+
+MatrixOutcome run_matrix(bool smoke, unsigned jobs) {
+  // Small machine, short divergent window: the point of this tier is
+  // cell COUNT (1080 fault environments), not per-cell depth — the
+  // histogram-grade depth lives in the classic tier above.
+  scenarioserver::ScenarioBatch batch;
+  batch.base.num_cores = 4;
+  batch.base.seed = 42;
+  batch.base.max_advances = 4'000'000'000ULL;
+  const Cycles period = batch.base.costs.freq.us_to_cycles(20.0);
+  const Cycles warm = 20 * period;
+  const Cycles horizon = warm + (smoke ? 30 : 60) * period;
+  {
+    hwsim::Machine donor(batch.base);
+    tools::ReplayWorkload w(donor, period, /*fault_tolerant=*/true);
+    if (!donor.run_until(warm)) {
+      std::fprintf(stderr, "fault_sweep: matrix donor hit a limit\n");
+      std::exit(1);
+    }
+    batch.image = donor.snapshot().serialize();
+  }
+  batch.factory = [period](hwsim::Machine& m) {
+    return std::make_unique<MatrixHarness>(m, period);
+  };
+
+  const double drops[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+  const Cycles delays[] = {0, 7'000, 14'000};
+  const double dups[] = {0.0, 0.05, 0.10};
+  constexpr std::uint64_t kSeeds = 24;
+
+  std::vector<scenarioserver::ScenarioSpec> specs;
+  std::uint64_t id = 0;
+  for (const double drop : drops) {
+    for (const Cycles delay_max : delays) {
+      for (const double dup : dups) {
+        for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+          scenarioserver::ScenarioSpec s;
+          s.id = id;
+          s.group = id;  // one strategy per cell: every cell its own class
+          ++id;
+          char label[96];
+          std::snprintf(label, sizeof label, "drop%g/dly%llu/dup%g/s%llu",
+                        drop, static_cast<unsigned long long>(delay_max),
+                        dup, static_cast<unsigned long long>(seed));
+          s.label = label;
+          s.plan.enabled = drop > 0.0 || delay_max > 0 || dup > 0.0;
+          s.plan.ipi_drop_rate = drop;
+          s.plan.ipi_delay_rate = delay_max > 0 ? 0.25 : 0.0;
+          s.plan.ipi_delay_max = delay_max;
+          s.plan.ipi_dup_rate = dup;
+          s.fault_seed = 0xBEEF + seed;
+          s.horizon = horizon;
+          specs.push_back(std::move(s));
+        }
+      }
+    }
+  }
+
+  MatrixOutcome mo;
+  mo.cells = specs.size();
+  if (jobs != 0) {
+    mo.workers = jobs;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    mo.workers = hw >= 4 ? 4 : (hw >= 2 ? hw : 2);
+  }
+
+  scenarioserver::ScenarioServer serial(
+      scenarioserver::ScenarioServerConfig{1});
+  scenarioserver::ScenarioServer pooled(
+      scenarioserver::ScenarioServerConfig{mo.workers});
+  std::vector<scenarioserver::ScenarioSpec> specs2 = specs;
+  scenarioserver::ResultsStore rs1 = serial.run(batch, std::move(specs));
+  scenarioserver::ResultsStore rs2 = pooled.run(batch, std::move(specs2));
+  mo.serial_rate = serial.scenarios_per_sec();
+  mo.pooled_rate = pooled.scenarios_per_sec();
+
+  std::ostringstream o1, o2;
+  rs1.write_jsonl(o1);
+  rs2.write_jsonl(o2);
+  mo.invariant = o1.str() == o2.str();
+
+  std::set<std::uint64_t> digests;
+  for (const auto& e : rs2.entries()) digests.insert(e.digest);
+  mo.distinct_digests = digests.size();
+  return mo;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  unsigned jobs = 0;
   std::string out = "BENCH_fault_sweep.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      std::uint64_t v = 0;
+      if (!bench::Harness::parse_count(argv[i] + 7, &v) || v == 0 ||
+          v > 1024) {
+        std::fprintf(stderr,
+                     "--jobs: expected a positive worker count (<= 1024), "
+                     "got '%s'\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      jobs = static_cast<unsigned>(v);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--jobs=N] [--out=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -190,6 +339,18 @@ int main(int argc, char** argv) {
   const double infl10 = static_cast<double>(ten->p99) / baseline_p99;
   const bool accept =
       ten->degraded_entries >= 1 && ten->polled > 0 && infl10 < 3.0;
+
+  const MatrixOutcome mo = run_matrix(smoke, jobs);
+  const double workers_vs_1 =
+      mo.serial_rate > 0.0 ? mo.pooled_rate / mo.serial_rate : 0.0;
+  std::printf("\nscenario matrix: %zu cells (drop x delay x dup x seed), "
+              "%u workers\n",
+              mo.cells, mo.workers);
+  std::printf("  scenarios_per_sec: %.1f (1 worker: %.1f, x%.2f)\n",
+              mo.pooled_rate, mo.serial_rate, workers_vs_1);
+  std::printf("  worker-count invariant: %s; %zu distinct digests\n",
+              mo.invariant ? "yes" : "NO",
+              mo.distinct_digests);
   std::printf("\nacceptance: 10%% drop -> degraded=%llu polled=%llu "
               "p99_inflation=%.2fx (< 3x required): %s\n",
               static_cast<unsigned long long>(ten->degraded_entries),
@@ -207,9 +368,20 @@ int main(int argc, char** argv) {
                "period, busy 200-cycle spin steps; FaultPlan drop x "
                "delay on the IPI fabric\",\n"
                "  \"smoke\": %s,\n  \"rounds\": %llu,\n"
+               "  \"host_cpus\": %u,\n"
+               "  \"scenarios_cells\": %zu,\n"
+               "  \"scenarios_workers\": %u,\n"
+               "  \"scenarios_per_sec\": %.1f,\n"
+               "  \"speedup_workers_vs_1\": {\"%u\": %.3f},\n"
+               "  \"digests_worker_count_invariant\": %s,\n"
+               "  \"scenario_distinct_digests\": %zu,\n"
                "  \"baseline_p99_cycles\": %.0f,\n  \"results\": [\n",
                smoke ? "true" : "false",
-               static_cast<unsigned long long>(rounds), baseline_p99);
+               static_cast<unsigned long long>(rounds),
+               std::thread::hardware_concurrency(), mo.cells, mo.workers,
+               mo.pooled_rate, mo.workers, workers_vs_1,
+               mo.invariant ? "true" : "false", mo.distinct_digests,
+               baseline_p99);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     const double infl = baseline_p99 > 0.0
@@ -244,5 +416,5 @@ int main(int argc, char** argv) {
                accept ? "true" : "false");
   std::fclose(fp);
   std::printf("wrote %s\n", out.c_str());
-  return accept ? 0 : 1;
+  return accept && mo.invariant ? 0 : 1;
 }

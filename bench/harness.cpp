@@ -21,6 +21,15 @@ bool Harness::parse_scheduler(const char* name, hwsim::SchedulerKind* out) {
   return true;
 }
 
+bool Harness::parse_count(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 const char* Harness::scheduler_name(hwsim::SchedulerKind k) {
   switch (k) {
     case hwsim::SchedulerKind::kFrontier: return "frontier";
@@ -45,9 +54,19 @@ bool Harness::parse(int argc, char** argv) {
         return false;
       }
     } else if (std::strncmp(a, "--fault-seed=", 13) == 0) {
-      fault_seed_ = std::strtoull(a + 13, nullptr, 10);
+      if (!parse_count(a + 13, &fault_seed_)) {
+        std::fprintf(stderr,
+                     "--fault-seed: expected an unsigned integer, got '%s'\n",
+                     a + 13);
+        return false;
+      }
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      seed_ = std::strtoull(a + 7, nullptr, 10);
+      if (!parse_count(a + 7, &seed_)) {
+        std::fprintf(stderr,
+                     "--seed: expected an unsigned integer, got '%s'\n",
+                     a + 7);
+        return false;
+      }
       seed_set_ = true;
     } else if (std::strncmp(a, "--scheduler=", 12) == 0) {
       if (!parse_scheduler(a + 12, &scheduler_)) {
@@ -59,10 +78,12 @@ bool Harness::parse(int argc, char** argv) {
       }
       scheduler_set_ = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(a + 10, &end, 10);
-      if (end == a + 10 || *end != '\0' || v == 0) {
-        std::fprintf(stderr, "--threads: expected a positive integer\n");
+      std::uint64_t v = 0;
+      if (!parse_count(a + 10, &v) || v == 0 || v > 4096) {
+        std::fprintf(stderr,
+                     "--threads: expected a positive integer (<= 4096), "
+                     "got '%s'\n",
+                     a + 10);
         return false;
       }
       threads_ = static_cast<unsigned>(v);
@@ -85,14 +106,26 @@ bool Harness::parse(int argc, char** argv) {
         return false;
       }
     } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(a + 19, &end, 10);
-      if (end == a + 19 || *end != '\0' || v == 0) {
+      std::uint64_t v = 0;
+      if (!parse_count(a + 19, &v) || v == 0) {
         std::fprintf(stderr,
-                     "--checkpoint-every: expected a positive cycle count\n");
+                     "--checkpoint-every: expected a positive cycle count, "
+                     "got '%s' (omit the flag to disable checkpointing)\n",
+                     a + 19);
         return false;
       }
       checkpoint_every_ = v;
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      std::uint64_t v = 0;
+      if (!parse_count(a + 7, &v) || v == 0 || v > 1024) {
+        std::fprintf(stderr,
+                     "--jobs: expected a positive worker count (<= 1024), "
+                     "got '%s'\n",
+                     a + 7);
+        return false;
+      }
+      jobs_ = static_cast<unsigned>(v);
+      jobs_set_ = true;
     } else if (std::strcmp(a, "--trace") == 0 ||
                std::strcmp(a, "--metrics-json") == 0 ||
                std::strcmp(a, "--faults") == 0 ||
@@ -102,7 +135,8 @@ bool Harness::parse(int argc, char** argv) {
                std::strcmp(a, "--threads") == 0 ||
                std::strcmp(a, "--steal") == 0 ||
                std::strcmp(a, "--ff") == 0 ||
-               std::strcmp(a, "--checkpoint-every") == 0) {
+               std::strcmp(a, "--checkpoint-every") == 0 ||
+               std::strcmp(a, "--jobs") == 0) {
       std::fprintf(stderr, "%s needs a value (%s=...)\n", a, a);
       return false;
     }

@@ -17,7 +17,15 @@
 //                        this is purely a wall-clock knob)
 //   --checkpoint-every=N capture a deterministic snapshot every N cycles
 //                        into a checkpoint ring (tools/ttreplay,
-//                        tools/fault_bisect; 0 = off)
+//                        tools/fault_bisect; omit the flag for off —
+//                        an explicit =0 is a usage error)
+//   --jobs=N             host worker pool size for batch consumers
+//                        (the scenario-server matrix tier; 0/unset =
+//                        the bench's own default)
+//
+// Every numeric flag is strictly validated: empty values, trailing
+// garbage, and signs are usage errors with a diagnostic, never
+// silently-wrapped garbage (strtoul happily wraps "-2" to 4e9).
 //
 // With no flags the benches run with null sinks, no faults, and their
 // built-in seeds — the default-off path the determinism guarantees are
@@ -89,6 +97,16 @@ class Harness {
   [[nodiscard]] std::uint64_t checkpoint_every() const {
     return checkpoint_every_;
   }
+  /// --jobs=N host worker pool size, else `fallback`.
+  [[nodiscard]] unsigned jobs(unsigned fallback = 0) const {
+    return jobs_set_ ? jobs_ : fallback;
+  }
+
+  /// Strict unsigned parse shared by every numeric flag: rejects empty
+  /// values, signs, and trailing garbage (strtoul would silently wrap
+  /// "-2" and stop at the first non-digit). Benches with their own
+  /// numeric flags should use this instead of raw strtoul.
+  static bool parse_count(const char* s, std::uint64_t* out);
 
   /// Parse a scheduler name ("frontier" | "linear" | "parallel" |
   /// "auto"); returns false on anything else. Shared by every bench
@@ -120,6 +138,8 @@ class Harness {
   bool steal_{true};
   bool ff_{false};
   std::uint64_t checkpoint_every_{0};
+  unsigned jobs_{0};
+  bool jobs_set_{false};
 };
 
 }  // namespace iw::bench

@@ -137,10 +137,25 @@ NautilusHeartbeat::NautilusHeartbeat(hwsim::Machine& machine, int vector)
     : HeartbeatBackend(&machine), vector_(vector) {
   states_.resize(machine.num_cores());
   machine.register_snapshot_participant(this);
+  sink_id_ = machine.register_event_sink(this);
 }
 
 NautilusHeartbeat::~NautilusHeartbeat() {
+  machine_->unregister_event_sink(sink_id_);
   machine_->unregister_snapshot_participant(this);
+}
+
+void NautilusHeartbeat::on_core_event(hwsim::Core& core, Cycles,
+                                      const hwsim::EventPayload& payload) {
+  // Degraded-mode software poll for one fire window on this worker.
+  const Cycles fire = payload.w[0];
+  core.consume(ft_.poll_cost);
+  if (mark_delivery_once(core.id(), core.clock(), fire)) {
+    ++polled_beats_;
+    if (auto* mx = machine_->metrics()) {
+      mx->add(obs::names::kFaultsPolledBeats);
+    }
+  }
 }
 
 void NautilusHeartbeat::save_state(hwsim::SnapshotWriter& w) const {
@@ -234,16 +249,9 @@ void NautilusHeartbeat::start(Cycles period, unsigned num_workers) {
       // against the probe in mark_delivery_once.
       for (unsigned c = 1; c < num_workers_; ++c) {
         machine_->post_ipi(c, vector_, sent);
-        auto& target = machine_->core(c);
-        target.post_callback(sent + ft_.poll_latency, [this, &target, fire] {
-          target.consume(ft_.poll_cost);
-          if (mark_delivery_once(target.id(), target.clock(), fire)) {
-            ++polled_beats_;
-            if (auto* mx = machine_->metrics()) {
-              mx->add(obs::names::kFaultsPolledBeats);
-            }
-          }
-        });
+        hwsim::EventPayload p;
+        p.w[0] = fire;
+        machine_->core(c).post_event(sent + ft_.poll_latency, sink_id_, p);
       }
       return;
     }
@@ -337,10 +345,26 @@ LinuxHeartbeat::LinuxHeartbeat(linuxmodel::LinuxStack& stack,
   fire_to_poll_metric_ = obs::names::kTimerFireToPollConsumed;
   states_.resize(stack.machine().num_cores());
   machine_->register_snapshot_participant(this);
+  sink_id_ = machine_->register_event_sink(this);
+  beat_action_ = signals_.register_action(
+      [this](hwsim::Core& target, std::uint64_t fired) {
+        mark_delivery(target.id(), target.clock(), fired);
+      });
 }
 
 LinuxHeartbeat::~LinuxHeartbeat() {
+  machine_->unregister_event_sink(sink_id_);
   machine_->unregister_snapshot_participant(this);
+}
+
+void LinuxHeartbeat::on_core_event(hwsim::Core& core, Cycles,
+                                   const hwsim::EventPayload& payload) {
+  // Per-thread-timer signal delivery: the queued signal reaches the
+  // worker after the drawn latency.
+  const Cycles fired = payload.w[0];
+  core.consume(stack_.costs().signal_frame_setup);
+  mark_delivery(core.id(), core.clock(), fired);
+  core.consume(stack_.costs().sigreturn);
 }
 
 void LinuxHeartbeat::save_state(hwsim::SnapshotWriter& w) const {
@@ -365,13 +389,10 @@ void LinuxHeartbeat::start(Cycles period, unsigned num_workers) {
         const Cycles fired = core.clock();
         core.consume(stack_.costs().signal_kernel_send);
         const Cycles latency = signals_.draw_latency();
-        auto& target = stack_.machine().core(c);
-        target.post_callback(
-            core.clock() + latency, [this, &target, fired] {
-              target.consume(stack_.costs().signal_frame_setup);
-              mark_delivery(target.id(), target.clock(), fired);
-              target.consume(stack_.costs().sigreturn);
-            });
+        hwsim::EventPayload p;
+        p.w[0] = fired;
+        stack_.machine().core(c).post_event(core.clock() + latency,
+                                            sink_id_, p);
       });
       timers_.push_back(std::move(t));
     }
@@ -386,9 +407,7 @@ void LinuxHeartbeat::start(Cycles period, unsigned num_workers) {
     core.consume(stack_.costs().signal_frame_setup);
     mark_delivery(0, core.clock(), fired);
     for (unsigned c = 1; c < num_workers; ++c) {
-      signals_.send(core, c, [this, fired](hwsim::Core& target) {
-        mark_delivery(target.id(), target.clock(), fired);
-      });
+      signals_.send(core, c, beat_action_, fired);
     }
     core.consume(stack_.costs().sigreturn);
   });

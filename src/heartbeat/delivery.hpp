@@ -141,12 +141,20 @@ struct FaultToleranceConfig {
 
 /// Nautilus: LAPIC on CPU 0, IPI broadcast to workers (Fig. 2 left).
 class NautilusHeartbeat final : public HeartbeatBackend,
-                                public hwsim::SnapshotParticipant {
+                                public hwsim::SnapshotParticipant,
+                                public hwsim::EventSink {
  public:
   explicit NautilusHeartbeat(hwsim::Machine& machine, int vector = 0x40);
   ~NautilusHeartbeat() override;
   void start(Cycles period, unsigned num_workers) override;
   void stop() override;
+
+  // EventSink: a degraded-mode software poll came due on a worker core
+  // (payload = the fire window being polled for; the worker is the
+  // event's core). Plain data, so polls in flight at snapshot time
+  // survive v2 transport into a fresh machine.
+  void on_core_event(hwsim::Core& core, Cycles at,
+                     const hwsim::EventPayload& payload) override;
 
   /// Install the fault-tolerance policy. Call before start().
   void set_fault_tolerance(const FaultToleranceConfig& cfg);
@@ -179,6 +187,7 @@ class NautilusHeartbeat final : public HeartbeatBackend,
   void mark_resumed();
 
   int vector_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
   unsigned num_workers_{0};
   Cycles period_{0};
   /// Virtual time of the most recent LAPIC fire (set by the CPU 0
@@ -208,12 +217,18 @@ enum class LinuxHeartbeatMode {
 
 /// Linux: POSIX timers + signal delivery (Fig. 2 right).
 class LinuxHeartbeat final : public HeartbeatBackend,
-                             public hwsim::SnapshotParticipant {
+                             public hwsim::SnapshotParticipant,
+                             public hwsim::EventSink {
  public:
   LinuxHeartbeat(linuxmodel::LinuxStack& stack, LinuxHeartbeatMode mode);
   ~LinuxHeartbeat() override;
   void start(Cycles period, unsigned num_workers) override;
   void stop() override;
+
+  // EventSink: a queued per-thread signal delivery reached its target
+  // (payload = the timer expiry time the signal carries).
+  void on_core_event(hwsim::Core& core, Cycles at,
+                     const hwsim::EventPayload& payload) override;
 
   [[nodiscard]] linuxmodel::SignalPath& signals() { return signals_; }
 
@@ -225,7 +240,10 @@ class LinuxHeartbeat final : public HeartbeatBackend,
  private:
   linuxmodel::LinuxStack& stack_;
   LinuxHeartbeatMode mode_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
   linuxmodel::SignalPath signals_;
+  /// Relay-mode delivery action (arg = the fire the signal carries).
+  linuxmodel::SignalActionId beat_action_{linuxmodel::kNoSignalAction};
   std::vector<std::unique_ptr<linuxmodel::PosixTimer>> timers_;
 };
 

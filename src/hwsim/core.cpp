@@ -73,6 +73,23 @@ void Core::post_callback(Cycles t, std::function<void()> fn) {
   mark_schedule_dirty();
 }
 
+void Core::post_event(Cycles t, SinkId sink, const EventPayload& payload) {
+  IW_ASSERT_MSG(machine_.shard_guard_ok(id_),
+                "cross-shard post_event during a per-core parallel drain");
+  // Validate at post time, not dispatch time: a bad id fails where the
+  // posting code is on the stack.
+  IW_ASSERT_MSG(machine_.event_sink(sink) != nullptr,
+                "post_event: sink id not registered");
+  CoreEvent ev;
+  ev.time = t;
+  ev.seq = machine_.next_seq();
+  ev.ideal = t;
+  ev.sink = sink;
+  ev.payload = payload;
+  callback_inbox_.push(std::move(ev));
+  mark_schedule_dirty();
+}
+
 void Core::post_timer(Cycles t, TimerSink* sink, std::uint64_t gen) {
   IW_ASSERT(sink != nullptr);
   IW_ASSERT_MSG(machine_.shard_guard_ok(id_),
@@ -118,6 +135,9 @@ unsigned Core::deliver_due_events() {
         // The sink sees the ideal fire time (== ev.time unless a fault
         // plan jittered recognition), keeping absolute cadences exact.
         ev.timer->on_timer(*this, ev.ideal, ev.gen);
+      } else if (ev.sink != kNoSink) {
+        machine_.event_sink(ev.sink)->on_core_event(*this, ev.ideal,
+                                                    ev.payload);
       } else {
         ev.fn();
       }

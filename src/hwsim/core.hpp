@@ -140,8 +140,18 @@ class Core {
 
   /// Post a core-local callback at absolute time `t` (used by device
   /// models and timers that must run on this core's timeline; callbacks
-  /// are machine-internal and ignore the interrupt mask).
+  /// are machine-internal and ignore the interrupt mask). Legacy
+  /// closure form: same-instance only — a snapshot holding one cannot
+  /// be serialized for cross-instance hydration. Portable code posts
+  /// through post_event.
   void post_callback(Cycles t, std::function<void()> fn);
+
+  /// Post a portable core-local event at absolute time `t`: dispatched
+  /// to the machine-registered sink's on_core_event with `payload`.
+  /// Ordered identically to post_callback (same queue, same sequence
+  /// source); the queue entry is plain data, so snapshot v2 can
+  /// serialize it.
+  void post_event(Cycles t, SinkId sink, const EventPayload& payload = {});
 
   /// Post a timer fire at absolute time `t`: the dominant scheduled-work
   /// case, carried inline (sink pointer + generation) with no closure

@@ -7,7 +7,11 @@
 namespace iw::hwsim {
 
 NicDevice::NicDevice(Machine& machine, NicConfig cfg)
-    : machine_(machine), cfg_(cfg), rng_(machine.rng().split()) {}
+    : machine_(machine), cfg_(cfg), rng_(machine.rng().split()) {
+  sink_id_ = machine_.register_event_sink(this);
+}
+
+NicDevice::~NicDevice() { machine_.unregister_event_sink(sink_id_); }
 
 void NicDevice::start(Cycles start) { schedule_next_arrival(start); }
 
@@ -19,14 +23,20 @@ void NicDevice::schedule_next_arrival(Cycles from) {
                 rng_.exponential(static_cast<double>(cfg_.mean_gap)) + 1.0)
           : cfg_.mean_gap;
   const Cycles at = from + gap;
-  machine_.schedule_at(at, [this, at] {
-    ++generated_;
-    pending_.push_back(at);
-    if (cfg_.mode == DeviceMode::kInterrupt) {
-      machine_.core(cfg_.irq_core).post_irq(at, cfg_.irq_vector);
-    }
-    schedule_next_arrival(at);
-  });
+  EventPayload p;
+  p.w[0] = at;
+  machine_.schedule_event(at, sink_id_, p);
+}
+
+void NicDevice::on_machine_event(Machine&, Cycles,
+                                 const EventPayload& payload) {
+  const Cycles at = payload.w[0];
+  ++generated_;
+  pending_.push_back(at);
+  if (cfg_.mode == DeviceMode::kInterrupt) {
+    machine_.core(cfg_.irq_core).post_irq(at, cfg_.irq_vector);
+  }
+  schedule_next_arrival(at);
 }
 
 unsigned NicDevice::poll(Cycles now) {

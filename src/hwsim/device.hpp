@@ -11,6 +11,7 @@
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "hwsim/sink.hpp"
 
 namespace iw::hwsim {
 
@@ -31,9 +32,14 @@ struct NicConfig {
   std::uint64_t total_packets{1000};
 };
 
-class NicDevice {
+class NicDevice : public EventSink {
  public:
   NicDevice(Machine& machine, NicConfig cfg);
+  ~NicDevice();
+
+  // EventSink: one scheduled packet arrival (payload = arrival time).
+  void on_machine_event(Machine& machine, Cycles at,
+                        const EventPayload& payload) override;
 
   /// Begin generating arrivals at time `start`.
   void start(Cycles start);
@@ -60,6 +66,7 @@ class NicDevice {
 
   Machine& machine_;
   NicConfig cfg_;
+  SinkId sink_id_{kNoSink};
   Rng rng_;
   std::deque<Cycles> pending_;  // arrival timestamps awaiting service
   std::uint64_t generated_{0};

@@ -4,12 +4,20 @@
 // The DES hot path is dominated by IRQ arrivals and timer fires, so the
 // event representation is split by role instead of one fat struct:
 //  * IrqEvent       — trivially-copyable POD, allocation-free;
-//  * CoreEvent      — core-local scheduled work: either an inline timer
-//                     fire (TimerSink* + generation, allocation-free) or
-//                     a rare owning std::function callback;
-//  * Event          — machine-level callback (rare; owns a function).
+//  * CoreEvent      — core-local scheduled work: an inline timer fire
+//                     (TimerSink* + generation, allocation-free), a
+//                     sink-dispatched plain-data event (SinkId +
+//                     payload, snapshot-portable), or a legacy owning
+//                     std::function callback;
+//  * Event          — machine-level event (sink-dispatched or legacy
+//                     callback).
 // The queue itself is a template over the payload so each inbox stores
 // exactly what it needs.
+//
+// The legacy std::function arms still work for same-instance use
+// (tests, ad-hoc harnesses), but a snapshot holding one cannot be
+// serialized for cross-instance hydration — Snapshot::serialize()
+// rejects it with a diagnostic naming the offending queue.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "hwsim/sink.hpp"
 
 namespace iw::hwsim {
 
@@ -51,9 +60,10 @@ struct IrqEvent {
   bool ipi{false};
 };
 
-/// Core-local scheduled work. Tagged: `timer != nullptr` means an inline
-/// timer fire (the dominant case, allocation-free); otherwise `fn` is the
-/// payload.
+/// Core-local scheduled work. Tagged, checked in order:
+///  `timer != nullptr`  — inline timer fire (the dominant case);
+///  `sink != kNoSink`   — sink-dispatched plain-data event (portable);
+///  otherwise           — legacy `fn` closure (same-instance only).
 struct CoreEvent {
   Cycles time{0};
   std::uint64_t seq{0};
@@ -65,13 +75,25 @@ struct CoreEvent {
   /// re-arm from the ideal and jitter never accumulates into drift.
   /// Equal to `time` whenever no fault plan is active.
   Cycles ideal{0};
+  /// Portable identity of `timer` (Machine::register_timer_sink). The
+  /// hot path never reads it; Machine::snapshot() stamps it into queue
+  /// copies so Snapshot::serialize() can encode the fire without the
+  /// pointer, and Machine::restore() resolves it back against the
+  /// target machine's registry.
+  SinkId timer_sink{kNoSink};
+  SinkId sink{kNoSink};
+  EventPayload payload;
   std::function<void()> fn;
 };
 
-/// Machine-level callback event (rare: device models and test harnesses).
+/// Machine-level event (rare: device models, watchdog checks, test
+/// harnesses). `sink != kNoSink` dispatches through the machine's
+/// table; otherwise the legacy `fn` closure runs.
 struct Event {
   Cycles time{0};
   std::uint64_t seq{0};
+  SinkId sink{kNoSink};
+  EventPayload payload;
   std::function<void()> fn;
 };
 
@@ -102,6 +124,11 @@ class TimedQueue {
   /// same *logical* queue contents (but different push interleavings,
   /// e.g. sequential vs epoch-merged) hash identically.
   [[nodiscard]] const std::vector<EventT>& raw() const { return heap_; }
+
+  /// Mutable heap storage, for snapshot code that rewrites non-ordering
+  /// fields in place (timer pointer <-> sink id translation). Mutating
+  /// `time` or `seq` through this would corrupt the heap invariant.
+  [[nodiscard]] std::vector<EventT>& raw_mutable() { return heap_; }
 
  private:
   static bool later(const EventT& a, const EventT& b) {

@@ -8,9 +8,11 @@ namespace iw::hwsim {
 
 LapicTimer::LapicTimer(Core& core, int vector) : core_(core), vector_(vector) {
   core_.machine().register_snapshot_participant(this);
+  sink_id_ = core_.machine().register_timer_sink(this);
 }
 
 LapicTimer::~LapicTimer() {
+  core_.machine().unregister_timer_sink(sink_id_);
   core_.machine().unregister_snapshot_participant(this);
 }
 

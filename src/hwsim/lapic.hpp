@@ -53,6 +53,9 @@ class LapicTimer final : public TimerSink, public SnapshotParticipant {
   void schedule_fire(Cycles at);
 
   Core& core_;
+  /// Dispatch-table identity (Machine::register_timer_sink): gives
+  /// in-flight fires a portable encoding in snapshot v2.
+  SinkId sink_id_{kNoSink};
   int vector_;
   bool armed_{false};
   Cycles period_{0};  // 0 = one-shot

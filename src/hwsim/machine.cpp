@@ -216,6 +216,61 @@ void Machine::schedule_at(Cycles t, std::function<void()> fn) {
   machine_queue_.push(std::move(ev));
 }
 
+void Machine::schedule_event(Cycles t, SinkId sink,
+                             const EventPayload& payload) {
+  IW_ASSERT_MSG(!per_core_drain_active_ || exec_source() == 0,
+                "schedule_event from a core context during a per-core "
+                "parallel drain (the machine queue is coordinator-owned)");
+  IW_ASSERT_MSG(sink < event_sinks_.size() && event_sinks_[sink] != nullptr,
+                "schedule_event: sink id not registered");
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq();
+  ev.sink = sink;
+  ev.payload = payload;
+  machine_queue_.push(std::move(ev));
+}
+
+SinkId Machine::register_event_sink(EventSink* s) {
+  IW_ASSERT(s != nullptr);
+  event_sinks_.push_back(s);
+  return static_cast<SinkId>(event_sinks_.size() - 1);
+}
+
+void Machine::unregister_event_sink(SinkId id) {
+  IW_ASSERT(id < event_sinks_.size());
+  event_sinks_[id] = nullptr;
+}
+
+SinkId Machine::register_timer_sink(TimerSink* s) {
+  IW_ASSERT(s != nullptr);
+  timer_sinks_.push_back(s);
+  return static_cast<SinkId>(timer_sinks_.size() - 1);
+}
+
+void Machine::unregister_timer_sink(SinkId id) {
+  IW_ASSERT(id < timer_sinks_.size());
+  timer_sinks_[id] = nullptr;
+}
+
+SinkId Machine::timer_sink_id(const TimerSink* s) const {
+  for (std::size_t i = 0; i < timer_sinks_.size(); ++i) {
+    if (timer_sinks_[i] == s) return static_cast<SinkId>(i);
+  }
+  return kNoSink;
+}
+
+void Machine::install_fault_plan(const FaultPlan& plan,
+                                 std::uint64_t fault_seed) {
+  IW_ASSERT_MSG(exec_ctx().machine != this,
+                "install_fault_plan from inside this machine's execution "
+                "context (swap plans only between runs)");
+  cfg_.faults = plan;
+  cfg_.fault_seed = fault_seed;
+  faults_.configure(plan, cfg_.seed, fault_seed,
+                    /*num_streams=*/static_cast<unsigned>(cores_.size()) + 1);
+}
+
 void Machine::frontier_enqueue_dirty(CoreId id) {
   // In linear/parallel modes nothing drains the list; the dirty flag
   // alone keeps the per-core cache coherent for anyone who reads it.
@@ -298,7 +353,11 @@ void Machine::execute(const Pick& pick) {
   if (pick.core == nullptr) {
     ExecScope scope(*this, 0);
     Event ev = machine_queue_.pop();
-    ev.fn();
+    if (ev.sink != kNoSink) {
+      event_sink(ev.sink)->on_machine_event(*this, ev.time, ev.payload);
+    } else {
+      ev.fn();
+    }
   } else {
     ExecScope scope(*this, pick.core->id() + 1);
     pick.core->advance();

@@ -287,8 +287,55 @@ class Machine final : public substrate::StackSubstrate {
 
   /// Schedule a machine-level callback at absolute time `t`. Illegal
   /// from a core context during a per-core epoch drain (the machine
-  /// queue is coordinator-owned there).
+  /// queue is coordinator-owned there). Legacy closure form: works for
+  /// same-instance runs, but a snapshot holding one of these events is
+  /// not serializable for cross-instance hydration — portable code
+  /// posts through schedule_event instead.
   void schedule_at(Cycles t, std::function<void()> fn);
+
+  /// Schedule a portable machine-level event: at time `t` the
+  /// registered sink's on_machine_event runs with `payload`. Same
+  /// legality rules as schedule_at; the queue entry is plain data, so
+  /// snapshot v2 can serialize it.
+  void schedule_event(Cycles t, SinkId sink, const EventPayload& payload = {});
+
+  // --- portable event-sink dispatch (snapshot v2; see sink.hpp) ---
+
+  /// Register an event sink; the returned id is its position in the
+  /// dispatch table. Registration order must be deterministic across
+  /// machine instances of the same scenario (it already must be, for
+  /// participant blobs and event-seq provenance).
+  SinkId register_event_sink(EventSink* s);
+  /// Unregister (leaves a hole; ids are never reused). Any still-queued
+  /// event for the id becomes a dispatch-time assertion.
+  void unregister_event_sink(SinkId id);
+  [[nodiscard]] EventSink* event_sink(SinkId id) const {
+    IW_ASSERT_MSG(id < event_sinks_.size() && event_sinks_[id] != nullptr,
+                  "event dispatched to an unregistered sink id");
+    return event_sinks_[id];
+  }
+  [[nodiscard]] std::size_t event_sink_count() const {
+    return event_sinks_.size();
+  }
+
+  /// Register a timer sink so queued timer fires gain a portable
+  /// identity (the snapshot stores the id; restore maps it back to the
+  /// target machine's table). Timer devices self-register in their
+  /// constructors. An unregistered TimerSink still works for
+  /// same-instance runs — its in-flight fires just make the snapshot
+  /// non-serializable.
+  SinkId register_timer_sink(TimerSink* s);
+  void unregister_timer_sink(SinkId id);
+  [[nodiscard]] TimerSink* timer_sink(SinkId id) const {
+    IW_ASSERT_MSG(id < timer_sinks_.size() && timer_sinks_[id] != nullptr,
+                  "snapshot referenced an unregistered timer sink id");
+    return timer_sinks_[id];
+  }
+  /// Reverse lookup (cold: linear; used only at snapshot boundaries).
+  [[nodiscard]] SinkId timer_sink_id(const TimerSink* s) const;
+  [[nodiscard]] std::size_t timer_sink_count() const {
+    return timer_sinks_.size();
+  }
 
   /// Next event sequence number for the current execution context:
   /// (per-source counter << 16) | source. Same-time events order by
@@ -406,6 +453,14 @@ class Machine final : public substrate::StackSubstrate {
   [[nodiscard]] std::size_t snapshot_participants() const {
     return participants_.size();
   }
+
+  /// Swap in a new fault plan + fault-stream seed between runs. The
+  /// injector's streams are reseeded from scratch (counters, RNG
+  /// positions and opportunity cursors reset): this is the scenario
+  /// divergence point — a worker hydrates a shared warmed snapshot
+  /// (whose fingerprint covers the *donor's* fault seed) and then
+  /// installs its own per-run schedule before running on.
+  void install_fault_plan(const FaultPlan& plan, std::uint64_t fault_seed);
 
   /// Toggle the frontier/linear cross-check between runs (O(N) per
   /// advance; tools/ttreplay turns it on while replaying a divergent
@@ -603,6 +658,10 @@ class Machine final : public substrate::StackSubstrate {
   std::unique_ptr<ParallelEngine> parallel_;
   /// Registered snapshot participants, in registration order.
   std::vector<SnapshotParticipant*> participants_;
+  /// Dispatch tables for portable events (sink.hpp). Index = SinkId;
+  /// unregistration nulls the slot without reindexing.
+  std::vector<EventSink*> event_sinks_;
+  std::vector<TimerSink*> timer_sinks_;
 
   // --- fast-forward state ---
   /// Scratch plan list for the window being proved (reused; the hot

@@ -329,7 +329,11 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
       ExecScope scope(*this, 0);
       ++advances_;
       Event ev = machine_queue_.pop();
-      ev.fn();
+      if (ev.sink != kNoSink) {
+        event_sink(ev.sink)->on_machine_event(*this, ev.time, ev.payload);
+      } else {
+        ev.fn();
+      }
       continue;
     }
     if (e == kNever || e >= until) break;  // quiescent / target reached

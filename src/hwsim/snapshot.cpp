@@ -65,6 +65,8 @@ void mix_queue(std::uint64_t& h, const TimedQueue<Event>& q) {
   for (const Event* e : sorted_view(q)) {
     mix(h, e->time);
     mix(h, e->seq);
+    mix(h, e->sink);
+    for (std::uint64_t wd : e->payload.w) mix(h, wd);
     mix(h, e->fn != nullptr ? 1 : 0);
   }
 }
@@ -87,7 +89,13 @@ void mix_queue(std::uint64_t& h, const TimedQueue<CoreEvent>& q) {
     mix(h, e->seq);
     mix(h, e->gen);
     mix(h, e->ideal);
-    mix(h, e->timer != nullptr ? 1 : 0);
+    // Pointer-free timer identity: a captured copy carries the stamped
+    // timer_sink id, so a donor snapshot and its deserialized transport
+    // hash identically even though only the donor holds the pointer.
+    mix(h, e->timer != nullptr || e->timer_sink != kNoSink ? 1 : 0);
+    mix(h, e->timer_sink);
+    mix(h, e->sink);
+    for (std::uint64_t wd : e->payload.w) mix(h, wd);
     mix(h, e->fn != nullptr ? 1 : 0);
   }
 }
@@ -128,6 +136,127 @@ std::size_t Snapshot::footprint_words() const {
     n += cq.callbacks.raw().size() * (sizeof(CoreEvent) / 8);
   }
   return n;
+}
+
+std::vector<std::uint64_t> Snapshot::serialize() const {
+  SnapshotWriter w;
+  w.u64(kMagic);
+  w.u64(version);
+  w.u64(fingerprint);
+  w.u64(at);
+  w.u64(participant_count);
+  w.u64(words.size());
+  for (std::uint64_t x : words) w.u64(x);
+  w.u64(ephemeral.size());
+  for (std::uint64_t x : ephemeral) w.u64(x);
+
+  // Queues are written in (time, seq) order — the logical contents —
+  // not heap layout, so the image is byte-identical for two snapshots
+  // whose queues were populated under different push interleavings.
+  w.u64(machine_queue.size());
+  for (const Event* e : sorted_view(machine_queue)) {
+    IW_ASSERT_MSG(e->fn == nullptr,
+                  "snapshot v2 cannot serialize a pending legacy closure "
+                  "in the machine queue (use Machine::schedule_event with "
+                  "a registered EventSink instead of schedule_at)");
+    w.u64(e->time);
+    w.u64(e->seq);
+    w.u64(e->sink);
+    for (std::uint64_t pw : e->payload.w) w.u64(pw);
+  }
+  w.u64(cores.size());
+  for (const CoreQueues& cq : cores) {
+    w.u64(cq.irq.size());
+    for (const IrqEvent* e : sorted_view(cq.irq)) {
+      w.u64(e->time);
+      w.u64(e->seq);
+      w.u64(e->origin);
+      w.i64(e->vector);
+      w.b(e->ipi);
+    }
+    w.u64(cq.callbacks.size());
+    for (const CoreEvent* e : sorted_view(cq.callbacks)) {
+      IW_ASSERT_MSG(e->fn == nullptr,
+                    "snapshot v2 cannot serialize a pending legacy "
+                    "closure in a core callback inbox (use "
+                    "Core::post_event with a registered EventSink "
+                    "instead of post_callback)");
+      IW_ASSERT_MSG(e->timer == nullptr || e->timer_sink != kNoSink,
+                    "snapshot v2 cannot serialize a pending fire for an "
+                    "unregistered TimerSink (register the timer with "
+                    "Machine::register_timer_sink)");
+      w.u64(e->time);
+      w.u64(e->seq);
+      w.u64(e->gen);
+      w.u64(e->ideal);
+      w.u64(e->timer_sink);
+      w.u64(e->sink);
+      for (std::uint64_t pw : e->payload.w) w.u64(pw);
+    }
+  }
+  return w.take();
+}
+
+Snapshot Snapshot::deserialize(const std::vector<std::uint64_t>& image) {
+  SnapshotReader r(image);
+  IW_ASSERT_MSG(r.remaining() >= 2 && image[0] == kMagic,
+                "snapshot image rejected: bad magic word (not a "
+                "serialized hwsim snapshot)");
+  (void)r.u64();  // magic
+  const std::uint64_t ver = r.u64();
+  IW_ASSERT_MSG(ver == kFormatVersion,
+                "snapshot image rejected: unsupported format version "
+                "(this build reads format v2 only; re-capture the "
+                "snapshot with a matching build)");
+
+  Snapshot s;
+  s.version = ver;
+  s.fingerprint = r.u64();
+  s.at = r.u64();
+  s.participant_count = r.u64();
+  s.words.resize(r.u64());
+  for (std::uint64_t& x : s.words) x = r.u64();
+  s.ephemeral.resize(r.u64());
+  for (std::uint64_t& x : s.ephemeral) x = r.u64();
+
+  const std::uint64_t n_machine = r.u64();
+  for (std::uint64_t i = 0; i < n_machine; ++i) {
+    Event e;
+    e.time = r.u64();
+    e.seq = r.u64();
+    e.sink = static_cast<SinkId>(r.u64());
+    for (std::uint64_t& pw : e.payload.w) pw = r.u64();
+    s.machine_queue.push(std::move(e));
+  }
+  s.cores.resize(r.u64());
+  for (CoreQueues& cq : s.cores) {
+    const std::uint64_t n_irq = r.u64();
+    for (std::uint64_t i = 0; i < n_irq; ++i) {
+      IrqEvent e;
+      e.time = r.u64();
+      e.seq = r.u64();
+      e.origin = r.u64();
+      e.vector = static_cast<std::int32_t>(r.i64());
+      e.ipi = r.b();
+      cq.irq.push(e);
+    }
+    const std::uint64_t n_cb = r.u64();
+    for (std::uint64_t i = 0; i < n_cb; ++i) {
+      CoreEvent e;
+      e.time = r.u64();
+      e.seq = r.u64();
+      e.gen = r.u64();
+      e.ideal = r.u64();
+      e.timer_sink = static_cast<SinkId>(r.u64());
+      e.sink = static_cast<SinkId>(r.u64());
+      for (std::uint64_t& pw : e.payload.w) pw = r.u64();
+      cq.callbacks.push(std::move(e));
+    }
+  }
+  IW_ASSERT_MSG(r.remaining() == 0,
+                "snapshot image rejected: trailing words after the last "
+                "queue section (truncated or corrupt image)");
+  return s;
 }
 
 void Machine::register_snapshot_participant(SnapshotParticipant* p) {
@@ -208,6 +337,13 @@ Snapshot Machine::snapshot() {
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     s.cores[i].irq = cores_[i]->irq_inbox_;
     s.cores[i].callbacks = cores_[i]->callback_inbox_;
+    // Stamp each pending timer fire's portable identity into the copy
+    // (the live queue keeps only the pointer). Unregistered timers
+    // stamp kNoSink; the snapshot stays restorable same-instance, and
+    // serialize() rejects it with a diagnostic.
+    for (CoreEvent& e : s.cores[i].callbacks.raw_mutable()) {
+      if (e.timer != nullptr) e.timer_sink = timer_sink_id(e.timer);
+    }
   }
   return s;
 }
@@ -220,7 +356,8 @@ void Machine::restore(const Snapshot& s) {
   IW_ASSERT_MSG(parallel_ == nullptr || parallel_->quiescent(),
                 "restore() with undelivered epoch outbox traffic");
   IW_ASSERT_MSG(s.version == Snapshot::kFormatVersion,
-                "snapshot format version mismatch");
+                "snapshot format version mismatch (this build restores "
+                "format v2 only)");
   IW_ASSERT_MSG(s.fingerprint == config_fingerprint(cfg_),
                 "snapshot fingerprint mismatch (different machine shape "
                 "or seeds)");
@@ -255,6 +392,15 @@ void Machine::restore(const Snapshot& s) {
     c.steps_ = r.u64();
     c.irq_inbox_ = s.cores[i].irq;
     c.callback_inbox_ = s.cores[i].callbacks;
+    // Resolve portable timer identities against THIS machine's registry
+    // (the whole point of v2: a deserialized snapshot carries ids, not
+    // pointers). Same-instance restores resolve to the original timer;
+    // cross-instance restores require the target to have registered its
+    // timers in the same order — timer_sink() aborts otherwise.
+    for (CoreEvent& e : c.callback_inbox_.raw_mutable()) {
+      if (e.timer_sink != kNoSink) e.timer = timer_sink(e.timer_sink);
+      if (e.sink != kNoSink) (void)event_sink(e.sink);
+    }
   }
 
   faults_.restore_state(r, re);
@@ -282,6 +428,9 @@ void Machine::restore(const Snapshot& s) {
                 "snapshot ephemeral stream not consumed");
 
   machine_queue_ = s.machine_queue;
+  for (Event& e : machine_queue_.raw_mutable()) {
+    if (e.sink != kNoSink) (void)event_sink(e.sink);
+  }
 
   // Rebuild the derived scheduling state: the now() caches are a pure
   // function of the (monotone) core clocks, and refresh_frontier marks

@@ -12,19 +12,26 @@
 // schedules — to the uninterrupted run, under every scheduler, steal
 // mode, and fast-forward mode.
 //
-// Restore contract (format v1): a snapshot restores only into the SAME
-// Machine instance it was taken from. Event queues hold closures
-// (std::function callbacks, retry chains, heartbeat polls) that capture
-// pointers into the machine, its cores, and workload objects; they are
-// preserved by value-copying the live queues, which is only meaningful
-// while those pointees are alive and identical. Cross-machine transport
-// is deliberately out of scope — what IS comparable across machines
-// (and across scheduler/steal/ff configurations of the same scenario)
-// is digest(): an FNV-1a hash over the pointer-free word image plus the
-// (time, seq)-sorted logical queue contents. Wall-clock-heuristic state
-// (fast-forward accounting, backoff, fault opportunity cursors) is
-// restored exactly but kept in a separate non-digested section so
-// digests stay equal across ff on/off. See DESIGN.md §9.
+// Restore contract (format v2): pending work is plain data. Timer
+// fires carry a registered TimerSink id, machine/core events carry a
+// registered EventSink id plus an EventPayload — so Snapshot::
+// serialize() produces a self-contained word image that hydrates a
+// FRESH Machine built from the same MachineConfig with the same
+// deterministic setup (participants, sinks, and timers registered in
+// the same order), bit-identically to a same-instance restore. The
+// legacy std::function arms (post_callback / schedule_at) still work
+// for same-instance snapshots — the live value-copied queues are kept
+// alongside the portable image — but serialize() rejects a snapshot
+// holding one, with a diagnostic naming the offending queue.
+//
+// What IS comparable across machines (and across scheduler/steal/ff
+// configurations of the same scenario) is digest(): an FNV-1a hash
+// over the pointer-free word image plus the (time, seq)-sorted logical
+// queue contents (sink ids and payload words, never pointers).
+// Wall-clock-heuristic state (fast-forward accounting, backoff, fault
+// opportunity cursors) is restored exactly but kept in a separate
+// non-digested section so digests stay equal across ff on/off. See
+// DESIGN.md §9-§10.
 #pragma once
 
 #include <cstdint>
@@ -150,9 +157,14 @@ class SnapshotParticipant {
 };
 
 /// One captured machine state. Produced by Machine::snapshot(),
-/// consumed by Machine::restore() on the same instance.
+/// consumed by Machine::restore() — on the same instance, or (via
+/// serialize()/deserialize()) on a fresh machine built from the same
+/// MachineConfig with identical deterministic setup.
 struct Snapshot {
-  static constexpr std::uint64_t kFormatVersion = 1;
+  static constexpr std::uint64_t kFormatVersion = 2;
+  /// First word of every serialized image ("IWSNAP\0\0" little-endian):
+  /// lets deserialize() reject arbitrary bytes before trusting lengths.
+  static constexpr std::uint64_t kMagic = 0x0000'5041'4E53'5749ULL;
 
   std::uint64_t version{kFormatVersion};
   /// Hash of the immutable configuration (core count, seeds) — restore
@@ -189,6 +201,21 @@ struct Snapshot {
 
   /// Approximate retained size, for ring-capacity decisions.
   [[nodiscard]] std::size_t footprint_words() const;
+
+  /// Self-contained v2 word image: magic, version, fingerprint, state
+  /// words, and every queue as plain-data records (timer-sink ids,
+  /// event-sink ids, payloads). Aborts with a diagnostic if any pending
+  /// event still holds a legacy closure or an unregistered timer — such
+  /// a snapshot is same-instance-only by construction.
+  [[nodiscard]] std::vector<std::uint64_t> serialize() const;
+
+  /// Rebuild a Snapshot from a serialized image. Aborts with a clear
+  /// diagnostic on a bad magic word or a format version this build does
+  /// not read. The result restores into any machine with a matching
+  /// config fingerprint; Machine::restore() resolves the recorded sink
+  /// ids against that machine's dispatch tables.
+  [[nodiscard]] static Snapshot deserialize(
+      const std::vector<std::uint64_t>& image);
 };
 
 /// Bounded FIFO ring of checkpoints ordered by capture time. Backs the

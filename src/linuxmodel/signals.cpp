@@ -1,16 +1,55 @@
 #include "linuxmodel/signals.hpp"
 
+#include "common/assert.hpp"
 #include "hwsim/core.hpp"
 
 namespace iw::linuxmodel {
 
+namespace {
+// Payload word 0 tags which half of the two-stage delivery this is.
+constexpr std::uint64_t kStageKernelQueue = 0;
+constexpr std::uint64_t kStageDeliver = 1;
+}  // namespace
+
 SignalPath::SignalPath(LinuxStack& stack)
     : stack_(stack), rng_(stack.machine().rng().split()) {
   stack_.machine().register_snapshot_participant(this);
+  sink_id_ = stack_.machine().register_event_sink(this);
 }
 
 SignalPath::~SignalPath() {
+  stack_.machine().unregister_event_sink(sink_id_);
   stack_.machine().unregister_snapshot_participant(this);
+}
+
+SignalActionId SignalPath::register_action(SignalAction action) {
+  actions_.push_back(std::move(action));
+  return static_cast<SignalActionId>(actions_.size() - 1);
+}
+
+void SignalPath::on_core_event(hwsim::Core& core, Cycles,
+                               const hwsim::EventPayload& payload) {
+  const auto action = static_cast<SignalActionId>(payload.w[2]);
+  const std::uint64_t arg = payload.w[3];
+  if (payload.w[0] == kStageKernelQueue) {
+    // Kernel-side queueing on the origin core; the target's delivery is
+    // scheduled from here so the latency draw happens in origin order.
+    core.consume(stack_.costs().signal_kernel_send);
+    deliver_at(core.clock(), static_cast<CoreId>(payload.w[1]), action, arg);
+    return;
+  }
+  const auto& c = stack_.costs();
+  const Cycles queue_time = payload.w[1];
+  // The target is interrupted: frame setup, action, sigreturn.
+  core.consume(c.signal_frame_setup);
+  latency_hist_.add(core.clock() - queue_time);
+  ++delivered_;
+  if (action != kNoSignalAction) {
+    IW_ASSERT_MSG(action < actions_.size(),
+                  "signal delivery references an unregistered action id");
+    actions_[action](core, arg);
+  }
+  core.consume(c.sigreturn);
 }
 
 void SignalPath::save_state(hwsim::SnapshotWriter& w) const {
@@ -65,6 +104,15 @@ void SignalPath::send(hwsim::Core& sender, CoreId target_core,
   deliver_at(sender.clock(), target_core, std::move(handler));
 }
 
+void SignalPath::send(hwsim::Core& sender, CoreId target_core,
+                      SignalActionId action, std::uint64_t arg) {
+  const auto& c = stack_.costs();
+  stack_.syscall(sender);
+  sender.consume(c.signal_kernel_send);
+  ++sent_;
+  deliver_at(sender.clock(), target_core, action, arg);
+}
+
 void SignalPath::send_from_kernel(CoreId origin_core, Cycles t,
                                   CoreId target_core, SignalHandler handler) {
   const auto& c = stack_.costs();
@@ -76,6 +124,18 @@ void SignalPath::send_from_kernel(CoreId origin_core, Cycles t,
     deliver_at(origin.clock(), target_core, std::move(h));
   });
   (void)c;
+}
+
+void SignalPath::send_from_kernel(CoreId origin_core, Cycles t,
+                                  CoreId target_core, SignalActionId action,
+                                  std::uint64_t arg) {
+  ++sent_;
+  hwsim::EventPayload p;
+  p.w[0] = kStageKernelQueue;
+  p.w[1] = target_core;
+  p.w[2] = action;
+  p.w[3] = arg;
+  stack_.machine().core(origin_core).post_event(t, sink_id_, p);
 }
 
 void SignalPath::deliver_at(Cycles queue_time, CoreId target_core,
@@ -93,6 +153,18 @@ void SignalPath::deliver_at(Cycles queue_time, CoreId target_core,
         if (h) h(target);
         target.consume(c.sigreturn);
       });
+}
+
+void SignalPath::deliver_at(Cycles queue_time, CoreId target_core,
+                            SignalActionId action, std::uint64_t arg) {
+  const Cycles latency = draw_latency();
+  hwsim::EventPayload p;
+  p.w[0] = kStageDeliver;
+  p.w[1] = queue_time;
+  p.w[2] = action;
+  p.w[3] = arg;
+  stack_.machine().core(target_core).post_event(queue_time + latency,
+                                                sink_id_, p);
 }
 
 }  // namespace iw::linuxmodel

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "hwsim/sink.hpp"
 #include "hwsim/snapshot.hpp"
 #include "linuxmodel/linux_stack.hpp"
 
@@ -23,21 +25,52 @@ namespace iw::linuxmodel {
 /// Handler invoked on the target core at frame-entry time.
 using SignalHandler = std::function<void(hwsim::Core&)>;
 
-class SignalPath final : public hwsim::SnapshotParticipant {
+/// Registered signal action: like SignalHandler, but installed once (at
+/// setup time) under a stable index so in-flight deliveries can name it
+/// by id instead of carrying a closure. `arg` is a caller-chosen word
+/// traveling with each send (e.g. the timer fire a heartbeat carries).
+using SignalAction = std::function<void(hwsim::Core&, std::uint64_t arg)>;
+using SignalActionId = std::uint32_t;
+inline constexpr SignalActionId kNoSignalAction = ~SignalActionId{0};
+
+class SignalPath final : public hwsim::SnapshotParticipant,
+                         public hwsim::EventSink {
  public:
   explicit SignalPath(LinuxStack& stack);
   ~SignalPath();
+
+  // EventSink: both stages of an in-flight signal — kernel-side
+  // queueing on the origin core, then frame+action+sigreturn on the
+  // target — encoded as plain data so pending deliveries survive
+  // snapshot v2 transport into a fresh machine.
+  void on_core_event(hwsim::Core& core, Cycles at,
+                     const hwsim::EventPayload& payload) override;
+
+  /// Install an action table entry. Registration order is part of the
+  /// deterministic setup contract: a fresh machine hydrating a snapshot
+  /// must register the same actions in the same order.
+  SignalActionId register_action(SignalAction action);
 
   /// Send a signal from `sender` to a thread on `target_core`. Charges
   /// the sender's kernel-side send path now and schedules the target's
   /// interruption + frame + handler + sigreturn after a drawn latency.
   void send(hwsim::Core& sender, CoreId target_core, SignalHandler handler);
 
+  /// Portable variant: the in-flight delivery references a registered
+  /// action by id (kNoSignalAction = accounting only). Required for any
+  /// signal that may be pending at snapshot-v2 capture time.
+  void send(hwsim::Core& sender, CoreId target_core, SignalActionId action,
+            std::uint64_t arg = 0);
+
   /// Kernel-originated signal (timer expiry): no user sender to charge;
   /// the kernel-side queueing work happens on `origin_core`'s timeline
   /// via a callback at time `t`.
   void send_from_kernel(CoreId origin_core, Cycles t, CoreId target_core,
                         SignalHandler handler);
+
+  /// Portable variant of send_from_kernel (see send overloads).
+  void send_from_kernel(CoreId origin_core, Cycles t, CoreId target_core,
+                        SignalActionId action, std::uint64_t arg = 0);
 
   /// Draw one delivery latency (cycles) — exposed for tests/benches.
   Cycles draw_latency();
@@ -49,17 +82,23 @@ class SignalPath final : public hwsim::SnapshotParticipant {
   }
 
   // SnapshotParticipant: the latency Rng stream, counters, and the
-  // latency histogram. In-flight deliveries are closures in core
-  // callback inboxes, captured by the machine's queue copies.
+  // latency histogram. In-flight deliveries sent by action id are
+  // plain-data sink events in core inboxes (portable); ones sent with
+  // closures are captured by value and restore same-instance only.
   void save_state(hwsim::SnapshotWriter& w) const override;
   void restore_state(hwsim::SnapshotReader& r) override;
 
  private:
   void deliver_at(Cycles queue_time, CoreId target_core,
                   SignalHandler handler);
+  void deliver_at(Cycles queue_time, CoreId target_core,
+                  SignalActionId action, std::uint64_t arg);
 
   LinuxStack& stack_;
   Rng rng_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
+  /// Structural: rebuilt by setup code, never serialized.
+  std::vector<SignalAction> actions_;
   std::uint64_t sent_{0};
   std::uint64_t delivered_{0};
   LatencyHistogram latency_hist_;

@@ -10,9 +10,11 @@ namespace iw::linuxmodel {
 PosixTimer::PosixTimer(LinuxStack& stack, CoreId core)
     : stack_(stack), core_(core), rng_(stack.machine().rng().split()) {
   stack_.machine().register_snapshot_participant(this);
+  sink_id_ = stack_.machine().register_timer_sink(this);
 }
 
 PosixTimer::~PosixTimer() {
+  stack_.machine().unregister_timer_sink(sink_id_);
   stack_.machine().unregister_snapshot_participant(this);
 }
 

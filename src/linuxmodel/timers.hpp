@@ -53,6 +53,9 @@ class PosixTimer final : public hwsim::TimerSink,
 
   LinuxStack& stack_;
   CoreId core_;
+  /// Dispatch-table identity (Machine::register_timer_sink): gives
+  /// in-flight expiries a portable encoding in snapshot v2.
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
   Rng rng_;
   bool armed_{false};
   Cycles effective_period_{0};

@@ -47,9 +47,11 @@ unsigned IrqSteering::quiet_cores() const {
 ReliableIpi::ReliableIpi(hwsim::Machine& machine, Config cfg)
     : machine_(machine), cfg_(cfg) {
   machine_.register_snapshot_participant(this);
+  sink_id_ = machine_.register_event_sink(this);
 }
 
 ReliableIpi::~ReliableIpi() {
+  machine_.unregister_event_sink(sink_id_);
   machine_.unregister_snapshot_participant(this);
 }
 
@@ -91,32 +93,42 @@ void ReliableIpi::schedule_retry(hwsim::Core& from, CoreId to, int vector,
                                  unsigned attempt) {
   // Exponential backoff: backoff, 2*backoff, 4*backoff, ... — the same
   // spacing a kernel would use waiting out a transient fabric brown-out.
+  // The pending retry is a plain-data sink event on the sender's
+  // timeline, so an in-flight chain survives snapshot v2 transport.
   const Cycles delay = cfg_.backoff << (attempt - 1);
-  hwsim::Core* sender = &from;
-  from.post_callback(from.clock() + delay, [this, sender, to, vector,
-                                            attempt] {
-    ++retries_;
+  hwsim::EventPayload p;
+  p.w[0] = to;
+  p.w[1] = static_cast<std::uint64_t>(static_cast<std::int64_t>(vector));
+  p.w[2] = attempt;
+  from.post_event(from.clock() + delay, sink_id_, p);
+}
+
+void ReliableIpi::on_core_event(hwsim::Core& core, Cycles,
+                                const hwsim::EventPayload& payload) {
+  const auto to = static_cast<CoreId>(payload.w[0]);
+  const int vector =
+      static_cast<int>(static_cast<std::int64_t>(payload.w[1]));
+  const auto attempt = static_cast<unsigned>(payload.w[2]);
+  ++retries_;
+  if (auto* mx = machine_.metrics()) {
+    mx->add(obs::names::kFaultsIpiRetries);
+  }
+  if (auto* tr = machine_.tracer()) {
+    tr->instant(core.id(), "ipi.retry", core.clock(), vector);
+  }
+  const hwsim::IpiStatus st = machine_.send_ipi(core, to, vector);
+  if (st != hwsim::IpiStatus::kDropped) return;
+  if (attempt + 1 < cfg_.max_attempts) {
+    schedule_retry(core, to, vector, attempt + 1);
+  } else {
+    ++exhausted_;
     if (auto* mx = machine_.metrics()) {
-      mx->add(obs::names::kFaultsIpiRetries);
+      mx->add(obs::names::kFaultsIpiRetryExhausted);
     }
     if (auto* tr = machine_.tracer()) {
-      tr->instant(sender->id(), "ipi.retry", sender->clock(), vector);
+      tr->instant(core.id(), "ipi.retry_exhausted", core.clock(), vector);
     }
-    const hwsim::IpiStatus st = machine_.send_ipi(*sender, to, vector);
-    if (st != hwsim::IpiStatus::kDropped) return;
-    if (attempt + 1 < cfg_.max_attempts) {
-      schedule_retry(*sender, to, vector, attempt + 1);
-    } else {
-      ++exhausted_;
-      if (auto* mx = machine_.metrics()) {
-        mx->add(obs::names::kFaultsIpiRetryExhausted);
-      }
-      if (auto* tr = machine_.tracer()) {
-        tr->instant(sender->id(), "ipi.retry_exhausted", sender->clock(),
-                    vector);
-      }
-    }
-  });
+  }
 }
 
 // --- CoreWatchdog ---
@@ -125,10 +137,17 @@ CoreWatchdog::CoreWatchdog(hwsim::Machine& machine, Cycles period, Alarm alarm)
     : machine_(machine), period_(period), alarm_(std::move(alarm)) {
   last_.resize(machine_.num_cores());
   machine_.register_snapshot_participant(this);
+  sink_id_ = machine_.register_event_sink(this);
 }
 
 CoreWatchdog::~CoreWatchdog() {
+  machine_.unregister_event_sink(sink_id_);
   machine_.unregister_snapshot_participant(this);
+}
+
+void CoreWatchdog::on_machine_event(hwsim::Machine&, Cycles at,
+                                    const hwsim::EventPayload& payload) {
+  check(at, /*gen=*/payload.w[0]);
 }
 
 void CoreWatchdog::save_state(hwsim::SnapshotWriter& w) const {
@@ -168,7 +187,9 @@ void CoreWatchdog::arm() {
   const std::uint64_t gen = ++gen_;
   snapshot_all();
   const Cycles at = machine_.now() + period_;
-  machine_.schedule_at(at, [this, gen, at] { check(at, gen); });
+  hwsim::EventPayload p;
+  p.w[0] = gen;
+  machine_.schedule_event(at, sink_id_, p);
 }
 
 void CoreWatchdog::check(Cycles at, std::uint64_t gen) {
@@ -195,7 +216,9 @@ void CoreWatchdog::check(Cycles at, std::uint64_t gen) {
     last_[c] = now;
   }
   const Cycles next = at + period_;
-  machine_.schedule_at(next, [this, gen, next] { check(next, gen); });
+  hwsim::EventPayload p;
+  p.w[0] = gen;
+  machine_.schedule_event(next, sink_id_, p);
 }
 
 }  // namespace iw::nautilus

@@ -58,12 +58,18 @@ struct ReliableIpiConfig {
   Cycles backoff{1'500};     // first retry delay; doubles per attempt
 };
 
-class ReliableIpi final : public hwsim::SnapshotParticipant {
+class ReliableIpi final : public hwsim::SnapshotParticipant,
+                          public hwsim::EventSink {
  public:
   using Config = ReliableIpiConfig;
 
   explicit ReliableIpi(hwsim::Machine& machine, Config cfg = {});
   ~ReliableIpi();
+
+  // EventSink: a scheduled retry came due on the sending core
+  // (payload = {target core, vector, attempt number}).
+  void on_core_event(hwsim::Core& core, Cycles at,
+                     const hwsim::EventPayload& payload) override;
 
   /// Send `vector` from `from` to `to`; on kDropped, schedules retries
   /// on the sender's timeline. Returns the *first* attempt's status (the
@@ -82,10 +88,10 @@ class ReliableIpi final : public hwsim::SnapshotParticipant {
   [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
 
   // SnapshotParticipant: the counters. In-flight retry chains are
-  // closures in core callback inboxes; the machine snapshot value-copies
-  // those queues, so a retry scheduled before the snapshot survives a
-  // restore and one scheduled after does not — exactly the pre-snapshot
-  // delivery state.
+  // sink events ({to, vector, attempt} payloads) in core callback
+  // inboxes; the machine snapshot captures those queues, so a retry
+  // scheduled before the snapshot survives a restore and one scheduled
+  // after does not — exactly the pre-snapshot delivery state.
   void save_state(hwsim::SnapshotWriter& w) const override;
   void restore_state(hwsim::SnapshotReader& r) override;
 
@@ -96,6 +102,7 @@ class ReliableIpi final : public hwsim::SnapshotParticipant {
 
   hwsim::Machine& machine_;
   Config cfg_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
   std::uint64_t retries_{0};
   std::uint64_t exhausted_{0};
 };
@@ -107,12 +114,18 @@ class ReliableIpi final : public hwsim::SnapshotParticipant {
 /// (plus a faults.watchdog_fires count and a trace instant). The check
 /// chain keeps the machine non-quiescent while armed; disarm() lets the
 /// machine drain.
-class CoreWatchdog final : public hwsim::SnapshotParticipant {
+class CoreWatchdog final : public hwsim::SnapshotParticipant,
+                           public hwsim::EventSink {
  public:
   using Alarm = std::function<void(CoreId stuck, Cycles at)>;
 
   CoreWatchdog(hwsim::Machine& machine, Cycles period, Alarm alarm = {});
   ~CoreWatchdog();
+
+  // EventSink: one link of the periodic check chain (payload = the
+  // arming generation; the check time is the event time itself).
+  void on_machine_event(hwsim::Machine& machine, Cycles at,
+                        const hwsim::EventPayload& payload) override;
 
   void arm();
   void disarm() { armed_ = false; }
@@ -139,6 +152,7 @@ class CoreWatchdog final : public hwsim::SnapshotParticipant {
   void check(Cycles at, std::uint64_t gen);
 
   hwsim::Machine& machine_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
   Cycles period_;
   Alarm alarm_;
   bool armed_{false};

@@ -1,0 +1,69 @@
+// Per-run scratch arena. Each worker owns one and resets it between
+// scenarios: every allocation a run makes (JSONL record assembly,
+// metric name staging) is scoped to that run and recycled wholesale —
+// no per-run heap churn, no cross-run aliasing. The high-water mark is
+// reported in the batch summary so record-size growth is visible.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace iw::scenarioserver {
+
+class RunArena {
+ public:
+  explicit RunArena(std::size_t block_size = 1 << 16)
+      : block_size_(block_size == 0 ? 1 : block_size) {
+    blocks_.push_back(std::make_unique<char[]>(block_size_));
+  }
+
+  /// Bump-allocate `n` bytes valid until the next reset().
+  [[nodiscard]] char* alloc(std::size_t n) {
+    IW_ASSERT_MSG(n <= block_size_,
+                  "RunArena: single allocation exceeds the block size");
+    if (used_ + n > block_size_) {
+      ++block_;
+      if (block_ == blocks_.size()) {
+        blocks_.push_back(std::make_unique<char[]>(block_size_));
+      }
+      used_ = 0;
+    }
+    char* p = blocks_[block_].get() + used_;
+    used_ += n;
+    total_ += n;
+    if (total_ > high_water_) high_water_ = total_;
+    return p;
+  }
+
+  /// Arena-resident copy of `s` (for staging pieces of a record).
+  [[nodiscard]] std::string_view copy(std::string_view s) {
+    char* p = alloc(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Recycle every allocation since construction or the last reset.
+  /// Blocks are retained, so a steady-state worker allocates nothing.
+  void reset() {
+    block_ = 0;
+    used_ = 0;
+    total_ = 0;
+  }
+
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::size_t block_{0};
+  std::size_t used_{0};   // bytes used in the current block
+  std::size_t total_{0};  // bytes used this run, across blocks
+  std::size_t high_water_{0};
+};
+
+}  // namespace iw::scenarioserver

@@ -1,0 +1,58 @@
+// Thread-safe work queue of scenario specs. Deliberately minimal: the
+// server closes the queue after enqueueing a batch, workers drain it
+// until pop() returns nullopt. Specs carry their own ids, so pop order
+// (which depends on worker racing) never shows in the results.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "scenarioserver/scenario.hpp"
+
+namespace iw::scenarioserver {
+
+class ScenarioQueue {
+ public:
+  void push(ScenarioSpec spec) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      specs_.push_back(std::move(spec));
+    }
+    cv_.notify_one();
+  }
+
+  /// No more pushes will follow; blocked pops drain and return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Next spec, blocking; nullopt once the queue is closed and empty.
+  [[nodiscard]] std::optional<ScenarioSpec> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return closed_ || !specs_.empty(); });
+    if (specs_.empty()) return std::nullopt;
+    ScenarioSpec s = std::move(specs_.front());
+    specs_.pop_front();
+    return s;
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return specs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ScenarioSpec> specs_;
+  bool closed_{false};
+};
+
+}  // namespace iw::scenarioserver

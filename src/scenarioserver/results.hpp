@@ -1,0 +1,67 @@
+// Deterministic results store: collects per-run records from racing
+// workers, re-sorts by submission id, and writes JSONL. The stored
+// record text is fully determined by the spec and the simulation —
+// wall-clock and worker identity are batch-level summary data — so the
+// JSONL output is byte-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenarioserver/scenario.hpp"
+
+namespace iw::scenarioserver {
+
+class ResultsStore {
+ public:
+  struct Entry {
+    std::uint64_t id{0};
+    std::uint64_t group{0};
+    std::uint64_t digest{0};
+    std::string line;  // one JSONL record, no trailing newline
+  };
+
+  /// Thread-safe: workers hand in a finished record (the line is
+  /// copied out of the worker's arena here).
+  void add(std::uint64_t id, std::uint64_t group, std::uint64_t digest,
+           std::string_view line);
+
+  /// Sort by id. Call once after all workers join.
+  void finalize();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// One record per line, in id order.
+  void write_jsonl(std::ostream& os) const;
+
+  struct Agreement {
+    std::size_t groups{0};       // distinct digest-equivalence classes
+    std::size_t disagreeing{0};  // classes holding more than one digest
+  };
+  /// Digest agreement across each `group` (execution strategies of the
+  /// same scenario must digest equal).
+  [[nodiscard]] Agreement group_agreement() const;
+
+ private:
+  /// Behind a unique_ptr so a finished store is movable (the server
+  /// returns it by value once the pool has joined).
+  std::unique_ptr<std::mutex> mu_{std::make_unique<std::mutex>()};
+  std::vector<Entry> entries_;
+};
+
+class RunArena;
+
+/// Build one JSONL record for a finished run in the run's arena; the
+/// returned view lives there until the arena resets. The store copies
+/// it into owned storage in add().
+[[nodiscard]] std::string_view format_record(const ScenarioSpec& spec,
+                                             const ScenarioResult& res,
+                                             RunArena& arena);
+
+}  // namespace iw::scenarioserver

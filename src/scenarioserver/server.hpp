@@ -1,0 +1,65 @@
+// The scenario server: a host-thread worker pool that burns through a
+// work queue of scenario specs, each run hydrating a fresh Machine
+// from ONE shared warmed snapshot-v2 image and diverging through its
+// own fault plan (DESIGN.md §10).
+//
+// The donor machine is warmed once — boot, workload construction,
+// steady state — and serialized; every cell then skips the warm-up and
+// pays only its divergent window. Correctness rests on the v2 restore
+// contract: the image is plain data (sink ids + payloads), each worker
+// rebuilds the workload via the batch factory (registering the donor's
+// exact sink/participant order), and hydration is bit-identical to a
+// same-instance restore. Digests are therefore a pure function of the
+// spec — the results store checks that per `group`, and the JSONL
+// output is byte-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenarioserver/results.hpp"
+#include "scenarioserver/scenario.hpp"
+
+namespace iw::scenarioserver {
+
+/// A batch: the shared machine shape, the warmed image every run
+/// hydrates, and the factory that rebinds the workload to each fresh
+/// machine. `base` must be the donor's config — execution-strategy
+/// fields are overridden per spec; cores/seed/costs must match the
+/// image's fingerprint.
+struct ScenarioBatch {
+  hwsim::MachineConfig base;
+  std::vector<std::uint64_t> image;
+  HarnessFactory factory;
+};
+
+struct ScenarioServerConfig {
+  unsigned workers{2};
+};
+
+class ScenarioServer {
+ public:
+  explicit ScenarioServer(ScenarioServerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Run every spec to completion on the worker pool; blocking.
+  /// Results come back finalized (id order).
+  ResultsStore run(const ScenarioBatch& batch,
+                   std::vector<ScenarioSpec> specs);
+
+  /// Batch-level throughput of the last run(): completed scenarios per
+  /// wall-clock second across the whole pool.
+  [[nodiscard]] double scenarios_per_sec() const {
+    return scenarios_per_sec_;
+  }
+  /// Largest per-run arena footprint any worker saw in the last run().
+  [[nodiscard]] std::size_t arena_high_water() const {
+    return arena_high_water_;
+  }
+
+ private:
+  ScenarioServerConfig cfg_;
+  double scenarios_per_sec_{0.0};
+  std::size_t arena_high_water_{0};
+};
+
+}  // namespace iw::scenarioserver

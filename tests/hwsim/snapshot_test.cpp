@@ -47,9 +47,12 @@ struct alignas(64) Cell {
 /// spin work + a machine-queue tick) whose mutable state is a snapshot
 /// participant: restoring the machine restores the spin budgets, beat
 /// tallies, and tick count along with it, so a replayed window cannot
-/// double-count.
+/// double-count. All pending work is sink events / registered timers,
+/// so a snapshot of this workload is v2-serializable and hydrates a
+/// fresh machine carrying an identically-constructed SnapWorkload.
 class SnapWorkload final : public hwsim::CoreDriver,
-                           public hwsim::SnapshotParticipant {
+                           public hwsim::SnapshotParticipant,
+                           public hwsim::EventSink {
  public:
   SnapWorkload(hwsim::Machine& m, Cycles step = 60,
                std::uint64_t steps = 1u << 30, Cycles period = 20'000)
@@ -68,17 +71,25 @@ class SnapWorkload final : public hwsim::CoreDriver,
     }
     // The LapicTimer registers itself first, then the workload: the
     // registration order is part of the format and must be identical at
-    // snapshot and restore (it is — same objects, same lifetime).
+    // snapshot and restore — including on a FRESH machine hydrating a
+    // serialized image, which is why construction order here is fixed.
     timer_ = std::make_unique<hwsim::LapicTimer>(m.core(0), 0x40);
     machine_.register_snapshot_participant(this);
+    sink_id_ = machine_.register_event_sink(this);
     timer_->periodic(period);
-    tick_ = [this] {
-      ++mq_ticks_;
-      machine_.schedule_at(machine_.now() + 50'000, tick_);
-    };
-    machine_.schedule_at(50'000, tick_);
+    machine_.schedule_event(50'000, sink_id_);
   }
-  ~SnapWorkload() { machine_.unregister_snapshot_participant(this); }
+  ~SnapWorkload() {
+    machine_.unregister_event_sink(sink_id_);
+    machine_.unregister_snapshot_participant(this);
+  }
+
+  // EventSink: the machine-queue tick chain.
+  void on_machine_event(hwsim::Machine& m, Cycles,
+                        const hwsim::EventPayload&) override {
+    ++mq_ticks_;
+    m.schedule_event(m.now() + 50'000, sink_id_);
+  }
 
   // CoreDriver: certified spin (fast-forward can skip it).
   bool runnable(hwsim::Core& core) override {
@@ -129,7 +140,7 @@ class SnapWorkload final : public hwsim::CoreDriver,
   std::vector<Cell> cells_;
   std::uint64_t mq_ticks_{0};
   std::unique_ptr<hwsim::LapicTimer> timer_;
-  std::function<void()> tick_;
+  hwsim::SinkId sink_id_{hwsim::kNoSink};
 };
 
 struct SchedCell {
@@ -224,6 +235,29 @@ CellResult run_cell(const SchedCell& cell, bool ff, const char* faults,
   EXPECT_EQ(m.total_advances(), r.advances) << label;
   EXPECT_EQ(m.total_ipis(), r.ipis) << label;
   EXPECT_EQ(m.fault_injector().counters().stalls, r.stalls) << label;
+
+  // Cross-instance leg (format v2): serialize, hydrate a FRESH machine
+  // carrying an identically-constructed workload, replay the window.
+  // The deserialized snapshot and the donor's must digest equal, and
+  // the fresh machine's window must be bit-identical to the donor's.
+  const std::vector<std::uint64_t> image = snap.serialize();
+  hwsim::Snapshot warm = hwsim::Snapshot::deserialize(image);
+  EXPECT_EQ(warm.digest(), r.mid_digest) << label << " (image digest)";
+  hwsim::Machine fresh(mc);
+  SnapWorkload fw(fresh);
+  fresh.restore(warm);
+  EXPECT_EQ(fresh.now(), snap.at) << label;
+  obs::TraceRecorder t3;
+  fresh.set_tracer(&t3);
+  EXPECT_TRUE(fresh.run_until(kEnd)) << label;
+  EXPECT_EQ(trace_hash(t3), r.window_hash) << label << " (hydrated trace)";
+  EXPECT_EQ(fresh.snapshot().digest(), r.end_digest)
+      << label << " (hydrated digest)";
+  EXPECT_EQ(fw.beats(), r.beats) << label;
+  EXPECT_EQ(fw.mq_ticks(), r.mq_ticks) << label;
+  EXPECT_EQ(fresh.total_advances(), r.advances) << label;
+  EXPECT_EQ(fresh.total_ipis(), r.ipis) << label;
+  EXPECT_EQ(fresh.fault_injector().counters().stalls, r.stalls) << label;
   return r;
 }
 
@@ -262,6 +296,40 @@ TEST(Snapshot, RestoreEquivalenceMatrix) {
         EXPECT_EQ(r.ipis, baseline.ipis) << label;
         EXPECT_EQ(r.stalls, baseline.stalls) << label;
       }
+    }
+  }
+}
+
+TEST(Snapshot, CrossSchedulerHydrationFromOneImage) {
+  // One donor captures a warmed image; EVERY execution strategy then
+  // hydrates that image into a fresh machine and replays the same
+  // window. Equality across the matrix means the serialized form is
+  // execution-strategy-neutral — the property the scenario server
+  // leans on when it picks a scheduler per cell.
+  const char* plan = "drop=0.05,delay=0.2:600,dup=0.05";
+  hwsim::Machine donor(make_config(kSchedMatrix[0], false, plan));
+  SnapWorkload dw(donor);
+  ASSERT_TRUE(donor.run_until(kMid));
+  const std::vector<std::uint64_t> image = donor.snapshot().serialize();
+
+  obs::TraceRecorder t1;
+  donor.set_tracer(&t1);
+  ASSERT_TRUE(donor.run_until(kEnd));
+  const std::uint64_t window = trace_hash(t1);
+  const std::uint64_t end_digest = donor.snapshot().digest();
+
+  for (const SchedCell& cell : kSchedMatrix) {
+    for (const bool ff : {false, true}) {
+      const hwsim::Snapshot warm = hwsim::Snapshot::deserialize(image);
+      hwsim::Machine child(make_config(cell, ff, plan));
+      SnapWorkload cw(child);
+      child.restore(warm);
+      obs::TraceRecorder t2;
+      child.set_tracer(&t2);
+      ASSERT_TRUE(child.run_until(kEnd));
+      EXPECT_EQ(trace_hash(t2), window) << cell.name << (ff ? "/ff" : "");
+      EXPECT_EQ(child.snapshot().digest(), end_digest)
+          << cell.name << (ff ? "/ff" : "");
     }
   }
 }
@@ -401,22 +469,27 @@ TEST(Snapshot, ReliableIpiRetriesInFlightAcrossSnapshot) {
 
   // Periodic sends from core 0 to core 1; the delivery tally and the
   // send-chain cadence must ride the snapshot like any workload state.
-  struct SendLoop final : hwsim::SnapshotParticipant {
+  // The send chain is a sink event so the snapshot stays v2-portable.
+  struct SendLoop final : hwsim::SnapshotParticipant, hwsim::EventSink {
     explicit SendLoop(hwsim::Machine& m, nautilus::ReliableIpi& rel)
         : machine(m), rel(rel) {
       machine.register_snapshot_participant(this);
+      sink_id = machine.register_event_sink(this);
       machine.core(1).set_irq_handler(0x50, [this](hwsim::Core&, int) {
         ++delivered;
       });
-      resend = [this] {
-        ++sends;
-        this->rel.send(machine.core(0), 1, 0x50);
-        machine.core(0).post_callback(machine.core(0).clock() + 7'000,
-                                      resend);
-      };
-      machine.core(0).post_callback(1'000, resend);
+      machine.core(0).post_event(1'000, sink_id);
     }
-    ~SendLoop() { machine.unregister_snapshot_participant(this); }
+    ~SendLoop() {
+      machine.unregister_event_sink(sink_id);
+      machine.unregister_snapshot_participant(this);
+    }
+    void on_core_event(hwsim::Core& core, Cycles,
+                       const hwsim::EventPayload&) override {
+      ++sends;
+      rel.send(core, 1, 0x50);
+      core.post_event(core.clock() + 7'000, sink_id);
+    }
     void save_state(hwsim::SnapshotWriter& w) const override {
       w.u64(sends);
       w.u64(delivered);
@@ -427,7 +500,7 @@ TEST(Snapshot, ReliableIpiRetriesInFlightAcrossSnapshot) {
     }
     hwsim::Machine& machine;
     nautilus::ReliableIpi& rel;
-    std::function<void()> resend;
+    hwsim::SinkId sink_id{hwsim::kNoSink};
     std::uint64_t sends{0};
     std::uint64_t delivered{0};
   } loop(m, rel);

@@ -228,6 +228,74 @@ def main(argv):
     check("bisect no guarded map fails",
           run_guard(script, fresh, bisect_doc(), "--profile=bisect"), 1)
 
+    # --- scenarios profile ---
+    def scenarios_doc(host_cpus=8):
+        return {
+            "host_cpus": host_cpus,
+            "scenarios_per_sec": 1200.0,
+            "digests_worker_count_invariant": True,
+            "speedup_workers_vs_1": {"4": 2.8},
+        }
+
+    # 22. Healthy scenario-server matrix passes.
+    check("scenarios profile passes",
+          run_guard(script, scenarios_doc(), scenarios_doc(),
+                    "--profile=scenarios"), 0)
+
+    # 23. Digest agreement is load-bearing: worker-count-dependent
+    # results fail even with healthy throughput, whether the flag is
+    # missing or explicitly false.
+    fresh = scenarios_doc()
+    del fresh["digests_worker_count_invariant"]
+    check("scenarios missing digest verdict fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1, "digests_worker_count_invariant")
+    fresh = scenarios_doc()
+    fresh["digests_worker_count_invariant"] = False
+    check("scenarios false digest verdict fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1, "digests_worker_count_invariant")
+
+    # 24. A fresh run that never measured throughput fails.
+    fresh = scenarios_doc()
+    del fresh["scenarios_per_sec"]
+    check("scenarios missing throughput fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1, "scenarios_per_sec")
+    fresh = scenarios_doc()
+    fresh["scenarios_per_sec"] = 0.0
+    check("scenarios zero throughput fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1, "scenarios_per_sec")
+
+    # 25. Pool scaling collapse is caught...
+    fresh = scenarios_doc()
+    fresh["speedup_workers_vs_1"]["4"] = 0.5
+    check("scenarios pool collapse fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1)
+
+    # 26. ...but a 1-CPU runner measuring ~1x against a committed 2.8x
+    # passes via the host-aware clamp (and still fails a true collapse).
+    fresh = scenarios_doc(host_cpus=1)
+    fresh["speedup_workers_vs_1"]["4"] = 0.95
+    check("scenarios 1-cpu host passes flat pool scaling",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          0)
+    fresh = scenarios_doc(host_cpus=1)
+    fresh["speedup_workers_vs_1"]["4"] = 0.3
+    check("scenarios 1-cpu host still catches collapse",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1)
+
+    # 27. The ratio map vanishing entirely must fail, never pass
+    # vacuously.
+    fresh = scenarios_doc()
+    del fresh["speedup_workers_vs_1"]
+    check("scenarios no guarded map fails",
+          run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
+          1)
+
     # 21. Unknown profile is a usage error.
     check("unknown profile is usage error",
           run_guard(script, ff_doc(), ff_doc(), "--profile=bogus"), 2)

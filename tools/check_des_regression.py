@@ -21,7 +21,16 @@ Profiles select which ratio maps are guarded:
     hard requirements that the fresh run's checkpoint and scratch modes
     converged on the same minimal set, that the minimal set still fails,
     and that the empty schedule passes — the speedup is meaningless if
-    the accelerated bisection computed a different answer.
+    the accelerated bisection computed a different answer;
+  --profile=scenarios — fault_sweep's scenario-server matrix: pool
+    throughput ratio vs one worker (speedup_workers_vs_1, host-aware
+    clamped like the thread matrix), a hard requirement that the fresh
+    run re-verified worker-count-invariant digests
+    (digests_worker_count_invariant == true), and a hard requirement
+    that scenarios_per_sec was measured and positive — a batch whose
+    results depend on how many workers raced the queue has broken the
+    snapshot-hydration contract, and a missing throughput number means
+    the matrix never ran.
 
 Every guarded map must be present (as a dict) in BOTH files, and every
 baseline entry must be measured in the fresh run; a bench that silently
@@ -53,6 +62,7 @@ PROFILES = {
     ),
     "fastforward": ("speedup_ff_vs_full",),
     "bisect": ("speedup_checkpoint_vs_scratch",),
+    "scenarios": ("speedup_workers_vs_1",),
 }
 
 # Booleans the fresh run must assert true for the profile's ratios to
@@ -64,7 +74,19 @@ REQUIRED_FLAGS = {
         "minimal_still_fails",
         "empty_script_passes",
     ),
+    "scenarios": ("digests_worker_count_invariant",),
 }
+
+# Numbers the fresh run must have measured (present and > 0) for the
+# profile to mean anything; missing or non-positive is a hard failure.
+REQUIRED_NUMBERS = {
+    "scenarios": ("scenarios_per_sec",),
+}
+
+# Ratio maps whose last key is a host-thread count: the committed ratio
+# is clamped to host_cpus before the floor when the runner is smaller
+# than the sweep (scaling beyond the physical CPUs is not expected).
+HOST_CLAMPED = ("speedup_threads_vs_1", "speedup_workers_vs_1")
 
 
 def flatten(tree, prefix=()):
@@ -82,6 +104,8 @@ def flatten(tree, prefix=()):
 def key_label(name, key):
     if name == "speedup_threads_vs_1" and len(key) == 2:
         return f"{name}[{key[0]} cores, {key[1]} threads]"
+    if name == "speedup_workers_vs_1" and len(key) == 1:
+        return f"{name}[{key[0]} workers]"
     if name == "speedup_ff_vs_full" and len(key) == 2:
         return f"{name}[{key[0]}, {key[1]} cores]"
     if name == "speedup_checkpoint_vs_scratch" and len(key) == 2:
@@ -131,6 +155,14 @@ def main(argv):
                 f"{flag}: fresh run did not re-verify this invariant "
                 "(missing or false)"
             )
+    for number in REQUIRED_NUMBERS.get(profile, ()):
+        value = fresh.get(number)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value <= 0:
+            failures.append(
+                f"{number}: fresh run did not measure this "
+                "(missing or non-positive)"
+            )
     for name in PROFILES[profile]:
         fresh_map = fresh.get(name)
         base_map = base.get(name)
@@ -155,7 +187,7 @@ def main(argv):
                 continue
             measured = fresh_flat[key]
             note = ""
-            if name == "speedup_threads_vs_1":
+            if name in HOST_CLAMPED:
                 threads = int(key[-1])
                 if 0 < host_cpus < threads and committed > host_cpus:
                     committed = float(host_cpus)
