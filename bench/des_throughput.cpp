@@ -113,6 +113,28 @@ Row run_one(unsigned cores, hwsim::SchedulerKind sched, Cycles sim_cycles,
   return r;
 }
 
+/// Hot-path allocation discipline: growth reallocations per million
+/// events, measured over a post-warmup window (the first fifth of the
+/// run absorbs slab growth past MachineConfig::inbox_reserve; steady
+/// state should add ~nothing).
+double measure_allocs_per_million(unsigned cores,
+                                  hwsim::SchedulerKind sched,
+                                  Cycles sim_cycles, unsigned threads,
+                                  bool steal) {
+  bench::DesWorkload w =
+      bench::make_des_workload(cores, sched, 200, 20'000, threads);
+  w.machine->set_work_stealing(steal);
+  if (!w.machine->run_until(sim_cycles / 5)) std::exit(1);
+  const std::uint64_t a0 = w.machine->hot_path_allocs();
+  const std::uint64_t adv0 = w.machine->total_advances();
+  if (!w.machine->run_until(sim_cycles)) std::exit(1);
+  const std::uint64_t da = w.machine->hot_path_allocs() - a0;
+  const std::uint64_t dadv = w.machine->total_advances() - adv0;
+  return dadv > 0
+             ? 1e6 * static_cast<double>(da) / static_cast<double>(dadv)
+             : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +184,9 @@ int main(int argc, char** argv) {
   std::vector<double> speedup_frontier;  // frontier/linear per core count
   std::vector<double> speedup_parallel;  // parallel/frontier per core count
   std::vector<double> speedup_auto;      // auto/linear per core count
+  std::vector<double> hot_eps_frontier;  // hotpath series, per core count
+  std::vector<double> hot_eps_parallel;
+  std::vector<double> hot_allocs;        // allocs per million events
 
   std::printf("%-6s %-9s %12s %10s %10s %12s\n", "cores", "sched",
               "advances", "irqs", "wall_ms", "events/s");
@@ -210,9 +235,14 @@ int main(int argc, char** argv) {
     speedup_frontier.push_back(sf);
     speedup_parallel.push_back(sp);
     speedup_auto.push_back(sa);
+    hot_eps_frontier.push_back(f.events_per_sec);
+    hot_eps_parallel.push_back(p.events_per_sec);
+    const double apm = measure_allocs_per_million(
+        cores, hwsim::SchedulerKind::kFrontier, sim, threads, steal);
+    hot_allocs.push_back(apm);
     std::printf("%-6u speedup   frontier/linear %.2fx  parallel/frontier "
-                "%.2fx  auto/linear %.2fx\n",
-                cores, sf, sp, sa);
+                "%.2fx  auto/linear %.2fx  allocs/Mevent %.1f\n",
+                cores, sf, sp, sa, apm);
   }
 
   // --- host_threads × cores matrix: 1k–8k simulated cores, parallel
@@ -323,7 +353,27 @@ int main(int argc, char** argv) {
   write_map("speedup_parallel_vs_frontier", speedup_parallel);
   std::fprintf(fp, ",\n");
   write_map("speedup_auto_vs_linear", speedup_auto);
-  std::fprintf(fp, ",\n  \"speedup_threads_vs_1\": {");
+  // Hot-path memory-discipline series: per-core-count frontier/parallel
+  // events_per_sec at this run's host_threads, the packed heap record
+  // size every sift moves, and steady-state growth reallocations per
+  // million events (tools/check_des_regression.py --profile=hotpath
+  // hard-requires all of these).
+  std::fprintf(fp, ",\n  \"hotpath\": {\n    \"bytes_per_hot_event\": %u,\n",
+               static_cast<unsigned>(
+                   sizeof(hwsim::TimedQueue<hwsim::IrqEvent>::Rec)));
+  const auto write_hot_map = [&](const char* name,
+                                 const std::vector<double>& v, bool last) {
+    std::fprintf(fp, "    \"%s\": {", name);
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+      std::fprintf(fp, "%s\"%u\": %.1f", i ? ", " : "", core_counts[i],
+                   v[i]);
+    }
+    std::fprintf(fp, "}%s\n", last ? "" : ",");
+  };
+  write_hot_map("events_per_sec", hot_eps_frontier, false);
+  write_hot_map("events_per_sec_parallel", hot_eps_parallel, false);
+  write_hot_map("allocs_per_million_events", hot_allocs, true);
+  std::fprintf(fp, "  },\n  \"speedup_threads_vs_1\": {");
   for (std::size_t i = 0; i < matrix_cores.size(); ++i) {
     std::fprintf(fp, "%s\"%u\": {", i ? ", " : "", matrix_cores[i]);
     for (std::size_t j = 1; j < matrix_threads.size(); ++j) {

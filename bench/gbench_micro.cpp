@@ -7,6 +7,7 @@
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "des_workload.hpp"
+#include "hwsim/arena.hpp"
 #include "hwsim/event_queue.hpp"
 #include "hwsim/machine.hpp"
 #include "mem/buddy_allocator.hpp"
@@ -56,10 +57,11 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(65536);
 
-// Same traffic but fn-carrying CoreEvents whose closures exceed the
-// std::function small-buffer: every push pays a heap allocation. The gap
-// against BM_EventQueuePushPop is what the tagged timer representation
-// removes from the hot path.
+// Same traffic but legacy-closure CoreEvents: each push parks an
+// out-of-line std::function (heap-allocating when the capture exceeds
+// the small-buffer) and each pop takes it back. The gap against
+// BM_EventQueuePushPop is what the tagged timer representation removes
+// from the hot path.
 void BM_EventQueuePushPopFn(benchmark::State& state) {
   const auto occupancy = static_cast<std::size_t>(state.range(0));
   hwsim::TimedQueue<hwsim::CoreEvent> q;
@@ -71,7 +73,33 @@ void BM_EventQueuePushPopFn(benchmark::State& state) {
     ev.time = rng.uniform(0, 1'000'000);
     ev.seq = seq++;
     const std::uint64_t a = seq, b = seq + 1, c = seq + 2;
-    ev.fn = [&sink, a, b, c] { sink += a + b + c; };
+    ev.fn = q.park_fn([&sink, a, b, c] { sink += a + b + c; });
+    return ev;
+  };
+  while (q.size() < occupancy) q.push(make_ev());
+  for (auto _ : state) {
+    q.push(make_ev());
+    hwsim::CoreEvent ev = q.pop();
+    q.take_fn(ev.fn)();
+    benchmark::DoNotOptimize(ev);
+  }
+}
+BENCHMARK(BM_EventQueuePushPopFn)->Arg(64)->Arg(1024)->Arg(65536);
+
+// The packed-heap steady state the tentpole targets: pre-sized slab,
+// provenance-style (counter << 16 | source) seqs, trivially copyable
+// 16-byte heap records. bytes_per_hot_event in the throughput bench is
+// sizeof the Rec this loop sifts.
+void BM_EventQueuePushPopPacked(benchmark::State& state) {
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  hwsim::TimedQueue<hwsim::IrqEvent> q;
+  q.reserve(occupancy + 1);
+  Rng rng(7);
+  std::uint64_t counter = 0;
+  const auto make_ev = [&] {
+    hwsim::IrqEvent ev;
+    ev.time = rng.uniform(0, 1'000'000);
+    ev.seq = (counter++ << 16) | (counter & 0xFF);
     return ev;
   };
   while (q.size() < occupancy) q.push(make_ev());
@@ -79,8 +107,27 @@ void BM_EventQueuePushPopFn(benchmark::State& state) {
     q.push(make_ev());
     benchmark::DoNotOptimize(q.pop());
   }
+  state.counters["grow_allocs"] =
+      benchmark::Counter(static_cast<double>(q.grow_allocs()));
 }
-BENCHMARK(BM_EventQueuePushPopFn)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_EventQueuePushPopPacked)->Arg(64)->Arg(1024)->Arg(65536);
+
+// One epoch's worth of arena traffic: carve outbox-sized blocks, then
+// reset. Steady state must be allocation-free (grows() flat) — the
+// per-epoch contract ParallelEngine relies on.
+void BM_EpochArenaReset(benchmark::State& state) {
+  const auto carves = static_cast<std::size_t>(state.range(0));
+  hwsim::EpochArena arena;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < carves; ++i) {
+      benchmark::DoNotOptimize(arena.alloc(192, 64));
+    }
+    arena.reset();
+  }
+  state.counters["grows"] =
+      benchmark::Counter(static_cast<double>(arena.grows()));
+}
+BENCHMARK(BM_EpochArenaReset)->Arg(8)->Arg(64)->Arg(256);
 
 // Allocation-free timer-tagged CoreEvents (the dominant scheduled-work
 // case after the LapicTimer/PosixTimer conversion).

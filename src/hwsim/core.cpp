@@ -68,8 +68,8 @@ void Core::post_callback(Cycles t, std::function<void()> fn) {
   CoreEvent ev;
   ev.time = t;
   ev.seq = machine_.next_seq();
-  ev.fn = std::move(fn);
-  callback_inbox_.push(std::move(ev));
+  ev.fn = callback_inbox_.park_fn(std::move(fn));
+  callback_inbox_.push(ev);
   mark_schedule_dirty();
 }
 
@@ -139,7 +139,7 @@ unsigned Core::deliver_due_events() {
         machine_.event_sink(ev.sink)->on_core_event(*this, ev.ideal,
                                                     ev.payload);
       } else {
-        ev.fn();
+        callback_inbox_.take_fn(ev.fn)();
       }
       ++delivered;
       continue;
@@ -242,6 +242,56 @@ void Core::advance() {
     IW_ASSERT_MSG(clock_ > before, "driver step must consume cycles");
   }
   mark_schedule_dirty();
+}
+
+std::uint64_t Core::drain_until(Cycles horizon) {
+  // Fused form of `while (next_action_time_uncached() < horizon)
+  // advance();` — the parallel epoch engine's inner loop. Identical
+  // observable behavior (same delivery order, same fault draws, same
+  // step/advance accounting), but the wake-time recompute and the
+  // advance dispatch share one runnable()/peek pass per iteration
+  // instead of three.
+  std::uint64_t advances = 0;
+  auto& faults = machine_.fault_injector();
+  const bool faults_on = faults.enabled();
+  for (;;) {
+    if (runnable()) {
+      if (clock_ >= horizon) break;
+      ++steps_;
+      ++advances;
+      deliver_due_events();
+      if (runnable()) {
+        if (faults_on) {
+          if (const Cycles stolen = faults.stall_cycles(id_ + 1, clock_);
+              stolen != 0) {
+            const Cycles from = clock_;
+            consume(stolen);
+            if (auto* tr = machine_.tracer()) {
+              tr->span(id_, "fault.stall", from, clock_);
+            }
+            if (auto* mx = machine_.metrics()) {
+              mx->add(obs::names::kFaultsStalls);
+            }
+          }
+        }
+        const Cycles before = clock_;
+        driver_->step(*this);
+        IW_ASSERT_MSG(clock_ > before, "driver step must consume cycles");
+      }
+      mark_schedule_dirty();
+      continue;
+    }
+    const Cycles cb_t = callback_inbox_.peek_time();
+    const Cycles irq_t = irq_enabled_ ? irq_inbox_.peek_time() : kNever;
+    const Cycles t = std::min(cb_t, irq_t);
+    if (t == kNever || std::max(t, clock_) >= horizon) break;
+    ++steps_;
+    ++advances;
+    advance_to(t);
+    deliver_due_events();
+    mark_schedule_dirty();
+  }
+  return advances;
 }
 
 }  // namespace iw::hwsim

@@ -226,16 +226,38 @@ class Core {
   /// (or jump the clock to the next event if idle).
   void advance();
 
+  /// Advance repeatedly while the next action lies strictly before
+  /// `horizon`; returns the number of advances executed. Exactly
+  /// equivalent to `while (next_action_time_uncached() < horizon)
+  /// advance();` but with the recompute/dispatch passes fused — the
+  /// parallel epoch engine's budgetless shard drain.
+  std::uint64_t drain_until(Cycles horizon);
+
   /// Commit one analytic skip (machine-only: the quiet-window proof
   /// lives in Machine::try_fast_forward). Moves the clock through the
   /// same charging path stepping uses, accounts the replayed steps, and
   /// lets the driver commit its internal state.
   void commit_fast_forward(const FastForwardPlan& plan);
 
+  /// Pre-size both inboxes (heap + slab + free list) for `n` concurrent
+  /// events. Called by the Machine constructor from
+  /// MachineConfig::inbox_reserve so warm-up stops paying vector growth.
+  void reserve_inboxes(std::size_t n) {
+    irq_inbox_.reserve(n);
+    callback_inbox_.reserve(n);
+  }
+
   // --- accounting ---
   [[nodiscard]] std::uint64_t irqs_delivered() const { return irqs_delivered_; }
   [[nodiscard]] Cycles irq_overhead_cycles() const { return irq_overhead_; }
   [[nodiscard]] std::uint64_t steps_executed() const { return steps_; }
+  /// Growth reallocations both inboxes have performed since
+  /// construction (see TimedQueue::grow_allocs; feeds
+  /// Machine::hot_path_allocs and the allocs_per_million_events bench
+  /// number).
+  [[nodiscard]] std::uint64_t inbox_grow_allocs() const {
+    return irq_inbox_.grow_allocs() + callback_inbox_.grow_allocs();
+  }
 
  private:
   friend class Machine;

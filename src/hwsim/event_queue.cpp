@@ -1,18 +1,6 @@
 #include "hwsim/event_queue.hpp"
 
-#include "common/assert.hpp"
-
 namespace iw::hwsim {
-
-template <class EventT>
-EventT TimedQueue<EventT>::pop() {
-  IW_ASSERT(!heap_.empty());
-  EventT out = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return out;
-}
 
 template <class EventT>
 void TimedQueue<EventT>::sift_up(std::size_t i) {

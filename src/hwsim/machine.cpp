@@ -71,6 +71,13 @@ Machine::Machine(MachineConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
       cores_[i]->sched_dirty_ = &sched_dirty_[i];
     }
   }
+  // Pre-size every event queue from the config so warm-up runs never
+  // pay vector growth on the hot path (satellite of the hot-path memory
+  // discipline pass; grow_allocs() observes any overflow).
+  if (cfg.inbox_reserve != 0) {
+    machine_queue_.reserve(cfg.inbox_reserve);
+    for (auto& c : cores_) c->reserve_inboxes(cfg.inbox_reserve);
+  }
   // Cores are born dirty but could not register while cores_ was still
   // being filled; seed the frontier index now.
   refresh_frontier();
@@ -84,6 +91,13 @@ unsigned Machine::parallel_pool_threads() const {
 
 std::uint64_t Machine::parallel_steals() const {
   return parallel_ == nullptr ? 0 : parallel_->steals();
+}
+
+std::uint64_t Machine::hot_path_allocs() const {
+  std::uint64_t n = machine_queue_.grow_allocs();
+  for (const auto& c : cores_) n += c->inbox_grow_allocs();
+  if (parallel_ != nullptr) n += parallel_->scratch_grow_allocs();
+  return n;
 }
 
 void Machine::set_tracer(obs::TraceRecorder* t) {
@@ -101,8 +115,10 @@ void Machine::enqueue_ipi(CoreId to, const IrqEvent& ev) {
     // target inbox at the barrier. The lookahead bound guarantees its
     // arrival time is at or past the epoch horizon, so deferring the
     // push cannot reorder it relative to anything the target processes
-    // this epoch.
-    ctx.outbox->push_back(PendingIpi{to, ev});
+    // this epoch. Staging order across senders is irrelevant: the
+    // target inbox pop order is a pure function of the (time, seq)
+    // multiset (see parallel.hpp on IpiOutbox determinism).
+    ctx.outbox->stage(to, ev);
     return;
   }
   cores_[to]->enqueue_irq(ev);
@@ -212,8 +228,8 @@ void Machine::schedule_at(Cycles t, std::function<void()> fn) {
   Event ev;
   ev.time = t;
   ev.seq = next_seq();
-  ev.fn = std::move(fn);
-  machine_queue_.push(std::move(ev));
+  ev.fn = machine_queue_.park_fn(std::move(fn));
+  machine_queue_.push(ev);
 }
 
 void Machine::schedule_event(Cycles t, SinkId sink,
@@ -356,7 +372,7 @@ void Machine::execute(const Pick& pick) {
     if (ev.sink != kNoSink) {
       event_sink(ev.sink)->on_machine_event(*this, ev.time, ev.payload);
     } else {
-      ev.fn();
+      machine_queue_.take_fn(ev.fn)();
     }
   } else {
     ExecScope scope(*this, pick.core->id() + 1);
@@ -386,6 +402,8 @@ bool Machine::run_loop(const std::function<bool()>& stop, Cycles until) {
   const bool time_watchdog = cfg_.max_time != 0;
   const bool advance_watchdog = cfg_.max_advances != 0;
   const bool ff = cfg_.fast_forward.enabled;
+  const bool frontier = sched_ == SchedulerKind::kFrontier;
+  const bool paranoid = frontier && cfg_.paranoid_frontier;
   // Skip horizons may not sail past the virtual-time budget: clamp to
   // max_time + 1 so the watchdog still observes now() crossing the
   // limit at the same advance a full-fidelity run would reach it (the
@@ -394,7 +412,28 @@ bool Machine::run_loop(const std::function<bool()>& stop, Cycles until) {
   if (time_watchdog) {
     ff_want = std::min(ff_want, saturating_add(cfg_.max_time, 1));
   }
+  const auto peek = [&]() -> Pick {
+    const Pick pick = frontier ? frontier_peek() : linear_peek();
+    if (paranoid) {
+      const Pick ref = linear_peek();
+      IW_ASSERT_MSG(ref.time == pick.time && ref.core == pick.core,
+                    "frontier index diverged from linear scan — a driver "
+                    "mutated runnable state without mark_schedule_dirty()");
+    }
+    return pick;
+  };
   for (;;) {
+    // run_until's bound is checked on the same peek that later drives
+    // execute(), so the bounded loop pays exactly one scheduler peek per
+    // advance (the old shape re-peeked inside a stop predicate).
+    // Failed fast-forward attempts are side-effect-free on the
+    // schedule, so the pick stays valid across them; a consumed window
+    // loops back and re-peeks at the committed state.
+    Pick pick;
+    if (until != kNever) {
+      pick = peek();
+      if (pick.time >= until) return true;
+    }
     if (stop && stop()) return true;
     if (time_watchdog && now() > cfg_.max_time) {
       IW_LOG_WARN("machine watchdog: virtual time limit %llu exceeded",
@@ -420,7 +459,9 @@ bool Machine::run_loop(const std::function<bool()>& stop, Cycles until) {
         --ff_cooldown_;
       }
     }
-    if (!advance_once()) return true;  // quiescent
+    if (until == kNever) pick = peek();
+    if (pick.time == kNever) return true;  // quiescent
+    execute(pick);
   }
 }
 
@@ -442,11 +483,12 @@ bool Machine::run_until(Cycles t) {
     return parallel_run(nullptr, t);
   }
   if (sched_ == SchedulerKind::kFrontier) refresh_frontier();
-  // Stop once every actionable entity is at/after t. next_event_time()
-  // is the frontier min in O(log N) (or the reference O(N) scan in
-  // linear mode). Passing t as `until` lets fast-forward take the whole
-  // remaining span in one proof when it is quiet.
-  return run_loop([this, t] { return next_event_time() >= t; }, t);
+  // Stop once every actionable entity is at/after t: run_loop's `until`
+  // bound checks the per-iteration scheduler peek directly (no separate
+  // stop predicate, no second peek). Passing t as `until` also lets
+  // fast-forward take the whole remaining span in one proof when it is
+  // quiet.
+  return run_loop(nullptr, t);
 }
 
 std::uint64_t Machine::advance_n(std::uint64_t n) {

@@ -62,6 +62,7 @@ class MetricsRegistry;
 
 namespace iw::hwsim {
 
+class IpiOutbox;
 class ParallelEngine;
 struct Snapshot;
 class SnapshotParticipant;
@@ -172,6 +173,11 @@ struct MachineConfig {
   /// Explicit seed for the fault streams (0 = derive from `seed`). Lets a
   /// sweep vary the fault schedule while the workload stays fixed.
   std::uint64_t fault_seed{0};
+  /// Pre-size every event queue (machine queue + both inboxes of every
+  /// core: heap, payload slab, and free list) for this many concurrent
+  /// events at construction, so warm-up runs stop paying std::vector
+  /// growth reallocations on the hot path. 0 disables pre-sizing.
+  std::size_t inbox_reserve{16};
 };
 
 /// The machine IS a stack substrate (the paper's point, made literal):
@@ -484,13 +490,19 @@ class Machine final : public substrate::StackSubstrate {
     return n;
   }
   [[nodiscard]] std::uint64_t total_advances() const { return advances_; }
+  /// Hot-path growth reallocations since construction: queue/slab growth
+  /// across the machine queue and every core inbox, plus the parallel
+  /// engine's epoch-scratch arena growth. A warmed steady-state run
+  /// should hold this flat; bench/des_throughput reports the delta as
+  /// allocs_per_million_events.
+  [[nodiscard]] std::uint64_t hot_path_allocs() const;
 
  private:
   struct ExecCtx {
     const Machine* machine{nullptr};
     unsigned source{0};
     obs::MetricsRegistry* scratch{nullptr};
-    std::vector<PendingIpi>* outbox{nullptr};
+    IpiOutbox* outbox{nullptr};
   };
   /// One thread-local context cell shared by all machines (scoped per
   /// machine via the `machine` field; see ExecScope).
@@ -507,7 +519,7 @@ class Machine final : public substrate::StackSubstrate {
    public:
     ExecScope(const Machine& m, unsigned source,
               obs::MetricsRegistry* scratch = nullptr,
-              std::vector<PendingIpi>* outbox = nullptr)
+              IpiOutbox* outbox = nullptr)
         : prev_(exec_ctx()) {
       exec_ctx() = ExecCtx{&m, source, scratch, outbox};
     }

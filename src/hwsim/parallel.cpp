@@ -17,10 +17,13 @@
 //    neither depends on how contexts interleave across epochs or host
 //    threads. An inbox's pop order for same-time events is a pure
 //    function of its contents.
-//  * Deterministic merge. Buffered IPIs are flushed at the barrier in
-//    core-id order; since every buffered delivery's (time, seq) key was
-//    fixed at send time and all arrivals are at/past H, insertion order
-//    cannot affect any pop the target performs afterwards.
+//  * Deterministic merge. Buffered IPIs are staged in fixed-capacity
+//    atomic outbox slots (IpiOutbox) and flushed at the barrier; every
+//    delivery's (time, seq) key was fixed at send time, seqs are
+//    unique, and all arrivals are at/past H, so neither the racy
+//    slot-claim order nor the flush order can affect any pop the
+//    target performs afterwards (a min-heap pops a totally-ordered set
+//    in sorted order regardless of insertion history).
 //  * Coordinator-owned machine queue. Machine-level callbacks run with
 //    all shards parked, at exactly the points the sequential loop would
 //    run them (the queue head bounds the horizon, and the queue wins
@@ -28,9 +31,9 @@
 //  * Work stealing moves nothing observable. The deques assign each
 //    shard to exactly one claimant per epoch (Chase–Lev take/steal are
 //    mutually exclusive), and a shard's drain writes only core-keyed
-//    state: its lane outbox/advance counter, its scratch registry, its
+//    state: its claimed outbox slots, its scratch registry, its
 //    per-core trace buffer, and its own per-source sequence and fault
-//    RNG counters. The barrier merges all of those in core-id order.
+//    RNG counters. The barrier merges all of those deterministically.
 //    So WHICH host thread drained a shard — the only thing stealing
 //    changes — is invisible to traces, metrics, and machine state.
 //
@@ -59,10 +62,21 @@ constexpr int kSpinsBeforeYield = 200;
 
 ParallelEngine::ParallelEngine(Machine& machine, unsigned threads,
                                bool steal)
-    : machine_(machine), steal_enabled_(steal) {
+    : machine_(machine),
+      steal_enabled_(steal),
+      // Size the arena so the outbox carve (slot blocks + padded claim
+      // counters) fits one block; the build is then exactly one heap
+      // allocation, reused for the pool's lifetime.
+      arena_(std::max<std::size_t>(
+          std::size_t{1} << 16,
+          sizeof(IrqEvent) * std::size_t{machine.num_cores()} *
+                  IpiOutbox::kSlotsPerTarget +
+              sizeof(IpiOutbox::Counter) *
+                  (std::size_t{machine.num_cores()} + 1))) {
   const unsigned cores = machine.num_cores();
   threads_ = std::max(1u, std::min(threads, cores));
   lanes_.resize(cores);
+  outbox_.configure(arena_, cores);
   deques_ = std::make_unique<ShardDeque[]>(threads_);
   workers_.reserve(threads_ - 1);
   for (unsigned b = 1; b < threads_; ++b) {
@@ -85,16 +99,16 @@ void ParallelEngine::set_scratch_enabled(bool on) {
   }
 }
 
-bool ParallelEngine::drain_core(unsigned core, Cycles horizon) {
+bool ParallelEngine::drain_core(unsigned core, Cycles horizon,
+                                std::uint64_t* advances) {
   Core& c = machine_.core(core);
   Lane& lane = lanes_[core];
   Machine::ExecScope scope(machine_, core + 1, lane.scratch.get(),
-                           &lane.outbox);
+                           &outbox_);
   if (budget_limit_ == 0) {
-    while (c.next_action_time_uncached() < horizon) {
-      c.advance();
-      ++lane.advances;
-    }
+    // Hot path: the fused per-core drain (one runnable()/peek pass per
+    // advance instead of a separate wake-time recompute + dispatch).
+    *advances += c.drain_until(horizon);
     return true;
   }
   // Watchdog-bounded epoch: claim a budget slot before every advance.
@@ -107,44 +121,57 @@ bool ParallelEngine::drain_core(unsigned core, Cycles horizon) {
       return false;
     }
     c.advance();
-    ++lane.advances;
+    ++*advances;
   }
   return true;
 }
 
 void ParallelEngine::drain_pool(unsigned self, Cycles horizon) {
+  // Advances accumulate thread-locally and publish once per epoch: the
+  // total is a per-core sum, so it is independent of which thread
+  // drained which shard.
+  std::uint64_t adv = 0;
+  bool budget_out = false;
   // Own block first (locality: a thread re-touches the same cores every
   // epoch while the load is balanced).
   ShardDeque& own = deques_[self];
   for (;;) {
     const int s = own.take();
     if (s < 0) break;
-    if (!drain_core(static_cast<unsigned>(s), horizon)) return;
-  }
-  if (!steal_enabled_) return;
-  // Steal sweep: keep claiming from any victim that still has shards;
-  // finish only after a full sweep that neither claimed a shard nor
-  // lost a race (a lost race means someone else claimed — re-sweep so
-  // no shard is left behind).
-  for (;;) {
-    bool claimed = false;
-    bool contended = false;
-    for (unsigned k = 1; k < threads_; ++k) {
-      ShardDeque& victim = deques_[(self + k) % threads_];
-      for (;;) {
-        const int s = victim.steal();
-        if (s == ShardDeque::kEmpty) break;
-        if (s == ShardDeque::kAbort) {
-          contended = true;
-          break;
-        }
-        steals_.fetch_add(1, std::memory_order_relaxed);
-        claimed = true;
-        if (!drain_core(static_cast<unsigned>(s), horizon)) return;
-      }
+    if (!drain_core(static_cast<unsigned>(s), horizon, &adv)) {
+      budget_out = true;
+      break;
     }
-    if (!claimed && !contended) return;
   }
+  if (steal_enabled_ && !budget_out) {
+    // Steal sweep: keep claiming from any victim that still has shards;
+    // finish only after a full sweep that neither claimed a shard nor
+    // lost a race (a lost race means someone else claimed — re-sweep so
+    // no shard is left behind).
+    for (;;) {
+      bool claimed = false;
+      bool contended = false;
+      for (unsigned k = 1; k < threads_ && !budget_out; ++k) {
+        ShardDeque& victim = deques_[(self + k) % threads_];
+        for (;;) {
+          const int s = victim.steal();
+          if (s == ShardDeque::kEmpty) break;
+          if (s == ShardDeque::kAbort) {
+            contended = true;
+            break;
+          }
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          claimed = true;
+          if (!drain_core(static_cast<unsigned>(s), horizon, &adv)) {
+            budget_out = true;
+            break;
+          }
+        }
+      }
+      if (budget_out || (!claimed && !contended)) break;
+    }
+  }
+  advances_total_.fetch_add(adv, std::memory_order_relaxed);
 }
 
 void ParallelEngine::worker_main(unsigned self) {
@@ -166,52 +193,48 @@ std::uint64_t ParallelEngine::drain_epoch(Cycles horizon,
                                           std::uint64_t max_advances) {
   budget_limit_ = max_advances;
   budget_used_.store(0, std::memory_order_relaxed);
+  advances_total_.store(0, std::memory_order_relaxed);
   if (threads_ == 1) {
     // Threadless path: the coordinator drains every shard itself — no
     // deques, no barrier, still the same shard-local event order.
+    std::uint64_t adv = 0;
     for (unsigned i = 0; i < machine_.num_cores(); ++i) {
-      if (!drain_core(i, horizon)) break;
+      if (!drain_core(i, horizon, &adv)) break;
     }
-  } else {
-    // Seed the deques with the static block partition; stealing
-    // rebalances from there. Workers are parked (previous epoch fully
-    // acked), and the release-store of epoch_ below publishes the
-    // reset before any worker claims.
-    const unsigned cores = machine_.num_cores();
-    const unsigned base = cores / threads_;
-    const unsigned rem = cores % threads_;
-    for (unsigned b = 0; b < threads_; ++b) {
-      const unsigned lo = b * base + std::min(b, rem);
-      deques_[b].reset(lo, base + (b < rem ? 1 : 0));
-    }
-    horizon_ = horizon;
-    ++epochs_issued_;
-    epoch_.store(epochs_issued_, std::memory_order_release);
-    drain_pool(0, horizon);
-    const std::uint64_t expect = epochs_issued_ * (threads_ - 1);
-    int spins = 0;
-    while (done_.load(std::memory_order_acquire) != expect) {
-      if (++spins > kSpinsBeforeYield) std::this_thread::yield();
-    }
+    return adv;
   }
-  std::uint64_t advances = 0;
-  for (auto& lane : lanes_) {
-    advances += lane.advances;
-    lane.advances = 0;
+  // Seed the deques with the static block partition; stealing
+  // rebalances from there. Workers are parked (previous epoch fully
+  // acked), and the release-store of epoch_ below publishes the
+  // reset before any worker claims.
+  const unsigned cores = machine_.num_cores();
+  const unsigned base = cores / threads_;
+  const unsigned rem = cores % threads_;
+  for (unsigned b = 0; b < threads_; ++b) {
+    const unsigned lo = b * base + std::min(b, rem);
+    deques_[b].reset(lo, base + (b < rem ? 1 : 0));
   }
-  return advances;
+  horizon_ = horizon;
+  ++epochs_issued_;
+  epoch_.store(epochs_issued_, std::memory_order_release);
+  drain_pool(0, horizon);
+  const std::uint64_t expect = epochs_issued_ * (threads_ - 1);
+  int spins = 0;
+  while (done_.load(std::memory_order_acquire) != expect) {
+    if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+  }
+  // The done_ acquire above ordered every worker's advance publication
+  // before this read (and the epoch is over, so no thread is writing).
+  return advances_total_.load(std::memory_order_relaxed);
 }
 
 void ParallelEngine::merge_outboxes() {
-  // Core-id order: deterministic and thread-count-independent. The
-  // coordinator has no outbox in scope here, so enqueue_ipi pushes
-  // straight into the target inboxes.
-  for (auto& lane : lanes_) {
-    for (const PendingIpi& p : lane.outbox) {
-      machine_.enqueue_ipi(p.to, p.ev);
-    }
-    lane.outbox.clear();
-  }
+  // Target-id order, claim order within a lane — both unobservable (see
+  // IpiOutbox in parallel.hpp). The coordinator has no outbox in scope
+  // here, so enqueue_ipi pushes straight into the target inboxes. O(1)
+  // when the epoch staged nothing.
+  outbox_.drain(
+      [this](CoreId to, const IrqEvent& ev) { machine_.enqueue_ipi(to, ev); });
 }
 
 void ParallelEngine::merge_scratch_metrics(obs::MetricsRegistry* into) {
@@ -332,7 +355,7 @@ bool Machine::parallel_run_per_core(const std::function<bool()>& stop,
       if (ev.sink != kNoSink) {
         event_sink(ev.sink)->on_machine_event(*this, ev.time, ev.payload);
       } else {
-        ev.fn();
+        machine_queue_.take_fn(ev.fn)();
       }
       continue;
     }

@@ -2,12 +2,13 @@
 // hwsim::Machine (SchedulerKind::kParallelEpoch with
 // ShardPolicy::kPerCore).
 //
-// The engine owns a persistent host worker pool and the per-core lanes
-// (IPI outbox, scratch metrics registry, advance counter) that make an
-// epoch drain shard-local. Machine::parallel_run_per_core drives it:
-// compute the epoch horizon from the lookahead bound, fan the drain out
-// across the pool, then merge lane outboxes deterministically at the
-// barrier. See parallel.cpp for the determinism argument.
+// The engine owns a persistent host worker pool, an epoch-scoped bump
+// arena (hwsim/arena.hpp) backing the fabric outbox, and the per-core
+// scratch lanes that make an epoch drain shard-local. Machine::
+// parallel_run_per_core drives it: compute the epoch horizon from the
+// lookahead bound, fan the drain out across the pool, then merge the
+// staged outbox deliveries deterministically at the barrier. See
+// parallel.cpp for the determinism argument.
 //
 // Shard scheduling inside an epoch is work-stealing (HVM2-style): each
 // host thread owns a Chase–Lev deque of shard ids seeded with a static
@@ -26,13 +27,17 @@
 // when the pool oversubscribes the host (CI runners, 1-CPU containers).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <new>
 #include <thread>
 #include <vector>
 
 #include "common/types.hpp"
+#include "hwsim/arena.hpp"
 #include "hwsim/machine.hpp"
 
 namespace iw::obs {
@@ -40,6 +45,108 @@ class MetricsRegistry;
 }  // namespace iw::obs
 
 namespace iw::hwsim {
+
+/// Fixed-capacity atomic outbox lanes for buffered fabric deliveries
+/// (the HVM2-style replacement for per-lane std::vector outboxes).
+///
+/// Layout: per target core, kSlotsPerTarget IrqEvent slots carved out
+/// of the engine's EpochArena plus one cache-line-private atomic claim
+/// counter. stage() claims a slot index with a relaxed fetch_add and
+/// writes the event in place — no lock, no allocation; the rare
+/// overflow beyond the fixed capacity falls back to a mutex-guarded
+/// spill vector (counted, see spill_grow_allocs).
+///
+/// Determinism: the slot order within a target lane is claim order,
+/// which IS host-schedule-dependent — and provably unobservable. Every
+/// staged delivery's (time, seq) key was fixed at send time in the
+/// sender's context, seqs are unique, and TimedQueue pop order is a
+/// pure function of the queued (time, seq) multiset (a min-heap pops a
+/// totally-ordered set in sorted order regardless of insertion
+/// history). Snapshot digests and serialization sort by the same key.
+/// So the merge may deliver lane slots in any order without any
+/// observable difference — which is exactly what lets the claim order
+/// be racy while results stay bit-identical (ROADMAP item 1).
+///
+/// Memory ordering rides the existing epoch handshake: workers'
+/// relaxed slot/counter writes happen-before the coordinator's drain()
+/// via the done_-counter release/acquire pair, and the coordinator's
+/// counter resets happen-before the next epoch's stage() calls via the
+/// epoch_ release store.
+class IpiOutbox {
+ public:
+  static constexpr std::uint32_t kSlotsPerTarget = 8;
+
+  struct alignas(64) Counter {
+    std::atomic<std::uint32_t> v{0};
+  };
+
+  /// Carve slot storage for `num_targets` lanes out of `arena`. Called
+  /// once per pool build; the arena must outlive the outbox.
+  void configure(EpochArena& arena, unsigned num_targets) {
+    num_targets_ = num_targets;
+    slots_ = arena.alloc_array<IrqEvent>(
+        static_cast<std::size_t>(num_targets) * kSlotsPerTarget);
+    counters_ = arena.alloc_array<Counter>(num_targets);
+    for (unsigned i = 0; i < num_targets; ++i) new (&counters_[i]) Counter();
+    staged_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Stage one fully-formed delivery for `to` (shard context, hot).
+  void stage(CoreId to, const IrqEvent& ev) {
+    const std::uint32_t i =
+        counters_[to].v.fetch_add(1, std::memory_order_relaxed);
+    if (i < kSlotsPerTarget) {
+      slots_[static_cast<std::size_t>(to) * kSlotsPerTarget + i] = ev;
+    } else {
+      const std::lock_guard<std::mutex> g(spill_mu_);
+      if (spill_.size() == spill_.capacity()) ++spill_grows_;
+      spill_.push_back(PendingIpi{to, ev});
+    }
+    staged_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Deliver everything staged and reset the lanes (coordinator-only,
+  /// at an epoch barrier). O(1) when nothing was staged — the common
+  /// sparse-epoch case the old per-lane sweep paid O(cores) for.
+  template <class F>
+  void drain(F&& deliver) {
+    if (staged_.load(std::memory_order_relaxed) == 0) return;
+    for (unsigned to = 0; to < num_targets_; ++to) {
+      auto& cnt = counters_[to].v;
+      const std::uint32_t n =
+          std::min(cnt.load(std::memory_order_relaxed), kSlotsPerTarget);
+      if (n == 0) continue;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        deliver(static_cast<CoreId>(to),
+                slots_[static_cast<std::size_t>(to) * kSlotsPerTarget + i]);
+      }
+      cnt.store(0, std::memory_order_relaxed);
+    }
+    if (!spill_.empty()) {
+      for (const PendingIpi& p : spill_) deliver(p.to, p.ev);
+      spill_.clear();
+    }
+    staged_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Deliveries staged and not yet drained (coordinator-only read).
+  [[nodiscard]] std::uint64_t staged() const {
+    return staged_.load(std::memory_order_relaxed);
+  }
+  /// Growth reallocations of the overflow spill vector.
+  [[nodiscard]] std::uint64_t spill_grow_allocs() const {
+    return spill_grows_;
+  }
+
+ private:
+  unsigned num_targets_{0};
+  IrqEvent* slots_{nullptr};       // arena-owned, num_targets_ * kSlots
+  Counter* counters_{nullptr};     // arena-owned, one per target
+  std::atomic<std::uint64_t> staged_{0};
+  std::mutex spill_mu_;
+  std::vector<PendingIpi> spill_;
+  std::uint64_t spill_grows_{0};
+};
 
 /// Per-thread shard queue: a Chase–Lev work-stealing deque specialized
 /// to the epoch engine's lifecycle. The backing "array" is the dense
@@ -134,38 +241,41 @@ class ParallelEngine {
   /// all shards are parked.
   std::uint64_t drain_epoch(Cycles horizon, std::uint64_t max_advances = 0);
 
-  /// Flush per-core outboxes into the target inboxes, iterating lanes
-  /// in core-id order — a deterministic, thread-count-independent
-  /// merge. Coordinator-only, between epochs.
+  /// Flush the staged outbox deliveries into the target inboxes
+  /// (target-id order, slot-claim order within a target — both
+  /// unobservable, see IpiOutbox). Coordinator-only, between epochs.
+  /// O(1) when the epoch staged nothing.
   void merge_outboxes();
 
   /// Fold the per-core scratch registries into `into`, in core-id
   /// order, and clear them. Coordinator-only, at run end.
   void merge_scratch_metrics(obs::MetricsRegistry* into);
 
-  /// True when every lane's IPI outbox is empty. Between runs this
-  /// always holds (merge_outboxes runs at every epoch barrier);
-  /// Machine::snapshot/restore assert it, since buffered fabric traffic
-  /// is not part of the snapshot format.
-  [[nodiscard]] bool quiescent() const {
-    for (const Lane& l : lanes_) {
-      if (!l.outbox.empty()) return false;
-    }
-    return true;
+  /// True when no staged fabric delivery is awaiting its merge. Between
+  /// runs this always holds (merge_outboxes runs at every epoch
+  /// barrier); Machine::snapshot/restore assert it, since buffered
+  /// fabric traffic is not part of the snapshot format.
+  [[nodiscard]] bool quiescent() const { return outbox_.staged() == 0; }
+
+  /// Heap allocations attributable to the engine's epoch scratch:
+  /// arena block growth plus outbox spill growth (feeds
+  /// Machine::hot_path_allocs).
+  [[nodiscard]] std::uint64_t scratch_grow_allocs() const {
+    return arena_.grows() + outbox_.spill_grow_allocs();
   }
 
  private:
-  /// Per-core lane: everything a shard context writes during a drain,
-  /// cache-line-aligned so neighboring shards never share a line.
+  /// Per-core lane: shard-private scratch a drain writes outside the
+  /// shared outbox, cache-line-aligned so neighboring shards never
+  /// share a line.
   struct alignas(64) Lane {
-    std::vector<PendingIpi> outbox;
     std::unique_ptr<obs::MetricsRegistry> scratch;
-    std::uint64_t advances{0};
   };
 
-  /// Drain one shard; returns false when the epoch advance budget ran
-  /// out mid-drain (callers stop claiming shards).
-  bool drain_core(unsigned core, Cycles horizon);
+  /// Drain one shard, accumulating its advances into `*advances`;
+  /// returns false when the epoch advance budget ran out mid-drain
+  /// (callers stop claiming shards).
+  bool drain_core(unsigned core, Cycles horizon, std::uint64_t* advances);
   /// One thread's share of an epoch: drain the own deque, then steal.
   void drain_pool(unsigned self, Cycles horizon);
   void worker_main(unsigned self);
@@ -173,6 +283,10 @@ class ParallelEngine {
   Machine& machine_;
   unsigned threads_{1};
   bool steal_enabled_{true};
+  /// Backing store for the outbox slot blocks and claim counters; built
+  /// once per pool, reused every epoch.
+  EpochArena arena_;
+  IpiOutbox outbox_;
   std::vector<Lane> lanes_;  // one per core
   /// One deque per host thread (array: ShardDeque holds atomics and is
   /// neither movable nor copyable).
@@ -185,6 +299,12 @@ class ParallelEngine {
   std::atomic<std::uint64_t> budget_used_{0};
 
   std::atomic<std::uint64_t> steals_{0};
+
+  /// Epoch advance total: each thread adds its local count once per
+  /// epoch (a per-core sum, so the value is claim-order-independent).
+  /// Workers' relaxed adds are ordered before the coordinator's read by
+  /// the done_-counter release/acquire handshake.
+  std::atomic<std::uint64_t> advances_total_{0};
 
   // Epoch handshake (workers_ == threads_ - 1 spawned threads).
   Cycles horizon_{0};  // published-before epoch_ store

@@ -37,6 +37,14 @@ class Machine;
 using SinkId = std::uint32_t;
 inline constexpr SinkId kNoSink = ~SinkId{0};
 
+/// Handle to a legacy std::function parked out-of-line in the queue it
+/// was posted to (TimedQueue::park_fn/take_fn). Keeping only this index
+/// in the queued record keeps the hot event trivially copyable; the
+/// closure itself lives in a side vector owned by the same queue, so
+/// snapshot value-copies of a queue carry their parked closures along.
+using FnSlot = std::uint32_t;
+inline constexpr FnSlot kNoFnSlot = ~FnSlot{0};
+
 /// Plain-data argument block carried by a sink-dispatched event. Four
 /// words cover every current user (the widest, signal delivery, uses
 /// three); widen here if a future sink needs more — the snapshot format

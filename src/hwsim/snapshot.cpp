@@ -45,15 +45,15 @@ void mix(std::uint64_t& h, std::uint64_t v) {
   }
 }
 
-/// (time, seq)-sorted view of a queue's events. The raw heap array
-/// order depends on push interleaving (sequential vs epoch-barrier
+/// (time, seq)-sorted view of a queue's events. The packed heap/slab
+/// layout depends on push interleaving (sequential vs epoch-barrier
 /// merge), but (time, seq) is a total order on the logical contents —
 /// sorting makes the digest layout-independent.
 template <class EventT>
 std::vector<const EventT*> sorted_view(const TimedQueue<EventT>& q) {
   std::vector<const EventT*> v;
   v.reserve(q.size());
-  for (const EventT& e : q.raw()) v.push_back(&e);
+  q.for_each([&v](const EventT& e) { v.push_back(&e); });
   std::sort(v.begin(), v.end(), [](const EventT* a, const EventT* b) {
     return a->time < b->time || (a->time == b->time && a->seq < b->seq);
   });
@@ -67,7 +67,7 @@ void mix_queue(std::uint64_t& h, const TimedQueue<Event>& q) {
     mix(h, e->seq);
     mix(h, e->sink);
     for (std::uint64_t wd : e->payload.w) mix(h, wd);
-    mix(h, e->fn != nullptr ? 1 : 0);
+    mix(h, e->fn != kNoFnSlot ? 1 : 0);
   }
 }
 
@@ -96,7 +96,7 @@ void mix_queue(std::uint64_t& h, const TimedQueue<CoreEvent>& q) {
     mix(h, e->timer_sink);
     mix(h, e->sink);
     for (std::uint64_t wd : e->payload.w) mix(h, wd);
-    mix(h, e->fn != nullptr ? 1 : 0);
+    mix(h, e->fn != kNoFnSlot ? 1 : 0);
   }
 }
 
@@ -130,10 +130,10 @@ std::uint64_t Snapshot::digest() const {
 
 std::size_t Snapshot::footprint_words() const {
   std::size_t n = words.size() + ephemeral.size();
-  n += machine_queue.raw().size() * (sizeof(Event) / 8);
+  n += machine_queue.size() * (sizeof(Event) / 8);
   for (const CoreQueues& cq : cores) {
-    n += cq.irq.raw().size() * (sizeof(IrqEvent) / 8);
-    n += cq.callbacks.raw().size() * (sizeof(CoreEvent) / 8);
+    n += cq.irq.size() * (sizeof(IrqEvent) / 8);
+    n += cq.callbacks.size() * (sizeof(CoreEvent) / 8);
   }
   return n;
 }
@@ -155,7 +155,7 @@ std::vector<std::uint64_t> Snapshot::serialize() const {
   // whose queues were populated under different push interleavings.
   w.u64(machine_queue.size());
   for (const Event* e : sorted_view(machine_queue)) {
-    IW_ASSERT_MSG(e->fn == nullptr,
+    IW_ASSERT_MSG(e->fn == kNoFnSlot,
                   "snapshot v2 cannot serialize a pending legacy closure "
                   "in the machine queue (use Machine::schedule_event with "
                   "a registered EventSink instead of schedule_at)");
@@ -176,7 +176,7 @@ std::vector<std::uint64_t> Snapshot::serialize() const {
     }
     w.u64(cq.callbacks.size());
     for (const CoreEvent* e : sorted_view(cq.callbacks)) {
-      IW_ASSERT_MSG(e->fn == nullptr,
+      IW_ASSERT_MSG(e->fn == kNoFnSlot,
                     "snapshot v2 cannot serialize a pending legacy "
                     "closure in a core callback inbox (use "
                     "Core::post_event with a registered EventSink "
@@ -341,9 +341,9 @@ Snapshot Machine::snapshot() {
     // (the live queue keeps only the pointer). Unregistered timers
     // stamp kNoSink; the snapshot stays restorable same-instance, and
     // serialize() rejects it with a diagnostic.
-    for (CoreEvent& e : s.cores[i].callbacks.raw_mutable()) {
+    s.cores[i].callbacks.for_each_mutable([this](CoreEvent& e) {
       if (e.timer != nullptr) e.timer_sink = timer_sink_id(e.timer);
-    }
+    });
   }
   return s;
 }
@@ -397,10 +397,10 @@ void Machine::restore(const Snapshot& s) {
     // pointers). Same-instance restores resolve to the original timer;
     // cross-instance restores require the target to have registered its
     // timers in the same order — timer_sink() aborts otherwise.
-    for (CoreEvent& e : c.callback_inbox_.raw_mutable()) {
+    c.callback_inbox_.for_each_mutable([this](CoreEvent& e) {
       if (e.timer_sink != kNoSink) e.timer = timer_sink(e.timer_sink);
       if (e.sink != kNoSink) (void)event_sink(e.sink);
-    }
+    });
   }
 
   faults_.restore_state(r, re);
@@ -428,9 +428,9 @@ void Machine::restore(const Snapshot& s) {
                 "snapshot ephemeral stream not consumed");
 
   machine_queue_ = s.machine_queue;
-  for (Event& e : machine_queue_.raw_mutable()) {
+  machine_queue_.for_each_mutable([this](Event& e) {
     if (e.sink != kNoSink) (void)event_sink(e.sink);
-  }
+  });
 
   // Rebuild the derived scheduling state: the now() caches are a pure
   // function of the (monotone) core clocks, and refresh_frontier marks

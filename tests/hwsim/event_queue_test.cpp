@@ -102,15 +102,94 @@ TEST(EventQueue, CoreEventTimerTagOrdersLikeCallbacks) {
   CoreEvent fn_ev;
   fn_ev.time = 7;
   fn_ev.seq = 0;
-  fn_ev.fn = [] {};
+  bool fired = false;
+  fn_ev.fn = q.park_fn([&fired] { fired = true; });
   q.push(std::move(fn_ev));
 
   const CoreEvent first = q.pop();
   EXPECT_EQ(first.seq, 0u);
   EXPECT_EQ(first.timer, nullptr);
+  q.take_fn(first.fn)();
+  EXPECT_TRUE(fired);
   const CoreEvent second = q.pop();
   EXPECT_EQ(second.timer, &sink);
   EXPECT_EQ(second.gen, 42u);
+}
+
+TEST(EventQueue, HotRecordsAreTriviallyCopyable) {
+  // The packed heap keeps a 16-byte (key, idx) record and a slab of
+  // trivially copyable events; closures live out-of-line behind FnSlot
+  // handles. This is the representation the hot path depends on.
+  static_assert(std::is_trivially_copyable_v<Event>);
+  static_assert(std::is_trivially_copyable_v<CoreEvent>);
+  static_assert(std::is_trivially_copyable_v<IrqEvent>);
+}
+
+TEST(EventQueue, EqualTimePopsInSeqOrderBeyondPackedLowBits) {
+  // The packed key carries only the low 16 seq bits; equal-time order
+  // must still follow the FULL seq. Use seqs whose low-16 ordering
+  // disagrees with the full-seq ordering: 0x1FFFF (low 0xFFFF) precedes
+  // 0x20001 (low 0x0001) even though its packed low bits are larger.
+  TimedQueue<IrqEvent> q;
+  q.push(make(9, 0x20001));
+  q.push(make(9, 0x1FFFF));
+  q.push(make(9, 0x30000));
+  q.push(make(9, 0x0FFFE));
+  EXPECT_EQ(q.pop().seq, 0x0FFFEu);
+  EXPECT_EQ(q.pop().seq, 0x1FFFFu);
+  EXPECT_EQ(q.pop().seq, 0x20001u);
+  EXPECT_EQ(q.pop().seq, 0x30000u);
+}
+
+TEST(EventQueue, RandomizedEqualTimeSeqOrderProperty) {
+  // Property: for any push interleaving, pops come out sorted by
+  // (time, full seq) — including provenance-style seqs wider than 16
+  // bits, where the packed key's low bits alias across sources.
+  TimedQueue<IrqEvent> q;
+  Rng r(123);
+  std::vector<std::pair<Cycles, std::uint64_t>> expect;
+  for (int i = 0; i < 4000; ++i) {
+    const Cycles t = r.uniform(0, 50);  // dense times force seq ties
+    // (counter << 16) | source: low 16 bits collide between sources.
+    const std::uint64_t seq =
+        (static_cast<std::uint64_t>(i) << 16) | r.uniform(0, 65535);
+    expect.emplace_back(t, seq);
+    q.push(make(t, seq));
+  }
+  std::sort(expect.begin(), expect.end());
+  for (const auto& [t, seq] : expect) {
+    const IrqEvent e = q.pop();
+    ASSERT_EQ(e.time, t);
+    ASSERT_EQ(e.seq, seq);
+  }
+}
+
+TEST(EventQueue, ReserveMakesSteadyStatePushAllocationFree) {
+  TimedQueue<IrqEvent> q;
+  q.reserve(256);
+  EXPECT_EQ(q.grow_allocs(), 0u);
+  for (int i = 0; i < 256; ++i) q.push(make(i, static_cast<std::uint64_t>(i)));
+  EXPECT_EQ(q.grow_allocs(), 0u);
+  // Steady-state churn at the reserved occupancy reuses freed slots.
+  for (int i = 0; i < 1000; ++i) {
+    (void)q.pop();
+    q.push(make(1000 + i, static_cast<std::uint64_t>(256 + i)));
+  }
+  EXPECT_EQ(q.grow_allocs(), 0u);
+  // One more than the reservation grows both the slab and the heap.
+  q.push(make(5000, 9999));
+  EXPECT_EQ(q.grow_allocs(), 2u);
+}
+
+TEST(EventQueue, ParkedClosureSlotsAreReused) {
+  TimedQueue<CoreEvent> q;
+  int calls = 0;
+  const FnSlot a = q.park_fn([&calls] { ++calls; });
+  q.take_fn(a)();
+  const FnSlot b = q.park_fn([&calls] { calls += 10; });
+  EXPECT_EQ(a, b);  // freed slot recycled, no fns_ growth
+  q.take_fn(b)();
+  EXPECT_EQ(calls, 11);
 }
 
 }  // namespace

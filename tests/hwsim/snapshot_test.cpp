@@ -646,6 +646,55 @@ TEST(Snapshot, CheckpointRingEvictsOldestAndSearchesByTime) {
   EXPECT_EQ(ring.nearest_at_or_before(5'000)->at, 400u);
 }
 
+TEST(Snapshot, PackedQueueRoundTripPreservesContentsAndDigest) {
+  // Serialize with populated packed queues (machine sink events, core
+  // IRQ inboxes, timer fires in the callback inboxes) and hydrate the
+  // image back: the deserialized snapshot must carry the same logical
+  // queue contents — same sizes, same digest — even though the donor's
+  // heap/slab layout reflects its push history and the copy's reflects
+  // insertion order from the image.
+  hwsim::Machine m(make_config(kSchedMatrix[0], false, nullptr));
+  SnapWorkload w(m);
+  ASSERT_TRUE(m.run_until(kMid));
+  const hwsim::Snapshot donor = m.snapshot();
+  ASSERT_GT(donor.machine_queue.size(), 0u);
+  std::size_t pending_cb = 0;
+  for (const hwsim::Snapshot::CoreQueues& cq : donor.cores) {
+    pending_cb += cq.callbacks.size();
+  }
+  ASSERT_GT(pending_cb, 0u);  // the periodic LAPIC fire is in flight
+
+  const hwsim::Snapshot copy =
+      hwsim::Snapshot::deserialize(donor.serialize());
+  EXPECT_EQ(copy.digest(), donor.digest());
+  EXPECT_EQ(copy.machine_queue.size(), donor.machine_queue.size());
+  ASSERT_EQ(copy.cores.size(), donor.cores.size());
+  for (std::size_t i = 0; i < copy.cores.size(); ++i) {
+    EXPECT_EQ(copy.cores[i].irq.size(), donor.cores[i].irq.size());
+    EXPECT_EQ(copy.cores[i].callbacks.size(),
+              donor.cores[i].callbacks.size());
+  }
+}
+
+TEST(Snapshot, SerializeRejectsParkedClosuresWithNamedQueue) {
+  // Legacy closures live out-of-line behind FnSlot handles now; the
+  // serialize-time rejection must still trip on the slot handle and
+  // still name which queue holds the offender.
+  {
+    hwsim::Machine m(make_config(kSchedMatrix[0], false, nullptr));
+    SnapWorkload w(m);
+    m.schedule_at(1'000, [] {});
+    EXPECT_DEATH((void)m.snapshot().serialize(), "in the machine queue");
+  }
+  {
+    hwsim::Machine m(make_config(kSchedMatrix[0], false, nullptr));
+    SnapWorkload w(m);
+    m.core(1).post_callback(1'000, [] {});
+    EXPECT_DEATH((void)m.snapshot().serialize(),
+                 "in a core callback inbox");
+  }
+}
+
 TEST(Snapshot, DigestIsStableAndFootprintNonzero) {
   hwsim::Machine m(make_config(kSchedMatrix[0], false, nullptr));
   SnapWorkload w(m);

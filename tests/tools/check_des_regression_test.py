@@ -296,6 +296,87 @@ def main(argv):
           run_guard(script, fresh, scenarios_doc(), "--profile=scenarios"),
           1)
 
+    # --- hotpath profile ---
+    def hotpath_doc():
+        return {
+            "host_cpus": 8,
+            "hotpath": {
+                "bytes_per_hot_event": 16,
+                "events_per_sec": {"2": 2.0e7, "64": 1.5e7},
+                "events_per_sec_parallel": {"2": 3.0e7, "64": 6.0e7},
+                "allocs_per_million_events": {"2": 0.0, "64": 0.0},
+            },
+        }
+
+    # 28. Healthy hotpath section passes.
+    check("hotpath profile passes",
+          run_guard(script, hotpath_doc(), hotpath_doc(),
+                    "--profile=hotpath"), 0)
+
+    # 29. The section vanishing entirely must fail, never pass vacuously.
+    check("hotpath missing section fails",
+          run_guard(script, {"host_cpus": 8}, hotpath_doc(),
+                    "--profile=hotpath"), 1, "hotpath")
+
+    # 30. A core count dropped from the events_per_sec series is a hard
+    # failure, as is a series that was emitted but never measured.
+    fresh = hotpath_doc()
+    del fresh["hotpath"]["events_per_sec"]["64"]
+    check("hotpath missing series entry fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "events_per_sec[64 cores]")
+    fresh = hotpath_doc()
+    fresh["hotpath"]["events_per_sec_parallel"]["2"] = 0.0
+    check("hotpath zero throughput fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "events_per_sec_parallel[2 cores]")
+
+    # 31. The whole series map vanishing must fail.
+    fresh = hotpath_doc()
+    del fresh["hotpath"]["events_per_sec"]
+    check("hotpath missing series map fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "events_per_sec")
+
+    # 32. Growing the packed heap record is the layout regression this
+    # profile exists to catch; a missing measurement fails too.
+    fresh = hotpath_doc()
+    fresh["hotpath"]["bytes_per_hot_event"] = 24
+    check("hotpath record growth fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "bytes_per_hot_event")
+    fresh = hotpath_doc()
+    del fresh["hotpath"]["bytes_per_hot_event"]
+    check("hotpath missing record size fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "bytes_per_hot_event")
+
+    # 33. The parallel/frontier ratio is host-independent and floored:
+    # a collapse fails even though both absolute series are positive.
+    fresh = hotpath_doc()
+    fresh["hotpath"]["events_per_sec_parallel"]["64"] = 1.6e7
+    check("hotpath parallel/frontier collapse fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "parallel/frontier")
+
+    # 34. Allocation discipline is a ceiling with +1 absolute slack: a
+    # fraction of an alloc per million over a zero baseline passes, a
+    # real allocation leak fails.
+    fresh = hotpath_doc()
+    fresh["hotpath"]["allocs_per_million_events"]["64"] = 0.9
+    check("hotpath small alloc noise passes",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 0)
+    fresh = hotpath_doc()
+    fresh["hotpath"]["allocs_per_million_events"]["64"] = 50.0
+    check("hotpath alloc leak fails",
+          run_guard(script, fresh, hotpath_doc(), "--profile=hotpath"), 1,
+          "allocs_per_million_events[64 cores]")
+
+    # 35. The des profile must not be satisfied by a hotpath-only doc
+    # (disjoint selection, same rule as case 15).
+    check("hotpath doc fails des profile",
+          run_guard(script, hotpath_doc(), hotpath_doc()), 1)
+
     # 21. Unknown profile is a usage error.
     check("unknown profile is usage error",
           run_guard(script, ff_doc(), ff_doc(), "--profile=bogus"), 2)

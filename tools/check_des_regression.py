@@ -30,7 +30,19 @@ Profiles select which ratio maps are guarded:
     that scenarios_per_sec was measured and positive — a batch whose
     results depend on how many workers raced the queue has broken the
     snapshot-hydration contract, and a missing throughput number means
-    the matrix never ran.
+    the matrix never ran;
+  --profile=hotpath — des_throughput's hot-path memory-discipline
+    section: hard-requires the per-core-count events_per_sec and
+    events_per_sec_parallel series (every committed core count measured
+    and positive — absolute throughput is host-dependent, presence is
+    not), guards the parallel/frontier throughput ratio per core count
+    with the tolerance floor (same binary, same box — host speed
+    cancels), requires bytes_per_hot_event to be measured and no larger
+    than the committed packed-record size, and holds
+    allocs_per_million_events to a ceiling of committed * (1 +
+    tolerance) + 1 (an absolute slack of one alloc per million events,
+    so a zero-alloc baseline does not demand bit-exact zero on a noisy
+    runner).
 
 Every guarded map must be present (as a dict) in BOTH files, and every
 baseline entry must be measured in the fresh run; a bench that silently
@@ -63,6 +75,8 @@ PROFILES = {
     "fastforward": ("speedup_ff_vs_full",),
     "bisect": ("speedup_checkpoint_vs_scratch",),
     "scenarios": ("speedup_workers_vs_1",),
+    # hotpath is checked by check_hotpath(), not the generic ratio loop.
+    "hotpath": (),
 }
 
 # Booleans the fresh run must assert true for the profile's ratios to
@@ -122,6 +136,159 @@ def sort_key(key):
     )
 
 
+def check_hotpath(fresh, base, tolerance, failures):
+    """Guard the hot-path memory-discipline section. Returns the number
+    of checks performed (counts toward the no-vacuous-pass rule)."""
+    checked = 0
+    fresh_hot = fresh.get("hotpath")
+    base_hot = base.get("hotpath")
+    bad = False
+    if not isinstance(fresh_hot, dict):
+        failures.append("hotpath: missing or not a map in fresh run")
+        bad = True
+    if not isinstance(base_hot, dict):
+        failures.append("hotpath: missing or not a map in baseline")
+        bad = True
+    if bad:
+        return 0
+
+    # Packed-record size: host-independent bytes. Growing the record the
+    # heap sifts is exactly the regression this profile exists to catch.
+    fresh_bytes = fresh_hot.get("bytes_per_hot_event")
+    base_bytes = base_hot.get("bytes_per_hot_event")
+    if not isinstance(fresh_bytes, (int, float)) \
+            or isinstance(fresh_bytes, bool) or fresh_bytes <= 0:
+        failures.append(
+            "hotpath.bytes_per_hot_event: fresh run did not measure "
+            "this (missing or non-positive)"
+        )
+    elif isinstance(base_bytes, (int, float)) \
+            and not isinstance(base_bytes, bool):
+        checked += 1
+        status = "ok" if fresh_bytes <= base_bytes else "REGRESSION"
+        print(
+            f"hotpath.bytes_per_hot_event: measured {fresh_bytes:.0f}, "
+            f"committed {base_bytes:.0f} -> {status}"
+        )
+        if fresh_bytes > base_bytes:
+            failures.append(
+                f"hotpath.bytes_per_hot_event: {fresh_bytes:.0f} > "
+                f"committed {base_bytes:.0f} (the packed heap record "
+                "grew)"
+            )
+    else:
+        failures.append(
+            "hotpath.bytes_per_hot_event: missing from baseline"
+        )
+
+    # Throughput series: every committed core count must have been
+    # measured and positive. Absolute events/s is host-dependent, so the
+    # hard requirement is presence, not magnitude...
+    series_maps = {}
+    for series in ("events_per_sec", "events_per_sec_parallel"):
+        fresh_map = fresh_hot.get(series)
+        base_map = base_hot.get(series)
+        if not isinstance(fresh_map, dict):
+            failures.append(
+                f"hotpath.{series}: missing or not a map in fresh run"
+            )
+            continue
+        if not isinstance(base_map, dict):
+            failures.append(
+                f"hotpath.{series}: missing or not a map in baseline"
+            )
+            continue
+        series_maps[series] = (fresh_map, base_map)
+        for key in sorted(base_map, key=lambda k: sort_key((k,))):
+            checked += 1
+            value = fresh_map.get(key)
+            ok = isinstance(value, (int, float)) \
+                and not isinstance(value, bool) and value > 0
+            print(
+                f"hotpath.{series}[{key} cores]: "
+                + (f"measured {value:.0f} -> ok" if ok
+                   else "missing or non-positive -> REGRESSION")
+            )
+            if not ok:
+                failures.append(
+                    f"hotpath.{series}[{key} cores]: missing or "
+                    "non-positive in fresh run"
+                )
+
+    # ...except the parallel/frontier ratio, where host speed cancels
+    # (same binary, same box): guard it with the tolerance floor.
+    if len(series_maps) == 2:
+        fresh_f, base_f = series_maps["events_per_sec"]
+        fresh_p, base_p = series_maps["events_per_sec_parallel"]
+        for key in sorted(base_f, key=lambda k: sort_key((k,))):
+            committed_f = base_f.get(key)
+            committed_p = base_p.get(key)
+            measured_f = fresh_f.get(key)
+            measured_p = fresh_p.get(key)
+            values = (committed_f, committed_p, measured_f, measured_p)
+            if not all(isinstance(v, (int, float))
+                       and not isinstance(v, bool) and v > 0
+                       for v in values):
+                continue  # presence failures already recorded above
+            committed = committed_p / committed_f
+            measured = measured_p / measured_f
+            floor = committed * (1.0 - tolerance)
+            checked += 1
+            status = "ok" if measured >= floor else "REGRESSION"
+            print(
+                f"hotpath parallel/frontier[{key} cores]: measured "
+                f"{measured:.2f}x, committed {committed:.2f}x, floor "
+                f"{floor:.2f}x -> {status}"
+            )
+            if measured < floor:
+                failures.append(
+                    f"hotpath parallel/frontier[{key} cores]: "
+                    f"{measured:.2f}x < floor {floor:.2f}x "
+                    f"(committed {committed:.2f}x)"
+                )
+
+    # Allocation discipline: a ceiling, not a floor. The +1 absolute
+    # slack keeps a zero-alloc baseline from demanding bit-exact zero.
+    fresh_map = fresh_hot.get("allocs_per_million_events")
+    base_map = base_hot.get("allocs_per_million_events")
+    if not isinstance(fresh_map, dict):
+        failures.append(
+            "hotpath.allocs_per_million_events: missing or not a map "
+            "in fresh run"
+        )
+    elif not isinstance(base_map, dict):
+        failures.append(
+            "hotpath.allocs_per_million_events: missing or not a map "
+            "in baseline"
+        )
+    else:
+        for key in sorted(base_map, key=lambda k: sort_key((k,))):
+            committed = base_map[key]
+            value = fresh_map.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value < 0:
+                failures.append(
+                    f"hotpath.allocs_per_million_events[{key} cores]: "
+                    "missing or negative in fresh run"
+                )
+                continue
+            ceiling = committed * (1.0 + tolerance) + 1.0
+            checked += 1
+            status = "ok" if value <= ceiling else "REGRESSION"
+            print(
+                f"hotpath.allocs_per_million_events[{key} cores]: "
+                f"measured {value:.1f}, committed {committed:.1f}, "
+                f"ceiling {ceiling:.1f} -> {status}"
+            )
+            if value > ceiling:
+                failures.append(
+                    f"hotpath.allocs_per_million_events[{key} cores]: "
+                    f"{value:.1f} > ceiling {ceiling:.1f} "
+                    f"(committed {committed:.1f})"
+                )
+    return checked
+
+
 def main(argv):
     tolerance = 0.25
     profile = "des"
@@ -163,6 +330,8 @@ def main(argv):
                 f"{number}: fresh run did not measure this "
                 "(missing or non-positive)"
             )
+    if profile == "hotpath":
+        checked += check_hotpath(fresh, base, tolerance, failures)
     for name in PROFILES[profile]:
         fresh_map = fresh.get(name)
         base_map = base.get(name)
